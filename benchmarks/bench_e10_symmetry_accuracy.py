@@ -1,0 +1,28 @@
+"""E10 — Section 5.4: order symmetry; accuracy vs ground truth."""
+
+from repro.bench import run_e10_symmetry_accuracy
+
+
+def test_e10_symmetry_accuracy(benchmark, report_sink):
+    report = report_sink(
+        run_e10_symmetry_accuracy(n_bodies=1200, thresholds=(1.0, 2.0, 3.5, 5.0))
+    )
+    # Orders must agree at every threshold (full symmetry).
+    assert all(row[4] for row in report.rows)
+    # Recall grows monotonically with the threshold.
+    recalls = [row[3] for row in report.rows]
+    assert recalls == sorted(recalls)
+    # At the paper's 3.5-sigma threshold both precision and recall are high.
+    at_35 = next(row for row in report.rows if row[0] == 3.5)
+    assert at_35[2] > 0.95 and at_35[3] > 0.95
+
+    from repro.bench.scenarios import standard_federation
+
+    fed = standard_federation(n_bodies=1200)
+    client = fed.client()
+    sql = (
+        "SELECT O.object_id, T.obj_id "
+        "FROM SDSS:Photo_Object O, TWOMASS:Photo_Primary T "
+        "WHERE AREA(185.0, -0.5, 900.0) AND XMATCH(O, T) < 3.5"
+    )
+    benchmark(lambda: client.submit(sql))

@@ -1,0 +1,24 @@
+"""E11 — scaling the daisy chain from 2 to 5 federated archives."""
+
+from repro.bench import run_e11_scalability
+
+
+def test_e11_scalability(benchmark, report_sink):
+    report = report_sink(run_e11_scalability(node_counts=(2, 3, 4, 5),
+                                             n_bodies=800))
+    # Chain messages grow linearly: 2 per hop, hops = archives.
+    for row in report.rows:
+        archives, _, messages = row[0], row[1], row[2]
+        assert messages == 2 * archives
+    # Tuple counts shrink monotonically along every chain.
+    for row in report.rows:
+        hops = [int(x) for x in str(row[4]).split(" -> ")]
+        assert hops == sorted(hops, reverse=True)
+
+    # Hot path: the 3-archive chain on the shared federation.
+    from repro.bench.scenarios import paper_query, standard_federation
+
+    fed = standard_federation(n_bodies=1200)
+    client = fed.client()
+    sql = paper_query(radius_arcsec=900.0)
+    benchmark(lambda: client.submit(sql))

@@ -1,0 +1,18 @@
+"""E12 — ablation: the candidate search radius used at each archive."""
+
+from repro.bench import run_e12_radius_ablation
+
+
+def test_e12_radius_ablation(benchmark, report_sink):
+    report = report_sink(run_e12_radius_ablation(n_bodies=800))
+    rows = {row[0]: row for row in report.rows}
+    adaptive = rows["adaptive t*(sigma_c+1/sqrt(a))"]
+    fixed = rows["fixed worst-case t*sum(sigma)"]
+    tight = rows["tight t*sigma_c/2"]
+    # Adaptive tests no more candidates than the fixed worst case while
+    # keeping identical recall; the tight rule loses matches.
+    assert adaptive[1] <= fixed[1]
+    assert adaptive[2] == fixed[2]
+    assert tight[2] < adaptive[2]
+
+    benchmark(lambda: run_e12_radius_ablation(n_bodies=300))

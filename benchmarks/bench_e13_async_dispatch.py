@@ -1,0 +1,24 @@
+"""E13 — ablation: asynchronous vs sequential performance queries."""
+
+from repro.bench import run_e13_async_dispatch
+
+
+def test_e13_async_dispatch(benchmark, report_sink):
+    report = report_sink(run_e13_async_dispatch(n_bodies=800))
+    rows = {row[0]: row for row in report.rows}
+    sequential = rows["sequential"][1]
+    parallel = rows["asynchronous (paper)"][1]
+    assert parallel < sequential, (
+        "asynchronous dispatch must beat sequential over uneven links"
+    )
+
+    # Hot path: the (parallel) performance-count pass.
+    from repro.bench.scenarios import fresh_federation, paper_query
+    from repro.portal.decompose import decompose
+    from repro.sql.parser import parse_query
+
+    fed = fresh_federation(n_bodies=600)
+    decomposed = decompose(
+        parse_query(paper_query(radius_arcsec=900.0)), fed.portal.catalog
+    )
+    benchmark(lambda: fed.portal.planner.performance_counts(decomposed))

@@ -1,0 +1,32 @@
+"""E14 — extension: byte-calibrated ordering vs the paper's count star."""
+
+from repro.bench import run_e14_byte_ordering
+
+
+def test_e14_byte_ordering(benchmark, report_sink):
+    report = report_sink(run_e14_byte_ordering(n_bodies=1500))
+    rows = {row[0]: row for row in report.rows}
+    count_row = rows["count_desc"]
+    bytes_row = rows["bytes_desc"]
+    # Same results, fewer chain bytes for the calibrated plan, and the
+    # saving must exceed the calibration probes' own cost.
+    assert count_row[4] == bytes_row[4]
+    assert bytes_row[2] < count_row[2]
+    assert (count_row[2] - bytes_row[2]) > bytes_row[3] * 0.5
+
+    from repro.bench.scenarios import fresh_federation
+    from repro.portal.calibration import CostCalibrator
+    from repro.portal.decompose import decompose
+    from repro.sql.parser import parse_query
+
+    fed = fresh_federation(n_bodies=800)
+    decomposed = decompose(
+        parse_query(
+            "SELECT O.object_id, O.i_flux, T.obj_id "
+            "FROM SDSS:Photo_Object O, TWOMASS:Photo_Primary T "
+            "WHERE AREA(185.0, -0.5, 900.0) AND XMATCH(O, T) < 3.5"
+        ),
+        fed.portal.catalog,
+    )
+    calibrator = CostCalibrator(fed.portal)
+    benchmark(lambda: calibrator.calibrate(decomposed))

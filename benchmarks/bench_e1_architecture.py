@@ -1,0 +1,19 @@
+"""E1 — Figure 1: the Web-service architecture and registration handshake."""
+
+from repro.bench import run_e1_architecture
+
+
+def test_e1_registration_handshake(benchmark, report_sink):
+    report = report_sink(run_e1_architecture(n_bodies=300))
+    # Every handshake is Register -> GetSchema -> GetInfo.
+    operations = {row[0] for row in report.rows}
+    assert operations == {"Register", "GetSchema", "GetInfo"}
+
+    # Hot path: one full node registration round trip over SOAP.
+    from repro.bench.scenarios import fresh_federation
+
+    fed = fresh_federation(n_bodies=100)
+    node = fed.node("SDSS")
+    registration_url = fed.portal.service_url("registration")
+
+    benchmark(lambda: node.register_with_portal(registration_url))

@@ -1,0 +1,17 @@
+"""E2 — Figure 2: XMATCH selects {aO,aT,aP}; XMATCH with !P selects {bO,bT}."""
+
+from repro.bench import build_figure2_federation, run_e2_xmatch_semantics
+
+
+def test_e2_figure2_scenario(benchmark, report_sink):
+    report = report_sink(run_e2_xmatch_semantics())
+    assert all(row[3] for row in report.rows), "Figure 2 semantics must hold"
+
+    fed, _ = build_figure2_federation()
+    client = fed.client()
+    sql = (
+        "SELECT O.object_id, T.object_id, P.object_id "
+        "FROM SDSS:objects O, TWOMASS:objects T, FIRST:objects P "
+        "WHERE AREA(185.0, -0.5, 180.0) AND XMATCH(O, T, P) < 3.5"
+    )
+    benchmark(lambda: client.submit(sql))

@@ -1,0 +1,13 @@
+"""E3 — Figure 3: the seven-step execution flow of the sample query."""
+
+from repro.bench import run_e3_execution_flow
+from repro.bench.scenarios import paper_query
+
+
+def test_e3_execution_flow(benchmark, report_sink, shared_federation):
+    report = report_sink(run_e3_execution_flow(n_bodies=800))
+    assert len(report.rows) == 7  # the seven steps of Figure 3
+
+    client = shared_federation.client()
+    sql = paper_query(radius_arcsec=600.0)
+    benchmark(lambda: client.submit(sql))

@@ -1,0 +1,24 @@
+"""E4 — Section 5.3: count-star ordering reduces chain transmission."""
+
+from collections import defaultdict
+
+from repro.bench import run_e4_countstar_ordering
+from repro.bench.scenarios import paper_query
+
+
+def test_e4_countstar_ordering(benchmark, report_sink, shared_federation):
+    report = report_sink(
+        run_e4_countstar_ordering(n_bodies=1200, radii=(450.0, 900.0, 1800.0))
+    )
+    # Shape check: at every radius the paper's ordering ships no more bytes
+    # than the worst baseline, and beats count-ascending.
+    by_radius = defaultdict(dict)
+    for radius, ordering, chain_bytes, _, _, _ in report.rows:
+        by_radius[radius][ordering] = chain_bytes
+    for radius, orderings in by_radius.items():
+        assert orderings["count_desc"] <= max(orderings.values())
+        assert orderings["count_desc"] <= orderings["count_asc"], radius
+
+    client = shared_federation.client()
+    sql = paper_query(radius_arcsec=900.0)
+    benchmark(lambda: client.submit(sql, strategy="count_desc"))

@@ -1,0 +1,22 @@
+"""E5 — Section 5.1: chained partial results vs pull-to-portal."""
+
+from repro.baselines.pull_mediator import PullMediator
+from repro.bench import run_e5_chain_vs_pull
+from repro.bench.scenarios import paper_query
+
+
+def test_e5_chain_vs_pull(benchmark, report_sink, shared_federation):
+    report = report_sink(
+        run_e5_chain_vs_pull(n_bodies=1200, radii=(450.0, 900.0, 1800.0))
+    )
+    # Shape check: for the largest (least selective) AREA, the chain ships
+    # fewer data bytes than pulling every archive's rows to the Portal.
+    largest = max(row[0] for row in report.rows)
+    bytes_at_largest = {
+        row[1]: row[2] for row in report.rows if row[0] == largest
+    }
+    assert bytes_at_largest["chain (SkyQuery)"] < bytes_at_largest["pull-to-portal"]
+
+    puller = PullMediator(shared_federation.portal)
+    sql = paper_query(radius_arcsec=900.0)
+    benchmark(lambda: puller.execute(sql))

@@ -1,0 +1,39 @@
+"""E6 — Section 6: the XML parser memory ceiling and chunked transfers."""
+
+from repro.bench import run_e6_chunking
+
+
+def test_e6_chunking(benchmark, report_sink):
+    report = report_sink(
+        run_e6_chunking(
+            n_bodies=2500,
+            parser_memory_limit=600_000,
+            budgets=(32_768, 65_536, 131_072),
+        )
+    )
+    outcomes = {row[0]: row[1] for row in report.rows}
+    assert outcomes["monolithic"].startswith("FAULT"), (
+        "monolithic transfer must hit the parser memory ceiling"
+    )
+    assert all(
+        outcome.startswith("ok")
+        for mode, outcome in outcomes.items()
+        if mode.startswith("chunked")
+    )
+    # Smaller chunk budgets -> more chain messages.
+    msgs = [row[2] for row in report.rows if str(row[0]).startswith("chunked")]
+    assert msgs == sorted(msgs, reverse=True)
+
+    # Hot path: one chunked end-to-end query.
+    from repro.bench.scenarios import fresh_federation
+
+    fed = fresh_federation(
+        n_bodies=1200, parser_memory_limit=600_000, chunk_budget_bytes=65_536
+    )
+    client = fed.client()
+    sql = (
+        "SELECT O.object_id, T.obj_id "
+        "FROM SDSS:Photo_Object O, TWOMASS:Photo_Primary T "
+        "WHERE AREA(185.0, -0.5, 1800.0) AND XMATCH(O, T) < 3.5"
+    )
+    benchmark(lambda: client.submit(sql))

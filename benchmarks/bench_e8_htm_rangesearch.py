@@ -1,0 +1,51 @@
+"""E8 — Sections 5.1/5.4: HTM range search vs full scan, plus depth ablation."""
+
+from repro.bench import run_e8_htm_rangesearch
+
+
+def test_e8_htm_rangesearch(benchmark, report_sink):
+    report = report_sink(
+        run_e8_htm_rangesearch(
+            n_objects=20000, radii=(60.0, 300.0, 900.0), depths=(6, 8, 10, 12, 14)
+        )
+    )
+    rows = {(row[0], row[1]): row for row in report.rows}
+    for radius in (60.0, 300.0, 900.0):
+        indexed = rows[("HTM depth 12", radius)]
+        scanned = rows[("full scan", radius)]
+        assert indexed[2] < scanned[2], "HTM must examine fewer rows"
+        assert indexed[3] == scanned[3], "identical result counts"
+    # Depth ablation: rows examined shrink monotonically with depth.
+    depth_rows = [row[2] for row in report.rows if str(row[0]).startswith("depth")]
+    assert depth_rows == sorted(depth_rows, reverse=True)
+
+    # Hot path: one indexed AREA count on a 20k-object table.
+    from repro.db.engine import Database
+    from repro.db.schema import Column
+    from repro.db.table import SpatialSpec
+    from repro.db.types import ColumnType
+    from repro.sphere.coords import radec_to_vector, vector_to_radec
+    from repro.sphere.random import random_in_cap
+    from repro.units import arcsec_to_rad
+    import random
+
+    db = Database("bench", page_size=128, buffer_pages=4096)
+    db.create_table(
+        "objects",
+        [
+            Column("object_id", ColumnType.INT, nullable=False),
+            Column("ra", ColumnType.FLOAT, nullable=False),
+            Column("dec", ColumnType.FLOAT, nullable=False),
+        ],
+        spatial=SpatialSpec("ra", "dec", htm_depth=12),
+    )
+    rng = random.Random(1)
+    center = radec_to_vector(185.0, -0.5)
+    rows_data = []
+    for i in range(20000):
+        ra, dec = vector_to_radec(random_in_cap(rng, center, arcsec_to_rad(7200.0)))
+        rows_data.append((i, ra, dec))
+    db.insert("objects", rows_data)
+    db.table("objects").spatial_entries()
+    sql = "SELECT count(*) FROM objects o WHERE AREA(185.0, -0.5, 300.0)"
+    benchmark(lambda: db.execute(sql))

@@ -1,0 +1,32 @@
+"""E9 — Section 5.3: performance queries warm the buffer cache."""
+
+from collections import defaultdict
+
+from repro.bench import run_e9_cache_warming
+
+
+def test_e9_cache_warming(benchmark, report_sink):
+    report = report_sink(run_e9_cache_warming(n_bodies=2000))
+    physical = defaultdict(dict)
+    for scenario, archive, phys, _, _ in report.rows:
+        physical[archive][scenario] = phys
+    for archive, scenarios in physical.items():
+        assert (
+            scenarios["after performance queries"] <= scenarios["cold cache"]
+        ), archive
+    total_cold = sum(s["cold cache"] for s in physical.values())
+    total_warm = sum(
+        s["after performance queries"] for s in physical.values()
+    )
+    assert total_warm < total_cold, "warming must reduce physical reads overall"
+
+    # Hot path: the warming pass itself (3 count-star queries over SOAP).
+    from repro.bench.scenarios import fresh_federation, paper_query
+    from repro.portal.decompose import decompose
+    from repro.sql.parser import parse_query
+
+    fed = fresh_federation(n_bodies=1000)
+    decomposed = decompose(
+        parse_query(paper_query(radius_arcsec=900.0)), fed.portal.catalog
+    )
+    benchmark(lambda: fed.portal.planner.performance_counts(decomposed))

@@ -1,0 +1,38 @@
+"""Shared benchmark fixtures.
+
+Every bench file prints its experiment report (the regenerated
+figure/claim table from the paper) and benchmarks a representative hot
+path with pytest-benchmark. Reports are also collected under
+``benchmarks/_reports/`` so EXPERIMENTS.md can be regenerated from a run.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+REPORT_DIR = pathlib.Path(__file__).resolve().parent / "_reports"
+
+
+@pytest.fixture(scope="session")
+def report_sink():
+    """Write an ExperimentReport to stdout and benchmarks/_reports/."""
+    REPORT_DIR.mkdir(exist_ok=True)
+
+    def sink(report):
+        text = report.to_text()
+        print("\n" + text)
+        path = REPORT_DIR / f"{report.exp_id.lower()}.md"
+        path.write_text(report.to_markdown(), encoding="utf-8")
+        return report
+
+    return sink
+
+
+@pytest.fixture(scope="session")
+def shared_federation():
+    """One default federation reused by several benchmarks."""
+    from repro.bench.scenarios import standard_federation
+
+    return standard_federation(n_bodies=1200)

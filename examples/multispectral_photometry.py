@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Multi-spectral photometry: the paper's Section 5.2 sample query.
+
+Combines optical (SDSS) and infrared (TWOMASS) fluxes for the same
+astronomical bodies — the "observe the same sky in other wavelengths and
+combine the available observations into a multi-spectral data set" use
+case from Section 2 — including a cross-archive color cut the Portal must
+evaluate itself (no single archive holds both fluxes).
+
+Also sweeps the XMATCH threshold to show the precision/completeness
+trade-off against the synthetic sky's ground truth.
+
+Run:  python examples/multispectral_photometry.py
+"""
+
+from repro import FederationConfig, SkyField, build_federation, format_table
+
+QUERY = """
+    SELECT O.object_id, O.ra, T.obj_id, O.i_flux, T.i_flux,
+           O.i_flux - T.i_flux AS color
+    FROM SDSS:Photo_Object O, TWOMASS:Photo_Primary T, FIRST:Primary_Object P
+    WHERE AREA(185.0, -0.5, 900.0) AND XMATCH(O, T, P) < 3.5
+      AND O.type = GALAXY AND O.i_flux - T.i_flux > 2
+"""
+
+
+def main() -> None:
+    federation = build_federation(
+        FederationConfig(n_bodies=1500, seed=11,
+                         sky_field=SkyField(185.0, -0.5, 1800.0))
+    )
+    client = federation.client()
+
+    result = client.submit(QUERY)
+    print("The paper's sample query (adapted to this reproduction's schema):")
+    print(QUERY)
+    print(f"Matches passing the color cut: {len(result)} "
+          f"(of {result.matched_tuples} positional matches)\n")
+    print(format_table(result.columns, result.rows, max_rows=8))
+
+    print("\nThreshold sweep (XMATCH(O, T) < t), accuracy vs ground truth:")
+    truth_sdss = federation.truth["SDSS"]
+    truth_twomass = federation.truth["TWOMASS"]
+    print(f"{'t':>5} {'pairs':>6} {'correct':>8} {'precision':>10}")
+    for threshold in (1.0, 2.0, 3.5, 5.0):
+        sweep = client.submit(
+            f"""
+            SELECT O.object_id, T.obj_id
+            FROM SDSS:Photo_Object O, TWOMASS:Photo_Primary T
+            WHERE AREA(185.0, -0.5, 900.0) AND XMATCH(O, T) < {threshold}
+            """
+        )
+        correct = sum(
+            1 for o_id, t_id in sweep.rows
+            if truth_sdss[o_id] == truth_twomass[t_id]
+        )
+        precision = correct / len(sweep) if len(sweep) else 1.0
+        print(f"{threshold:>5} {len(sweep):>6} {correct:>8} {precision:>10.4f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""SkyQuery reproduction: a Web-service federation of astronomy archives.
+
+Reproduction of *SkyQuery: A Web Service Approach to Federate Databases*
+(Malik, Szalay, Budavari, Thakar — CIDR 2003): the wrapper–mediator
+federation (Portal + SkyNodes over SOAP/WSDL), the cross-match query
+language (AREA / XMATCH with drop-outs), the incremental chi-squared
+cross-match algorithm, and the count-star query optimization — on top of
+fully implemented substrates (spherical geometry, HTM index, a relational
+engine, an XML/SOAP stack, and a simulated network with transmission-cost
+accounting).
+
+Quickstart::
+
+    from repro import build_federation, FederationConfig
+
+    fed = build_federation(FederationConfig(n_bodies=500))
+    client = fed.client()
+    result = client.submit(
+        "SELECT O.object_id, T.obj_id "
+        "FROM SDSS:Photo_Object O, TWOMASS:Photo_Primary T "
+        "WHERE AREA(185.0, -0.5, 900.0) AND XMATCH(O, T) < 3.5"
+    )
+    for row in result.rows:
+        print(row)
+"""
+
+from repro.client import ClientResult, SkyQueryClient, format_table
+from repro.errors import SkyQueryError
+from repro.federation import (
+    FIRST,
+    SDSS,
+    TWOMASS,
+    Federation,
+    FederationConfig,
+    build_federation,
+    default_surveys,
+)
+from repro.portal import Portal
+from repro.portal.planner import OrderingStrategy
+from repro.skynode import ArchiveInfo, SkyNode
+from repro.sql import parse_query, to_sql
+from repro.transport import SimulatedNetwork
+from repro.workloads import SkyField, SurveySpec
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ClientResult",
+    "SkyQueryClient",
+    "format_table",
+    "SkyQueryError",
+    "FIRST",
+    "SDSS",
+    "TWOMASS",
+    "Federation",
+    "FederationConfig",
+    "build_federation",
+    "default_surveys",
+    "Portal",
+    "OrderingStrategy",
+    "ArchiveInfo",
+    "SkyNode",
+    "parse_query",
+    "to_sql",
+    "SimulatedNetwork",
+    "SkyField",
+    "SurveySpec",
+    "__version__",
+]

@@ -1,0 +1,16 @@
+"""Baselines the paper's design is measured against.
+
+* :class:`~repro.baselines.pull_mediator.PullMediator` — "Many federations,
+  based on the wrapper-mediator architecture, pull results from each
+  database to the Portal" (Section 5.1). SkyQuery's chained shipping is
+  benchmarked against exactly that.
+* Alternative chain orderings live in
+  :class:`repro.portal.planner.OrderingStrategy` (count-ascending, random,
+  as-written) as baselines for the count-star ordering experiment.
+* The brute-force spatial scan baseline is the engine's
+  ``use_spatial_index = False`` mode (HTM experiment).
+"""
+
+from repro.baselines.pull_mediator import PullMediator
+
+__all__ = ["PullMediator"]

@@ -1,0 +1,212 @@
+"""Command-line interface: demo federations, queries, experiments.
+
+Usage::
+
+    python -m repro info
+    python -m repro demo [--bodies N]
+    python -m repro query "SELECT ..." [--bodies N] [--strategy S]
+                          [--format table|votable|csv]
+    python -m repro experiments [--ids E1,E4,...] [--out FILE]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro import __version__
+from repro.client.formatting import format_table, to_votable
+from repro.errors import SkyQueryError
+from repro.federation.builder import FederationConfig, build_federation
+from repro.workloads.skysim import SkyField
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SkyQuery (CIDR 2003) reproduction: a Web-service "
+        "federation of astronomy archives.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="version and component inventory")
+
+    demo = sub.add_parser("demo", help="build a federation, run a sample query")
+    _federation_args(demo)
+
+    query = sub.add_parser("query", help="run a cross-match query")
+    query.add_argument("sql", help="the SkyQuery SQL text")
+    _federation_args(query)
+    query.add_argument(
+        "--strategy",
+        default="count_desc",
+        choices=["count_desc", "count_asc", "random", "as_written",
+                 "bytes_desc"],
+        help="plan ordering strategy (default: the paper's count_desc)",
+    )
+    query.add_argument(
+        "--format", dest="output_format", default="table",
+        choices=["table", "votable", "csv"],
+        help="result rendering",
+    )
+    query.add_argument(
+        "--stats", action="store_true",
+        help="also print per-node and network statistics",
+    )
+    query.add_argument(
+        "--explain", action="store_true",
+        help="show the decomposition and plan without executing the chain",
+    )
+
+    experiments = sub.add_parser(
+        "experiments", help="run the paper-reproduction experiments"
+    )
+    experiments.add_argument(
+        "--ids", default="",
+        help="comma-separated experiment ids (e.g. E1,E4); default: all",
+    )
+    experiments.add_argument(
+        "--out", default="", help="also write a markdown report to this file"
+    )
+    return parser
+
+
+def _federation_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--bodies", type=int, default=1000,
+                        help="synthetic bodies in the field (default 1000)")
+    parser.add_argument("--seed", type=int, default=42, help="random seed")
+    parser.add_argument("--radius", type=float, default=1800.0,
+                        help="field radius in arcseconds (default 1800)")
+
+
+def _make_federation(args: argparse.Namespace):
+    return build_federation(
+        FederationConfig(
+            n_bodies=args.bodies,
+            seed=args.seed,
+            sky_field=SkyField(185.0, -0.5, args.radius),
+        )
+    )
+
+
+DEMO_SQL = """
+SELECT O.object_id, O.ra, T.obj_id, O.i_flux - T.i_flux AS color
+FROM SDSS:Photo_Object O, TWOMASS:Photo_Primary T, FIRST:Primary_Object P
+WHERE AREA(185.0, -0.5, 900.0) AND XMATCH(O, T, P) < 3.5
+  AND O.type = GALAXY
+""".strip()
+
+
+def _cmd_info() -> int:
+    print(f"skyquery-repro {__version__}")
+    print("Reproduction of: SkyQuery — A Web Service Approach to Federate "
+          "Databases (CIDR 2003)")
+    print("Components: sphere, htm, db, sql, soap, transport, services,")
+    print("            xmatch, skynode, portal, client, federation,")
+    print("            workloads, baselines, transactions, bench")
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    print(f"Building a 3-archive federation ({args.bodies} bodies)...")
+    federation = _make_federation(args)
+    print(f"Registered: {federation.portal.catalog.archives()}")
+    print(f"\nRunning the paper's sample query:\n{DEMO_SQL}\n")
+    result = federation.client().submit(DEMO_SQL)
+    print(format_table(result.columns, result.rows, max_rows=10))
+    print(f"\n{len(result)} cross matches; counts {result.counts}; "
+          f"chain bytes "
+          f"{federation.network.metrics.bytes_by_phase().get('crossmatch-chain', 0)}")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    federation = _make_federation(args)
+    if args.explain:
+        plan = federation.client().explain(args.sql, strategy=args.strategy)
+        if plan["type"] == "direct":
+            print(f"direct route to {plan['archive']}: {plan['sql']}")
+            return 0
+        print(f"strategy: {plan['strategy']}   counts: {plan['counts']}   "
+              f"would execute: {plan['would_execute']}")
+        print("performance queries:")
+        for alias, sql in plan["performance_queries"].items():
+            print(f"  {alias}: {sql}")
+        print("plan list (first = largest, executes last):")
+        for step in plan["plan"]["steps"]:
+            role = "dropout" if step["dropout"] else f"count={step['count_star']}"
+            print(f"  {step['alias']} @ {step['archive']} ({role}): "
+                  f"{step['sql']}")
+        if plan["cross_conjuncts"]:
+            print(f"portal-side predicates: {plan['cross_conjuncts']}")
+        return 0
+    result = federation.client().submit(args.sql, strategy=args.strategy)
+    if args.output_format == "votable":
+        print(to_votable(result.columns, result.rows))
+    elif args.output_format == "csv":
+        print(",".join(result.columns))
+        for row in result.rows:
+            print(",".join("" if v is None else str(v) for v in row))
+    else:
+        print(format_table(result.columns, result.rows))
+    if args.stats:
+        print(f"\nrows: {len(result)}  counts: {result.counts}")
+        for stats in result.node_stats:
+            print(
+                f"  {stats['archive']:<8} {stats['role']:<7} "
+                f"in={stats['tuples_in']} out={stats['tuples_out']} "
+                f"examined={stats['rows_examined']}"
+            )
+        phases = federation.network.metrics.bytes_by_phase()
+        for phase, total in sorted(phases.items()):
+            print(f"  {phase:<18} {total} B")
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.bench import ALL_EXPERIMENTS
+
+    wanted = {
+        token.strip().upper()
+        for token in args.ids.split(",")
+        if token.strip()
+    }
+    reports = []
+    for runner in ALL_EXPERIMENTS:
+        report = None
+        # Run only experiments whose id is requested (cheap check by name).
+        exp_id = runner.__name__.split("_")[1].upper()  # run_e4_... -> E4
+        if wanted and exp_id not in wanted:
+            continue
+        report = runner()
+        reports.append(report)
+        print(report.to_text())
+        print()
+    if not reports:
+        print(f"no experiments matched ids {sorted(wanted)!r}",
+              file=sys.stderr)
+        return 1
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(r.to_markdown() for r in reports))
+        print(f"wrote {args.out}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.command == "info":
+            return _cmd_info()
+        if args.command == "demo":
+            return _cmd_demo(args)
+        if args.command == "query":
+            return _cmd_query(args)
+        if args.command == "experiments":
+            return _cmd_experiments(args)
+    except SkyQueryError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0

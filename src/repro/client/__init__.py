@@ -1,0 +1,6 @@
+"""The Client side: submit queries to the Portal, format results."""
+
+from repro.client.client import ClientResult, SkyQueryClient
+from repro.client.formatting import format_table, to_votable
+
+__all__ = ["ClientResult", "SkyQueryClient", "format_table", "to_votable"]

@@ -1,0 +1,95 @@
+"""Result rendering: plain-text tables and VOTable export.
+
+The VOTable form matters historically: SkyQuery fed directly into the
+Virtual Observatory effort, whose interchange format for tabular
+astronomy data is the VOTable — an XML dialect, just like everything else
+in this Web-services stack.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence, Tuple
+
+
+def _cell(value: Any) -> str:
+    if value is None:
+        return "NULL"
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def format_table(
+    columns: Sequence[str],
+    rows: Sequence[Tuple[Any, ...]],
+    *,
+    max_rows: int | None = None,
+) -> str:
+    """Render an ASCII table (with an elision marker past ``max_rows``)."""
+    shown = list(rows if max_rows is None else rows[:max_rows])
+    cells = [[_cell(v) for v in row] for row in shown]
+    widths = [len(c) for c in columns]
+    for row in cells:
+        for i, text in enumerate(row):
+            widths[i] = max(widths[i], len(text))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [
+        " | ".join(name.ljust(w) for name, w in zip(columns, widths)),
+        sep,
+    ]
+    lines.extend(
+        " | ".join(text.ljust(w) for text, w in zip(row, widths))
+        for row in cells
+    )
+    if max_rows is not None and len(rows) > max_rows:
+        lines.append(f"... ({len(rows) - max_rows} more rows)")
+    return "\n".join(lines)
+
+
+_VOTABLE_TYPES = {"int": "long", "double": "double", "string": "char",
+                  "boolean": "boolean"}
+
+
+def to_votable(
+    columns: Sequence[str],
+    rows: Sequence[Tuple[Any, ...]],
+    *,
+    table_name: str = "results",
+    description: str = "",
+) -> str:
+    """Render rows as a (minimal) VOTable XML document."""
+    from repro.soap.encoding import infer_rowset
+    from repro.soap.xmlwriter import Element, render
+
+    rowset = infer_rowset(list(columns), list(rows))
+    root = Element(
+        "VOTABLE",
+        {"version": "1.3", "xmlns": "http://www.ivoa.net/xml/VOTable/v1.3"},
+    )
+    resource = root.child("RESOURCE")
+    table = resource.child("TABLE", name=table_name)
+    if description:
+        table.child("DESCRIPTION", text=description)
+    for name, code in rowset.columns:
+        table.child(
+            "FIELD",
+            name=name,
+            datatype=_VOTABLE_TYPES[code],
+            **({"arraysize": "*"} if code == "string" else {}),
+        )
+    data = table.child("DATA").child("TABLEDATA")
+    for row in rowset.rows:
+        tr = data.child("TR")
+        for value in row:
+            tr.child("TD", text=_votable_cell(value))
+    return render(root, indent="  ")
+
+
+def _votable_cell(value: Any) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)

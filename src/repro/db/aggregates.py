@@ -1,0 +1,259 @@
+"""Aggregate evaluation: COUNT / SUM / AVG / MIN / MAX with GROUP BY / HAVING.
+
+The engine detects aggregate queries (any select item, HAVING, or ORDER BY
+key containing an aggregate call, or an explicit GROUP BY), scans matching
+rows once while accumulating per-group state, then evaluates the output
+expressions against the finished groups. Standard SQL NULL semantics:
+``COUNT(*)`` counts rows, every other aggregate ignores NULL inputs, and an
+empty input yields NULL (0 for COUNT).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence, Tuple
+
+from repro.db.expr import RowContext, evaluate
+from repro.errors import QueryError
+from repro.sql.ast import (
+    BinaryOp,
+    ColumnRef,
+    Expr,
+    FuncCall,
+    IsNull,
+    Literal,
+    Query,
+    Star,
+    UnaryOp,
+)
+
+AGGREGATE_NAMES = frozenset({"COUNT", "SUM", "AVG", "MIN", "MAX"})
+
+
+def is_aggregate_call(expr: Expr) -> bool:
+    """True for a COUNT/SUM/AVG/MIN/MAX call node."""
+    return isinstance(expr, FuncCall) and expr.name.upper() in AGGREGATE_NAMES
+
+
+def contains_aggregate(expr: Expr) -> bool:
+    """True if any aggregate call appears in the expression tree."""
+    if is_aggregate_call(expr):
+        return True
+    if isinstance(expr, FuncCall):
+        return any(contains_aggregate(a) for a in expr.args)
+    if isinstance(expr, BinaryOp):
+        return contains_aggregate(expr.left) or contains_aggregate(expr.right)
+    if isinstance(expr, UnaryOp):
+        return contains_aggregate(expr.operand)
+    if isinstance(expr, IsNull):
+        return contains_aggregate(expr.operand)
+    return False
+
+
+def is_aggregate_query(query: Query) -> bool:
+    """True if the query needs the grouped execution path."""
+    if query.group_by:
+        return True
+    if any(contains_aggregate(item.expr) for item in query.items):
+        return True
+    if query.having is not None:
+        return True
+    return any(contains_aggregate(item.expr) for item in query.order_by)
+
+
+def collect_aggregates(query: Query) -> List[FuncCall]:
+    """Every distinct aggregate call in SELECT, HAVING, and ORDER BY."""
+    found: List[FuncCall] = []
+
+    def walk(expr: Expr) -> None:
+        if is_aggregate_call(expr):
+            assert isinstance(expr, FuncCall)
+            for arg in expr.args:
+                if contains_aggregate(arg):
+                    raise QueryError("aggregates cannot be nested")
+            if expr not in found:
+                found.append(expr)
+            return
+        if isinstance(expr, FuncCall):
+            for arg in expr.args:
+                walk(arg)
+        elif isinstance(expr, BinaryOp):
+            walk(expr.left)
+            walk(expr.right)
+        elif isinstance(expr, (UnaryOp, IsNull)):
+            walk(expr.operand)
+
+    for item in query.items:
+        walk(item.expr)
+    if query.having is not None:
+        walk(query.having)
+    for order in query.order_by:
+        walk(order.expr)
+    return found
+
+
+@dataclass
+class _AggState:
+    count: int = 0
+    total: float = 0.0
+    saw_float: bool = False
+    minimum: Any = None
+    maximum: Any = None
+
+    def update_star(self) -> None:
+        """COUNT(*): every row counts."""
+        self.count += 1
+
+    def update(self, name: str, value: Any) -> None:
+        if name == "COUNT":
+            if value is not None:
+                self.count += 1
+            return
+        if value is None:
+            return
+        self.count += 1
+        if name in ("SUM", "AVG"):
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise QueryError(f"{name} needs numeric input, got {value!r}")
+            self.total += value
+            if isinstance(value, float):
+                self.saw_float = True
+        elif name == "MIN":
+            if self.minimum is None or _less(value, self.minimum):
+                self.minimum = value
+        elif name == "MAX":
+            if self.maximum is None or _less(self.maximum, value):
+                self.maximum = value
+
+    def result(self, name: str) -> Any:
+        if name == "COUNT":
+            return self.count
+        if self.count == 0:
+            return None
+        if name == "SUM":
+            return self.total if self.saw_float else int(self.total)
+        if name == "AVG":
+            return self.total / self.count
+        if name == "MIN":
+            return self.minimum
+        return self.maximum
+
+
+def _less(a: Any, b: Any) -> bool:
+    try:
+        return a < b
+    except TypeError:
+        raise QueryError(
+            f"cannot compare {type(a).__name__} with {type(b).__name__} "
+            "inside MIN/MAX"
+        ) from None
+
+
+@dataclass
+class Group:
+    """One GROUP BY bucket: its key values + finished aggregate values."""
+
+    key: Tuple[Any, ...]
+    states: Dict[FuncCall, _AggState] = field(default_factory=dict)
+
+    def aggregate_value(self, call: FuncCall) -> Any:
+        state = self.states.get(call)
+        if state is None:
+            raise QueryError(f"aggregate {call!r} was not accumulated")
+        return state.result(call.name.upper())
+
+
+class GroupedAccumulator:
+    """Feeds row contexts into per-group aggregate states."""
+
+    def __init__(self, query: Query) -> None:
+        self.query = query
+        self.aggregates = collect_aggregates(query)
+        self.groups: Dict[Tuple[Any, ...], Group] = {}
+
+    def feed(self, ctx: RowContext) -> None:
+        """Accumulate one matching row."""
+        key = tuple(evaluate(expr, ctx) for expr in self.query.group_by)
+        group = self.groups.get(key)
+        if group is None:
+            group = Group(
+                key=key,
+                states={call: _AggState() for call in self.aggregates},
+            )
+            self.groups[key] = group
+        for call in self.aggregates:
+            arg = call.args[0] if call.args else Star()
+            name = call.name.upper()
+            if isinstance(arg, Star):
+                if name != "COUNT":
+                    raise QueryError(f"{name}(*) is not valid; only COUNT(*)")
+                group.states[call].update_star()
+            else:
+                group.states[call].update(name, evaluate(arg, ctx))
+
+    def finished_groups(self) -> List[Group]:
+        """All groups; ungrouped aggregate queries get one (possibly empty)
+        group even when no rows matched — ``SELECT COUNT(*) ... `` is 0, not
+        zero rows."""
+        if not self.groups and not self.query.group_by:
+            return [
+                Group(
+                    key=(),
+                    states={call: _AggState() for call in self.aggregates},
+                )
+            ]
+        return list(self.groups.values())
+
+
+def evaluate_grouped(
+    expr: Expr, group: Group, group_by: Sequence[Expr]
+) -> Any:
+    """Evaluate an output expression against a finished group.
+
+    Aggregate calls read the group's accumulated value; subexpressions
+    structurally equal to a GROUP BY key read the group's key value; only
+    literals and operators may appear elsewhere (standard SQL's "must be
+    grouped or aggregated" rule).
+    """
+    if is_aggregate_call(expr):
+        return group.aggregate_value(expr)  # type: ignore[arg-type]
+    for i, key_expr in enumerate(group_by):
+        if expr == key_expr:
+            return group.key[i]
+    if isinstance(expr, Literal):
+        return expr.value
+    if isinstance(expr, ColumnRef):
+        raise QueryError(
+            f"column {expr!s} must appear in GROUP BY or inside an aggregate"
+        )
+    if isinstance(expr, BinaryOp):
+        left = evaluate_grouped(expr.left, group, group_by)
+        right = evaluate_grouped(expr.right, group, group_by)
+        return _apply_binary(expr.op, left, right)
+    if isinstance(expr, UnaryOp):
+        value = evaluate_grouped(expr.operand, group, group_by)
+        if expr.op == "-":
+            return None if value is None else -value
+        if expr.op == "NOT":
+            return None if value is None else not value
+    if isinstance(expr, IsNull):
+        value = evaluate_grouped(expr.operand, group, group_by)
+        return (value is not None) if expr.negated else (value is None)
+    if isinstance(expr, FuncCall) and expr.name.upper() == "ABS":
+        value = evaluate_grouped(expr.args[0], group, group_by)
+        return None if value is None else abs(value)
+    raise QueryError(f"cannot evaluate {expr!r} in a grouped query")
+
+
+def _apply_binary(op: str, left: Any, right: Any) -> Any:
+    from repro.db.expr import _arith, _compare  # same SQL semantics
+
+    if op in ("+", "-", "*", "/"):
+        return _arith(op, left, right)
+    if op in ("=", "<>", "<", "<=", ">", ">="):
+        return _compare(op, left, right)
+    if op == "AND":
+        return bool(left) and bool(right) if None not in (left, right) else False
+    if op == "OR":
+        return bool(left) or bool(right) if None not in (left, right) else False
+    raise QueryError(f"unknown operator {op!r} in grouped expression")

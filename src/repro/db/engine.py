@@ -1,0 +1,539 @@
+"""The per-archive database engine: DDL, DML, single-table SELECT execution.
+
+Deliberately scoped to what a SkyNode needs (the paper's wrappers push only
+single-archive queries into each DBMS): CREATE/DROP (temp) tables, inserts,
+SELECT with WHERE (including an AREA spatial conjunct), COUNT(*), LIMIT, and
+stored procedures. Multi-archive semantics (XMATCH) live above the engine in
+:mod:`repro.xmatch` / :mod:`repro.portal`, exactly as in the paper where the
+cross match is a stored procedure plus service logic, not a DBMS feature.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.db.buffer import BufferPool
+from repro.db.expr import RowContext, evaluate, is_true
+from repro.db.indexes import spatial_probe
+from repro.db.schema import Column, TableSchema
+from repro.db.table import SpatialSpec, Table
+from repro.errors import QueryError, SchemaError
+from repro.sphere.coords import radec_to_vector
+from repro.sphere.regions import Region
+from repro.sql.area import is_area, region_for
+from repro.sql.ast import (
+    AreaLike,
+    ColumnRef,
+    Expr,
+    FuncCall,
+    OrderItem,
+    Query,
+    SelectItem,
+    Star,
+    XMatchClause,
+    and_together,
+    conjuncts,
+)
+from repro.sql.parser import parse_query
+
+#: Named constants available to every archive (``O.type = GALAXY``).
+ASTRO_CONSTANTS: Dict[str, Any] = {
+    "GALAXY": "GALAXY",
+    "STAR": "STAR",
+    "QSO": "QSO",
+    "UNKNOWN": "UNKNOWN",
+}
+
+
+@dataclass
+class QueryStats:
+    """Cost counters for one executed query."""
+
+    rows_examined: int = 0
+    rows_returned: int = 0
+    logical_reads: int = 0
+    physical_reads: int = 0
+    used_spatial_index: bool = False
+    rows_tested_geometrically: int = 0
+
+
+@dataclass
+class ResultSet:
+    """Columns + rows + per-query cost stats."""
+
+    columns: List[str]
+    rows: List[Tuple[Any, ...]]
+    stats: QueryStats = field(default_factory=QueryStats)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        """Rows as dictionaries keyed by column name."""
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def scalar(self) -> Any:
+        """The single value of a one-row, one-column result (e.g. COUNT(*))."""
+        if len(self.rows) != 1 or len(self.columns) != 1:
+            raise QueryError(
+                f"scalar() needs a 1x1 result, got "
+                f"{len(self.rows)}x{len(self.columns)}"
+            )
+        return self.rows[0][0]
+
+
+def _dedupe(rows, keys):
+    """DISTINCT: keep each projected row's first occurrence (and its key)."""
+    seen = set()
+    out_rows, out_keys = [], []
+    for i, row in enumerate(rows):
+        if row in seen:
+            continue
+        seen.add(row)
+        out_rows.append(row)
+        if keys:
+            out_keys.append(keys[i])
+    return out_rows, out_keys
+
+
+class _SortKey:
+    """ORDER BY key wrapper: NULLs sort first; DESC flips the comparison."""
+
+    __slots__ = ("value", "descending")
+
+    def __init__(self, value: Any, descending: bool) -> None:
+        self.value = value
+        self.descending = descending
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, _SortKey):
+            return NotImplemented
+        return self.value == other.value
+
+    def __lt__(self, other: "_SortKey") -> bool:
+        a, b = self.value, other.value
+        if a == b:
+            return False
+        if a is None:
+            before = True
+        elif b is None:
+            before = False
+        else:
+            try:
+                before = a < b
+            except TypeError:
+                raise QueryError(
+                    f"ORDER BY cannot compare {type(a).__name__} "
+                    f"with {type(b).__name__}"
+                ) from None
+        return not before if self.descending else before
+
+
+ProcedureFn = Callable[..., Any]
+
+
+class Database:
+    """One autonomous archive's DBMS."""
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        dialect: str = "ansi",
+        page_size: int = 64,
+        buffer_pages: int = 1024,
+        constants: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.name = name
+        self.dialect = dialect
+        self.page_size = page_size
+        self.buffer = BufferPool(buffer_pages)
+        self.constants = dict(ASTRO_CONSTANTS)
+        if constants:
+            self.constants.update(constants)
+        self._tables: Dict[str, Table] = {}
+        self._procedures: Dict[str, ProcedureFn] = {}
+        self._temp_counter = itertools.count(1)
+        #: Benchmarks flip this off to measure full scans against HTM scans.
+        self.use_spatial_index = True
+
+    # -- DDL -----------------------------------------------------------------
+
+    def create_table(
+        self,
+        name: str,
+        columns: Sequence[Column],
+        *,
+        spatial: Optional[SpatialSpec] = None,
+        temporary: bool = False,
+    ) -> Table:
+        """Create a table; raises :class:`SchemaError` if it already exists."""
+        key = name.lower()
+        if key in self._tables:
+            raise SchemaError(f"table {name!r} already exists in {self.name!r}")
+        table = Table(
+            TableSchema(name, columns),
+            page_size=self.page_size,
+            spatial=spatial,
+            temporary=temporary,
+        )
+        self._tables[key] = table
+        return table
+
+    def create_temp_table(
+        self,
+        prefix: str,
+        columns: Sequence[Column],
+        *,
+        spatial: Optional[SpatialSpec] = None,
+    ) -> Table:
+        """Create a uniquely named temporary table (paper Section 5.3)."""
+        name = f"{prefix}_tmp{next(self._temp_counter)}"
+        return self.create_table(name, columns, spatial=spatial, temporary=True)
+
+    def drop_table(self, name: str) -> None:
+        """Drop a table and evict its buffered pages."""
+        key = name.lower()
+        if key not in self._tables:
+            raise SchemaError(f"table {name!r} does not exist in {self.name!r}")
+        del self._tables[key]
+        self.buffer.invalidate_table(name)
+
+    def has_table(self, name: str) -> bool:
+        """True if the table exists."""
+        return name.lower() in self._tables
+
+    def table(self, name: str) -> Table:
+        """Look up a table, raising :class:`SchemaError` if missing."""
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise SchemaError(
+                f"table {name!r} does not exist in {self.name!r}"
+            ) from None
+
+    def table_names(self) -> List[str]:
+        """Names of all (non-temporary) tables."""
+        return [t.name for t in self._tables.values() if not t.temporary]
+
+    # -- DML -----------------------------------------------------------------
+
+    def insert(
+        self, table_name: str, rows: Iterable[Dict[str, Any] | Sequence[Any]]
+    ) -> int:
+        """Insert rows into a table; returns the count inserted."""
+        table = self.table(table_name)
+        n = 0
+        for row in rows:
+            table.insert(row)
+            n += 1
+        return n
+
+    # -- query execution -------------------------------------------------------
+
+    def execute(self, query: Query | str) -> ResultSet:
+        """Execute a single-table SELECT (text or AST)."""
+        if isinstance(query, str):
+            query = parse_query(query)
+        if len(query.tables) != 1:
+            raise QueryError(
+                "the archive engine executes single-table queries; "
+                "multi-archive joins are the federation's job"
+            )
+        table_ref = query.tables[0]
+        table = self.table(table_ref.table)
+        alias = table_ref.effective_alias
+
+        area, residual = self._split_where(query.where)
+        region = self._region_for(area, table) if area is not None else None
+
+        stats = QueryStats()
+        before = (self.buffer.stats.logical_reads, self.buffer.stats.physical_reads)
+
+        from repro.db.aggregates import is_aggregate_query
+
+        if self._is_count_star(query.items):
+            count = sum(
+                1 for _ in self._matching_positions(table, alias, region, residual, stats)
+            )
+            columns = [query.items[0].alias or "count"]
+            rows: List[Tuple[Any, ...]] = [(count,)]
+        elif is_aggregate_query(query):
+            columns, rows = self._execute_grouped(
+                query, table, alias, region, residual, stats
+            )
+        else:
+            columns = self._output_columns(query.items, table)
+            rows = []
+            keys: List[Tuple[Any, ...]] = []
+            can_stop_early = (
+                query.limit is not None
+                and not query.order_by
+                and not query.distinct
+            )
+            for pos in self._matching_positions(table, alias, region, residual, stats):
+                ctx = self._context_for(table, alias, pos)
+                rows.append(self._project(query.items, table, ctx))
+                if query.order_by:
+                    keys.append(self._order_key(query.order_by, ctx))
+                if can_stop_early and len(rows) >= query.limit:
+                    break
+            if query.distinct:
+                rows, keys = _dedupe(rows, keys)
+            if query.order_by:
+                rows = [
+                    row for _, row in sorted(
+                        zip(keys, rows), key=lambda pair: pair[0]
+                    )
+                ]
+            if query.limit is not None:
+                rows = rows[: query.limit]
+
+        stats.rows_returned = len(rows)
+        stats.logical_reads = self.buffer.stats.logical_reads - before[0]
+        stats.physical_reads = self.buffer.stats.physical_reads - before[1]
+        return ResultSet(columns=columns, rows=rows, stats=stats)
+
+    def _execute_grouped(
+        self,
+        query: Query,
+        table: Table,
+        alias: str,
+        region: Optional[Region],
+        residual: Optional[Expr],
+        stats: QueryStats,
+    ) -> Tuple[List[str], List[Tuple[Any, ...]]]:
+        """The aggregate / GROUP BY / HAVING execution path."""
+        from repro.db.aggregates import GroupedAccumulator, evaluate_grouped
+        from repro.db.expr import is_true as _is_true
+        from repro.sql.printer import to_sql
+
+        accumulator = GroupedAccumulator(query)
+        for pos in self._matching_positions(table, alias, region, residual, stats):
+            accumulator.feed(self._context_for(table, alias, pos))
+
+        groups = accumulator.finished_groups()
+        if query.having is not None:
+            groups = [
+                g for g in groups
+                if _is_true(
+                    evaluate_grouped(query.having, g, query.group_by)
+                )
+            ]
+
+        columns: List[str] = []
+        for item in query.items:
+            if isinstance(item.expr, Star):
+                raise QueryError("SELECT * is not valid in a grouped query")
+            if item.alias:
+                columns.append(item.alias)
+            elif isinstance(item.expr, ColumnRef):
+                columns.append(str(item.expr))
+            else:
+                columns.append(to_sql(item.expr))
+
+        rows = [
+            tuple(
+                evaluate_grouped(item.expr, group, query.group_by)
+                for item in query.items
+            )
+            for group in groups
+        ]
+        if query.distinct:
+            deduped_rows, deduped_groups = [], []
+            seen = set()
+            for row, group in zip(rows, groups):
+                marker = tuple(row)
+                if marker not in seen:
+                    seen.add(marker)
+                    deduped_rows.append(row)
+                    deduped_groups.append(group)
+            rows, groups = deduped_rows, deduped_groups
+        if query.order_by:
+            keys = [
+                tuple(
+                    _SortKey(
+                        evaluate_grouped(order.expr, group, query.group_by),
+                        order.descending,
+                    )
+                    for order in query.order_by
+                )
+                for group in groups
+            ]
+            rows = [
+                row for _, row in sorted(zip(keys, rows), key=lambda p: p[0])
+            ]
+        if query.limit is not None:
+            rows = rows[: query.limit]
+        return columns, rows
+
+    def count_rows(self, table_name: str) -> int:
+        """Row count without touching the buffer pool (catalog metadata)."""
+        return len(self.table(table_name))
+
+    # -- stored procedures -----------------------------------------------------
+
+    def register_procedure(self, name: str, fn: ProcedureFn) -> None:
+        """Register a stored procedure (callable taking this db first)."""
+        key = name.lower()
+        if key in self._procedures:
+            raise SchemaError(f"procedure {name!r} already registered")
+        self._procedures[key] = fn
+
+    def call_procedure(self, name: str, **params: Any) -> Any:
+        """Invoke a stored procedure by name."""
+        try:
+            fn = self._procedures[name.lower()]
+        except KeyError:
+            raise QueryError(f"unknown procedure {name!r}") from None
+        return fn(self, **params)
+
+    def has_procedure(self, name: str) -> bool:
+        """True if a stored procedure with this name is registered."""
+        return name.lower() in self._procedures
+
+    # -- internals ---------------------------------------------------------------
+
+    @staticmethod
+    def _split_where(
+        where: Optional[Expr],
+    ) -> Tuple[Optional[AreaLike], Optional[Expr]]:
+        """Separate the AREA conjunct from the rest of the WHERE tree."""
+        area: Optional[AreaLike] = None
+        rest: List[Expr] = []
+        for conjunct in conjuncts(where):
+            if is_area(conjunct):
+                if area is not None:
+                    raise QueryError("multiple AREA clauses")
+                area = conjunct
+            elif isinstance(conjunct, XMatchClause):
+                raise QueryError(
+                    "XMATCH reached the archive engine; the Portal should "
+                    "have decomposed it"
+                )
+            else:
+                rest.append(conjunct)
+        return area, and_together(tuple(rest))
+
+    @staticmethod
+    def _region_for(area: AreaLike, table: Table) -> Region:
+        if table.spatial is None:
+            raise QueryError(
+                f"AREA clause on table {table.name!r} which has no "
+                "spatial columns"
+            )
+        return region_for(area)
+
+    def _matching_positions(
+        self,
+        table: Table,
+        alias: str,
+        region: Optional[Region],
+        residual: Optional[Expr],
+        stats: QueryStats,
+    ) -> Iterable[int]:
+        """Yield row positions passing the spatial and residual predicates."""
+        if region is not None and table.spatial is not None and self.use_spatial_index:
+            stats.used_spatial_index = True
+            probe = spatial_probe(table, region)
+            stats.rows_tested_geometrically = len(probe.candidates)
+            for pos in probe.exact:
+                self._touch(table, pos, stats)
+                if self._residual_ok(table, alias, pos, residual):
+                    yield pos
+            spec = table.spatial
+            ra_idx = table.schema.column_index(spec.ra_column)
+            dec_idx = table.schema.column_index(spec.dec_column)
+            for pos in probe.candidates:
+                self._touch(table, pos, stats)
+                row = table.row(pos)
+                v = radec_to_vector(row[ra_idx], row[dec_idx])
+                if not region.contains(v):
+                    continue
+                if self._residual_ok(table, alias, pos, residual):
+                    yield pos
+            return
+        # Full scan (optionally with a geometric test when the table has
+        # positions but no region/index shortcut applies).
+        spec = table.spatial
+        for pos in table.iter_positions():
+            self._touch(table, pos, stats)
+            if region is not None:
+                assert spec is not None
+                row = table.row(pos)
+                ra = row[table.schema.column_index(spec.ra_column)]
+                dec = row[table.schema.column_index(spec.dec_column)]
+                stats.rows_tested_geometrically += 1
+                if not region.contains(radec_to_vector(ra, dec)):
+                    continue
+            if self._residual_ok(table, alias, pos, residual):
+                yield pos
+
+    def _touch(self, table: Table, pos: int, stats: QueryStats) -> None:
+        self.buffer.access(table.name, table.page_of(pos))
+        stats.rows_examined += 1
+
+    def _residual_ok(
+        self, table: Table, alias: str, pos: int, residual: Optional[Expr]
+    ) -> bool:
+        if residual is None:
+            return True
+        ctx = self._context_for(table, alias, pos)
+        return is_true(evaluate(residual, ctx))
+
+    def _context_for(self, table: Table, alias: str, pos: int) -> RowContext:
+        ctx = RowContext(self.constants)
+        row = table.row(pos)
+        for col, value in zip(table.schema.columns, row):
+            ctx.bind(alias, col.name, value)
+        return ctx
+
+    @staticmethod
+    def _order_key(
+        order_by: Tuple[OrderItem, ...], ctx: RowContext
+    ) -> Tuple[Any, ...]:
+        return tuple(
+            _SortKey(evaluate(item.expr, ctx), item.descending)
+            for item in order_by
+        )
+
+    @staticmethod
+    def _is_count_star(items: Tuple[SelectItem, ...]) -> bool:
+        if len(items) != 1:
+            return False
+        expr = items[0].expr
+        return (
+            isinstance(expr, FuncCall)
+            and expr.name.upper() == "COUNT"
+            and len(expr.args) == 1
+            and isinstance(expr.args[0], Star)
+        )
+
+    @staticmethod
+    def _output_columns(items: Tuple[SelectItem, ...], table: Table) -> List[str]:
+        columns: List[str] = []
+        for item in items:
+            if isinstance(item.expr, Star):
+                columns.extend(table.schema.column_names)
+            elif item.alias:
+                columns.append(item.alias)
+            elif isinstance(item.expr, ColumnRef):
+                columns.append(str(item.expr))
+            else:
+                columns.append(f"expr{len(columns) + 1}")
+        return columns
+
+    @staticmethod
+    def _project(
+        items: Tuple[SelectItem, ...], table: Table, ctx: RowContext
+    ) -> Tuple[Any, ...]:
+        values: List[Any] = []
+        for item in items:
+            if isinstance(item.expr, Star):
+                for col in table.schema.columns:
+                    values.append(ctx.lookup(ColumnRef(None, col.name)))
+            else:
+                values.append(evaluate(item.expr, ctx))
+        return tuple(values)

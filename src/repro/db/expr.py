@@ -1,0 +1,184 @@
+"""WHERE/SELECT expression evaluation over table rows.
+
+The evaluator implements a simplified SQL semantics:
+
+* NULL propagates through arithmetic; any comparison involving NULL is
+  false; AND/OR treat NULL as false (two-valued logic, documented shortcut).
+* Bare identifiers that do not resolve to a column are looked up in the
+  database's *named constants* (the sample query's ``O.type = GALAXY`` uses
+  the astronomy constant GALAXY).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Optional
+
+from repro.errors import QueryError
+from repro.sql.ast import (
+    AreaClause,
+    BinaryOp,
+    ColumnRef,
+    Expr,
+    FuncCall,
+    IsNull,
+    Literal,
+    PolygonClause,
+    Star,
+    UnaryOp,
+    XMatchClause,
+)
+
+
+class RowContext:
+    """Column values for one row, addressable bare or alias-qualified."""
+
+    def __init__(self, constants: Optional[Mapping[str, Any]] = None) -> None:
+        self._values: Dict[str, Any] = {}
+        self._constants = {k.lower(): v for k, v in (constants or {}).items()}
+
+    def bind(self, alias: Optional[str], column: str, value: Any) -> None:
+        """Bind one column value (under both bare and qualified keys)."""
+        self._values[column.lower()] = value
+        if alias:
+            self._values[f"{alias.lower()}.{column.lower()}"] = value
+
+    def lookup(self, ref: ColumnRef) -> Any:
+        """Resolve a column reference, falling back to named constants."""
+        if ref.qualifier:
+            key = f"{ref.qualifier.lower()}.{ref.name.lower()}"
+            if key in self._values:
+                return self._values[key]
+            raise QueryError(f"unknown column {ref!s}")
+        key = ref.name.lower()
+        if key in self._values:
+            return self._values[key]
+        if key in self._constants:
+            return self._constants[key]
+        raise QueryError(f"unknown column or constant {ref.name!r}")
+
+
+def evaluate(expr: Expr, ctx: RowContext) -> Any:
+    """Evaluate an expression against one row."""
+    if isinstance(expr, Literal):
+        return expr.value
+    if isinstance(expr, ColumnRef):
+        return ctx.lookup(expr)
+    if isinstance(expr, UnaryOp):
+        return _unary(expr, ctx)
+    if isinstance(expr, BinaryOp):
+        return _binary(expr, ctx)
+    if isinstance(expr, FuncCall):
+        return _function(expr, ctx)
+    if isinstance(expr, IsNull):
+        value = evaluate(expr.operand, ctx)
+        return (value is not None) if expr.negated else (value is None)
+    if isinstance(expr, (AreaClause, PolygonClause, XMatchClause)):
+        raise QueryError(
+            f"{type(expr).__name__} cannot be evaluated per-row; it must be "
+            "handled by the spatial scan / cross-match machinery"
+        )
+    if isinstance(expr, Star):
+        raise QueryError("'*' is only valid inside SELECT or COUNT(*)")
+    raise QueryError(f"cannot evaluate expression node {expr!r}")
+
+
+def is_true(value: Any) -> bool:
+    """SQL-ish truthiness: NULL counts as false."""
+    return value is True
+
+
+def _unary(expr: UnaryOp, ctx: RowContext) -> Any:
+    value = evaluate(expr.operand, ctx)
+    if expr.op == "NOT":
+        if value is None:
+            return None
+        if isinstance(value, bool):
+            return not value
+        raise QueryError(f"NOT applied to non-boolean {value!r}")
+    if expr.op == "-":
+        if value is None:
+            return None
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise QueryError(f"unary minus applied to non-number {value!r}")
+        return -value
+    raise QueryError(f"unknown unary operator {expr.op!r}")
+
+
+def _binary(expr: BinaryOp, ctx: RowContext) -> Any:
+    op = expr.op
+    if op == "AND":
+        left = evaluate(expr.left, ctx)
+        if not is_true(left):
+            return False
+        return is_true(evaluate(expr.right, ctx))
+    if op == "OR":
+        left = evaluate(expr.left, ctx)
+        if is_true(left):
+            return True
+        return is_true(evaluate(expr.right, ctx))
+
+    left = evaluate(expr.left, ctx)
+    right = evaluate(expr.right, ctx)
+    if op in ("+", "-", "*", "/"):
+        return _arith(op, left, right)
+    if op in ("=", "<>", "<", "<=", ">", ">="):
+        return _compare(op, left, right)
+    raise QueryError(f"unknown binary operator {op!r}")
+
+
+def _arith(op: str, left: Any, right: Any) -> Any:
+    if left is None or right is None:
+        return None
+    if not _is_number(left) or not _is_number(right):
+        raise QueryError(
+            f"arithmetic {op!r} needs numbers, got {left!r} and {right!r}"
+        )
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if right == 0:
+        raise QueryError("division by zero")
+    return left / right
+
+
+def _compare(op: str, left: Any, right: Any) -> Any:
+    if left is None or right is None:
+        return False
+    if _is_number(left) and _is_number(right):
+        pass  # numbers compare across int/float
+    elif type(left) is not type(right):
+        raise QueryError(
+            f"cannot compare {type(left).__name__} with {type(right).__name__}"
+        )
+    if op == "=":
+        return left == right
+    if op == "<>":
+        return left != right
+    if op == "<":
+        return left < right
+    if op == "<=":
+        return left <= right
+    if op == ">":
+        return left > right
+    return left >= right
+
+
+def _function(expr: FuncCall, ctx: RowContext) -> Any:
+    name = expr.name.upper()
+    if name == "COUNT":
+        raise QueryError("COUNT(*) is an aggregate; handled by the engine")
+    if name == "ABS":
+        value = evaluate(expr.args[0], ctx)
+        if value is None:
+            return None
+        if not _is_number(value):
+            raise QueryError(f"ABS applied to non-number {value!r}")
+        return abs(value)
+    raise QueryError(f"unknown function {expr.name!r}")
+
+
+def _is_number(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)

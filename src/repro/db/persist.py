@@ -1,0 +1,112 @@
+"""Saving and loading archive databases as JSON.
+
+Lets a synthetic archive be generated once and reused across CLI sessions
+or shipped as a test fixture: schema, spatial spec, rows, dialect — the
+whole :class:`~repro.db.engine.Database` — round-trips through one
+self-describing JSON document.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, Dict
+
+from repro.db.engine import Database
+from repro.db.schema import Column
+from repro.db.table import SpatialSpec
+from repro.db.types import ColumnType
+from repro.errors import SchemaError
+
+FORMAT_VERSION = 1
+
+
+def database_to_dict(db: Database) -> Dict[str, Any]:
+    """Serialize a database (excluding temp tables and procedures)."""
+    tables = []
+    for name in db.table_names():
+        table = db.table(name)
+        spatial = None
+        if table.spatial is not None:
+            spatial = {
+                "ra_column": table.spatial.ra_column,
+                "dec_column": table.spatial.dec_column,
+                "htm_depth": table.spatial.htm_depth,
+            }
+        tables.append(
+            {
+                "name": table.name,
+                "columns": [
+                    {
+                        "name": col.name,
+                        "type": col.ctype.value,
+                        "nullable": col.nullable,
+                    }
+                    for col in table.schema.columns
+                ],
+                "spatial": spatial,
+                "rows": [list(table.row(pos)) for pos in table.iter_positions()],
+            }
+        )
+    return {
+        "format_version": FORMAT_VERSION,
+        "name": db.name,
+        "dialect": db.dialect,
+        "page_size": db.page_size,
+        "buffer_pages": db.buffer.capacity_pages,
+        "tables": tables,
+    }
+
+
+def database_from_dict(data: Dict[str, Any]) -> Database:
+    """Rebuild a database serialized by :func:`database_to_dict`."""
+    version = data.get("format_version")
+    if version != FORMAT_VERSION:
+        raise SchemaError(
+            f"unsupported database dump format_version {version!r}"
+        )
+    db = Database(
+        str(data["name"]),
+        dialect=str(data.get("dialect") or "ansi"),
+        page_size=int(data.get("page_size") or 64),
+        buffer_pages=int(data.get("buffer_pages") or 1024),
+    )
+    for table_data in data.get("tables", []):
+        columns = [
+            Column(
+                str(col["name"]),
+                ColumnType(col["type"]),
+                nullable=bool(col.get("nullable", True)),
+            )
+            for col in table_data["columns"]
+        ]
+        spatial_data = table_data.get("spatial")
+        spatial = (
+            SpatialSpec(
+                ra_column=str(spatial_data["ra_column"]),
+                dec_column=str(spatial_data["dec_column"]),
+                htm_depth=int(spatial_data.get("htm_depth", 12)),
+            )
+            if spatial_data
+            else None
+        )
+        db.create_table(str(table_data["name"]), columns, spatial=spatial)
+        db.insert(
+            str(table_data["name"]),
+            [tuple(row) for row in table_data.get("rows", [])],
+        )
+    return db
+
+
+def save_database(db: Database, path: str | pathlib.Path) -> None:
+    """Write a database dump to a JSON file."""
+    payload = database_to_dict(db)
+    pathlib.Path(path).write_text(
+        json.dumps(payload, separators=(",", ":")), encoding="utf-8"
+    )
+
+
+def load_database(path: str | pathlib.Path) -> Database:
+    """Load a database dump written by :func:`save_database`."""
+    data = json.loads(pathlib.Path(path).read_text(encoding="utf-8"))
+    return database_from_dict(data)

@@ -1,0 +1,105 @@
+"""Table schemas."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Sequence, Tuple
+
+from repro.db.types import ColumnType
+from repro.errors import SchemaError
+
+_VALID_FIRST = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+
+
+def _check_identifier(name: str, what: str) -> str:
+    if not name or name[0] not in _VALID_FIRST or not all(
+        c in _VALID_FIRST or c.isdigit() for c in name
+    ):
+        raise SchemaError(f"invalid {what} name {name!r}")
+    return name
+
+
+@dataclass(frozen=True)
+class Column:
+    """One column: name, type, nullability."""
+
+    name: str
+    ctype: ColumnType
+    nullable: bool = True
+
+    def __post_init__(self) -> None:
+        _check_identifier(self.name, "column")
+
+
+class TableSchema:
+    """An ordered set of columns with fast name lookup.
+
+    Column names are matched case-insensitively, as in most SQL engines.
+    """
+
+    def __init__(self, name: str, columns: Sequence[Column]) -> None:
+        _check_identifier(name, "table")
+        if not columns:
+            raise SchemaError(f"table {name!r} needs at least one column")
+        self.name = name
+        self.columns: Tuple[Column, ...] = tuple(columns)
+        self._index: Dict[str, int] = {}
+        for i, col in enumerate(self.columns):
+            key = col.name.lower()
+            if key in self._index:
+                raise SchemaError(f"duplicate column {col.name!r} in {name!r}")
+            self._index[key] = i
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __repr__(self) -> str:
+        cols = ", ".join(f"{c.name} {c.ctype.value}" for c in self.columns)
+        return f"TableSchema({self.name!r}: {cols})"
+
+    @property
+    def column_names(self) -> List[str]:
+        """Column names in declaration order."""
+        return [c.name for c in self.columns]
+
+    def has_column(self, name: str) -> bool:
+        """True if a column with this (case-insensitive) name exists."""
+        return name.lower() in self._index
+
+    def column_index(self, name: str) -> int:
+        """Position of a column, raising :class:`SchemaError` if unknown."""
+        try:
+            return self._index[name.lower()]
+        except KeyError:
+            raise SchemaError(
+                f"table {self.name!r} has no column {name!r}"
+            ) from None
+
+    def column(self, name: str) -> Column:
+        """The :class:`Column` for a name."""
+        return self.columns[self.column_index(name)]
+
+    def coerce_row(self, row: Dict[str, Any] | Sequence[Any]) -> List[Any]:
+        """Validate and coerce a row (mapping or positional) to storage form."""
+        if isinstance(row, dict):
+            lowered = {k.lower(): v for k, v in row.items()}
+            unknown = set(lowered) - set(self._index)
+            if unknown:
+                raise SchemaError(
+                    f"row has unknown column(s) {sorted(unknown)!r} "
+                    f"for table {self.name!r}"
+                )
+            values: Iterable[Any] = (
+                lowered.get(c.name.lower()) for c in self.columns
+            )
+        else:
+            if len(row) != len(self.columns):
+                raise SchemaError(
+                    f"row has {len(row)} values, table {self.name!r} "
+                    f"has {len(self.columns)} columns"
+                )
+            values = row
+        return [
+            col.ctype.coerce(v, nullable=col.nullable, column=col.name)
+            for col, v in zip(self.columns, values)
+        ]

@@ -1,0 +1,127 @@
+"""Row storage with paging and an optional HTM spatial column."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.db.schema import TableSchema
+from repro.errors import SchemaError
+from repro.htm.index import HTMIndex
+from repro.sphere.coords import radec_to_vector
+
+
+@dataclass(frozen=True)
+class SpatialSpec:
+    """Declares which columns carry a position and at what HTM depth to index.
+
+    The column names are per-archive (``ra``/``dec`` at one node,
+    ``right_ascension``/``declination`` at another) — heterogeneity the
+    SkyNode wrapper hides from the Portal.
+    """
+
+    ra_column: str
+    dec_column: str
+    htm_depth: int = 12
+
+
+class Table:
+    """One table: typed rows stored in fixed-size pages.
+
+    If a :class:`SpatialSpec` is attached, every row gets a precomputed HTM
+    trixel id, and :meth:`spatial_entries` exposes the sorted (htm_id, row)
+    pairs the spatial index scans.
+    """
+
+    def __init__(
+        self,
+        schema: TableSchema,
+        *,
+        page_size: int = 64,
+        spatial: Optional[SpatialSpec] = None,
+        temporary: bool = False,
+    ) -> None:
+        if page_size < 1:
+            raise SchemaError(f"page_size must be >= 1, got {page_size}")
+        if spatial is not None:
+            schema.column_index(spatial.ra_column)
+            schema.column_index(spatial.dec_column)
+        self.schema = schema
+        self.page_size = page_size
+        self.spatial = spatial
+        self.temporary = temporary
+        self._rows: List[List[Any]] = []
+        self._htm_ids: List[int] = []
+        self._htm = HTMIndex(spatial.htm_depth) if spatial else None
+        self._spatial_sorted: Optional[List[Tuple[int, int]]] = None
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    @property
+    def name(self) -> str:
+        """The table name (from its schema)."""
+        return self.schema.name
+
+    @property
+    def page_count(self) -> int:
+        """Number of pages currently occupied."""
+        return (len(self._rows) + self.page_size - 1) // self.page_size
+
+    def page_of(self, row_pos: int) -> int:
+        """Page number holding a row position."""
+        return row_pos // self.page_size
+
+    def insert(self, row: Dict[str, Any] | Sequence[Any]) -> int:
+        """Insert one row (mapping or positional); returns its row position."""
+        values = self.schema.coerce_row(row)
+        pos = len(self._rows)
+        self._rows.append(values)
+        if self.spatial is not None:
+            ra = values[self.schema.column_index(self.spatial.ra_column)]
+            dec = values[self.schema.column_index(self.spatial.dec_column)]
+            if ra is None or dec is None:
+                raise SchemaError(
+                    f"spatial table {self.name!r} requires non-NULL "
+                    f"{self.spatial.ra_column}/{self.spatial.dec_column}"
+                )
+            assert self._htm is not None
+            self._htm_ids.append(self._htm.id_for(radec_to_vector(ra, dec)))
+            self._spatial_sorted = None
+        return pos
+
+    def insert_many(self, rows: Sequence[Dict[str, Any] | Sequence[Any]]) -> int:
+        """Insert many rows; returns the number inserted."""
+        for row in rows:
+            self.insert(row)
+        return len(rows)
+
+    def row(self, row_pos: int) -> List[Any]:
+        """The raw row values at a position."""
+        return self._rows[row_pos]
+
+    def htm_id(self, row_pos: int) -> int:
+        """The precomputed HTM id of a row (spatial tables only)."""
+        if self.spatial is None:
+            raise SchemaError(f"table {self.name!r} has no spatial column")
+        return self._htm_ids[row_pos]
+
+    def iter_positions(self) -> Iterator[int]:
+        """All row positions in storage order (a full scan)."""
+        return iter(range(len(self._rows)))
+
+    def spatial_entries(self) -> List[Tuple[int, int]]:
+        """Sorted (htm_id, row_pos) pairs; rebuilt lazily after inserts."""
+        if self.spatial is None:
+            raise SchemaError(f"table {self.name!r} has no spatial column")
+        if self._spatial_sorted is None:
+            self._spatial_sorted = sorted(
+                zip(self._htm_ids, range(len(self._rows)))
+            )
+        return self._spatial_sorted
+
+    def truncate(self) -> None:
+        """Delete all rows."""
+        self._rows.clear()
+        self._htm_ids.clear()
+        self._spatial_sorted = None

@@ -1,0 +1,62 @@
+"""Column types and value coercion for the relational engine."""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Any
+
+from repro.errors import SchemaError
+
+
+class ColumnType(Enum):
+    """Supported column types."""
+
+    INT = "int"
+    FLOAT = "float"
+    STRING = "string"
+    BOOL = "bool"
+
+    def coerce(self, value: Any, *, nullable: bool = True, column: str = "?") -> Any:
+        """Coerce ``value`` to this type, raising :class:`SchemaError` on mismatch."""
+        if value is None:
+            if nullable:
+                return None
+            raise SchemaError(f"column {column!r} is NOT NULL")
+        if self is ColumnType.INT:
+            if isinstance(value, bool) or not isinstance(value, int):
+                if isinstance(value, float) and value.is_integer():
+                    return int(value)
+                raise SchemaError(
+                    f"column {column!r} expects INT, got {type(value).__name__}"
+                )
+            return value
+        if self is ColumnType.FLOAT:
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise SchemaError(
+                    f"column {column!r} expects FLOAT, got {type(value).__name__}"
+                )
+            return float(value)
+        if self is ColumnType.STRING:
+            if not isinstance(value, str):
+                raise SchemaError(
+                    f"column {column!r} expects STRING, got {type(value).__name__}"
+                )
+            return value
+        if not isinstance(value, bool):
+            raise SchemaError(
+                f"column {column!r} expects BOOL, got {type(value).__name__}"
+            )
+        return value
+
+    @classmethod
+    def of_value(cls, value: Any) -> "ColumnType":
+        """Infer the column type of a python value (bool before int!)."""
+        if isinstance(value, bool):
+            return cls.BOOL
+        if isinstance(value, int):
+            return cls.INT
+        if isinstance(value, float):
+            return cls.FLOAT
+        if isinstance(value, str):
+            return cls.STRING
+        raise SchemaError(f"unsupported value type {type(value).__name__}")

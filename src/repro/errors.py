@@ -1,0 +1,101 @@
+"""Exception hierarchy for the SkyQuery reproduction.
+
+Every layer of the system raises subclasses of :class:`SkyQueryError` so that
+callers can distinguish user errors (bad query text, unknown archive) from
+infrastructure failures (SOAP faults, transport problems, resource limits).
+"""
+
+from __future__ import annotations
+
+
+class SkyQueryError(Exception):
+    """Base class for every error raised by this package."""
+
+
+class GeometryError(SkyQueryError):
+    """Invalid spherical-geometry input (zero vector, bad radius, ...)."""
+
+
+class HTMError(SkyQueryError):
+    """Invalid Hierarchical Triangular Mesh operation (bad depth/id/name)."""
+
+
+class DatabaseError(SkyQueryError):
+    """Base class for relational-engine errors."""
+
+
+class SchemaError(DatabaseError):
+    """Schema violation: unknown table/column, duplicate definition, type mismatch."""
+
+
+class QueryError(DatabaseError):
+    """A query could not be evaluated against the engine."""
+
+
+class SQLSyntaxError(SkyQueryError):
+    """The SkyQuery SQL dialect parser rejected the query text."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        self.line = line
+        self.column = column
+        location = f" (line {line}, column {column})" if line else ""
+        super().__init__(f"{message}{location}")
+
+
+class ValidationError(SkyQueryError):
+    """The parsed query is syntactically valid but semantically inconsistent."""
+
+
+class SoapError(SkyQueryError):
+    """Base class for SOAP / XML wire-format errors."""
+
+
+class XMLSyntaxError(SoapError):
+    """Malformed XML document."""
+
+
+class XMLMemoryError(SoapError):
+    """The (simulated) XML parser exceeded its memory budget.
+
+    Reproduces the failure mode reported in the paper's Section 6: the
+    SkyNode XML parser ran out of memory on SOAP messages of about 10 MB.
+    """
+
+    def __init__(self, message: str, document_bytes: int, limit_bytes: int) -> None:
+        self.document_bytes = document_bytes
+        self.limit_bytes = limit_bytes
+        super().__init__(message)
+
+
+class SoapFaultError(SoapError):
+    """A SOAP <Fault> was returned by the remote service."""
+
+    def __init__(self, faultcode: str, faultstring: str, detail: str = "") -> None:
+        self.faultcode = faultcode
+        self.faultstring = faultstring
+        self.detail = detail
+        super().__init__(f"{faultcode}: {faultstring}")
+
+
+class TransportError(SkyQueryError):
+    """Simulated-HTTP transport failure (unknown host, link down, ...)."""
+
+
+class ServiceError(SkyQueryError):
+    """A web-service framework error (unknown operation, bad arguments)."""
+
+
+class RegistrationError(SkyQueryError):
+    """A SkyNode could not join the federation."""
+
+
+class PlanningError(SkyQueryError):
+    """The Portal could not build an execution plan for a query."""
+
+
+class ExecutionError(SkyQueryError):
+    """A federated query failed during distributed execution."""
+
+
+class TransactionError(SkyQueryError):
+    """An inter-archive transaction protocol violation or failure."""

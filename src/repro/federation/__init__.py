@@ -1,0 +1,20 @@
+"""Federation assembly: canned surveys + a one-call builder.
+
+:func:`build_federation` wires a whole SkyQuery deployment — Portal,
+SkyNodes loaded with synthetic survey data, simulated network links, the
+registration handshake — and returns a handle exposing every component,
+the ground truth, and a ready client.
+"""
+
+from repro.federation.surveys import FIRST, SDSS, TWOMASS, default_surveys
+from repro.federation.builder import Federation, FederationConfig, build_federation
+
+__all__ = [
+    "FIRST",
+    "SDSS",
+    "TWOMASS",
+    "default_surveys",
+    "Federation",
+    "FederationConfig",
+    "build_federation",
+]

@@ -1,0 +1,66 @@
+"""Survey presets modeled on the paper's three federated archives.
+
+The sample query in Section 5.2 joins SDSS:Photo_Object,
+TWOMASS:Photo_Primary and FIRST:Primary_Object; the presets here use those
+table names, plausible per-survey positional errors, different detection
+rates (FIRST is a radio survey — most optical objects are radio-quiet,
+which is what makes the ``!P`` drop-out query astronomically interesting),
+and deliberately different schema/dialect personalities to exercise the
+wrapper's heterogeneity-hiding.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.workloads.skysim import SurveySpec
+
+#: Optical survey, sub-arcsecond astrometry, deep object counts.
+SDSS = SurveySpec(
+    archive="SDSS",
+    sigma_arcsec=0.1,
+    detection_rate=0.95,
+    primary_table="Photo_Object",
+    object_id_column="object_id",
+    ra_column="ra",
+    dec_column="dec",
+    bands=("u", "g", "r", "i", "z"),
+    has_type=True,
+    dialect="sqlserver",
+    flux_offset=0.0,
+)
+
+#: Near-infrared survey; coarser astrometry, different column names.
+TWOMASS = SurveySpec(
+    archive="TWOMASS",
+    sigma_arcsec=0.3,
+    detection_rate=0.85,
+    primary_table="Photo_Primary",
+    object_id_column="obj_id",
+    ra_column="ra_deg",
+    dec_column="dec_deg",
+    bands=("j", "h", "k", "i"),
+    has_type=False,
+    dialect="postgres",
+    flux_offset=-2.5,
+)
+
+#: Radio survey; detects a minority of optical objects (drop-out queries).
+FIRST = SurveySpec(
+    archive="FIRST",
+    sigma_arcsec=1.0,
+    detection_rate=0.30,
+    primary_table="Primary_Object",
+    object_id_column="object_id",
+    ra_column="ra",
+    dec_column="dec",
+    bands=("radio",),
+    has_type=False,
+    dialect="ansi",
+    flux_offset=3.0,
+)
+
+
+def default_surveys() -> List[SurveySpec]:
+    """The paper's three archives."""
+    return [SDSS, TWOMASS, FIRST]

@@ -1,0 +1,104 @@
+"""Region covers: which trixels intersect a spherical region.
+
+Implements the paper's Section 5.4 description verbatim: the cover returns
+trixels *entirely within* the region (their objects need no further test)
+and trixels that merely *intersect* it (their objects must be individually
+tested).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.errors import HTMError
+from repro.htm.mesh import DEPTH_MAX, id_range_at_depth, roots
+from repro.htm.ranges import HTMRanges
+from repro.htm.trixel import Trixel
+from repro.sphere.regions import Region, TrixelRelation
+
+
+@dataclass(frozen=True)
+class Cover:
+    """A region cover at a fixed depth.
+
+    ``full`` ranges contain only ids whose trixels are entirely inside the
+    region; ``partial`` ranges contain ids whose trixels intersect its
+    boundary. ``full`` and ``partial`` are disjoint.
+    """
+
+    depth: int
+    full: HTMRanges
+    partial: HTMRanges
+
+    def all_ranges(self) -> HTMRanges:
+        """Union of full and partial ranges (every candidate id)."""
+        return self.full.union(self.partial)
+
+
+def cover(region: Region, depth: int) -> Cover:
+    """Compute the trixel cover of ``region`` at the given mesh depth.
+
+    Walks the quad tree breadth-first; INSIDE subtrees are emitted as whole
+    id ranges without descending (this is what makes covers cheap), OUTSIDE
+    subtrees are pruned, and PARTIAL nodes are split until ``depth``.
+    """
+    if not 0 <= depth <= DEPTH_MAX:
+        raise HTMError(f"depth {depth!r} outside [0, {DEPTH_MAX}]")
+
+    full: List[Tuple[int, int]] = []
+    partial: List[Tuple[int, int]] = []
+    frontier: List[Trixel] = list(roots())
+    level = 0
+    while frontier:
+        next_frontier: List[Trixel] = []
+        for trixel in frontier:
+            relation = region.classify_triangle(trixel.corners)
+            if relation is TrixelRelation.OUTSIDE:
+                continue
+            if relation is TrixelRelation.INSIDE:
+                full.append(id_range_at_depth(trixel.hid, depth))
+            elif level == depth:
+                partial.append((trixel.hid, trixel.hid))
+            else:
+                next_frontier.extend(trixel.children())
+        frontier = next_frontier
+        level += 1
+        if level > depth:
+            break
+    return Cover(depth=depth, full=HTMRanges(full), partial=HTMRanges(partial))
+
+
+def cover_adaptive(region: Region, depth: int, max_ranges: int) -> Cover:
+    """A budgeted cover: refine boundary trixels only while the range count
+    stays within ``max_ranges``.
+
+    Real HTM deployments bound cover size because every range becomes a SQL
+    BETWEEN predicate. This variant splits PARTIAL trixels breadth-first
+    until further splitting could exceed the (soft) budget, then freezes
+    the remaining boundary trixels as PARTIAL ranges expressed at ``depth``.
+    Soundness is identical to :func:`cover`; only the partial fraction
+    (rows needing the geometric recheck) grows as the budget shrinks.
+    """
+    if not 0 <= depth <= DEPTH_MAX:
+        raise HTMError(f"depth {depth!r} outside [0, {DEPTH_MAX}]")
+    if max_ranges < 8:
+        raise HTMError(f"max_ranges must be >= 8, got {max_ranges}")
+
+    full: List[Tuple[int, int]] = []
+    partial: List[Tuple[int, int]] = []
+    frontier: List[Tuple[Trixel, int]] = [(t, 0) for t in roots()]
+    while frontier:
+        trixel, level = frontier.pop(0)
+        relation = region.classify_triangle(trixel.corners)
+        if relation is TrixelRelation.OUTSIDE:
+            continue
+        if relation is TrixelRelation.INSIDE:
+            full.append(id_range_at_depth(trixel.hid, depth))
+            continue
+        committed = len(full) + len(partial) + len(frontier)
+        if level >= depth or committed + 4 > max_ranges:
+            partial.append(id_range_at_depth(trixel.hid, depth))
+        else:
+            frontier.extend((kid, level + 1) for kid in trixel.children())
+    return Cover(depth=depth, full=HTMRanges(full), partial=HTMRanges(partial))

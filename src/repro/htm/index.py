@@ -1,0 +1,52 @@
+"""Point-to-trixel lookups."""
+
+from __future__ import annotations
+
+from repro.errors import HTMError
+from repro.htm.mesh import DEPTH_MAX, roots
+from repro.sphere.coords import radec_to_vector
+from repro.sphere.vector import Vec3, normalize
+
+
+def id_for_point(v: Vec3, depth: int) -> int:
+    """The id of the depth-``depth`` trixel containing unit vector ``v``."""
+    if not 0 <= depth <= DEPTH_MAX:
+        raise HTMError(f"depth {depth!r} outside [0, {DEPTH_MAX}]")
+    v = normalize(v)
+    node = None
+    for root in roots():
+        if root.contains(v):
+            node = root
+            break
+    if node is None:  # numerically on a seam; snap to the nearest root
+        node = roots()[0]
+    for _ in range(depth):
+        node = node.child_for_point(v)
+    return node.hid
+
+
+def id_for_radec(ra_deg: float, dec_deg: float, depth: int) -> int:
+    """The id of the depth-``depth`` trixel containing (ra, dec) degrees."""
+    return id_for_point(radec_to_vector(ra_deg, dec_deg), depth)
+
+
+class HTMIndex:
+    """A fixed-depth HTM lookup helper bound to one mesh depth.
+
+    The relational engine attaches one of these to a table's spatial column
+    pair so that stored rows carry a precomputed ``htm_id`` and range scans
+    can prune by id range.
+    """
+
+    def __init__(self, depth: int) -> None:
+        if not 0 <= depth <= DEPTH_MAX:
+            raise HTMError(f"depth {depth!r} outside [0, {DEPTH_MAX}]")
+        self.depth = depth
+
+    def id_for(self, v: Vec3) -> int:
+        """Trixel id of a unit vector at this index's depth."""
+        return id_for_point(v, self.depth)
+
+    def id_for_radec(self, ra_deg: float, dec_deg: float) -> int:
+        """Trixel id of (ra, dec) degrees at this index's depth."""
+        return id_for_radec(ra_deg, dec_deg, self.depth)

@@ -1,0 +1,68 @@
+"""Sorted, merged sets of inclusive HTM id ranges."""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+
+class HTMRanges:
+    """An immutable set of non-overlapping, sorted inclusive ``[lo, hi]`` ranges.
+
+    Used to express region covers compactly: membership tests are a binary
+    search, and ranges translate directly into SQL BETWEEN predicates.
+    """
+
+    __slots__ = ("_lows", "_highs")
+
+    def __init__(self, ranges: Iterable[Tuple[int, int]] = ()) -> None:
+        merged = self._merge(list(ranges))
+        self._lows: List[int] = [lo for lo, _ in merged]
+        self._highs: List[int] = [hi for _, hi in merged]
+
+    @staticmethod
+    def _merge(ranges: List[Tuple[int, int]]) -> List[Tuple[int, int]]:
+        cleaned = sorted((lo, hi) for lo, hi in ranges if lo <= hi)
+        merged: List[Tuple[int, int]] = []
+        for lo, hi in cleaned:
+            if merged and lo <= merged[-1][1] + 1:
+                prev_lo, prev_hi = merged[-1]
+                merged[-1] = (prev_lo, max(prev_hi, hi))
+            else:
+                merged.append((lo, hi))
+        return merged
+
+    def __len__(self) -> int:
+        return len(self._lows)
+
+    def __bool__(self) -> bool:
+        return bool(self._lows)
+
+    def __iter__(self) -> Iterator[Tuple[int, int]]:
+        return iter(zip(self._lows, self._highs))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, HTMRanges):
+            return NotImplemented
+        return self._lows == other._lows and self._highs == other._highs
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"[{lo}, {hi}]" for lo, hi in self)
+        return f"HTMRanges({inner})"
+
+    def contains(self, hid: int) -> bool:
+        """True if ``hid`` falls inside any range."""
+        i = bisect.bisect_right(self._lows, hid) - 1
+        return i >= 0 and hid <= self._highs[i]
+
+    def union(self, other: "HTMRanges") -> "HTMRanges":
+        """Set union of two range sets."""
+        return HTMRanges(list(self) + list(other))
+
+    def id_count(self) -> int:
+        """Total number of ids covered."""
+        return sum(hi - lo + 1 for lo, hi in self)
+
+    def as_tuples(self) -> Sequence[Tuple[int, int]]:
+        """The ranges as a list of ``(lo, hi)`` tuples."""
+        return list(self)

@@ -1,0 +1,29 @@
+"""The Portal: the federation's mediator.
+
+The Portal (paper Section 5.1) provides the Registration service SkyNodes
+use to join, catalogs their meta-data, decomposes user queries, issues
+count-star performance queries, builds the ordered execution plan, starts
+the daisy chain, and relays the final result to the client.
+"""
+
+from repro.portal.plan import ExecutionPlan, PlanStep
+from repro.portal.catalog import FederationCatalog, NodeRecord
+from repro.portal.decompose import DecomposedQuery, NodeSubquery, decompose
+from repro.portal.planner import OrderingStrategy, Planner
+from repro.portal.executor import ChainExecutor, FederatedResult
+from repro.portal.portal import Portal
+
+__all__ = [
+    "ExecutionPlan",
+    "PlanStep",
+    "FederationCatalog",
+    "NodeRecord",
+    "DecomposedQuery",
+    "NodeSubquery",
+    "decompose",
+    "OrderingStrategy",
+    "Planner",
+    "ChainExecutor",
+    "FederatedResult",
+    "Portal",
+]

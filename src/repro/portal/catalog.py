@@ -1,0 +1,129 @@
+"""The Portal's meta-data catalog of registered SkyNodes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+from repro.errors import RegistrationError, ValidationError
+from repro.skynode.wrapper import ArchiveInfo
+
+
+@dataclass
+class NodeRecord:
+    """Everything the Portal catalogs about one registered SkyNode.
+
+    ``schema`` maps lowercased table name -> (original name, column map),
+    where the column map is lowercased column name -> (original, typecode).
+    """
+
+    archive: str
+    services: Dict[str, str]
+    info: ArchiveInfo
+    object_count: int
+    dialect: str
+    schema: Dict[str, Tuple[str, Dict[str, Tuple[str, str]]]] = field(
+        default_factory=dict
+    )
+    registered_at: float = 0.0
+
+    @classmethod
+    def from_wire(
+        cls,
+        archive: str,
+        services: Dict[str, str],
+        info_wire: Dict[str, Any],
+        schema_wire: Dict[str, Any],
+        registered_at: float = 0.0,
+    ) -> "NodeRecord":
+        """Build a record from the Information + Meta-data service replies."""
+        info = ArchiveInfo.from_wire(info_wire)
+        schema: Dict[str, Tuple[str, Dict[str, Tuple[str, str]]]] = {}
+        for table in schema_wire.get("tables", []):
+            name = str(table["name"])
+            columns = {
+                str(col["name"]).lower(): (str(col["name"]), str(col["type"]))
+                for col in table.get("columns", [])
+            }
+            schema[name.lower()] = (name, columns)
+        return cls(
+            archive=archive,
+            services=dict(services),
+            info=info,
+            object_count=int(info_wire.get("object_count") or 0),
+            dialect=str(info_wire.get("dialect") or "ansi"),
+            schema=schema,
+            registered_at=registered_at,
+        )
+
+    def resolve_table(self, table: str) -> str:
+        """Canonical table name, raising :class:`ValidationError` if unknown."""
+        entry = self.schema.get(table.lower())
+        if entry is None:
+            raise ValidationError(
+                f"archive {self.archive!r} has no table {table!r}"
+            )
+        return entry[0]
+
+    def column_type(self, table: str, column: str) -> str:
+        """Wire typecode of a column, raising if table/column unknown."""
+        entry = self.schema.get(table.lower())
+        if entry is None:
+            raise ValidationError(
+                f"archive {self.archive!r} has no table {table!r}"
+            )
+        col = entry[1].get(column.lower())
+        if col is None:
+            raise ValidationError(
+                f"table {self.archive}:{entry[0]} has no column {column!r}"
+            )
+        return col[1]
+
+    def column_name(self, table: str, column: str) -> str:
+        """Canonical column name (original casing)."""
+        entry = self.schema.get(table.lower())
+        if entry is None:
+            raise ValidationError(
+                f"archive {self.archive!r} has no table {table!r}"
+            )
+        col = entry[1].get(column.lower())
+        if col is None:
+            raise ValidationError(
+                f"table {self.archive}:{entry[0]} has no column {column!r}"
+            )
+        return col[0]
+
+
+class FederationCatalog:
+    """Registered nodes indexed by archive name (case-insensitive)."""
+
+    def __init__(self) -> None:
+        self._nodes: Dict[str, NodeRecord] = {}
+
+    def register(self, record: NodeRecord) -> None:
+        """Add or replace a node record (re-registration updates it)."""
+        self._nodes[record.archive.lower()] = record
+
+    def unregister(self, archive: str) -> bool:
+        """Remove a node; returns True if it was present."""
+        return self._nodes.pop(archive.lower(), None) is not None
+
+    def has(self, archive: str) -> bool:
+        """True if the archive is registered."""
+        return archive.lower() in self._nodes
+
+    def node(self, archive: str) -> NodeRecord:
+        """Record for an archive, raising if unregistered."""
+        record = self._nodes.get(archive.lower())
+        if record is None:
+            raise RegistrationError(
+                f"archive {archive!r} is not registered with the Portal"
+            )
+        return record
+
+    def archives(self) -> List[str]:
+        """Registered archive names (canonical casing), sorted."""
+        return sorted(record.archive for record in self._nodes.values())
+
+    def __len__(self) -> int:
+        return len(self._nodes)

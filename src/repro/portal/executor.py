@@ -1,0 +1,162 @@
+"""Plan execution: kick off the daisy chain, finish the query at the Portal.
+
+The Portal sends one ``PerformXMatch`` RPC to the first SkyNode on the
+plan list; the chain does the rest (Section 5.3, steps 6-7 of Figure 3).
+When the surviving tuples come back, the Portal applies the cross-archive
+predicates no single node could evaluate, projects the SELECT list, and
+relays the result to the client.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
+
+from repro.db.expr import RowContext, evaluate, is_true
+from repro.db.engine import ASTRO_CONSTANTS
+from repro.errors import ExecutionError
+from repro.portal.decompose import DecomposedQuery
+from repro.portal.plan import ExecutionPlan
+from repro.services.chunked import receive_rowset
+from repro.sql.ast import ColumnRef, SelectItem
+from repro.xmatch.tuples import PartialTuple
+from repro.xmatch.wire import rowset_to_tuples
+
+if TYPE_CHECKING:
+    from repro.portal.portal import Portal
+
+
+@dataclass
+class FederatedResult:
+    """What the Portal relays back to the client."""
+
+    columns: List[str]
+    rows: List[Tuple[Any, ...]]
+    node_stats: List[Dict[str, Any]] = field(default_factory=list)
+    plan: Optional[ExecutionPlan] = None
+    counts: Dict[str, int] = field(default_factory=dict)
+    matched_tuples: int = 0
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        """Rows as dictionaries keyed by output column name."""
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+
+class ChainExecutor:
+    """Runs an :class:`ExecutionPlan` and finishes the query at the Portal."""
+
+    def __init__(self, portal: "Portal") -> None:
+        self._portal = portal
+
+    def execute(
+        self, plan: ExecutionPlan, decomposed: DecomposedQuery
+    ) -> FederatedResult:
+        """Start the chain at the first plan step and post-process."""
+        network = self._portal.require_network()
+        first = plan.step(0)
+        proxy = self._portal.proxy(first.url)
+        with network.phase("crossmatch-chain"):
+            response = proxy.call(
+                "PerformXMatch", plan=plan.to_wire(), position=0
+            )
+            if not isinstance(response, dict):
+                raise ExecutionError(f"malformed chain response: {response!r}")
+            rowset = receive_rowset(response, proxy)
+        tuples = rowset_to_tuples(
+            rowset, plan.member_aliases_after(0), plan.attr_columns_after(0)
+        )
+        stats = list(response.get("stats") or [])
+        return self._finish(plan, decomposed, tuples, stats)
+
+    def _finish(
+        self,
+        plan: ExecutionPlan,
+        decomposed: DecomposedQuery,
+        tuples: List[PartialTuple],
+        stats: List[Dict[str, Any]],
+    ) -> FederatedResult:
+        """Cross-archive predicates + SELECT projection, at the Portal."""
+        survivors = [
+            partial
+            for partial in tuples
+            if self._passes_cross_conjuncts(decomposed, partial)
+        ]
+        columns = self._output_columns(decomposed.query.items)
+        rows = [
+            self._project(decomposed.query.items, partial)
+            for partial in survivors
+        ]
+        if decomposed.query.distinct:
+            seen = set()
+            deduped_rows, deduped_survivors = [], []
+            for row, partial in zip(rows, survivors):
+                if row in seen:
+                    continue
+                seen.add(row)
+                deduped_rows.append(row)
+                deduped_survivors.append(partial)
+            rows, survivors = deduped_rows, deduped_survivors
+        order_by = decomposed.query.order_by
+        if order_by:
+            from repro.db.engine import _SortKey
+
+            keys = [
+                tuple(
+                    _SortKey(evaluate(item.expr, self._context_for(partial)),
+                             item.descending)
+                    for item in order_by
+                )
+                for partial in survivors
+            ]
+            rows = [row for _, row in sorted(zip(keys, rows),
+                                             key=lambda pair: pair[0])]
+        limit = decomposed.query.limit
+        if limit is not None:
+            rows = rows[:limit]
+        return FederatedResult(
+            columns=columns,
+            rows=rows,
+            node_stats=stats,
+            plan=plan,
+            matched_tuples=len(tuples),
+        )
+
+    def _passes_cross_conjuncts(
+        self, decomposed: DecomposedQuery, partial: PartialTuple
+    ) -> bool:
+        if not decomposed.analysis.cross_conjuncts:
+            return True
+        ctx = self._context_for(partial)
+        return all(
+            is_true(evaluate(conjunct, ctx))
+            for conjunct in decomposed.analysis.cross_conjuncts
+        )
+
+    @staticmethod
+    def _context_for(partial: PartialTuple) -> RowContext:
+        ctx = RowContext(ASTRO_CONSTANTS)
+        for key, value in partial.attributes.items():
+            alias, _, column = key.partition(".")
+            ctx.bind(alias, column, value)
+        return ctx
+
+    @staticmethod
+    def _output_columns(items: Tuple[SelectItem, ...]) -> List[str]:
+        columns: List[str] = []
+        for item in items:
+            if item.alias:
+                columns.append(item.alias)
+            elif isinstance(item.expr, ColumnRef):
+                columns.append(str(item.expr))
+            else:
+                columns.append(f"expr{len(columns) + 1}")
+        return columns
+
+    def _project(
+        self, items: Tuple[SelectItem, ...], partial: PartialTuple
+    ) -> Tuple[Any, ...]:
+        ctx = self._context_for(partial)
+        return tuple(evaluate(item.expr, ctx) for item in items)

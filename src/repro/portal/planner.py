@@ -1,0 +1,157 @@
+"""Plan construction: performance queries + the count-star ordering.
+
+Section 5.3: "These performance queries are passed as asynchronous SOAP
+messages to the respective Query services of each SkyNode... The list is
+in decreasing order of the count star values returned by the performance
+queries, with the drop out archives, if any, at the beginning of the
+list." Alternative orderings exist only as benchmark baselines to measure
+what the paper's choice buys.
+"""
+
+from __future__ import annotations
+
+import random
+from enum import Enum
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.errors import PlanningError
+from repro.portal.calibration import ArchiveCostModel
+from repro.portal.decompose import DecomposedQuery, NodeSubquery
+from repro.portal.plan import ExecutionPlan, PlanStep
+from repro.soap.encoding import WireRowSet
+
+if TYPE_CHECKING:
+    from repro.portal.portal import Portal
+
+
+class OrderingStrategy(Enum):
+    """How the planner orders the mandatory archives in the plan list."""
+
+    COUNT_DESC = "count_desc"  # the paper's choice
+    COUNT_ASC = "count_asc"  # adversarial baseline
+    RANDOM = "random"  # naive baseline
+    AS_WRITTEN = "as_written"  # query order baseline
+    BYTES_DESC = "bytes_desc"  # calibrated extension: count x row width
+
+
+class Planner:
+    """Runs performance queries and builds the ordered execution plan."""
+
+    def __init__(self, portal: "Portal") -> None:
+        self._portal = portal
+
+    def performance_counts(self, decomposed: DecomposedQuery) -> Dict[str, int]:
+        """Run the count-star queries at every mandatory archive.
+
+        "These performance queries are passed as asynchronous SOAP
+        messages": the probes are dispatched concurrently, so the elapsed
+        simulated time is the slowest archive's round trip, not the sum.
+        """
+        network = self._portal.require_network()
+        counts: Dict[str, int] = {}
+        with network.phase("performance-query"), network.parallel():
+            for alias in decomposed.mandatory_aliases:
+                subquery = decomposed.subqueries[alias]
+                record = self._portal.catalog.node(subquery.archive)
+                proxy = self._portal.proxy(record.services["query"])
+                assert subquery.perf_sql is not None
+                result = proxy.call("ExecuteQuery", sql=subquery.perf_sql)
+                counts[alias] = self._scalar_count(result, subquery)
+        return counts
+
+    @staticmethod
+    def _scalar_count(result: object, subquery: NodeSubquery) -> int:
+        if not isinstance(result, WireRowSet) or len(result.rows) != 1:
+            raise PlanningError(
+                f"performance query at {subquery.archive!r} returned no "
+                "scalar count"
+            )
+        value = result.rows[0][0]
+        if not isinstance(value, int):
+            raise PlanningError(
+                f"performance query at {subquery.archive!r} returned "
+                f"{value!r}, expected an integer"
+            )
+        return value
+
+    def build_plan(
+        self,
+        decomposed: DecomposedQuery,
+        counts: Dict[str, int],
+        *,
+        strategy: OrderingStrategy = OrderingStrategy.COUNT_DESC,
+        random_seed: int = 0,
+        cost_models: Optional[Dict[str, "ArchiveCostModel"]] = None,
+    ) -> ExecutionPlan:
+        """Assemble the plan list: drop-outs first, then ordered mandatory."""
+        assert decomposed.xmatch is not None
+        mandatory = list(decomposed.mandatory_aliases)
+        missing = [alias for alias in mandatory if alias not in counts]
+        if missing:
+            raise PlanningError(
+                f"missing performance counts for alias(es) {missing}"
+            )
+        mandatory = self._order(
+            mandatory, counts, strategy, random_seed, cost_models
+        )
+        ordered_aliases = list(decomposed.dropout_aliases) + mandatory
+        steps = [
+            self._step_for(decomposed.subqueries[alias], counts.get(alias))
+            for alias in ordered_aliases
+        ]
+        return ExecutionPlan(
+            steps=tuple(steps),
+            threshold=decomposed.xmatch.threshold,
+            area=decomposed.area,
+        )
+
+    @staticmethod
+    def _order(
+        aliases: List[str],
+        counts: Dict[str, int],
+        strategy: OrderingStrategy,
+        random_seed: int,
+        cost_models: Optional[Dict[str, "ArchiveCostModel"]] = None,
+    ) -> List[str]:
+        if strategy is OrderingStrategy.BYTES_DESC:
+            if cost_models is None or any(a not in cost_models for a in aliases):
+                raise PlanningError(
+                    "bytes_desc ordering needs calibrated cost models for "
+                    "every mandatory archive"
+                )
+            return sorted(
+                aliases,
+                key=lambda a: -cost_models[a].estimated_bytes(counts[a]),
+            )
+        if strategy is OrderingStrategy.COUNT_DESC:
+            # Stable sort keeps query order among equal counts.
+            return sorted(aliases, key=lambda a: -counts[a])
+        if strategy is OrderingStrategy.COUNT_ASC:
+            return sorted(aliases, key=lambda a: counts[a])
+        if strategy is OrderingStrategy.RANDOM:
+            rng = random.Random(random_seed)
+            shuffled = list(aliases)
+            rng.shuffle(shuffled)
+            return shuffled
+        return list(aliases)
+
+    def _step_for(
+        self, subquery: NodeSubquery, count_star: Optional[int]
+    ) -> PlanStep:
+        record = self._portal.catalog.node(subquery.archive)
+        info = record.info
+        return PlanStep(
+            alias=subquery.alias,
+            archive=record.archive,
+            url=record.services["crossmatch"],
+            sigma_arcsec=info.sigma_arcsec,
+            dropout=subquery.dropout,
+            count_star=count_star,
+            table=subquery.table,
+            id_column=info.object_id_column,
+            ra_column=info.ra_column,
+            dec_column=info.dec_column,
+            residual_sql=subquery.residual_sql,
+            attr_select=subquery.attr_select,
+            sql=subquery.node_sql,
+        )

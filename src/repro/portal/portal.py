@@ -1,0 +1,215 @@
+"""Portal assembly: catalog + Registration + SkyQuery services on one host."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import TransportError, ValidationError
+from repro.portal.catalog import FederationCatalog
+from repro.portal.decompose import decompose
+from repro.portal.executor import ChainExecutor, FederatedResult
+from repro.portal.planner import OrderingStrategy, Planner
+from repro.portal.registration import RegistrationService
+from repro.portal.skyquery_service import SkyQueryService
+from repro.services.client import ServiceProxy
+from repro.services.framework import ServiceHost
+from repro.soap.xmlparser import XMLParser
+from repro.sql.ast import Query
+from repro.sql.parser import parse_query
+from repro.sql.printer import to_sql
+from repro.sql.validate import validate_query
+from repro.transport.network import SimulatedNetwork
+
+PORTAL_PATHS = {"registration": "/registration", "skyquery": "/skyquery"}
+
+
+class Portal:
+    """The mediator of the federation."""
+
+    def __init__(
+        self,
+        hostname: str = "portal.skyquery.net",
+        *,
+        parser_memory_limit: Optional[int] = None,
+        parser_overhead_factor: float = 4.0,
+    ) -> None:
+        self.hostname = hostname
+        self.catalog = FederationCatalog()
+        self.parser = XMLParser(
+            memory_limit_bytes=parser_memory_limit,
+            overhead_factor=parser_overhead_factor,
+        )
+        self.registration = RegistrationService(self)
+        self.skyquery = SkyQueryService(self)
+        self.host = ServiceHost(hostname)
+        self.host.mount(PORTAL_PATHS["registration"], self.registration)
+        self.host.mount(PORTAL_PATHS["skyquery"], self.skyquery)
+        self.planner = Planner(self)
+        self.executor = ChainExecutor(self)
+        self.network: Optional[SimulatedNetwork] = None
+        self.queries_served = 0
+
+    def attach(self, network: SimulatedNetwork) -> None:
+        """Put the Portal on the (simulated) Internet."""
+        network.add_host(self.hostname, self.host.handle)
+        self.network = network
+
+    def require_network(self) -> SimulatedNetwork:
+        """The attached network, raising if the Portal is offline."""
+        if self.network is None:
+            raise TransportError("the Portal is not attached to a network")
+        return self.network
+
+    def service_url(self, service: str) -> str:
+        """Endpoint URL of 'registration' or 'skyquery'."""
+        return self.host.url_for(PORTAL_PATHS[service])
+
+    def proxy(self, url: str) -> ServiceProxy:
+        """A caller proxy originating at the Portal."""
+        return ServiceProxy(
+            self.require_network(), self.hostname, url, parser=self.parser
+        )
+
+    # -- the full query path ------------------------------------------------------
+
+    def submit(
+        self,
+        sql: str | Query,
+        *,
+        strategy: OrderingStrategy = OrderingStrategy.COUNT_DESC,
+        random_seed: int = 0,
+    ) -> FederatedResult:
+        """Figure 3 end to end: decompose, probe, plan, chain, project."""
+        self.queries_served += 1
+        query = parse_query(sql) if isinstance(sql, str) else sql
+        analysis = validate_query(query)
+        if analysis.xmatch is None:
+            return self._submit_single_archive(query)
+        decomposed = decompose(query, self.catalog)
+        counts = self.planner.performance_counts(decomposed)
+        if any(counts[alias] == 0 for alias in decomposed.mandatory_aliases):
+            # A mandatory archive has nothing in the AREA: no tuple can
+            # survive the inner join, so skip the whole chain. The
+            # count-star probes pay for themselves here.
+            result = FederatedResult(
+                columns=self.executor._output_columns(query.items),
+                rows=[],
+            )
+            result.counts = counts
+            return result
+        cost_models = None
+        if strategy is OrderingStrategy.BYTES_DESC:
+            from repro.portal.calibration import CostCalibrator
+
+            cost_models = CostCalibrator(self).calibrate(decomposed)
+        plan = self.planner.build_plan(
+            decomposed,
+            counts,
+            strategy=strategy,
+            random_seed=random_seed,
+            cost_models=cost_models,
+        )
+        result = self.executor.execute(plan, decomposed)
+        result.counts = counts
+        return result
+
+    def explain(
+        self,
+        sql: str | Query,
+        *,
+        strategy: OrderingStrategy = OrderingStrategy.COUNT_DESC,
+        random_seed: int = 0,
+    ) -> dict:
+        """Decompose, probe, and plan a query WITHOUT running the chain.
+
+        Shows exactly what Figure 3's steps 2-5 would do: the per-archive
+        performance queries and their counts, the node queries, the
+        cross-archive predicates kept at the Portal, and the ordered plan.
+        """
+        query = parse_query(sql) if isinstance(sql, str) else sql
+        analysis = validate_query(query)
+        if analysis.xmatch is None:
+            table_ref = query.tables[0]
+            if table_ref.archive is None:
+                raise ValidationError(
+                    "single-archive queries must name their archive"
+                )
+            record = self.catalog.node(table_ref.archive)
+            return {
+                "type": "direct",
+                "archive": record.archive,
+                "query_service": record.services["query"],
+                "sql": to_sql(query),
+            }
+        decomposed = decompose(query, self.catalog)
+        counts = self.planner.performance_counts(decomposed)
+        cost_models = None
+        calibration = None
+        if strategy is OrderingStrategy.BYTES_DESC:
+            from repro.portal.calibration import CostCalibrator
+
+            cost_models = CostCalibrator(self).calibrate(decomposed)
+            calibration = {
+                alias: {
+                    "bytes_per_row": model.bytes_per_row,
+                    "round_trip_s": model.round_trip_s,
+                }
+                for alias, model in cost_models.items()
+            }
+        plan = self.planner.build_plan(
+            decomposed,
+            counts,
+            strategy=strategy,
+            random_seed=random_seed,
+            cost_models=cost_models,
+        )
+        return {
+            "type": "chain",
+            "strategy": strategy.value,
+            "counts": dict(counts),
+            "would_execute": not any(
+                counts[a] == 0 for a in decomposed.mandatory_aliases
+            ),
+            "performance_queries": {
+                alias: subquery.perf_sql
+                for alias, subquery in decomposed.subqueries.items()
+                if subquery.perf_sql is not None
+            },
+            "node_queries": {
+                alias: subquery.node_sql
+                for alias, subquery in decomposed.subqueries.items()
+            },
+            "cross_conjuncts": [
+                to_sql(c) for c in decomposed.analysis.cross_conjuncts
+            ],
+            "calibration": calibration,
+            "plan": plan.to_wire(),
+        }
+
+    def _submit_single_archive(self, query: Query) -> FederatedResult:
+        """Route a plain single-archive query to that node's Query service."""
+        table_ref = query.tables[0]
+        if table_ref.archive is None:
+            raise ValidationError(
+                "single-archive queries must name their archive "
+                "(ARCHIVE:Table alias)"
+            )
+        record = self.catalog.node(table_ref.archive)
+        local_query = Query(
+            items=query.items,
+            tables=(
+                type(table_ref)(None, table_ref.table, table_ref.alias),
+            ),
+            where=query.where,
+            group_by=query.group_by,
+            having=query.having,
+            order_by=query.order_by,
+            limit=query.limit,
+        )
+        proxy = self.proxy(record.services["query"])
+        with self.require_network().phase("direct-query"):
+            rowset = proxy.call("ExecuteQuery", sql=to_sql(local_query))
+        return FederatedResult(
+            columns=rowset.column_names,
+            rows=list(rowset.rows),
+        )

@@ -1,0 +1,83 @@
+"""The Portal's Registration service.
+
+The registration handshake of Figure 1 / Section 5.1: a SkyNode calls
+``Register`` with its four service URLs; the Portal calls back the node's
+Meta-data service (cataloging the schema) and then its Information service
+(cataloging sigma, the primary table, and the position columns). Only then
+is the node part of the federation.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict
+
+from repro.errors import RegistrationError
+from repro.portal.catalog import NodeRecord
+from repro.services.framework import WebService
+from repro.skynode.node import SERVICE_PATHS
+
+if TYPE_CHECKING:
+    from repro.portal.portal import Portal
+
+REQUIRED_SERVICES = tuple(SERVICE_PATHS)
+
+
+class RegistrationService(WebService):
+    """``Register`` / ``Unregister`` operations."""
+
+    def __init__(self, portal: "Portal") -> None:
+        super().__init__("Registration")
+        self._portal = portal
+        self.register(
+            "Register",
+            self._register,
+            params=(("archive", "string"), ("services", "struct")),
+            returns="struct",
+            doc="Join the federation; the Portal calls back Metadata and "
+                "Information before accepting.",
+        )
+        self.register(
+            "Unregister",
+            self._unregister,
+            params=(("archive", "string"),),
+            returns="boolean",
+            doc="Leave the federation.",
+        )
+
+    def _register(self, archive: str, services: Dict[str, Any]) -> Dict[str, Any]:
+        if not archive:
+            raise RegistrationError("registration needs an archive name")
+        missing = [name for name in REQUIRED_SERVICES if not services.get(name)]
+        if missing:
+            raise RegistrationError(
+                f"registration of {archive!r} missing service URL(s): {missing}"
+            )
+        network = self._portal.require_network()
+        with network.phase("registration"):
+            schema_wire = self._portal.proxy(str(services["metadata"])).call(
+                "GetSchema"
+            )
+            info_wire = self._portal.proxy(str(services["information"])).call(
+                "GetInfo"
+            )
+        if str(info_wire.get("archive")) != archive:
+            raise RegistrationError(
+                f"Information service reports archive "
+                f"{info_wire.get('archive')!r}, not {archive!r}"
+            )
+        record = NodeRecord.from_wire(
+            archive=archive,
+            services={name: str(services[name]) for name in REQUIRED_SERVICES},
+            info_wire=info_wire,
+            schema_wire=schema_wire,
+            registered_at=network.clock.now,
+        )
+        self._portal.catalog.register(record)
+        return {
+            "accepted": True,
+            "archive": archive,
+            "federation_size": len(self._portal.catalog),
+        }
+
+    def _unregister(self, archive: str) -> bool:
+        return self._portal.catalog.unregister(archive)

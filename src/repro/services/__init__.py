@@ -1,0 +1,20 @@
+"""The Web-services framework: services, hosts, proxies, and discovery.
+
+Everything the federation components say to each other goes through this
+layer as real SOAP-over-HTTP text: a :class:`WebService` dispatches parsed
+RPC requests to registered operations, a :class:`ServiceHost` routes HTTP
+paths to services on one hostname, a :class:`ServiceProxy` is the caller
+side, and :class:`~repro.services.registry.UDDIRegistry` plays UDDI.
+"""
+
+from repro.services.framework import ServiceHost, WebService
+from repro.services.client import ServiceProxy
+from repro.services.registry import RegistryEntry, UDDIRegistry
+
+__all__ = [
+    "ServiceHost",
+    "WebService",
+    "ServiceProxy",
+    "RegistryEntry",
+    "UDDIRegistry",
+]

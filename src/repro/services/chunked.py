@@ -1,0 +1,88 @@
+"""Chunked rowset transfer between services (sender and receiver halves).
+
+The paper's workaround for its ~10 MB XML parser ceiling ("dividing large
+data sets into smaller chunks") is a general transfer pattern, used by the
+Cross match service between chain neighbours *and* by the Query service
+when a caller pulls a large result. The sender returns either the rowset
+inline or a ``{chunked, transfer_id, chunk_count}`` descriptor; the caller
+then drains numbered ``FetchChunk`` calls and reassembles.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, List, Optional
+
+from repro.errors import ExecutionError, SoapError
+from repro.soap.encoding import WireRowSet
+from repro.transport.chunking import envelope_bytes, split_for_budget
+
+
+class ChunkedSender:
+    """Sender half: hold prepared chunks until the caller fetches them."""
+
+    def __init__(self, owner_name: str, chunk_budget_bytes: Optional[int]) -> None:
+        self.owner_name = owner_name
+        self.chunk_budget_bytes = chunk_budget_bytes
+        self._transfers: Dict[str, List[WireRowSet]] = {}
+        self._transfer_ids = itertools.count(1)
+
+    def respond(
+        self, rowset: WireRowSet, extra: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        """Wrap a rowset for the wire, chunking when over budget."""
+        response: Dict[str, Any] = dict(extra or {})
+        budget = self.chunk_budget_bytes
+        if budget is not None and envelope_bytes(rowset) > budget:
+            chunks = split_for_budget(rowset, budget)
+            transfer_id = f"{self.owner_name}-{next(self._transfer_ids)}"
+            self._transfers[transfer_id] = chunks
+            response.update(
+                chunked=True,
+                transfer_id=transfer_id,
+                chunk_count=len(chunks),
+                row_count=len(rowset.rows),
+            )
+        else:
+            response.update(chunked=False, rows=rowset)
+        return response
+
+    def fetch_chunk(self, transfer_id: str, seq: int) -> WireRowSet:
+        """The ``FetchChunk`` operation body; frees the transfer at the end."""
+        chunks = self._transfers.get(transfer_id)
+        if chunks is None:
+            raise ExecutionError(f"unknown transfer {transfer_id!r}")
+        seq = int(seq)
+        if not 0 <= seq < len(chunks):
+            raise ExecutionError(
+                f"chunk {seq} out of range for transfer {transfer_id!r}"
+            )
+        chunk = chunks[seq]
+        if seq == len(chunks) - 1:
+            del self._transfers[transfer_id]
+        return chunk
+
+    @property
+    def pending_transfers(self) -> int:
+        """Number of transfers awaiting pickup (0 after clean runs)."""
+        return len(self._transfers)
+
+
+def receive_rowset(
+    response: Dict[str, Any], proxy: Any, *, fetch_operation: str = "FetchChunk"
+) -> WireRowSet:
+    """Receiver half: unwrap an inline rowset or drain the chunks."""
+    if not isinstance(response, dict):
+        raise ExecutionError(f"malformed chunked response: {response!r}")
+    if not response.get("chunked"):
+        rowset = response.get("rows")
+        if not isinstance(rowset, WireRowSet):
+            raise SoapError("response carries no rowset")
+        return rowset
+    transfer_id = str(response["transfer_id"])
+    chunk_count = int(response["chunk_count"])
+    parts = [
+        proxy.call(fetch_operation, transfer_id=transfer_id, seq=seq)
+        for seq in range(chunk_count)
+    ]
+    return WireRowSet.concat(parts)

@@ -1,0 +1,60 @@
+"""Caller-side proxies for SOAP services."""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.errors import TransportError
+from repro.soap.envelope import build_rpc_request, parse_rpc_response
+from repro.soap.wsdl import ServiceDescription, parse_wsdl
+from repro.soap.xmlparser import XMLParser
+from repro.transport.http import HttpRequest, soap_request
+from repro.transport.network import SimulatedNetwork
+
+
+class ServiceProxy:
+    """Invokes operations on a remote service endpoint.
+
+    The proxy's ``parser`` deserializes responses; give it the *caller's*
+    XML parser (with its memory budget) so that a SkyNode receiving a huge
+    partial-result rowset from its neighbour hits the same out-of-memory
+    wall the paper describes.
+    """
+
+    def __init__(
+        self,
+        network: SimulatedNetwork,
+        src_host: str,
+        url: str,
+        *,
+        parser: Optional[XMLParser] = None,
+        description: Optional[ServiceDescription] = None,
+    ) -> None:
+        self.network = network
+        self.src_host = src_host
+        self.url = url
+        self.parser = parser or XMLParser()
+        self.description = description
+
+    def call(self, operation: str, **params: Any) -> Any:
+        """Invoke one operation; raises SoapFaultError on remote faults."""
+        if self.description is not None and self.description.operation(operation) is None:
+            raise TransportError(
+                f"service {self.description.name!r} does not describe "
+                f"operation {operation!r}"
+            )
+        envelope = build_rpc_request(operation, params)
+        request = soap_request(self.url, f"urn:skyquery#{operation}", envelope)
+        response = self.network.request(self.src_host, request, operation=operation)
+        return parse_rpc_response(response.body, self.parser)
+
+    def fetch_wsdl(self) -> ServiceDescription:
+        """GET the endpoint's WSDL and remember the parsed description."""
+        request = HttpRequest("GET", f"{self.url}?wsdl")
+        response = self.network.request(self.src_host, request, operation="wsdl")
+        if not response.ok:
+            raise TransportError(
+                f"WSDL fetch from {self.url} failed with {response.status}"
+            )
+        self.description = parse_wsdl(response.body.decode("utf-8"))
+        return self.description

@@ -1,0 +1,180 @@
+"""Service-side plumbing: operation dispatch and HTTP hosting."""
+
+from __future__ import annotations
+
+import traceback
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Sequence, Tuple
+
+from repro.errors import ServiceError, SkyQueryError, SoapError, XMLMemoryError
+from repro.soap.envelope import build_fault, build_rpc_response, parse_rpc_request
+from repro.soap.wsdl import OperationSpec, ServiceDescription, generate_wsdl
+from repro.soap.xmlparser import XMLParser
+from repro.transport.http import HttpRequest, HttpResponse
+
+OperationFn = Callable[..., Any]
+
+
+@dataclass
+class _Operation:
+    spec: OperationSpec
+    fn: OperationFn
+
+
+class WebService:
+    """A SOAP RPC service: named operations with typed parameter specs.
+
+    Subclasses register operations in ``__init__`` via :meth:`register`.
+    Incoming requests are parsed with the service's own :class:`XMLParser`,
+    whose memory limit models the per-node parser budget — oversized
+    messages fault exactly like the paper's prototype did.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        parser_memory_limit: Optional[int] = None,
+        parser_overhead_factor: float = 4.0,
+    ) -> None:
+        self.name = name
+        self.parser = XMLParser(
+            memory_limit_bytes=parser_memory_limit,
+            overhead_factor=parser_overhead_factor,
+        )
+        self._operations: Dict[str, _Operation] = {}
+        self.calls_handled = 0
+        self.faults_returned = 0
+
+    def register(
+        self,
+        op_name: str,
+        fn: OperationFn,
+        *,
+        params: Sequence[Tuple[str, str]] = (),
+        returns: str = "string",
+        doc: str = "",
+    ) -> None:
+        """Expose a callable as a SOAP operation."""
+        if op_name in self._operations:
+            raise ServiceError(f"operation {op_name!r} already registered")
+        self._operations[op_name] = _Operation(
+            OperationSpec(op_name, tuple(params), returns, doc), fn
+        )
+
+    def operation_names(self) -> list[str]:
+        """Names of all exposed operations."""
+        return sorted(self._operations)
+
+    def describe(self, url: str) -> ServiceDescription:
+        """The service's WSDL-level description bound to an endpoint URL."""
+        return ServiceDescription(
+            name=self.name,
+            url=url,
+            operations=[op.spec for op in self._operations.values()],
+        )
+
+    def wsdl(self, url: str) -> str:
+        """The service's WSDL document."""
+        return generate_wsdl(self.describe(url))
+
+    def handle_soap(self, body: bytes) -> Tuple[int, str]:
+        """Dispatch one SOAP request; returns (http status, response xml)."""
+        self.calls_handled += 1
+        try:
+            operation, params = parse_rpc_request(body, self.parser)
+        except XMLMemoryError as exc:
+            return self._fault("soap:Server.OutOfMemory", str(exc))
+        except (SoapError, SkyQueryError) as exc:
+            return self._fault("soap:Client", f"malformed request: {exc}")
+        entry = self._operations.get(operation)
+        if entry is None:
+            return self._fault(
+                "soap:Client.UnknownOperation",
+                f"service {self.name!r} has no operation {operation!r}",
+            )
+        try:
+            result = entry.fn(**params)
+        except SkyQueryError as exc:
+            return self._fault("soap:Server", str(exc))
+        except TypeError as exc:
+            return self._fault(
+                "soap:Client.BadArguments",
+                f"bad arguments for {operation!r}: {exc}",
+            )
+        except Exception as exc:  # noqa: BLE001 - faults must not kill the host
+            detail = traceback.format_exc(limit=3)
+            return self._fault(
+                "soap:Server.Internal", f"{type(exc).__name__}: {exc}", detail
+            )
+        try:
+            return 200, build_rpc_response(operation, result)
+        except SoapError as exc:
+            return self._fault(
+                "soap:Server.Serialization",
+                f"could not serialize result of {operation!r}: {exc}",
+            )
+
+    def _fault(self, code: str, message: str, detail: str = "") -> Tuple[int, str]:
+        self.faults_returned += 1
+        return 500, build_fault(code, message, detail)
+
+
+class ServiceHost:
+    """Routes HTTP paths on one hostname to services.
+
+    Also answers ``GET <path>?wsdl`` with the service's WSDL document,
+    mirroring how real SOAP stacks publish their descriptions.
+    """
+
+    def __init__(self, hostname: str) -> None:
+        self.hostname = hostname
+        self._services: Dict[str, WebService] = {}
+
+    def mount(self, path: str, service: WebService) -> str:
+        """Mount a service at a path; returns its full endpoint URL."""
+        if not path.startswith("/"):
+            path = "/" + path
+        if path in self._services:
+            raise ServiceError(f"path {path!r} already mounted on {self.hostname}")
+        self._services[path] = service
+        return self.url_for(path)
+
+    def url_for(self, path: str) -> str:
+        """The endpoint URL for a mounted path."""
+        if not path.startswith("/"):
+            path = "/" + path
+        return f"http://{self.hostname}{path}"
+
+    def service_at(self, path: str) -> Optional[WebService]:
+        """The service mounted at a path, if any."""
+        if not path.startswith("/"):
+            path = "/" + path
+        return self._services.get(path)
+
+    def handle(self, request: HttpRequest) -> HttpResponse:
+        """The host's HTTP handler (register with the network)."""
+        from urllib.parse import urlparse
+
+        path = request.path
+        wants_wsdl = urlparse(request.url).query == "wsdl"
+        service = self._services.get(path)
+        if service is None:
+            return HttpResponse(
+                404, "Not Found", body=f"no service at {path}".encode()
+            )
+        if wants_wsdl or request.method == "GET":
+            wsdl_text = service.wsdl(self.url_for(path))
+            return HttpResponse(
+                200,
+                "OK",
+                headers={"Content-Type": "text/xml; charset=utf-8"},
+                body=wsdl_text.encode("utf-8"),
+            )
+        status, xml = service.handle_soap(request.body)
+        return HttpResponse(
+            status,
+            "OK" if status == 200 else "Internal Server Error",
+            headers={"Content-Type": "text/xml; charset=utf-8"},
+            body=xml.encode("utf-8"),
+        )

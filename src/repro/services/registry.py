@@ -1,0 +1,104 @@
+"""A UDDI-style service registry.
+
+The paper (Section 3.1): services "need a unique service for discovering
+other services... UDDI is the standard architecture for building such
+repositories." This registry is itself a Web service: publishers register
+(name, category, endpoint URL, WSDL), and clients find entries by category
+or name — which is how a new SkyNode can locate the Portal's Registration
+service in the first place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List
+
+from repro.errors import ServiceError
+from repro.services.framework import WebService
+
+
+@dataclass(frozen=True)
+class RegistryEntry:
+    """One published service."""
+
+    name: str
+    category: str
+    url: str
+    description: str = ""
+
+    def to_wire(self) -> Dict[str, Any]:
+        """Encode as a SOAP struct."""
+        return {
+            "name": self.name,
+            "category": self.category,
+            "url": self.url,
+            "description": self.description,
+        }
+
+    @classmethod
+    def from_wire(cls, data: Dict[str, Any]) -> "RegistryEntry":
+        """Decode from a SOAP struct."""
+        return cls(
+            name=str(data["name"]),
+            category=str(data["category"]),
+            url=str(data["url"]),
+            description=str(data.get("description") or ""),
+        )
+
+
+class UDDIRegistry(WebService):
+    """The discovery service: publish / find / unpublish."""
+
+    def __init__(self) -> None:
+        super().__init__("UDDIRegistry")
+        self._entries: Dict[str, RegistryEntry] = {}
+        self.register(
+            "Publish",
+            self._publish,
+            params=(
+                ("name", "string"),
+                ("category", "string"),
+                ("url", "string"),
+                ("description", "string"),
+            ),
+            returns="boolean",
+            doc="Register a service endpoint under a category.",
+        )
+        self.register(
+            "Find",
+            self._find,
+            params=(("category", "string"), ("name", "string")),
+            returns="array",
+            doc="Find services by category and/or name ('' matches all).",
+        )
+        self.register(
+            "Unpublish",
+            self._unpublish,
+            params=(("name", "string"),),
+            returns="boolean",
+            doc="Remove a published service by name.",
+        )
+
+    def _publish(
+        self, name: str, category: str, url: str, description: str = ""
+    ) -> bool:
+        if not name or not url:
+            raise ServiceError("Publish requires a name and a url")
+        self._entries[name] = RegistryEntry(name, category, url, description)
+        return True
+
+    def _find(self, category: str = "", name: str = "") -> List[Dict[str, Any]]:
+        matches = [
+            entry.to_wire()
+            for entry in self._entries.values()
+            if (not category or entry.category == category)
+            and (not name or entry.name == name)
+        ]
+        return sorted(matches, key=lambda e: e["name"])
+
+    def _unpublish(self, name: str) -> bool:
+        return self._entries.pop(name, None) is not None
+
+    def entry_count(self) -> int:
+        """Number of published entries (direct, for tests)."""
+        return len(self._entries)

@@ -1,0 +1,14 @@
+"""SkyNodes: the federation's autonomous archives.
+
+A SkyNode (paper Section 5.1) is an archive database plus a wrapper that
+hides its DBMS specifics, exposing four Web services: **Information**
+(astronomy constants: positional error sigma, primary table and column
+names), **Meta-data** (full schema), **Query** (general SQL, used for the
+Portal's performance queries), and **Cross match** (one step of the
+federated spatial join's daisy chain).
+"""
+
+from repro.skynode.wrapper import ArchiveInfo, ArchiveWrapper
+from repro.skynode.node import SkyNode
+
+__all__ = ["ArchiveInfo", "ArchiveWrapper", "SkyNode"]

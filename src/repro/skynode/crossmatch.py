@@ -1,0 +1,261 @@
+"""The Cross match service: one link of the daisy chain.
+
+Paper Section 5.3: the Portal sends the execution plan to the first
+SkyNode on the list; each Cross match service calls the next one, the last
+node executes its query and seeds 1-tuples, and on the way back each node
+extends/filters the partial tuples via the ``sp_xmatch`` stored procedure
+(temp table, spatial join, chi-squared test), then ships the surviving
+tuples to its caller as a serialized rowset — chunked when a monolithic
+envelope would blow the caller's XML parser memory budget.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
+
+from repro.errors import ExecutionError
+from repro.portal.plan import ExecutionPlan, PlanStep
+from repro.services.chunked import ChunkedSender, receive_rowset
+from repro.services.framework import WebService
+from repro.soap.encoding import WireRowSet
+from repro.sphere.coords import radec_to_vector
+from repro.sql.area import region_for
+from repro.sql.ast import (
+    BinaryOp,
+    ColumnRef,
+    Expr,
+    Query,
+    SelectItem,
+    TableRef,
+)
+from repro.sql.parser import parse_expression
+from repro.units import arcsec_to_rad
+from repro.xmatch.stream import seed_tuples
+from repro.xmatch.tuples import LocalObject, PartialTuple
+from repro.xmatch.wire import rowset_to_tuples, tuples_to_rowset
+
+if TYPE_CHECKING:
+    from repro.skynode.node import SkyNode
+
+
+class CrossMatchService(WebService):
+    """``PerformXMatch`` + the chunked-transfer companion ``FetchChunk``."""
+
+    def __init__(
+        self,
+        node: "SkyNode",
+        *,
+        parser_memory_limit: Optional[int] = None,
+        chunk_budget_bytes: Optional[int] = None,
+    ) -> None:
+        super().__init__(
+            f"{node.info.archive}CrossMatch",
+            parser_memory_limit=parser_memory_limit,
+        )
+        self._node = node
+        self.sender = ChunkedSender(
+            f"{node.info.archive}-xm", chunk_budget_bytes
+        )
+        self.register(
+            "PerformXMatch",
+            self._perform,
+            params=(("plan", "struct"), ("position", "int")),
+            returns="struct",
+            doc="Run this node's step of the federated cross match.",
+        )
+        self.register(
+            "FetchChunk",
+            self._fetch_chunk,
+            params=(("transfer_id", "string"), ("seq", "int")),
+            returns="rowset",
+            doc="Fetch one chunk of a chunked partial-result transfer.",
+        )
+
+    # -- operations ------------------------------------------------------------
+
+    def _perform(self, plan: Dict[str, Any], position: int) -> Dict[str, Any]:
+        plan_obj = ExecutionPlan.from_wire(plan)
+        position = int(position)
+        me = plan_obj.step(position)
+        if me.archive != self._node.info.archive:
+            raise ExecutionError(
+                f"plan step {position} targets {me.archive!r} but reached "
+                f"{self._node.info.archive!r}"
+            )
+        stats_chain: List[Dict[str, Any]] = []
+        if position == len(plan_obj.steps) - 1:
+            tuples, my_stats = self._seed_step(plan_obj, me)
+        else:
+            incoming, stats_chain = self._call_next(plan, plan_obj, position)
+            tuples, my_stats = self._local_step(plan_obj, me, incoming)
+        out_rowset = tuples_to_rowset(
+            tuples,
+            plan_obj.member_aliases_after(position),
+            plan_obj.attr_columns_after(position),
+        )
+        my_stats["tuples_out"] = len(tuples)
+        stats_chain.append(my_stats)
+        return self._respond(out_rowset, stats_chain)
+
+    def _fetch_chunk(self, transfer_id: str, seq: int) -> WireRowSet:
+        return self.sender.fetch_chunk(transfer_id, seq)
+
+    # -- chain plumbing -----------------------------------------------------------
+
+    def _call_next(
+        self, plan_wire: Dict[str, Any], plan: ExecutionPlan, position: int
+    ) -> Tuple[List[PartialTuple], List[Dict[str, Any]]]:
+        next_step = plan.step(position + 1)
+        proxy = self._node.proxy(next_step.url)
+        response = proxy.call("PerformXMatch", plan=plan_wire, position=position + 1)
+        stats_chain = list(response.get("stats") or [])
+        rowset = receive_rowset(response, proxy)
+        incoming = rowset_to_tuples(
+            rowset,
+            plan.member_aliases_after(position + 1),
+            plan.attr_columns_after(position + 1),
+        )
+        return incoming, stats_chain
+
+    def _respond(
+        self, rowset: WireRowSet, stats: List[Dict[str, Any]]
+    ) -> Dict[str, Any]:
+        return self.sender.respond(rowset, {"stats": stats})
+
+    # -- the two step kinds ---------------------------------------------------------
+
+    def _seed_step(
+        self, plan: ExecutionPlan, me: PlanStep
+    ) -> Tuple[List[PartialTuple], Dict[str, Any]]:
+        """Last node on the list: run the node query, emit 1-tuples."""
+        wrapper = self._node.wrapper
+        db = wrapper.db
+        before = (db.buffer.stats.logical_reads, db.buffer.stats.physical_reads)
+        query = self._node_query_ast(plan, me)
+        result = wrapper.execute_ast(query)
+        attr_names = [column for column, _, _ in me.attr_select]
+        objects = [
+            LocalObject(
+                object_id=row[0],
+                position=radec_to_vector(row[1], row[2]),
+                attributes=dict(zip(attr_names, row[3:])),
+            )
+            for row in result.rows
+        ]
+        tuples = seed_tuples(me.alias, objects, arcsec_to_rad(me.sigma_arcsec))
+        stats = self._stats_dict(me, role="seed", tuples_in=0)
+        stats["rows_examined"] = result.stats.rows_examined
+        stats["candidates_tested"] = result.stats.rows_returned
+        stats["logical_reads"] = db.buffer.stats.logical_reads - before[0]
+        stats["physical_reads"] = db.buffer.stats.physical_reads - before[1]
+        self._node.charge_processing(result.stats.rows_examined)
+        return tuples, stats
+
+    def _local_step(
+        self, plan: ExecutionPlan, me: PlanStep, incoming: List[PartialTuple]
+    ) -> Tuple[List[PartialTuple], Dict[str, Any]]:
+        """Middle/first nodes: temp table + sp_xmatch + extend/filter."""
+        from repro.db.schema import Column
+        from repro.db.types import ColumnType
+        from repro.skynode.xmatch_proc import PROCEDURE_NAME
+
+        db = self._node.wrapper.db
+        before = (db.buffer.stats.logical_reads, db.buffer.stats.physical_reads)
+        temp = db.create_temp_table(
+            "xmatch",
+            [
+                Column("seq", ColumnType.INT, nullable=False),
+                Column("a", ColumnType.FLOAT, nullable=False),
+                Column("ax", ColumnType.FLOAT, nullable=False),
+                Column("ay", ColumnType.FLOAT, nullable=False),
+                Column("az", ColumnType.FLOAT, nullable=False),
+            ],
+        )
+        try:
+            for seq, partial in enumerate(incoming):
+                temp.insert((seq, partial.acc.a, partial.acc.ax,
+                             partial.acc.ay, partial.acc.az))
+            area_region = (
+                region_for(plan.area) if plan.area is not None else None
+            )
+            residual = (
+                parse_expression(me.residual_sql) if me.residual_sql else None
+            )
+            proc_result = db.call_procedure(
+                PROCEDURE_NAME,
+                temp_table=temp.name,
+                primary_table=me.table,
+                id_column=me.id_column,
+                ra_column=me.ra_column,
+                dec_column=me.dec_column,
+                alias=me.alias,
+                sigma_arcsec=me.sigma_arcsec,
+                threshold=plan.threshold,
+                area=area_region,
+                residual=residual,
+                attr_columns=[column for column, _, _ in me.attr_select],
+            )
+        finally:
+            db.drop_table(temp.name)  # "The temporary table is deleted."
+
+        if me.dropout:
+            tuples = [
+                partial
+                for seq, partial in enumerate(incoming)
+                if seq not in proc_result.matches
+            ]
+        else:
+            sigma_rad = arcsec_to_rad(me.sigma_arcsec)
+            tuples = [
+                incoming[seq].extended(me.alias, obj, sigma_rad)
+                for seq, objects in sorted(proc_result.matches.items())
+                for obj in objects
+            ]
+        stats = self._stats_dict(
+            me,
+            role="dropout" if me.dropout else "match",
+            tuples_in=len(incoming),
+        )
+        stats["rows_examined"] = proc_result.stats.rows_examined
+        stats["candidates_tested"] = proc_result.stats.candidates_tested
+        stats["logical_reads"] = db.buffer.stats.logical_reads - before[0]
+        stats["physical_reads"] = db.buffer.stats.physical_reads - before[1]
+        self._node.charge_processing(proc_result.stats.rows_examined)
+        return tuples, stats
+
+    def _node_query_ast(self, plan: ExecutionPlan, me: PlanStep) -> Query:
+        items = [
+            SelectItem(ColumnRef(me.alias, me.id_column)),
+            SelectItem(ColumnRef(me.alias, me.ra_column)),
+            SelectItem(ColumnRef(me.alias, me.dec_column)),
+        ]
+        items.extend(
+            SelectItem(ColumnRef(me.alias, column))
+            for column, _, _ in me.attr_select
+        )
+        where: Optional[Expr] = None
+        if plan.area is not None:
+            where = plan.area  # AREA clauses are themselves WHERE conjuncts
+        if me.residual_sql:
+            residual = parse_expression(me.residual_sql)
+            where = residual if where is None else BinaryOp("AND", where, residual)
+        return Query(
+            items=tuple(items),
+            tables=(TableRef(None, me.table, me.alias),),
+            where=where,
+        )
+
+    @staticmethod
+    def _stats_dict(me: PlanStep, *, role: str, tuples_in: int) -> Dict[str, Any]:
+        return {
+            "archive": me.archive,
+            "alias": me.alias,
+            "role": role,
+            "tuples_in": tuples_in,
+            "tuples_out": 0,
+            "rows_examined": 0,
+            "candidates_tested": 0,
+            "logical_reads": 0,
+            "physical_reads": 0,
+            "sql": me.sql,
+        }

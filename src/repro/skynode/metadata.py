@@ -1,0 +1,34 @@
+"""The Meta-data service: the archive's full schema."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.services.framework import WebService
+from repro.skynode.wrapper import ArchiveWrapper
+
+
+class MetadataService(WebService):
+    """Provides complete schema information to the Portal.
+
+    "The Meta-data service is responsible for providing complete schema
+    information to the Portal, which the Portal catalogs."
+    """
+
+    def __init__(
+        self, wrapper: ArchiveWrapper, *, parser_memory_limit: Optional[int] = None
+    ) -> None:
+        super().__init__(
+            f"{wrapper.info.archive}Metadata",
+            parser_memory_limit=parser_memory_limit,
+        )
+        self._wrapper = wrapper
+        self.register(
+            "GetSchema",
+            self._get_schema,
+            returns="struct",
+            doc="All tables and their typed columns.",
+        )
+
+    def _get_schema(self) -> Dict[str, Any]:
+        return self._wrapper.schema_wire()

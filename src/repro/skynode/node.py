@@ -1,0 +1,161 @@
+"""SkyNode assembly: database + wrapper + the four Web services + host."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.db.engine import Database
+from repro.errors import RegistrationError
+from repro.services.client import ServiceProxy
+from repro.services.framework import ServiceHost
+from repro.skynode.crossmatch import CrossMatchService
+from repro.skynode.information import InformationService
+from repro.skynode.metadata import MetadataService
+from repro.skynode.query import QueryService
+from repro.skynode.wrapper import ArchiveInfo, ArchiveWrapper
+from repro.skynode.xmatch_proc import PROCEDURE_NAME, register_xmatch_procedure
+from repro.soap.xmlparser import XMLParser
+from repro.transport.network import SimulatedNetwork
+
+#: The paper's prototype died parsing ~10 MB SOAP messages. With the default
+#: 4x DOM expansion, a 40 MB parser budget reproduces that ceiling.
+DEFAULT_PARSER_MEMORY_LIMIT = 40 * 1024 * 1024
+
+SERVICE_PATHS = {
+    "information": "/information",
+    "metadata": "/metadata",
+    "query": "/query",
+    "crossmatch": "/crossmatch",
+}
+
+
+class SkyNode:
+    """One autonomous archive participating in the federation."""
+
+    def __init__(
+        self,
+        db: Database,
+        info: ArchiveInfo,
+        hostname: Optional[str] = None,
+        *,
+        parser_memory_limit: Optional[int] = DEFAULT_PARSER_MEMORY_LIMIT,
+        parser_overhead_factor: float = 4.0,
+        chunk_budget_bytes: Optional[int] = None,
+        processing_seconds_per_row: float = 0.0,
+    ) -> None:
+        self.wrapper = ArchiveWrapper(db, info)
+        self.info = info
+        self.hostname = hostname or f"{info.archive.lower()}.skyquery.net"
+        if not db.has_procedure(PROCEDURE_NAME):
+            register_xmatch_procedure(db)
+        #: Parser for everything this node receives from its chain neighbour
+        #: (the big partial-result messages); models the node's XML memory.
+        self.parser = XMLParser(
+            memory_limit_bytes=parser_memory_limit,
+            overhead_factor=parser_overhead_factor,
+        )
+        self.information = InformationService(
+            self.wrapper, parser_memory_limit=parser_memory_limit
+        )
+        self.metadata = MetadataService(
+            self.wrapper, parser_memory_limit=parser_memory_limit
+        )
+        self.processing_seconds_per_row = processing_seconds_per_row
+        self.query = QueryService(
+            self.wrapper,
+            parser_memory_limit=parser_memory_limit,
+            chunk_budget_bytes=chunk_budget_bytes,
+            processing_charge=self.charge_processing,
+        )
+        self.crossmatch = CrossMatchService(
+            self,
+            parser_memory_limit=parser_memory_limit,
+            chunk_budget_bytes=chunk_budget_bytes,
+        )
+        self.host = ServiceHost(self.hostname)
+        self.host.mount(SERVICE_PATHS["information"], self.information)
+        self.host.mount(SERVICE_PATHS["metadata"], self.metadata)
+        self.host.mount(SERVICE_PATHS["query"], self.query)
+        self.host.mount(SERVICE_PATHS["crossmatch"], self.crossmatch)
+        self.network: Optional[SimulatedNetwork] = None
+        self.transaction = None  # mounted on demand (extension service)
+        self._parser_memory_limit = parser_memory_limit
+
+    def enable_transactions(self) -> str:
+        """Mount the Section 6 extension Transaction service; returns its URL.
+
+        The four paper services stay the registration minimum; transactions
+        are the opt-in extension for inter-archive data exchange.
+        """
+        if self.transaction is None:
+            from repro.transactions.service import TransactionService
+
+            self.transaction = TransactionService(
+                self.wrapper,
+                parser_memory_limit=self._parser_memory_limit,
+            )
+            self.host.mount("/transaction", self.transaction)
+        return self.host.url_for("/transaction")
+
+    @property
+    def db(self) -> Database:
+        """The archive's database engine."""
+        return self.wrapper.db
+
+    def charge_processing(self, rows_examined: int) -> None:
+        """Advance the simulated clock for local scan work.
+
+        The other half of the paper's cost model: "processing costs at the
+        individual SkyNodes". No-op when no cost rate is configured or the
+        node is offline.
+        """
+        if self.network is None or self.processing_seconds_per_row <= 0.0:
+            return
+        elapsed = rows_examined * self.processing_seconds_per_row
+        self.network.clock.advance(elapsed)
+        self.network.metrics.processing_seconds += elapsed
+
+    def attach(self, network: SimulatedNetwork) -> None:
+        """Put this node on the (simulated) Internet."""
+        network.add_host(self.hostname, self.host.handle)
+        self.network = network
+
+    def service_url(self, service: str) -> str:
+        """Endpoint URL of one of the four services."""
+        return self.host.url_for(SERVICE_PATHS[service])
+
+    def service_urls(self) -> Dict[str, str]:
+        """All four endpoint URLs keyed by service kind."""
+        return {name: self.service_url(name) for name in SERVICE_PATHS}
+
+    def proxy(self, url: str) -> ServiceProxy:
+        """A caller proxy originating at this node (using its XML parser)."""
+        if self.network is None:
+            raise RegistrationError(
+                f"SkyNode {self.info.archive!r} is not attached to a network"
+            )
+        return ServiceProxy(self.network, self.hostname, url, parser=self.parser)
+
+    def register_with_portal(self, registration_url: str) -> Dict[str, Any]:
+        """Join the federation: call the Portal's Registration service.
+
+        "When a SkyNode wishes to join the SkyQuery federation; it calls
+        the Registration service of the Portal. The registration request
+        includes information about services available on the SkyNode."
+        """
+        if self.network is None:
+            raise RegistrationError(
+                f"SkyNode {self.info.archive!r} is not attached to a network"
+            )
+        with self.network.phase("registration"):
+            result = self.proxy(registration_url).call(
+                "Register",
+                archive=self.info.archive,
+                services=self.service_urls(),
+            )
+        if not isinstance(result, dict) or not result.get("accepted"):
+            raise RegistrationError(
+                f"Portal rejected registration of {self.info.archive!r}: "
+                f"{result!r}"
+            )
+        return result

@@ -1,0 +1,204 @@
+"""The database wrapper: a uniform view over a heterogeneous archive.
+
+"Each SkyNode also implements services that act as wrappers and hide its
+DBMS and other platform specific details. This presents a uniform view to
+the Portal." The wrapper knows the archive's dialect, renders every query
+in it (the engine consumes the AST; the rendered text is the statement an
+external DBMS would have received, kept in a log for inspection), and
+translates schema/metadata into the wire structs the Portal catalogs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.db.engine import Database, ResultSet
+from repro.db.types import ColumnType
+from repro.errors import SchemaError
+from repro.soap.encoding import WireRowSet
+from repro.sql.ast import Query
+from repro.sql.parser import parse_query
+from repro.sql.printer import ANSI, DIALECTS, to_sql
+
+#: Engine column types -> SOAP wire typecodes.
+WIRE_TYPE: Dict[ColumnType, str] = {
+    ColumnType.INT: "int",
+    ColumnType.FLOAT: "double",
+    ColumnType.STRING: "string",
+    ColumnType.BOOL: "boolean",
+}
+
+
+@dataclass(frozen=True)
+class ArchiveInfo:
+    """The astronomy-specific constants the Information service publishes.
+
+    Exactly what the paper lists: "certain astronomy specific constants of
+    that SkyNode such as the object position estimation errors, the name of
+    primary table that stores the position of objects, etc."
+    """
+
+    archive: str
+    sigma_arcsec: float
+    primary_table: str
+    object_id_column: str
+    ra_column: str
+    dec_column: str
+    #: Sky-coverage footprint (circular); None means all sky.
+    footprint_ra_deg: Optional[float] = None
+    footprint_dec_deg: Optional[float] = None
+    footprint_radius_arcsec: Optional[float] = None
+
+    def to_wire(self) -> Dict[str, Any]:
+        """Encode as a SOAP struct."""
+        return {
+            "archive": self.archive,
+            "sigma_arcsec": self.sigma_arcsec,
+            "primary_table": self.primary_table,
+            "object_id_column": self.object_id_column,
+            "ra_column": self.ra_column,
+            "dec_column": self.dec_column,
+            "footprint_ra_deg": self.footprint_ra_deg,
+            "footprint_dec_deg": self.footprint_dec_deg,
+            "footprint_radius_arcsec": self.footprint_radius_arcsec,
+        }
+
+    @classmethod
+    def from_wire(cls, data: Dict[str, Any]) -> "ArchiveInfo":
+        """Decode from a SOAP struct."""
+
+        def opt(key: str) -> Optional[float]:
+            value = data.get(key)
+            return float(value) if value is not None else None
+
+        return cls(
+            archive=str(data["archive"]),
+            sigma_arcsec=float(data["sigma_arcsec"]),
+            primary_table=str(data["primary_table"]),
+            object_id_column=str(data["object_id_column"]),
+            ra_column=str(data["ra_column"]),
+            dec_column=str(data["dec_column"]),
+            footprint_ra_deg=opt("footprint_ra_deg"),
+            footprint_dec_deg=opt("footprint_dec_deg"),
+            footprint_radius_arcsec=opt("footprint_radius_arcsec"),
+        )
+
+    def covers(self, ra_deg: float, dec_deg: float) -> bool:
+        """True if a sky position lies inside this archive's footprint."""
+        if self.footprint_ra_deg is None:
+            return True
+        from repro.sphere.coords import radec_to_vector
+        from repro.sphere.distance import separation_arcsec
+
+        return separation_arcsec(
+            radec_to_vector(ra_deg, dec_deg),
+            radec_to_vector(self.footprint_ra_deg, self.footprint_dec_deg),
+        ) <= (self.footprint_radius_arcsec or 0.0)
+
+
+class ArchiveWrapper:
+    """Binds an :class:`ArchiveInfo` to a :class:`Database` instance."""
+
+    def __init__(self, db: Database, info: ArchiveInfo) -> None:
+        primary = db.table(info.primary_table)
+        for column in (info.object_id_column, info.ra_column, info.dec_column):
+            primary.schema.column_index(column)  # raises SchemaError if absent
+        if primary.spatial is None:
+            raise SchemaError(
+                f"primary table {info.primary_table!r} of archive "
+                f"{info.archive!r} must be spatially indexed"
+            )
+        self.db = db
+        self.info = info
+        self.dialect = DIALECTS.get(db.dialect, ANSI)
+        #: Statements rendered in this archive's dialect (most recent last).
+        self.statement_log: List[str] = []
+
+    def execute_sql(self, sql: str) -> ResultSet:
+        """Parse, render in the local dialect (logged), and execute."""
+        query = parse_query(sql)
+        return self.execute_ast(query)
+
+    def execute_ast(self, query: Query) -> ResultSet:
+        """Execute a parsed query, logging its dialect rendering."""
+        self.statement_log.append(to_sql(query, self.dialect))
+        return self.db.execute(query)
+
+    def schema_wire(self) -> Dict[str, Any]:
+        """The full schema as the Meta-data service's wire struct."""
+        tables = []
+        for table_name in self.db.table_names():
+            table = self.db.table(table_name)
+            tables.append(
+                {
+                    "name": table.name,
+                    "columns": [
+                        {
+                            "name": col.name,
+                            "type": WIRE_TYPE[col.ctype],
+                            "nullable": col.nullable,
+                        }
+                        for col in table.schema.columns
+                    ],
+                }
+            )
+        return {"archive": self.info.archive, "tables": tables}
+
+    def info_wire(self) -> Dict[str, Any]:
+        """The Information service's wire struct (constants + row count)."""
+        wire = self.info.to_wire()
+        wire["object_count"] = self.db.count_rows(self.info.primary_table)
+        wire["dialect"] = self.dialect.name
+        return wire
+
+    def resultset_to_wire(self, result: ResultSet, query: Optional[Query] = None
+                          ) -> WireRowSet:
+        """Convert an engine result to the SOAP rowset format.
+
+        Column typecodes come from the queried table's schema when the
+        output column is a plain column reference; otherwise they are
+        inferred from the first non-NULL value (defaulting to string).
+        """
+        codes: List[str] = []
+        for i, name in enumerate(result.columns):
+            code = self._schema_typecode(name, query)
+            if code is None:
+                code = self._infer_typecode(result, i)
+            codes.append(code)
+        normalized_rows = [
+            tuple(
+                float(v) if codes[i] == "double" and isinstance(v, int)
+                and not isinstance(v, bool) else v
+                for i, v in enumerate(row)
+            )
+            for row in result.rows
+        ]
+        return WireRowSet(list(zip(result.columns, codes)), normalized_rows)
+
+    def _schema_typecode(self, column_label: str, query: Optional[Query]) -> Optional[str]:
+        if query is None or len(query.tables) != 1:
+            return None
+        table_name = query.tables[0].table
+        if not self.db.has_table(table_name):
+            return None
+        schema = self.db.table(table_name).schema
+        bare = column_label.split(".", 1)[-1]
+        if schema.has_column(bare):
+            return WIRE_TYPE[schema.column(bare).ctype]
+        return None
+
+    @staticmethod
+    def _infer_typecode(result: ResultSet, index: int) -> str:
+        for row in result.rows:
+            value = row[index]
+            if value is None:
+                continue
+            if isinstance(value, bool):
+                return "boolean"
+            if isinstance(value, int):
+                return "int"
+            if isinstance(value, float):
+                return "double"
+            return "string"
+        return "string"

@@ -1,0 +1,127 @@
+"""The cross-match stored procedure.
+
+Paper Section 5.3: "a stored procedure encoding the cross match algorithm
+uses this temporary table and the primary table at this SkyNode to identify
+matching objects... This procedure, in fact, computes an implicit spatial
+join."
+
+The procedure reads the incoming partial tuples from a temp table (seq +
+cumulative values), range-searches the primary table around each tuple's
+best position via the HTM index, applies the archive's local predicates
+and the query's AREA clause to every candidate, runs the chi-squared test,
+and returns — per incoming tuple — the candidates that keep the tuple
+alive. All row touches go through the engine's buffer pool so processing
+costs (and cache warming) are observable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.db.engine import Database
+from repro.db.expr import RowContext, evaluate, is_true
+from repro.db.indexes import spatial_probe
+from repro.errors import QueryError
+from repro.sphere.coords import radec_to_vector
+from repro.sphere.regions import Cap, Region
+from repro.sql.ast import Expr
+from repro.units import arcsec_to_rad
+from repro.xmatch.chi2 import Accumulator
+from repro.xmatch.tuples import LocalObject
+
+PROCEDURE_NAME = "sp_xmatch"
+
+
+@dataclass
+class XMatchProcStats:
+    """Cost counters of one procedure invocation."""
+
+    tuples_in: int = 0
+    candidates_tested: int = 0
+    rows_examined: int = 0
+    matches_found: int = 0
+
+
+@dataclass
+class XMatchProcResult:
+    """Matches per incoming tuple sequence number, plus cost stats."""
+
+    matches: Dict[int, List[LocalObject]] = field(default_factory=dict)
+    stats: XMatchProcStats = field(default_factory=XMatchProcStats)
+
+
+def register_xmatch_procedure(db: Database) -> None:
+    """Install ``sp_xmatch`` on an archive database."""
+    db.register_procedure(PROCEDURE_NAME, _sp_xmatch)
+
+
+def _sp_xmatch(
+    db: Database,
+    *,
+    temp_table: str,
+    primary_table: str,
+    id_column: str,
+    ra_column: str,
+    dec_column: str,
+    alias: str,
+    sigma_arcsec: float,
+    threshold: float,
+    area: Optional[Region] = None,
+    residual: Optional[Expr] = None,
+    attr_columns: Sequence[str] = (),
+) -> XMatchProcResult:
+    """The stored procedure body (invoked via ``db.call_procedure``)."""
+    temp = db.table(temp_table)
+    primary = db.table(primary_table)
+    if primary.spatial is None:
+        raise QueryError(f"primary table {primary_table!r} has no spatial index")
+    sigma_rad = arcsec_to_rad(sigma_arcsec)
+    threshold_sq = threshold * threshold
+
+    seq_idx = temp.schema.column_index("seq")
+    acc_idx = [temp.schema.column_index(c) for c in ("a", "ax", "ay", "az")]
+    id_idx = primary.schema.column_index(id_column)
+    ra_idx = primary.schema.column_index(ra_column)
+    dec_idx = primary.schema.column_index(dec_column)
+    attr_idx = [(name, primary.schema.column_index(name)) for name in attr_columns]
+
+    result = XMatchProcResult()
+    for pos in temp.iter_positions():
+        db.buffer.access(temp.name, temp.page_of(pos))
+        row = temp.row(pos)
+        seq = row[seq_idx]
+        acc = Accumulator(*(row[i] for i in acc_idx))
+        result.stats.tuples_in += 1
+
+        center = acc.best_position()
+        radius = acc.search_radius(sigma_rad, threshold)
+        probe = spatial_probe(primary, Cap(center, radius))
+        matched: List[LocalObject] = []
+        for candidate_pos in probe.exact + probe.candidates:
+            db.buffer.access(primary.name, primary.page_of(candidate_pos))
+            result.stats.rows_examined += 1
+            crow = primary.row(candidate_pos)
+            position = radec_to_vector(crow[ra_idx], crow[dec_idx])
+            result.stats.candidates_tested += 1
+            if area is not None and not area.contains(position):
+                continue
+            if residual is not None:
+                ctx = RowContext(db.constants)
+                for col, value in zip(primary.schema.columns, crow):
+                    ctx.bind(alias, col.name, value)
+                if not is_true(evaluate(residual, ctx)):
+                    continue
+            if acc.with_observation(position, sigma_rad).chi2() > threshold_sq:
+                continue
+            matched.append(
+                LocalObject(
+                    object_id=crow[id_idx],
+                    position=position,
+                    attributes={name: crow[i] for name, i in attr_idx},
+                )
+            )
+        if matched:
+            result.matches[seq] = matched
+            result.stats.matches_found += len(matched)
+    return result

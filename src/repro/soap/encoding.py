@@ -1,0 +1,317 @@
+"""Typed SOAP value encoding, plus the rowset transfer format.
+
+Values cross the wire as XML elements carrying an ``xsi:type`` attribute
+(int, double, string, boolean), with structs as nested elements, arrays as
+repeated ``<item>`` elements, and tabular data as a ``<RowSet>``: a schema
+header followed by ``<r><c>...</c></r>`` rows. This mirrors how the .NET
+SOAP stack of the prototype shipped ADO datasets between SkyNodes.
+
+A binary codec (:func:`encode_binary_rowset`) provides the CORBA-style
+comparison point for the serialization-overhead experiment (paper Section 6
+notes SOAP "is considered to be slower than other middleware, like, CORBA,
+because of the time spent for serialization and de-serialization").
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Any, List, Sequence, Tuple
+
+from repro.errors import SoapError
+from repro.soap.xmlwriter import Element
+
+_TYPE_CODES = ("int", "double", "string", "boolean")
+
+
+@dataclass
+class WireRowSet:
+    """Tabular payload: (name, typecode) columns and value rows.
+
+    Typecodes are ``int | double | string | boolean``. ``None`` cells are
+    allowed in any column and travel as ``nil`` markers.
+    """
+
+    columns: List[Tuple[str, str]]
+    rows: List[Tuple[Any, ...]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        for name, code in self.columns:
+            if code not in _TYPE_CODES:
+                raise SoapError(f"unknown rowset typecode {code!r} for {name!r}")
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    @property
+    def column_names(self) -> List[str]:
+        """Column names in order."""
+        return [name for name, _ in self.columns]
+
+    def slice(self, start: int, stop: int) -> "WireRowSet":
+        """A rowset with the same schema and a row subrange (for chunking)."""
+        return WireRowSet(list(self.columns), self.rows[start:stop])
+
+    @classmethod
+    def concat(cls, parts: Sequence["WireRowSet"]) -> "WireRowSet":
+        """Reassemble chunks; schemas must agree."""
+        if not parts:
+            raise SoapError("cannot concatenate zero rowset chunks")
+        first = parts[0]
+        for part in parts[1:]:
+            if part.columns != first.columns:
+                raise SoapError("rowset chunks have mismatched schemas")
+        rows: List[Tuple[Any, ...]] = []
+        for part in parts:
+            rows.extend(part.rows)
+        return cls(list(first.columns), rows)
+
+
+def typecode_of(value: Any) -> str:
+    """The wire typecode of a python scalar."""
+    if isinstance(value, bool):
+        return "boolean"
+    if isinstance(value, int):
+        return "int"
+    if isinstance(value, float):
+        return "double"
+    if isinstance(value, str):
+        return "string"
+    raise SoapError(f"cannot encode value of type {type(value).__name__}")
+
+
+def encode_value(name: str, value: Any) -> Element:
+    """Encode a python value (scalar, list, dict, WireRowSet) as an element."""
+    if value is None:
+        return Element(name, {"xsi:nil": "true"})
+    if isinstance(value, WireRowSet):
+        return _encode_rowset(name, value)
+    if isinstance(value, dict):
+        node = Element(name, {"xsi:type": "struct"})
+        for key, item in value.items():
+            node.children.append(encode_value(str(key), item))
+        return node
+    if isinstance(value, (list, tuple)):
+        node = Element(name, {"xsi:type": "array"})
+        for item in value:
+            node.children.append(encode_value("item", item))
+        return node
+    code = typecode_of(value)
+    text = _scalar_to_text(value)
+    return Element(name, {"xsi:type": code}, [], text)
+
+
+def decode_value(node: Element) -> Any:
+    """Decode an element produced by :func:`encode_value`."""
+    if node.get("xsi:nil") == "true":
+        return None
+    xtype = node.get("xsi:type")
+    if xtype == "struct":
+        return {kid.local_name(): decode_value(kid) for kid in node.children}
+    if xtype == "array":
+        return [decode_value(kid) for kid in node.children]
+    if xtype == "rowset" or node.local_name() == "RowSet":
+        return _decode_rowset(node)
+    if xtype is None:
+        # Untyped leaf: best-effort string (tolerant of foreign documents).
+        return node.text
+    return _text_to_scalar(node.text, xtype)
+
+
+def _scalar_to_text(value: Any) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)
+
+
+def _text_to_scalar(text: str, code: str) -> Any:
+    if code == "int":
+        return int(text)
+    if code == "double":
+        return float(text)
+    if code == "string":
+        return text
+    if code == "boolean":
+        if text not in ("true", "false"):
+            raise SoapError(f"bad boolean literal {text!r}")
+        return text == "true"
+    raise SoapError(f"unknown xsi:type {code!r}")
+
+
+# -- rowset XML form ---------------------------------------------------------
+
+
+def _encode_rowset(name: str, rowset: WireRowSet) -> Element:
+    node = Element(name, {"xsi:type": "rowset", "rows": str(len(rowset.rows))})
+    schema = node.child("schema")
+    for col_name, code in rowset.columns:
+        schema.child("col", name=col_name, type=code)
+    data = node.child("data")
+    for row in rowset.rows:
+        if len(row) != len(rowset.columns):
+            raise SoapError(
+                f"row width {len(row)} does not match schema "
+                f"width {len(rowset.columns)}"
+            )
+        row_el = data.child("r")
+        for value, (col_name, code) in zip(row, rowset.columns):
+            if value is None:
+                row_el.child("c", nil="true")
+            else:
+                if typecode_of(value) != code and not (
+                    code == "double" and isinstance(value, int)
+                    and not isinstance(value, bool)
+                ):
+                    raise SoapError(
+                        f"value {value!r} does not match column "
+                        f"{col_name!r} type {code!r}"
+                    )
+                row_el.child("c", text=_scalar_to_text(
+                    float(value) if code == "double" else value
+                ))
+    return node
+
+
+def _decode_rowset(node: Element) -> WireRowSet:
+    schema = node.require("schema")
+    columns: List[Tuple[str, str]] = []
+    for col in schema.find_all("col"):
+        col_name = col.get("name")
+        code = col.get("type")
+        if col_name is None or code is None:
+            raise SoapError("rowset schema column missing name/type")
+        columns.append((col_name, code))
+    rowset = WireRowSet(columns)
+    data = node.require("data")
+    for row_el in data.find_all("r"):
+        cells = row_el.find_all("c")
+        if len(cells) != len(columns):
+            raise SoapError(
+                f"rowset row has {len(cells)} cells, schema has {len(columns)}"
+            )
+        row: List[Any] = []
+        for cell, (_, code) in zip(cells, columns):
+            if cell.get("nil") == "true":
+                row.append(None)
+            else:
+                row.append(_text_to_scalar(cell.text, code))
+        rowset.rows.append(tuple(row))
+    return rowset
+
+
+def infer_rowset(columns: Sequence[str], rows: Sequence[Tuple[Any, ...]]) -> WireRowSet:
+    """Build a rowset inferring each column's typecode from its values.
+
+    A column's type is taken from its first non-NULL value; all-NULL (or
+    empty) columns default to string. Ints in an otherwise-float column are
+    widened to double.
+    """
+    codes: List[str] = []
+    for i in range(len(columns)):
+        code = "string"
+        saw_int = False
+        for row in rows:
+            value = row[i]
+            if value is None:
+                continue
+            if isinstance(value, bool):
+                code = "boolean"
+                break
+            if isinstance(value, float):
+                code = "double"
+                break
+            if isinstance(value, int):
+                saw_int = True
+                continue
+            code = "string"
+            break
+        else:
+            code = "int" if saw_int else code
+        if code == "string" and saw_int:
+            code = "int"
+        codes.append(code)
+    normalized = [
+        tuple(
+            float(v)
+            if codes[i] == "double" and isinstance(v, int) and not isinstance(v, bool)
+            else v
+            for i, v in enumerate(row)
+        )
+        for row in rows
+    ]
+    return WireRowSet(list(zip(columns, codes)), normalized)
+
+
+# -- binary codec (the CORBA-style comparison point) --------------------------
+
+_BINARY_MAGIC = b"SQBR"
+
+
+def encode_binary_rowset(rowset: WireRowSet) -> bytes:
+    """Length-prefixed binary encoding of a rowset (no XML, no text)."""
+    out = bytearray(_BINARY_MAGIC)
+    out += struct.pack("<II", len(rowset.columns), len(rowset.rows))
+    for name, code in rowset.columns:
+        nb = name.encode("utf-8")
+        out += struct.pack("<HB", len(nb), _TYPE_CODES.index(code))
+        out += nb
+    for row in rowset.rows:
+        for value, (_, code) in zip(row, rowset.columns):
+            if value is None:
+                out += b"\x00"
+                continue
+            out += b"\x01"
+            if code == "int":
+                out += struct.pack("<q", value)
+            elif code == "double":
+                out += struct.pack("<d", float(value))
+            elif code == "boolean":
+                out += struct.pack("<B", 1 if value else 0)
+            else:
+                vb = str(value).encode("utf-8")
+                out += struct.pack("<I", len(vb))
+                out += vb
+    return bytes(out)
+
+
+def decode_binary_rowset(blob: bytes) -> WireRowSet:
+    """Decode :func:`encode_binary_rowset` output."""
+    if blob[:4] != _BINARY_MAGIC:
+        raise SoapError("bad binary rowset magic")
+    ncols, nrows = struct.unpack_from("<II", blob, 4)
+    pos = 12
+    columns: List[Tuple[str, str]] = []
+    for _ in range(ncols):
+        nlen, code_idx = struct.unpack_from("<HB", blob, pos)
+        pos += 3
+        name = blob[pos : pos + nlen].decode("utf-8")
+        pos += nlen
+        columns.append((name, _TYPE_CODES[code_idx]))
+    rowset = WireRowSet(columns)
+    for _ in range(nrows):
+        row: List[Any] = []
+        for _, code in columns:
+            present = blob[pos]
+            pos += 1
+            if not present:
+                row.append(None)
+                continue
+            if code == "int":
+                (value,) = struct.unpack_from("<q", blob, pos)
+                pos += 8
+            elif code == "double":
+                (value,) = struct.unpack_from("<d", blob, pos)
+                pos += 8
+            elif code == "boolean":
+                value = blob[pos] == 1
+                pos += 1
+            else:
+                (vlen,) = struct.unpack_from("<I", blob, pos)
+                pos += 4
+                value = blob[pos : pos + vlen].decode("utf-8")
+                pos += vlen
+            row.append(value)
+        rowset.rows.append(tuple(row))
+    return rowset

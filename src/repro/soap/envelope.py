@@ -1,0 +1,96 @@
+"""SOAP 1.1 envelopes: RPC requests, responses, and faults."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import SoapError, SoapFaultError
+from repro.soap.encoding import decode_value, encode_value
+from repro.soap.xmlparser import XMLParser
+from repro.soap.xmlwriter import Element, render
+
+SOAP_ENV_NS = "http://schemas.xmlsoap.org/soap/envelope/"
+XSI_NS = "http://www.w3.org/2001/XMLSchema-instance"
+SKYQUERY_NS = "urn:skyquery:services"
+
+
+def _envelope(body_child: Element) -> Element:
+    root = Element(
+        "soap:Envelope",
+        {
+            "xmlns:soap": SOAP_ENV_NS,
+            "xmlns:xsi": XSI_NS,
+            "xmlns:sky": SKYQUERY_NS,
+        },
+    )
+    body = root.child("soap:Body")
+    body.children.append(body_child)
+    return root
+
+
+def build_rpc_request(operation: str, params: Dict[str, Any]) -> str:
+    """Serialize an RPC call: operation element wrapping encoded parameters."""
+    call = Element(f"sky:{operation}")
+    for name, value in params.items():
+        call.children.append(encode_value(name, value))
+    return render(_envelope(call))
+
+
+def build_rpc_response(operation: str, result: Any) -> str:
+    """Serialize an RPC response: ``<{op}Response><result>...</result></...>``."""
+    wrapper = Element(f"sky:{operation}Response")
+    wrapper.children.append(encode_value("result", result))
+    return render(_envelope(wrapper))
+
+
+def build_fault(faultcode: str, faultstring: str, detail: str = "") -> str:
+    """Serialize a SOAP Fault response."""
+    fault = Element("soap:Fault")
+    fault.child("faultcode", text=faultcode)
+    fault.child("faultstring", text=faultstring)
+    if detail:
+        fault.child("detail", text=detail)
+    return render(_envelope(fault))
+
+
+def _body_of(document: Element) -> Element:
+    if document.local_name() != "Envelope":
+        raise SoapError(f"not a SOAP envelope: <{document.tag}>")
+    body = document.find("Body")
+    if body is None or not body.children:
+        raise SoapError("SOAP envelope has no Body content")
+    return body.children[0]
+
+
+def parse_rpc_request(
+    text: str | bytes, parser: Optional[XMLParser] = None
+) -> Tuple[str, Dict[str, Any]]:
+    """Parse a request envelope into (operation, decoded params)."""
+    parser = parser or XMLParser()
+    content = _body_of(parser.parse(text))
+    operation = content.local_name()
+    params = {kid.local_name(): decode_value(kid) for kid in content.children}
+    return operation, params
+
+
+def parse_rpc_response(
+    text: str | bytes, parser: Optional[XMLParser] = None
+) -> Any:
+    """Parse a response envelope; raises :class:`SoapFaultError` on faults."""
+    parser = parser or XMLParser()
+    content = _body_of(parser.parse(text))
+    if content.local_name() == "Fault":
+        code = content.find("faultcode")
+        message = content.find("faultstring")
+        detail = content.find("detail")
+        raise SoapFaultError(
+            code.text if code is not None else "soap:Server",
+            message.text if message is not None else "unknown fault",
+            detail.text if detail is not None else "",
+        )
+    if not content.local_name().endswith("Response"):
+        raise SoapError(f"unexpected response element <{content.tag}>")
+    result = content.find("result")
+    if result is None:
+        raise SoapError("RPC response has no <result>")
+    return decode_value(result)

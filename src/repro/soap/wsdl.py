@@ -1,0 +1,134 @@
+"""WSDL generation and (minimal) parsing.
+
+Each SkyQuery service publishes a WSDL document describing its operations;
+the Portal's registration flow stores these, and client proxies check the
+operations they invoke against the description — the paper's point that
+WSDL "allows re-use of the service description interface by clients that
+might be using other programming models".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.errors import SoapError
+from repro.soap.xmlparser import XMLParser
+from repro.soap.xmlwriter import Element, render
+
+WSDL_NS = "http://schemas.xmlsoap.org/wsdl/"
+SOAP_BINDING_NS = "http://schemas.xmlsoap.org/wsdl/soap/"
+HTTP_TRANSPORT = "http://schemas.xmlsoap.org/soap/http"
+
+
+@dataclass(frozen=True)
+class OperationSpec:
+    """One operation: name plus (param name, typecode) pairs and return type."""
+
+    name: str
+    params: Tuple[Tuple[str, str], ...] = ()
+    returns: str = "string"
+    doc: str = ""
+
+
+@dataclass
+class ServiceDescription:
+    """A service: name, endpoint URL, and its operations."""
+
+    name: str
+    url: str
+    operations: List[OperationSpec] = field(default_factory=list)
+
+    def operation(self, name: str) -> Optional[OperationSpec]:
+        """Look up an operation by name."""
+        for op in self.operations:
+            if op.name == name:
+                return op
+        return None
+
+
+def generate_wsdl(description: ServiceDescription) -> str:
+    """Render a WSDL 1.1 document for a service description."""
+    root = Element(
+        "wsdl:definitions",
+        {
+            "xmlns:wsdl": WSDL_NS,
+            "xmlns:soap": SOAP_BINDING_NS,
+            "name": description.name,
+            "targetNamespace": f"urn:skyquery:{description.name}",
+        },
+    )
+    for op in description.operations:
+        message_in = root.child("wsdl:message", name=f"{op.name}Request")
+        for pname, ptype in op.params:
+            message_in.child("wsdl:part", name=pname, type=ptype)
+        message_out = root.child("wsdl:message", name=f"{op.name}Response")
+        message_out.child("wsdl:part", name="result", type=op.returns)
+
+    port_type = root.child("wsdl:portType", name=f"{description.name}PortType")
+    for op in description.operations:
+        op_el = port_type.child("wsdl:operation", name=op.name)
+        if op.doc:
+            op_el.child("wsdl:documentation", text=op.doc)
+        op_el.child("wsdl:input", message=f"{op.name}Request")
+        op_el.child("wsdl:output", message=f"{op.name}Response")
+
+    binding = root.child(
+        "wsdl:binding",
+        name=f"{description.name}Binding",
+        type=f"{description.name}PortType",
+    )
+    binding.child("soap:binding", style="rpc", transport=HTTP_TRANSPORT)
+    for op in description.operations:
+        op_el = binding.child("wsdl:operation", name=op.name)
+        op_el.child("soap:operation", soapAction=f"urn:skyquery#{op.name}")
+
+    service = root.child("wsdl:service", name=description.name)
+    port = service.child(
+        "wsdl:port", name=f"{description.name}Port",
+        binding=f"{description.name}Binding",
+    )
+    port.child("soap:address", location=description.url)
+    return render(root, indent="  ")
+
+
+def parse_wsdl(text: str) -> ServiceDescription:
+    """Recover a :class:`ServiceDescription` from WSDL text."""
+    root = XMLParser().parse(text)
+    if root.local_name() != "definitions":
+        raise SoapError(f"not a WSDL document: <{root.tag}>")
+    name = root.get("name")
+    if not name:
+        raise SoapError("WSDL definitions element missing name")
+
+    messages = {}
+    for message in root.find_all("message"):
+        parts = [
+            (part.get("name") or "", part.get("type") or "string")
+            for part in message.find_all("part")
+        ]
+        messages[message.get("name")] = parts
+
+    url = ""
+    for service in root.find_all("service"):
+        for port in service.find_all("port"):
+            address = port.find("address")
+            if address is not None:
+                url = address.get("location") or ""
+
+    operations: List[OperationSpec] = []
+    for port_type in root.find_all("portType"):
+        for op_el in port_type.find_all("operation"):
+            op_name = op_el.get("name") or ""
+            params = tuple(messages.get(f"{op_name}Request", ()))
+            returns_parts = messages.get(f"{op_name}Response", [("result", "string")])
+            doc_el = op_el.find("documentation")
+            operations.append(
+                OperationSpec(
+                    name=op_name,
+                    params=params,
+                    returns=returns_parts[0][1] if returns_parts else "string",
+                    doc=doc_el.text if doc_el is not None else "",
+                )
+            )
+    return ServiceDescription(name=name, url=url, operations=operations)

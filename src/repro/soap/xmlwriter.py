@@ -1,0 +1,115 @@
+"""A minimal XML document model and serializer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+
+def escape_text(text: str) -> str:
+    """Escape character data."""
+    return text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+
+
+def escape_attr(text: str) -> str:
+    """Escape an attribute value (double-quote delimited)."""
+    return (
+        escape_text(text)
+        .replace('"', "&quot;")
+        .replace("\n", "&#10;")
+        .replace("\t", "&#9;")
+    )
+
+
+@dataclass
+class Element:
+    """An XML element: tag, attributes, text, children.
+
+    Mixed content is not modeled (SOAP messages never need it): an element
+    carries either ``text`` or ``children``.
+    """
+
+    tag: str
+    attrib: Dict[str, str] = field(default_factory=dict)
+    children: List["Element"] = field(default_factory=list)
+    text: str = ""
+
+    def child(self, tag: str, *, text: str = "", **attrib: str) -> "Element":
+        """Append and return a new child element."""
+        node = Element(tag, dict(attrib), [], text)
+        self.children.append(node)
+        return node
+
+    def find(self, tag: str) -> Optional["Element"]:
+        """First direct child with the given tag (namespace-prefix aware:
+        matches either the exact tag or any ``prefix:tag``)."""
+        for node in self.children:
+            if node.tag == tag or node.tag.split(":", 1)[-1] == tag:
+                return node
+        return None
+
+    def find_all(self, tag: str) -> List["Element"]:
+        """All direct children matching the tag (prefix-insensitive)."""
+        return [
+            node
+            for node in self.children
+            if node.tag == tag or node.tag.split(":", 1)[-1] == tag
+        ]
+
+    def require(self, tag: str) -> "Element":
+        """Like :meth:`find` but raises ``KeyError`` when absent."""
+        node = self.find(tag)
+        if node is None:
+            raise KeyError(f"element <{self.tag}> has no child <{tag}>")
+        return node
+
+    def get(self, attr: str, default: Optional[str] = None) -> Optional[str]:
+        """Attribute lookup with default."""
+        return self.attrib.get(attr, default)
+
+    def local_name(self) -> str:
+        """Tag without any namespace prefix."""
+        return self.tag.split(":", 1)[-1]
+
+    def iter(self) -> Iterator["Element"]:
+        """Depth-first iteration over this element and all descendants."""
+        yield self
+        for node in self.children:
+            yield from node.iter()
+
+
+def render(root: Element, *, declaration: bool = True, indent: Optional[str] = None) -> str:
+    """Serialize an element tree to XML text."""
+    parts: List[str] = []
+    if declaration:
+        parts.append('<?xml version="1.0" encoding="utf-8"?>')
+        if indent is not None:
+            parts.append("\n")
+    _render_node(root, parts, indent, 0)
+    return "".join(parts)
+
+
+def _render_node(
+    node: Element, parts: List[str], indent: Optional[str], depth: int
+) -> None:
+    pad = indent * depth if indent is not None else ""
+    attrs = "".join(
+        f' {name}="{escape_attr(value)}"' for name, value in node.attrib.items()
+    )
+    if not node.children and not node.text:
+        parts.append(f"{pad}<{node.tag}{attrs}/>")
+        if indent is not None:
+            parts.append("\n")
+        return
+    parts.append(f"{pad}<{node.tag}{attrs}>")
+    if node.children:
+        if indent is not None:
+            parts.append("\n")
+        for kid in node.children:
+            _render_node(kid, parts, indent, depth + 1)
+        parts.append(pad)
+    else:
+        parts.append(escape_text(node.text))
+    parts.append(f"</{node.tag}>")
+    if indent is not None:
+        parts.append("\n")

@@ -1,0 +1,49 @@
+"""Spherical geometry substrate.
+
+Celestial positions are represented as unit vectors in a right-handed
+Cartesian frame (the usual equatorial convention):
+
+    x = cos(dec) * cos(ra)
+    y = cos(dec) * sin(ra)
+    z = sin(dec)
+
+This subpackage provides vector arithmetic, coordinate conversions, angular
+separations, spherical regions (caps/circles and convex polygons) used by the
+AREA clause and the HTM index, and seeded random sampling used by the
+synthetic sky-survey workload generator.
+"""
+
+from repro.sphere.vector import (
+    Vec3,
+    add,
+    cross,
+    dot,
+    norm,
+    normalize,
+    scale,
+    sub,
+)
+from repro.sphere.coords import radec_to_vector, vector_to_radec
+from repro.sphere.distance import angular_separation, separation_arcsec
+from repro.sphere.regions import Cap, ConvexPolygon, Region
+from repro.sphere.random import random_in_cap, random_on_sphere
+
+__all__ = [
+    "Vec3",
+    "add",
+    "cross",
+    "dot",
+    "norm",
+    "normalize",
+    "scale",
+    "sub",
+    "radec_to_vector",
+    "vector_to_radec",
+    "angular_separation",
+    "separation_arcsec",
+    "Cap",
+    "ConvexPolygon",
+    "Region",
+    "random_in_cap",
+    "random_on_sphere",
+]

@@ -1,0 +1,34 @@
+"""Conversions between equatorial coordinates and unit vectors."""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+from repro.errors import GeometryError
+from repro.sphere.vector import Vec3
+from repro.units import deg_to_rad, normalize_ra_deg, rad_to_deg
+
+
+def radec_to_vector(ra_deg: float, dec_deg: float) -> Vec3:
+    """Convert (right ascension, declination) in degrees to a unit vector."""
+    if not -90.0 <= dec_deg <= 90.0:
+        raise GeometryError(f"declination {dec_deg!r} outside [-90, 90] degrees")
+    ra = deg_to_rad(normalize_ra_deg(ra_deg))
+    dec = deg_to_rad(dec_deg)
+    cos_dec = math.cos(dec)
+    return (cos_dec * math.cos(ra), cos_dec * math.sin(ra), math.sin(dec))
+
+
+def vector_to_radec(v: Vec3) -> Tuple[float, float]:
+    """Convert a (not necessarily unit) vector to (ra, dec) in degrees.
+
+    RA is normalized into [0, 360); dec into [-90, 90].
+    """
+    x, y, z = v
+    length = math.sqrt(x * x + y * y + z * z)
+    if length < 1e-300:
+        raise GeometryError("cannot convert a zero vector to coordinates")
+    dec = math.asin(max(-1.0, min(1.0, z / length)))
+    ra = math.atan2(y, x)
+    return normalize_ra_deg(rad_to_deg(ra)), rad_to_deg(dec)

@@ -1,0 +1,31 @@
+"""Angular separations between positions on the unit sphere."""
+
+from __future__ import annotations
+
+import math
+
+from repro.sphere.vector import Vec3, cross, dot, norm
+from repro.units import rad_to_arcsec
+
+
+def angular_separation(a: Vec3, b: Vec3) -> float:
+    """Angle between two unit vectors, in radians.
+
+    Uses ``atan2(|a x b|, a . b)`` which is numerically accurate for both
+    tiny and near-pi separations (unlike plain ``acos``).
+    """
+    return math.atan2(norm(cross(a, b)), dot(a, b))
+
+
+def separation_arcsec(a: Vec3, b: Vec3) -> float:
+    """Angle between two unit vectors, in arcseconds."""
+    return rad_to_arcsec(angular_separation(a, b))
+
+
+def chord_for_angle(theta_rad: float) -> float:
+    """Euclidean chord length corresponding to an angular radius.
+
+    Useful for distance tests: ``|a-b| <= chord_for_angle(t)`` iff the
+    angular separation of unit vectors a, b is at most ``t``.
+    """
+    return 2.0 * math.sin(theta_rad / 2.0)

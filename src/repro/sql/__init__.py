@@ -1,0 +1,57 @@
+"""The SkyQuery SQL dialect.
+
+A SQL-like language with the paper's two spatial extensions:
+
+* ``AREA(ra_deg, dec_deg, radius_arcsec)`` — a circular range on the sky that
+  every returned object must lie within.
+* ``XMATCH(A, B, !C) < t`` — a probabilistic spatial join across archives:
+  sets of objects (one per mandatory archive) within ``t`` standard
+  deviations of their mean position, with ``!`` marking *drop out* archives
+  that must NOT contain a matching object.
+
+The parser is a hand-written recursive-descent parser producing the AST in
+:mod:`repro.sql.ast`; :mod:`repro.sql.printer` renders ASTs back to SQL text
+(per-dialect, used by the SkyNode wrappers), and :mod:`repro.sql.validate`
+checks cross-archive consistency before planning.
+"""
+
+from repro.sql.ast import (
+    AreaClause,
+    BinaryOp,
+    ColumnRef,
+    FuncCall,
+    Literal,
+    Query,
+    SelectItem,
+    Star,
+    TableRef,
+    UnaryOp,
+    XMatchClause,
+    XMatchTerm,
+)
+from repro.sql.lexer import Token, TokenType, tokenize
+from repro.sql.parser import parse_query, parse_expression
+from repro.sql.printer import to_sql
+from repro.sql.validate import validate_query
+
+__all__ = [
+    "AreaClause",
+    "BinaryOp",
+    "ColumnRef",
+    "FuncCall",
+    "Literal",
+    "Query",
+    "SelectItem",
+    "Star",
+    "TableRef",
+    "UnaryOp",
+    "XMatchClause",
+    "XMatchTerm",
+    "Token",
+    "TokenType",
+    "tokenize",
+    "parse_query",
+    "parse_expression",
+    "to_sql",
+    "validate_query",
+]

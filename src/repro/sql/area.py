@@ -1,0 +1,73 @@
+"""Bridging AREA clauses to spherical regions and the plan wire format.
+
+Both AREA shapes — the paper's circle and its Section 6 polygon extension —
+flow through the same places (engine scans, the cross-match stored
+procedure, the execution plan); this module is the single point where a
+clause becomes a :class:`~repro.sphere.regions.Region` or a SOAP struct.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.errors import PlanningError
+from repro.sphere.regions import Cap, ConvexPolygon, Region
+from repro.sql.ast import AreaClause, AreaLike, PolygonClause
+
+
+def is_area(expr: object) -> bool:
+    """True for either AREA clause shape."""
+    return isinstance(expr, (AreaClause, PolygonClause))
+
+
+def region_for(clause: AreaLike) -> Region:
+    """The spherical region an AREA clause denotes."""
+    if isinstance(clause, AreaClause):
+        return Cap.from_radec(
+            clause.ra_deg, clause.dec_deg, clause.radius_arcsec
+        )
+    if isinstance(clause, PolygonClause):
+        return ConvexPolygon.from_radec(clause.vertices)
+    raise TypeError(f"not an AREA clause: {clause!r}")
+
+
+def area_to_wire(clause: Optional[AreaLike]) -> Optional[Dict[str, Any]]:
+    """Encode an AREA clause as a SOAP struct (None passes through)."""
+    if clause is None:
+        return None
+    if isinstance(clause, AreaClause):
+        return {
+            "shape": "circle",
+            "ra_deg": clause.ra_deg,
+            "dec_deg": clause.dec_deg,
+            "radius_arcsec": clause.radius_arcsec,
+        }
+    if isinstance(clause, PolygonClause):
+        coords: list[float] = []
+        for ra, dec in clause.vertices:
+            coords.extend((ra, dec))
+        return {"shape": "polygon", "coords": coords}
+    raise TypeError(f"not an AREA clause: {clause!r}")
+
+
+def area_from_wire(data: Optional[Dict[str, Any]]) -> Optional[AreaLike]:
+    """Decode :func:`area_to_wire` output."""
+    if not data:
+        return None
+    shape = data.get("shape", "circle")
+    if shape == "circle":
+        return AreaClause(
+            ra_deg=float(data["ra_deg"]),
+            dec_deg=float(data["dec_deg"]),
+            radius_arcsec=float(data["radius_arcsec"]),
+        )
+    if shape == "polygon":
+        coords = [float(c) for c in data["coords"]]
+        if len(coords) < 6 or len(coords) % 2 != 0:
+            raise PlanningError("polygon area wire struct has bad coords")
+        return PolygonClause(
+            vertices=tuple(
+                (coords[i], coords[i + 1]) for i in range(0, len(coords), 2)
+            )
+        )
+    raise PlanningError(f"unknown AREA shape {shape!r}")

@@ -1,0 +1,226 @@
+"""AST node types for the SkyQuery SQL dialect.
+
+All nodes are frozen dataclasses so they can be hashed, compared in tests,
+and safely shared between the Portal's planner and the SkyNode wrappers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
+
+Value = Union[int, float, str, bool, None]
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A constant: number, string, boolean, or NULL."""
+
+    value: Value
+
+
+@dataclass(frozen=True)
+class Star:
+    """The ``*`` select item."""
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    """A possibly qualified column reference like ``O.type`` or ``dec``."""
+
+    qualifier: Optional[str]
+    name: str
+
+    def __str__(self) -> str:
+        return f"{self.qualifier}.{self.name}" if self.qualifier else self.name
+
+
+@dataclass(frozen=True)
+class FuncCall:
+    """A function call; ``COUNT(*)`` is ``FuncCall("COUNT", (Star(),))``."""
+
+    name: str
+    args: Tuple["Expr", ...]
+
+
+@dataclass(frozen=True)
+class UnaryOp:
+    """Unary operator: ``-`` (negation) or ``NOT``."""
+
+    op: str
+    operand: "Expr"
+
+
+@dataclass(frozen=True)
+class BinaryOp:
+    """Binary operator: arithmetic, comparison, AND, OR."""
+
+    op: str
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclass(frozen=True)
+class IsNull:
+    """``expr IS NULL`` / ``expr IS NOT NULL``."""
+
+    operand: "Expr"
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class AreaClause:
+    """``AREA(ra_deg, dec_deg, radius_arcsec)`` — a circular sky range."""
+
+    ra_deg: float
+    dec_deg: float
+    radius_arcsec: float
+
+
+@dataclass(frozen=True)
+class PolygonClause:
+    """``AREA(POLYGON, ra1, dec1, ra2, dec2, ...)`` — a convex polygon range.
+
+    The paper's Section 6 extension: "The AREA clause can also be extended
+    to specify arbitrary polygons rather than just simple circles."
+    Vertices are (ra, dec) degree pairs in counter-clockwise order.
+    """
+
+    vertices: Tuple[Tuple[float, float], ...]
+
+
+@dataclass(frozen=True)
+class XMatchTerm:
+    """One archive alias inside XMATCH; ``dropout`` for the ``!A`` form."""
+
+    alias: str
+    dropout: bool = False
+
+    def __str__(self) -> str:
+        return f"!{self.alias}" if self.dropout else self.alias
+
+
+@dataclass(frozen=True)
+class XMatchClause:
+    """``XMATCH(A, B, !C) < threshold`` — the probabilistic spatial join."""
+
+    terms: Tuple[XMatchTerm, ...]
+    threshold: float
+
+    @property
+    def mandatory(self) -> Tuple[XMatchTerm, ...]:
+        """Terms that must match (non-dropouts)."""
+        return tuple(t for t in self.terms if not t.dropout)
+
+    @property
+    def dropouts(self) -> Tuple[XMatchTerm, ...]:
+        """Terms that must NOT match (the ``!A`` archives)."""
+        return tuple(t for t in self.terms if t.dropout)
+
+
+Expr = Union[
+    Literal,
+    Star,
+    ColumnRef,
+    FuncCall,
+    UnaryOp,
+    BinaryOp,
+    IsNull,
+    AreaClause,
+    PolygonClause,
+    XMatchClause,
+]
+
+#: The spatial-range clause kinds accepted wherever "an AREA" is expected.
+AreaLike = Union[AreaClause, PolygonClause]
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One output column: an expression plus an optional AS alias."""
+
+    expr: Expr
+    alias: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class TableRef:
+    """A FROM-list entry: ``ARCHIVE: Table Alias``.
+
+    ``archive`` is None for plain single-database queries executed directly
+    against a SkyNode's local engine.
+    """
+
+    archive: Optional[str]
+    table: str
+    alias: Optional[str] = None
+
+    @property
+    def effective_alias(self) -> str:
+        """The name other clauses use to refer to this table."""
+        return self.alias or self.table
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    """One ORDER BY key: an expression plus direction."""
+
+    expr: Expr
+    descending: bool = False
+
+
+@dataclass(frozen=True)
+class Query:
+    """A parsed SELECT statement."""
+
+    items: Tuple[SelectItem, ...]
+    tables: Tuple[TableRef, ...]
+    distinct: bool = False
+    where: Optional[Expr] = None
+    group_by: Tuple[Expr, ...] = ()
+    having: Optional[Expr] = None
+    order_by: Tuple[OrderItem, ...] = ()
+    limit: Optional[int] = None
+
+
+def conjuncts(expr: Optional[Expr]) -> Tuple[Expr, ...]:
+    """Flatten a WHERE tree into its top-level AND-ed conjuncts."""
+    if expr is None:
+        return ()
+    if isinstance(expr, BinaryOp) and expr.op == "AND":
+        return conjuncts(expr.left) + conjuncts(expr.right)
+    return (expr,)
+
+
+def and_together(parts: Tuple[Expr, ...]) -> Optional[Expr]:
+    """Rebuild an AND tree from conjuncts (None for an empty tuple)."""
+    result: Optional[Expr] = None
+    for part in parts:
+        result = part if result is None else BinaryOp("AND", result, part)
+    return result
+
+
+def referenced_aliases(expr: Expr) -> frozenset[str]:
+    """All table qualifiers referenced anywhere inside an expression."""
+    found: set[str] = set()
+    _walk_aliases(expr, found)
+    return frozenset(found)
+
+
+def _walk_aliases(expr: Expr, found: set[str]) -> None:
+    if isinstance(expr, ColumnRef):
+        if expr.qualifier:
+            found.add(expr.qualifier)
+    elif isinstance(expr, FuncCall):
+        for arg in expr.args:
+            _walk_aliases(arg, found)
+    elif isinstance(expr, UnaryOp):
+        _walk_aliases(expr.operand, found)
+    elif isinstance(expr, IsNull):
+        _walk_aliases(expr.operand, found)
+    elif isinstance(expr, BinaryOp):
+        _walk_aliases(expr.left, found)
+        _walk_aliases(expr.right, found)
+    elif isinstance(expr, XMatchClause):
+        for term in expr.terms:
+            found.add(term.alias)

@@ -1,0 +1,164 @@
+"""Tokenizer for the SkyQuery SQL dialect."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterator, List
+
+from repro.errors import SQLSyntaxError
+
+
+class TokenType(Enum):
+    """Lexical token categories."""
+
+    IDENT = "ident"
+    KEYWORD = "keyword"
+    NUMBER = "number"
+    STRING = "string"
+    OP = "op"
+    PUNCT = "punct"
+    EOF = "eof"
+
+
+KEYWORDS = frozenset(
+    {
+        "SELECT",
+        "DISTINCT",
+        "FROM",
+        "WHERE",
+        "AND",
+        "OR",
+        "NOT",
+        "AS",
+        "AREA",
+        "XMATCH",
+        "COUNT",
+        "NULL",
+        "TRUE",
+        "FALSE",
+        "LIMIT",
+        "INSERT",
+        "INTO",
+        "VALUES",
+        "CREATE",
+        "DROP",
+        "TABLE",
+        "TEMP",
+        "ORDER",
+        "BY",
+        "GROUP",
+        "HAVING",
+        "ASC",
+        "DESC",
+        "BETWEEN",
+        "IS",
+    }
+)
+
+_OPERATORS = ("<=", ">=", "<>", "!=", "=", "<", ">", "+", "-", "*", "/")
+_PUNCT = {",", "(", ")", ".", ":", "!", ";"}
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (1-based)."""
+
+    type: TokenType
+    value: str
+    line: int
+    column: int
+
+    def matches(self, ttype: TokenType, value: str | None = None) -> bool:
+        """True if this token has the given type (and value, if provided)."""
+        if self.type is not ttype:
+            return False
+        return value is None or self.value == value
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize SQL text, raising :class:`SQLSyntaxError` on bad input."""
+    return list(_scan(text))
+
+
+def _scan(text: str) -> Iterator[Token]:
+    i = 0
+    line = 1
+    line_start = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            line_start = i
+            continue
+        if ch.isspace():
+            i += 1
+            continue
+        col = i - line_start + 1
+        if ch == "-" and text.startswith("--", i):
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            j = i
+            seen_dot = False
+            seen_exp = False
+            while j < n:
+                c = text[j]
+                if c.isdigit():
+                    j += 1
+                elif c == "." and not seen_dot and not seen_exp:
+                    seen_dot = True
+                    j += 1
+                elif c in "eE" and not seen_exp and j > i:
+                    if j + 1 < n and (text[j + 1].isdigit() or text[j + 1] in "+-"):
+                        seen_exp = True
+                        j += 2
+                    else:
+                        break
+                else:
+                    break
+            yield Token(TokenType.NUMBER, text[i:j], line, col)
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            if word.upper() in KEYWORDS:
+                yield Token(TokenType.KEYWORD, word.upper(), line, col)
+            else:
+                yield Token(TokenType.IDENT, word, line, col)
+            i = j
+            continue
+        if ch == "'":
+            j = i + 1
+            chunks: List[str] = []
+            while True:
+                if j >= n:
+                    raise SQLSyntaxError("unterminated string literal", line, col)
+                if text[j] == "'":
+                    if j + 1 < n and text[j + 1] == "'":
+                        chunks.append("'")
+                        j += 2
+                        continue
+                    break
+                chunks.append(text[j])
+                j += 1
+            yield Token(TokenType.STRING, "".join(chunks), line, col)
+            i = j + 1
+            continue
+        matched_op = next((op for op in _OPERATORS if text.startswith(op, i)), None)
+        if matched_op is not None:
+            yield Token(TokenType.OP, matched_op, line, col)
+            i += len(matched_op)
+            continue
+        if ch in _PUNCT:
+            yield Token(TokenType.PUNCT, ch, line, col)
+            i += 1
+            continue
+        raise SQLSyntaxError(f"unexpected character {ch!r}", line, col)
+    yield Token(TokenType.EOF, "", line, n - line_start + 1)

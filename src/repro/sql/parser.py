@@ -1,0 +1,371 @@
+"""Recursive-descent parser for the SkyQuery SQL dialect."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import SQLSyntaxError
+from repro.sql.ast import (
+    AreaClause,
+    BinaryOp,
+    ColumnRef,
+    Expr,
+    FuncCall,
+    IsNull,
+    Literal,
+    OrderItem,
+    PolygonClause,
+    Query,
+    SelectItem,
+    Star,
+    TableRef,
+    UnaryOp,
+    XMatchClause,
+    XMatchTerm,
+)
+from repro.sql.lexer import Token, TokenType, tokenize
+
+_COMPARISONS = {"=", "<>", "!=", "<", "<=", ">", ">="}
+
+
+class _Parser:
+    """Token-stream cursor with the grammar's productions as methods."""
+
+    def __init__(self, tokens: List[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- cursor helpers ----------------------------------------------------
+
+    @property
+    def _cur(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        tok = self._cur
+        if tok.type is not TokenType.EOF:
+            self._pos += 1
+        return tok
+
+    def _check(self, ttype: TokenType, value: Optional[str] = None) -> bool:
+        return self._cur.matches(ttype, value)
+
+    def _accept(self, ttype: TokenType, value: Optional[str] = None) -> Optional[Token]:
+        if self._check(ttype, value):
+            return self._advance()
+        return None
+
+    def _expect(self, ttype: TokenType, value: Optional[str] = None) -> Token:
+        if not self._check(ttype, value):
+            wanted = value or ttype.value
+            raise SQLSyntaxError(
+                f"expected {wanted!r}, found {self._cur.value!r}",
+                self._cur.line,
+                self._cur.column,
+            )
+        return self._advance()
+
+    # -- productions --------------------------------------------------------
+
+    def query(self) -> Query:
+        self._expect(TokenType.KEYWORD, "SELECT")
+        distinct = self._accept(TokenType.KEYWORD, "DISTINCT") is not None
+        items = self._select_list()
+        self._expect(TokenType.KEYWORD, "FROM")
+        tables = self._table_list()
+        where: Optional[Expr] = None
+        if self._accept(TokenType.KEYWORD, "WHERE"):
+            where = self.expression()
+        group_by: List[Expr] = []
+        if self._accept(TokenType.KEYWORD, "GROUP"):
+            self._expect(TokenType.KEYWORD, "BY")
+            group_by.append(self.expression())
+            while self._accept(TokenType.PUNCT, ","):
+                group_by.append(self.expression())
+        having: Optional[Expr] = None
+        if self._accept(TokenType.KEYWORD, "HAVING"):
+            having = self.expression()
+        order_by: List[OrderItem] = []
+        if self._accept(TokenType.KEYWORD, "ORDER"):
+            self._expect(TokenType.KEYWORD, "BY")
+            order_by.append(self._order_item())
+            while self._accept(TokenType.PUNCT, ","):
+                order_by.append(self._order_item())
+        limit: Optional[int] = None
+        if self._accept(TokenType.KEYWORD, "LIMIT"):
+            tok = self._expect(TokenType.NUMBER)
+            limit = int(float(tok.value))
+        self._accept(TokenType.PUNCT, ";")
+        self._expect(TokenType.EOF)
+        return Query(
+            items=tuple(items),
+            tables=tuple(tables),
+            distinct=distinct,
+            where=where,
+            group_by=tuple(group_by),
+            having=having,
+            order_by=tuple(order_by),
+            limit=limit,
+        )
+
+    def _order_item(self) -> OrderItem:
+        expr = self.expression()
+        descending = False
+        if self._accept(TokenType.KEYWORD, "DESC"):
+            descending = True
+        else:
+            self._accept(TokenType.KEYWORD, "ASC")
+        return OrderItem(expr, descending)
+
+    def _select_list(self) -> List[SelectItem]:
+        if self._check(TokenType.OP, "*"):
+            self._advance()
+            return [SelectItem(Star())]
+        items = [self._select_item()]
+        while self._accept(TokenType.PUNCT, ","):
+            items.append(self._select_item())
+        return items
+
+    def _select_item(self) -> SelectItem:
+        expr = self.expression()
+        alias: Optional[str] = None
+        if self._accept(TokenType.KEYWORD, "AS"):
+            alias = self._expect(TokenType.IDENT).value
+        elif self._check(TokenType.IDENT):
+            alias = self._advance().value
+        return SelectItem(expr, alias)
+
+    def _table_list(self) -> List[TableRef]:
+        tables = [self._table_ref()]
+        while self._accept(TokenType.PUNCT, ","):
+            tables.append(self._table_ref())
+        return tables
+
+    def _table_ref(self) -> TableRef:
+        first = self._expect(TokenType.IDENT).value
+        archive: Optional[str] = None
+        table = first
+        if self._accept(TokenType.PUNCT, ":"):
+            archive = first
+            table = self._expect(TokenType.IDENT).value
+        alias: Optional[str] = None
+        if self._check(TokenType.IDENT):
+            alias = self._advance().value
+        return TableRef(archive=archive, table=table, alias=alias)
+
+    # Expression grammar, loosest to tightest binding.
+
+    def expression(self) -> Expr:
+        return self._or_expr()
+
+    def _or_expr(self) -> Expr:
+        left = self._and_expr()
+        while self._accept(TokenType.KEYWORD, "OR"):
+            left = BinaryOp("OR", left, self._and_expr())
+        return left
+
+    def _and_expr(self) -> Expr:
+        left = self._not_expr()
+        while self._accept(TokenType.KEYWORD, "AND"):
+            left = BinaryOp("AND", left, self._not_expr())
+        return left
+
+    def _not_expr(self) -> Expr:
+        if self._accept(TokenType.KEYWORD, "NOT"):
+            return UnaryOp("NOT", self._not_expr())
+        return self._comparison()
+
+    def _comparison(self) -> Expr:
+        left = self._additive()
+        if self._accept(TokenType.KEYWORD, "IS"):
+            negated = self._accept(TokenType.KEYWORD, "NOT") is not None
+            self._expect(TokenType.KEYWORD, "NULL")
+            return IsNull(left, negated)
+        if self._check(TokenType.KEYWORD, "BETWEEN"):
+            self._advance()
+            low = self._additive()
+            self._expect(TokenType.KEYWORD, "AND")
+            high = self._additive()
+            # Desugar: `x BETWEEN a AND b` == `x >= a AND x <= b`.
+            return BinaryOp(
+                "AND", BinaryOp(">=", left, low), BinaryOp("<=", left, high)
+            )
+        if self._cur.type is TokenType.OP and self._cur.value in _COMPARISONS:
+            op = self._advance().value
+            if op == "!=":
+                op = "<>"
+            right = self._additive()
+            # `XMATCH(A, B) < t` parses as a comparison whose left side is
+            # the XMATCH term list; fold it into a proper XMatchClause here.
+            if isinstance(left, XMatchClause) and left.threshold != left.threshold:
+                if op != "<":
+                    raise SQLSyntaxError("XMATCH supports only the '<' comparison")
+                threshold = _numeric_value(right)
+                if threshold is None:
+                    raise SQLSyntaxError("XMATCH threshold must be a number")
+                return XMatchClause(left.terms, threshold)
+            return BinaryOp(op, left, right)
+        if isinstance(left, XMatchClause) and left.threshold != left.threshold:
+            raise SQLSyntaxError("XMATCH clause must be followed by '< threshold'")
+        return left
+
+    def _additive(self) -> Expr:
+        left = self._multiplicative()
+        while self._cur.type is TokenType.OP and self._cur.value in ("+", "-"):
+            op = self._advance().value
+            left = BinaryOp(op, left, self._multiplicative())
+        return left
+
+    def _multiplicative(self) -> Expr:
+        left = self._unary()
+        while self._cur.type is TokenType.OP and self._cur.value in ("*", "/"):
+            op = self._advance().value
+            left = BinaryOp(op, left, self._unary())
+        return left
+
+    def _unary(self) -> Expr:
+        if self._accept(TokenType.OP, "-"):
+            return UnaryOp("-", self._unary())
+        if self._accept(TokenType.OP, "+"):
+            return self._unary()
+        return self._primary()
+
+    def _primary(self) -> Expr:
+        tok = self._cur
+        if tok.type is TokenType.NUMBER:
+            self._advance()
+            text = tok.value
+            value = float(text) if any(c in text for c in ".eE") else int(text)
+            return Literal(value)
+        if tok.type is TokenType.STRING:
+            self._advance()
+            return Literal(tok.value)
+        if tok.type is TokenType.KEYWORD:
+            if tok.value == "NULL":
+                self._advance()
+                return Literal(None)
+            if tok.value == "TRUE":
+                self._advance()
+                return Literal(True)
+            if tok.value == "FALSE":
+                self._advance()
+                return Literal(False)
+            if tok.value == "COUNT":
+                return self._count_call()
+            if tok.value == "AREA":
+                return self._area_clause()
+            if tok.value == "XMATCH":
+                return self._xmatch_terms()
+        if tok.type is TokenType.PUNCT and tok.value == "(":
+            self._advance()
+            inner = self.expression()
+            self._expect(TokenType.PUNCT, ")")
+            return inner
+        if tok.type is TokenType.IDENT:
+            self._advance()
+            if self._accept(TokenType.PUNCT, "."):
+                name = self._expect(TokenType.IDENT).value
+                return ColumnRef(tok.value, name)
+            if self._check(TokenType.PUNCT, "("):
+                return self._func_call(tok.value)
+            return ColumnRef(None, tok.value)
+        raise SQLSyntaxError(
+            f"unexpected token {tok.value!r}", tok.line, tok.column
+        )
+
+    def _func_call(self, name: str) -> Expr:
+        self._expect(TokenType.PUNCT, "(")
+        args: list[Expr] = []
+        if not self._check(TokenType.PUNCT, ")"):
+            args.append(self.expression())
+            while self._accept(TokenType.PUNCT, ","):
+                args.append(self.expression())
+        self._expect(TokenType.PUNCT, ")")
+        return FuncCall(name.upper(), tuple(args))
+
+    def _count_call(self) -> Expr:
+        self._expect(TokenType.KEYWORD, "COUNT")
+        self._expect(TokenType.PUNCT, "(")
+        if self._accept(TokenType.OP, "*"):
+            args: Tuple[Expr, ...] = (Star(),)
+        else:
+            args = (self.expression(),)
+        self._expect(TokenType.PUNCT, ")")
+        return FuncCall("COUNT", args)
+
+    def _area_clause(self) -> Expr:
+        self._expect(TokenType.KEYWORD, "AREA")
+        self._expect(TokenType.PUNCT, "(")
+        if self._check(TokenType.IDENT) and self._cur.value.upper() == "POLYGON":
+            self._advance()
+            coords: List[float] = []
+            while self._accept(TokenType.PUNCT, ","):
+                coords.append(self._signed_number())
+            self._expect(TokenType.PUNCT, ")")
+            if len(coords) < 6 or len(coords) % 2 != 0:
+                raise SQLSyntaxError(
+                    "AREA(POLYGON, ...) needs at least 3 (ra, dec) pairs"
+                )
+            vertices = tuple(
+                (coords[i], coords[i + 1]) for i in range(0, len(coords), 2)
+            )
+            return PolygonClause(vertices=vertices)
+        ra = self._signed_number()
+        self._expect(TokenType.PUNCT, ",")
+        dec = self._signed_number()
+        self._expect(TokenType.PUNCT, ",")
+        radius = self._signed_number()
+        self._expect(TokenType.PUNCT, ")")
+        return AreaClause(ra_deg=ra, dec_deg=dec, radius_arcsec=radius)
+
+    def _signed_number(self) -> float:
+        sign = 1.0
+        while True:
+            if self._accept(TokenType.OP, "-"):
+                sign = -sign
+                continue
+            if self._accept(TokenType.OP, "+"):
+                continue
+            break
+        tok = self._expect(TokenType.NUMBER)
+        return sign * float(tok.value)
+
+    def _xmatch_terms(self) -> XMatchClause:
+        self._expect(TokenType.KEYWORD, "XMATCH")
+        self._expect(TokenType.PUNCT, "(")
+        terms = [self._xmatch_term()]
+        while self._accept(TokenType.PUNCT, ","):
+            terms.append(self._xmatch_term())
+        self._expect(TokenType.PUNCT, ")")
+        # The threshold arrives via the enclosing `< number` comparison;
+        # NaN marks "not yet filled in" and is folded by _comparison().
+        return XMatchClause(tuple(terms), float("nan"))
+
+    def _xmatch_term(self) -> XMatchTerm:
+        dropout = self._accept(TokenType.PUNCT, "!") is not None
+        alias = self._expect(TokenType.IDENT).value
+        return XMatchTerm(alias=alias, dropout=dropout)
+
+
+def _numeric_value(expr: Expr) -> Optional[float]:
+    """The numeric value of a (possibly negated) literal, else None."""
+    if isinstance(expr, UnaryOp) and expr.op == "-":
+        inner = _numeric_value(expr.operand)
+        return None if inner is None else -inner
+    if isinstance(expr, Literal) and isinstance(expr.value, (int, float)) \
+            and not isinstance(expr.value, bool):
+        return float(expr.value)
+    return None
+
+
+def parse_query(text: str) -> Query:
+    """Parse a full SELECT statement (raises :class:`SQLSyntaxError`)."""
+    return _Parser(tokenize(text)).query()
+
+
+def parse_expression(text: str) -> Expr:
+    """Parse a standalone expression (used in tests and by tooling)."""
+    parser = _Parser(tokenize(text))
+    expr = parser.expression()
+    parser._expect(TokenType.EOF)
+    return expr

@@ -1,0 +1,179 @@
+"""Render ASTs back to SQL text.
+
+SkyNode wrappers use this to hand queries to their local engines. Dialects
+model the paper's archive heterogeneity: each archive's DBMS accepts the
+same logical query but with different surface syntax (identifier quoting and
+spatial-function spelling), and the wrapper picks the right dialect so the
+Portal never needs to know.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sql.ast import (
+    AreaClause,
+    BinaryOp,
+    ColumnRef,
+    Expr,
+    FuncCall,
+    IsNull,
+    Literal,
+    PolygonClause,
+    Query,
+    SelectItem,
+    Star,
+    TableRef,
+    UnaryOp,
+    XMatchClause,
+)
+
+
+@dataclass(frozen=True)
+class Dialect:
+    """Surface-syntax knobs for one archive's DBMS."""
+
+    name: str
+    quote_open: str = ""
+    quote_close: str = ""
+    area_function: str = "AREA"
+    uppercase_keywords: bool = True
+
+    def ident(self, name: str) -> str:
+        """Quote an identifier per this dialect."""
+        return f"{self.quote_open}{name}{self.quote_close}"
+
+
+ANSI = Dialect(name="ansi")
+SQLSERVER = Dialect(name="sqlserver", quote_open="[", quote_close="]")
+POSTGRES = Dialect(name="postgres", quote_open='"', quote_close='"',
+                   area_function="sky_area")
+
+DIALECTS = {d.name: d for d in (ANSI, SQLSERVER, POSTGRES)}
+
+
+def to_sql(node: Query | Expr | SelectItem | TableRef, dialect: Dialect = ANSI) -> str:
+    """Render any AST node as SQL text in the given dialect."""
+    if isinstance(node, Query):
+        return _query(node, dialect)
+    if isinstance(node, SelectItem):
+        return _select_item(node, dialect)
+    if isinstance(node, TableRef):
+        return _table_ref(node, dialect)
+    return _expr(node, dialect)
+
+
+def _query(q: Query, d: Dialect) -> str:
+    parts = ["SELECT "]
+    if q.distinct:
+        parts.append("DISTINCT ")
+    parts.append(", ".join(_select_item(i, d) for i in q.items))
+    parts.append(" FROM ")
+    parts.append(", ".join(_table_ref(t, d) for t in q.tables))
+    if q.where is not None:
+        parts.append(" WHERE ")
+        parts.append(_expr(q.where, d))
+    if q.group_by:
+        parts.append(" GROUP BY ")
+        parts.append(", ".join(_expr(e, d) for e in q.group_by))
+    if q.having is not None:
+        parts.append(" HAVING ")
+        parts.append(_expr(q.having, d))
+    if q.order_by:
+        keys = ", ".join(
+            _expr(item.expr, d) + (" DESC" if item.descending else "")
+            for item in q.order_by
+        )
+        parts.append(f" ORDER BY {keys}")
+    if q.limit is not None:
+        parts.append(f" LIMIT {q.limit}")
+    return "".join(parts)
+
+
+def _select_item(item: SelectItem, d: Dialect) -> str:
+    text = _expr(item.expr, d)
+    if item.alias:
+        return f"{text} AS {d.ident(item.alias)}"
+    return text
+
+
+def _table_ref(t: TableRef, d: Dialect) -> str:
+    text = d.ident(t.table)
+    if t.archive:
+        text = f"{t.archive}:{text}"
+    if t.alias:
+        text = f"{text} {t.alias}"
+    return text
+
+
+_NEEDS_PARENS = {"AND": ("OR",), "*": ("+", "-"), "/": ("+", "-")}
+
+
+def _expr(e: Expr, d: Dialect) -> str:
+    if isinstance(e, Literal):
+        return _literal(e)
+    if isinstance(e, Star):
+        return "*"
+    if isinstance(e, ColumnRef):
+        if e.qualifier:
+            return f"{e.qualifier}.{d.ident(e.name)}"
+        return d.ident(e.name)
+    if isinstance(e, FuncCall):
+        args = ", ".join(_expr(a, d) for a in e.args)
+        return f"{e.name}({args})"
+    if isinstance(e, UnaryOp):
+        if e.op == "NOT":
+            return f"NOT ({_expr(e.operand, d)})"
+        return f"-{_operand(e.operand, d)}"
+    if isinstance(e, BinaryOp):
+        left = _operand(e.left, d, parent=e.op)
+        right = _operand(e.right, d, parent=e.op)
+        return f"{left} {e.op} {right}"
+    if isinstance(e, IsNull):
+        keyword = "IS NOT NULL" if e.negated else "IS NULL"
+        return f"{_operand(e.operand, d)} {keyword}"
+    if isinstance(e, AreaClause):
+        return (
+            f"{d.area_function}({_num(e.ra_deg)}, {_num(e.dec_deg)}, "
+            f"{_num(e.radius_arcsec)})"
+        )
+    if isinstance(e, PolygonClause):
+        coords = ", ".join(
+            f"{_num(ra)}, {_num(dec)}" for ra, dec in e.vertices
+        )
+        return f"{d.area_function}(POLYGON, {coords})"
+    if isinstance(e, XMatchClause):
+        terms = ", ".join(str(t) for t in e.terms)
+        return f"XMATCH({terms}) < {_num(e.threshold)}"
+    raise TypeError(f"cannot print AST node {e!r}")
+
+
+def _operand(e: Expr, d: Dialect, parent: str | None = None) -> str:
+    text = _expr(e, d)
+    if isinstance(e, BinaryOp):
+        if parent in ("AND",) and e.op == "OR":
+            return f"({text})"
+        if parent in ("*", "/") and e.op in ("+", "-"):
+            return f"({text})"
+        if parent in ("+", "-", "*", "/") and e.op in ("=", "<>", "<", "<=", ">", ">="):
+            return f"({text})"
+    return text
+
+
+def _literal(lit: Literal) -> str:
+    v = lit.value
+    if v is None:
+        return "NULL"
+    if isinstance(v, bool):
+        return "TRUE" if v else "FALSE"
+    if isinstance(v, str):
+        escaped = v.replace("'", "''")
+        return f"'{escaped}'"
+    return _num(v)
+
+
+def _num(v: int | float) -> str:
+    if isinstance(v, int):
+        return str(v)
+    text = repr(float(v))
+    return text

@@ -1,0 +1,172 @@
+"""Semantic validation of parsed cross-match queries.
+
+Run by the Portal before planning: catches inconsistencies that the grammar
+cannot (duplicate aliases, XMATCH over unknown archives, multiple XMATCH or
+AREA clauses, dropout-only matches) and classifies WHERE conjuncts by which
+archives they touch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ValidationError
+from repro.sql.ast import (
+    AreaClause,
+    AreaLike,
+    Expr,
+    PolygonClause,
+    Query,
+    XMatchClause,
+    conjuncts,
+    referenced_aliases,
+)
+
+
+@dataclass
+class QueryAnalysis:
+    """The validated decomposition-relevant structure of a cross-match query.
+
+    ``local_conjuncts`` maps each table alias to the WHERE conjuncts that
+    reference only that alias (pushable to its SkyNode); ``cross_conjuncts``
+    are the conjuncts spanning several archives (evaluated at the Portal on
+    the final joined tuples, since no single archive can decide them).
+    """
+
+    area: Optional[AreaLike]
+    xmatch: Optional[XMatchClause]
+    local_conjuncts: Dict[str, List[Expr]] = field(default_factory=dict)
+    cross_conjuncts: List[Expr] = field(default_factory=list)
+    aliases: Tuple[str, ...] = ()
+
+
+def validate_query(query: Query) -> QueryAnalysis:
+    """Validate a query and classify its WHERE conjuncts.
+
+    Raises :class:`~repro.errors.ValidationError` on semantic problems.
+    """
+    if not query.tables:
+        raise ValidationError("query has no FROM tables")
+
+    aliases: List[str] = []
+    for table in query.tables:
+        alias = table.effective_alias
+        if alias in aliases:
+            raise ValidationError(f"duplicate table alias {alias!r}")
+        aliases.append(alias)
+    alias_set = frozenset(aliases)
+
+    area: Optional[AreaLike] = None
+    xmatch: Optional[XMatchClause] = None
+    analysis = QueryAnalysis(area=None, xmatch=None, aliases=tuple(aliases))
+    analysis.local_conjuncts = {alias: [] for alias in aliases}
+
+    for conjunct in conjuncts(query.where):
+        if isinstance(conjunct, (AreaClause, PolygonClause)):
+            if area is not None:
+                raise ValidationError("multiple AREA clauses in one query")
+            area = conjunct
+            continue
+        if isinstance(conjunct, XMatchClause):
+            if xmatch is not None:
+                raise ValidationError("multiple XMATCH clauses in one query")
+            _check_xmatch(conjunct, alias_set)
+            xmatch = conjunct
+            continue
+        if _contains_spatial(conjunct):
+            raise ValidationError(
+                "AREA/XMATCH may only appear as top-level AND conditions"
+            )
+        refs = referenced_aliases(conjunct)
+        unknown = refs - alias_set
+        if unknown:
+            raise ValidationError(
+                f"condition references unknown alias(es) {sorted(unknown)!r}"
+            )
+        if len(refs) <= 1:
+            target = next(iter(refs), aliases[0])
+            analysis.local_conjuncts[target].append(conjunct)
+        else:
+            analysis.cross_conjuncts.append(conjunct)
+
+    if len(query.tables) > 1 and xmatch is None:
+        raise ValidationError(
+            "queries over multiple archives must have an XMATCH clause"
+        )
+    if len(query.tables) > 1:
+        from repro.db.aggregates import is_aggregate_query
+
+        if is_aggregate_query(query):
+            raise ValidationError(
+                "aggregates/GROUP BY are not supported in cross-match "
+                "queries; run them against a single archive"
+            )
+    _check_select_aliases(query, alias_set)
+    _check_order_by(query, alias_set)
+
+    analysis.area = area
+    analysis.xmatch = xmatch
+    return analysis
+
+
+def _check_xmatch(clause: XMatchClause, alias_set: frozenset[str]) -> None:
+    seen: set[str] = set()
+    for term in clause.terms:
+        if term.alias not in alias_set:
+            raise ValidationError(f"XMATCH references unknown alias {term.alias!r}")
+        if term.alias in seen:
+            raise ValidationError(f"XMATCH lists alias {term.alias!r} twice")
+        seen.add(term.alias)
+    if not clause.mandatory:
+        raise ValidationError("XMATCH needs at least one mandatory (non-!) archive")
+    if len(clause.mandatory) < 2 and clause.dropouts:
+        raise ValidationError(
+            "XMATCH with dropouts needs at least two mandatory archives "
+            "to define a mean position"
+        )
+    if clause.threshold != clause.threshold or clause.threshold <= 0:
+        raise ValidationError("XMATCH threshold must be a positive number")
+
+
+def _check_select_aliases(query: Query, alias_set: frozenset[str]) -> None:
+    for item in query.items:
+        refs = referenced_aliases(item.expr) if not _is_star(item.expr) else frozenset()
+        unknown = refs - alias_set
+        if unknown:
+            raise ValidationError(
+                f"SELECT item references unknown alias(es) {sorted(unknown)!r}"
+            )
+
+
+def _check_order_by(query: Query, alias_set: frozenset[str]) -> None:
+    for item in query.order_by:
+        if _contains_spatial(item.expr):
+            raise ValidationError("ORDER BY cannot contain AREA/XMATCH")
+        unknown = referenced_aliases(item.expr) - alias_set
+        if unknown:
+            raise ValidationError(
+                f"ORDER BY references unknown alias(es) {sorted(unknown)!r}"
+            )
+
+
+def _is_star(expr: Expr) -> bool:
+    from repro.sql.ast import Star
+
+    return isinstance(expr, Star)
+
+
+def _contains_spatial(expr: Expr) -> bool:
+    if isinstance(expr, (AreaClause, PolygonClause, XMatchClause)):
+        return True
+    from repro.sql.ast import BinaryOp, FuncCall, IsNull, UnaryOp
+
+    if isinstance(expr, BinaryOp):
+        return _contains_spatial(expr.left) or _contains_spatial(expr.right)
+    if isinstance(expr, UnaryOp):
+        return _contains_spatial(expr.operand)
+    if isinstance(expr, IsNull):
+        return _contains_spatial(expr.operand)
+    if isinstance(expr, FuncCall):
+        return any(_contains_spatial(a) for a in expr.args)
+    return False

@@ -1,0 +1,159 @@
+"""The two-phase-commit coordinator with a write-ahead log.
+
+Protocol: once staging is done, the coordinator logs BEGIN, collects
+Prepare votes from every participant, logs its DECISION (commit only on a
+unanimous yes — presumed abort otherwise), delivers the decision to every
+participant, then logs COMPLETE. A crash between DECISION and COMPLETE
+leaves the transaction *in doubt*; :meth:`TwoPhaseCoordinator.recover`
+replays the logged decision (participant operations are idempotent, so
+redelivery is safe) — the textbook recovery path, exercised by the tests
+via the :class:`CoordinatorCrash` fault hook.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import TransactionError, TransportError
+from repro.services.client import ServiceProxy
+from repro.transport.network import SimulatedNetwork
+
+PHASE = "transaction"
+
+
+class CoordinatorCrash(Exception):
+    """Raised by fault hooks to simulate the coordinator dying mid-protocol."""
+
+
+@dataclass
+class LogRecord:
+    """One write-ahead-log entry."""
+
+    txn_id: str
+    kind: str  # "begin" | "decision" | "complete"
+    decision: str = ""  # "commit" | "abort" for decision records
+    participants: List[str] = field(default_factory=list)
+
+
+class CoordinatorLog:
+    """The coordinator's durable log (survives coordinator restarts)."""
+
+    def __init__(self) -> None:
+        self.records: List[LogRecord] = []
+
+    def append(self, record: LogRecord) -> None:
+        """Durably append a record."""
+        self.records.append(record)
+
+    def in_doubt(self) -> Dict[str, LogRecord]:
+        """Decision records that never reached COMPLETE (need replay)."""
+        decisions: Dict[str, LogRecord] = {}
+        completed: set[str] = set()
+        for record in self.records:
+            if record.kind == "decision":
+                decisions[record.txn_id] = record
+            elif record.kind == "complete":
+                completed.add(record.txn_id)
+        return {
+            txn_id: record
+            for txn_id, record in decisions.items()
+            if txn_id not in completed
+        }
+
+
+@dataclass
+class TxnOutcome:
+    """What happened to one coordinated transaction."""
+
+    txn_id: str
+    committed: bool
+    votes: Dict[str, str] = field(default_factory=dict)
+    abort_reason: str = ""
+
+
+class TwoPhaseCoordinator:
+    """Drives 2PC over the participants' Transaction services."""
+
+    def __init__(
+        self,
+        network: SimulatedNetwork,
+        hostname: str,
+        log: Optional[CoordinatorLog] = None,
+    ) -> None:
+        self.network = network
+        self.hostname = hostname
+        self.log = log if log is not None else CoordinatorLog()
+        #: Test hook: called before each Commit/Abort delivery with the
+        #: participant URL; raise CoordinatorCrash to simulate dying.
+        self.fault_hook: Optional[Callable[[str], None]] = None
+
+    def _proxy(self, url: str) -> ServiceProxy:
+        return ServiceProxy(self.network, self.hostname, url)
+
+    def complete(self, txn_id: str, participants: List[str]) -> TxnOutcome:
+        """Run prepare + decision + delivery for an already-staged txn."""
+        with self.network.phase(PHASE):
+            self.log.append(
+                LogRecord(txn_id, "begin", participants=list(participants))
+            )
+            votes: Dict[str, str] = {}
+            abort_reason = ""
+            for url in participants:
+                try:
+                    reply = self._proxy(url).call("Prepare", txn_id=txn_id)
+                    votes[url] = str(reply.get("vote"))
+                    if votes[url] != "commit" and not abort_reason:
+                        abort_reason = str(reply.get("reason") or "participant voted abort")
+                except (TransportError, TransactionError) as exc:
+                    votes[url] = "unreachable"
+                    abort_reason = abort_reason or str(exc)
+            decision = (
+                "commit"
+                if all(vote == "commit" for vote in votes.values())
+                else "abort"
+            )
+            self.log.append(
+                LogRecord(txn_id, "decision", decision=decision,
+                          participants=list(participants))
+            )
+            if self._deliver_decision(txn_id, decision, participants):
+                self.log.append(LogRecord(txn_id, "complete"))
+            # else: the txn stays in doubt in the log; recover() replays it.
+            return TxnOutcome(
+                txn_id=txn_id,
+                committed=decision == "commit",
+                votes=votes,
+                abort_reason="" if decision == "commit" else abort_reason,
+            )
+
+    def _deliver_decision(
+        self, txn_id: str, decision: str, participants: List[str]
+    ) -> bool:
+        """Deliver to everyone; True only if every delivery succeeded."""
+        operation = "Commit" if decision == "commit" else "Abort"
+        all_delivered = True
+        for url in participants:
+            if self.fault_hook is not None:
+                self.fault_hook(url)
+            try:
+                self._proxy(url).call(operation, txn_id=txn_id)
+            except TransportError:
+                # The participant is partitioned; it stays prepared (in
+                # doubt on its side) until recover() replays the decision.
+                all_delivered = False
+        return all_delivered
+
+    def recover(self) -> List[TxnOutcome]:
+        """Replay logged decisions that never completed (after a crash)."""
+        outcomes: List[TxnOutcome] = []
+        with self.network.phase(PHASE):
+            for txn_id, record in self.log.in_doubt().items():
+                if self._deliver_decision(
+                    txn_id, record.decision, record.participants
+                ):
+                    self.log.append(LogRecord(txn_id, "complete"))
+                outcomes.append(
+                    TxnOutcome(txn_id, committed=record.decision == "commit")
+                )
+        return outcomes

@@ -1,0 +1,146 @@
+"""Transactional data exchange: replicate a sky region across archives.
+
+The motivating use case for the paper's transactions extension: copy all
+of a source archive's objects inside an AREA into replica tables at one or
+more target archives — atomically, so no target ever exposes a partial
+copy. The rows travel over the Query service (chunk-aware), staging and
+2PC over the Transaction services.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import TransactionError
+from repro.portal.portal import Portal
+from repro.services.chunked import receive_rowset
+from repro.services.client import ServiceProxy
+from repro.soap.encoding import WireRowSet
+from repro.sql.ast import (
+    AreaLike,
+    ColumnRef,
+    Query,
+    SelectItem,
+    TableRef,
+)
+from repro.sql.printer import to_sql
+from repro.transactions.coordinator import TwoPhaseCoordinator, TxnOutcome
+from repro.transport.chunking import chunk_rowset
+
+_txn_counter = itertools.count(1)
+
+
+@dataclass
+class ExchangeResult:
+    """Outcome of one replication exchange."""
+
+    txn_id: str
+    committed: bool
+    rows_copied: int
+    replica_table: str
+    votes: Dict[str, str] = field(default_factory=dict)
+    abort_reason: str = ""
+
+
+class DataExchange:
+    """Region replication from one archive into others, under 2PC."""
+
+    def __init__(
+        self,
+        portal: Portal,
+        transaction_urls: Dict[str, str],
+        *,
+        coordinator: Optional[TwoPhaseCoordinator] = None,
+        stage_rows_per_call: int = 500,
+    ) -> None:
+        """``transaction_urls`` maps archive name -> Transaction service URL."""
+        self.portal = portal
+        self.transaction_urls = dict(transaction_urls)
+        self.coordinator = coordinator or TwoPhaseCoordinator(
+            portal.require_network(), portal.hostname
+        )
+        self.stage_rows_per_call = stage_rows_per_call
+
+    def replicate_region(
+        self,
+        source_archive: str,
+        target_archives: List[str],
+        area: AreaLike,
+        *,
+        columns: Optional[List[str]] = None,
+    ) -> ExchangeResult:
+        """Copy the source's in-AREA objects into each target, atomically."""
+        if not target_archives:
+            raise TransactionError("replicate_region needs at least one target")
+        source = self.portal.catalog.node(source_archive)
+        rowset = self._pull_source_rows(source, area, columns)
+        replica_table = f"{source_archive.lower()}_replica"
+        txn_id = f"xchg-{source_archive.lower()}-{next(_txn_counter)}"
+
+        participants = []
+        for archive in target_archives:
+            url = self.transaction_urls.get(archive)
+            if url is None:
+                raise TransactionError(
+                    f"archive {archive!r} has no Transaction service"
+                )
+            participants.append(url)
+
+        network = self.portal.require_network()
+        with network.phase("transaction"):
+            column_specs = [
+                {"name": name.split(".", 1)[-1], "type": code}
+                for name, code in rowset.columns
+            ]
+            for url in participants:
+                proxy = self._proxy(url)
+                proxy.call("Begin", txn_id=txn_id)
+                proxy.call(
+                    "EnsureTable", table=replica_table, columns=column_specs
+                )
+                for chunk in chunk_rowset(rowset, self.stage_rows_per_call):
+                    proxy.call(
+                        "StageRows",
+                        txn_id=txn_id,
+                        table=replica_table,
+                        rows=chunk,
+                    )
+        outcome: TxnOutcome = self.coordinator.complete(txn_id, participants)
+        return ExchangeResult(
+            txn_id=txn_id,
+            committed=outcome.committed,
+            rows_copied=len(rowset.rows) if outcome.committed else 0,
+            replica_table=replica_table,
+            votes=outcome.votes,
+            abort_reason=outcome.abort_reason,
+        )
+
+    def _proxy(self, url: str) -> ServiceProxy:
+        return ServiceProxy(
+            self.portal.require_network(), self.portal.hostname, url
+        )
+
+    def _pull_source_rows(
+        self,
+        source,  # NodeRecord
+        area: AreaLike,
+        columns: Optional[List[str]],
+    ) -> WireRowSet:
+        info = source.info
+        wanted = columns or [
+            info.object_id_column, info.ra_column, info.dec_column
+        ]
+        query = Query(
+            items=tuple(
+                SelectItem(ColumnRef("s", column)) for column in wanted
+            ),
+            tables=(TableRef(None, info.primary_table, "s"),),
+            where=area,
+        )
+        proxy = self._proxy(source.services["query"])
+        network = self.portal.require_network()
+        with network.phase("transaction"):
+            response = proxy.call("ExecuteQueryChunked", sql=to_sql(query))
+            return receive_rowset(response, proxy)

@@ -1,0 +1,246 @@
+"""The per-archive transaction participant service.
+
+A strict two-phase-commit participant: rows are *staged* against a
+transaction id, validated at *prepare* (the vote), and only applied to the
+archive's tables at *commit*. Staged-but-unprepared state is volatile (lost
+on a simulated node crash); a PREPARED vote is durable — the participant
+must be able to commit after recovery, which is what
+:meth:`TransactionService.simulate_crash` exercises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Dict, List, Optional
+
+from repro.db.schema import Column
+from repro.db.types import ColumnType
+from repro.errors import TransactionError
+from repro.services.framework import WebService
+from repro.skynode.wrapper import ArchiveWrapper
+from repro.soap.encoding import WireRowSet
+
+_WIRE_TO_COLUMN = {
+    "int": ColumnType.INT,
+    "double": ColumnType.FLOAT,
+    "string": ColumnType.STRING,
+    "boolean": ColumnType.BOOL,
+}
+
+
+class TxnState(Enum):
+    """Participant-side transaction states."""
+
+    ACTIVE = "active"
+    PREPARED = "prepared"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+@dataclass
+class _Txn:
+    state: TxnState
+    staged: List[tuple[str, WireRowSet]] = field(default_factory=list)
+
+
+class TransactionService(WebService):
+    """Begin / StageRows / Prepare / Commit / Abort / GetStatus."""
+
+    def __init__(
+        self,
+        wrapper: ArchiveWrapper,
+        *,
+        parser_memory_limit: Optional[int] = None,
+    ) -> None:
+        super().__init__(
+            f"{wrapper.info.archive}Transaction",
+            parser_memory_limit=parser_memory_limit,
+        )
+        self._wrapper = wrapper
+        self._txns: Dict[str, _Txn] = {}
+        #: Test hook: the next Prepare votes abort with this reason.
+        self.fail_next_prepare: Optional[str] = None
+        self.register(
+            "Begin", self._begin, params=(("txn_id", "string"),),
+            returns="boolean",
+            doc="Open a transaction (idempotent while active).",
+        )
+        self.register(
+            "EnsureTable",
+            self._ensure_table,
+            params=(("table", "string"), ("columns", "array")),
+            returns="boolean",
+            doc="Idempotently create a replica table for incoming rows.",
+        )
+        self.register(
+            "StageRows",
+            self._stage_rows,
+            params=(("txn_id", "string"), ("table", "string"),
+                    ("rows", "rowset")),
+            returns="int",
+            doc="Stage rows under a transaction (not yet visible).",
+        )
+        self.register(
+            "Prepare", self._prepare, params=(("txn_id", "string"),),
+            returns="struct",
+            doc="Phase 1: validate staged rows and vote commit/abort.",
+        )
+        self.register(
+            "Commit", self._commit, params=(("txn_id", "string"),),
+            returns="boolean",
+            doc="Phase 2: apply staged rows (idempotent).",
+        )
+        self.register(
+            "Abort", self._abort, params=(("txn_id", "string"),),
+            returns="boolean",
+            doc="Discard a transaction (idempotent).",
+        )
+        self.register(
+            "GetStatus", self._status, params=(("txn_id", "string"),),
+            returns="string",
+            doc="Participant-side state of a transaction id.",
+        )
+
+    # -- operations ------------------------------------------------------------
+
+    def _begin(self, txn_id: str) -> bool:
+        if not txn_id:
+            raise TransactionError("Begin requires a txn_id")
+        existing = self._txns.get(txn_id)
+        if existing is None:
+            self._txns[txn_id] = _Txn(TxnState.ACTIVE)
+            return True
+        if existing.state is TxnState.ACTIVE:
+            return True  # idempotent re-begin
+        raise TransactionError(
+            f"transaction {txn_id!r} already {existing.state.value}"
+        )
+
+    def _ensure_table(self, table: str, columns: List[Dict[str, Any]]) -> bool:
+        db = self._wrapper.db
+        if db.has_table(table):
+            return False
+        cols = []
+        for spec in columns:
+            code = str(spec.get("type") or "string")
+            ctype = _WIRE_TO_COLUMN.get(code)
+            if ctype is None:
+                raise TransactionError(f"unknown column type {code!r}")
+            cols.append(Column(str(spec["name"]), ctype, nullable=True))
+        db.create_table(table, cols)
+        return True
+
+    def _stage_rows(self, txn_id: str, table: str, rows: WireRowSet) -> int:
+        txn = self._require(txn_id)
+        if txn.state is not TxnState.ACTIVE:
+            raise TransactionError(
+                f"cannot stage into {txn.state.value} transaction {txn_id!r}"
+            )
+        if not isinstance(rows, WireRowSet):
+            raise TransactionError("StageRows needs a rowset payload")
+        txn.staged.append((table, rows))
+        return len(rows.rows)
+
+    def _prepare(self, txn_id: str) -> Dict[str, Any]:
+        txn = self._require(txn_id)
+        if txn.state is TxnState.PREPARED:
+            return {"vote": "commit", "reason": ""}  # idempotent
+        if txn.state is not TxnState.ACTIVE:
+            raise TransactionError(
+                f"cannot prepare {txn.state.value} transaction {txn_id!r}"
+            )
+        if self.fail_next_prepare is not None:
+            reason = self.fail_next_prepare
+            self.fail_next_prepare = None
+            txn.state = TxnState.ABORTED
+            txn.staged.clear()
+            return {"vote": "abort", "reason": reason}
+        problem = self._validate(txn)
+        if problem:
+            txn.state = TxnState.ABORTED
+            txn.staged.clear()
+            return {"vote": "abort", "reason": problem}
+        txn.state = TxnState.PREPARED  # durable from here on
+        return {"vote": "commit", "reason": ""}
+
+    def _commit(self, txn_id: str) -> bool:
+        txn = self._txns.get(txn_id)
+        if txn is None:
+            raise TransactionError(f"unknown transaction {txn_id!r}")
+        if txn.state is TxnState.COMMITTED:
+            return True  # idempotent redelivery
+        if txn.state is not TxnState.PREPARED:
+            raise TransactionError(
+                f"commit of {txn.state.value} transaction {txn_id!r} "
+                "violates two-phase commit"
+            )
+        db = self._wrapper.db
+        for table, rowset in txn.staged:
+            names = [name.split(".", 1)[-1] for name in rowset.column_names]
+            db.insert(
+                table,
+                [dict(zip(names, row)) for row in rowset.rows],
+            )
+        txn.staged.clear()
+        txn.state = TxnState.COMMITTED
+        return True
+
+    def _abort(self, txn_id: str) -> bool:
+        txn = self._txns.get(txn_id)
+        if txn is None:
+            # Aborting an unknown txn is safe (presumed abort).
+            self._txns[txn_id] = _Txn(TxnState.ABORTED)
+            return True
+        if txn.state is TxnState.COMMITTED:
+            raise TransactionError(
+                f"cannot abort committed transaction {txn_id!r}"
+            )
+        txn.staged.clear()
+        txn.state = TxnState.ABORTED
+        return True
+
+    def _status(self, txn_id: str) -> str:
+        txn = self._txns.get(txn_id)
+        return txn.state.value if txn is not None else "unknown"
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _require(self, txn_id: str) -> _Txn:
+        txn = self._txns.get(txn_id)
+        if txn is None:
+            raise TransactionError(f"unknown transaction {txn_id!r}")
+        return txn
+
+    def _validate(self, txn: _Txn) -> str:
+        """The prepare-time check: every staged row must be insertable."""
+        db = self._wrapper.db
+        for table, rowset in txn.staged:
+            if not db.has_table(table):
+                return f"table {table!r} does not exist"
+            schema = db.table(table).schema
+            names = [name.split(".", 1)[-1] for name in rowset.column_names]
+            for name in names:
+                if not schema.has_column(name):
+                    return f"table {table!r} has no column {name!r}"
+            from repro.errors import SchemaError
+
+            for row in rowset.rows:
+                try:
+                    schema.coerce_row(dict(zip(names, row)))
+                except SchemaError as exc:
+                    return str(exc)
+        return ""
+
+    def simulate_crash(self) -> None:
+        """Lose volatile state: ACTIVE transactions vanish, PREPARED survive.
+
+        Models a participant restart: the staged rows of prepared
+        transactions live in its (simulated) write-ahead log, so they are
+        retained; everything not yet prepared is gone.
+        """
+        self._txns = {
+            txn_id: txn
+            for txn_id, txn in self._txns.items()
+            if txn.state is not TxnState.ACTIVE
+        }

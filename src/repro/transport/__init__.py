@@ -1,0 +1,28 @@
+"""Simulated HTTP transport between federation hosts.
+
+The paper's cost model (Section 5.3): federated query execution "incurs
+processing costs at the individual SkyNodes and transmission costs in
+sending partial results from one SkyNode to the next". This package makes
+transmission costs first-class: every SOAP message travels as a rendered
+HTTP request/response over a simulated link with latency and bandwidth, a
+deterministic clock accumulates transfer time, and a metrics collector
+records bytes per link/phase so the ordering experiments can compare plans.
+"""
+
+from repro.transport.http import HttpRequest, HttpResponse, soap_request
+from repro.transport.metrics import MessageRecord, NetworkMetrics
+from repro.transport.network import Link, SimClock, SimulatedNetwork
+from repro.transport.chunking import chunk_rowset, split_for_budget
+
+__all__ = [
+    "HttpRequest",
+    "HttpResponse",
+    "soap_request",
+    "MessageRecord",
+    "NetworkMetrics",
+    "Link",
+    "SimClock",
+    "SimulatedNetwork",
+    "chunk_rowset",
+    "split_for_budget",
+]

@@ -1,0 +1,80 @@
+"""Transmission metrics: who sent how many bytes to whom, and when."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class MessageRecord:
+    """One HTTP message observed on a link."""
+
+    src: str
+    dst: str
+    wire_bytes: int
+    kind: str  # "request" | "response"
+    phase: str
+    operation: str
+    sim_time: float
+
+
+@dataclass
+class NetworkMetrics:
+    """Accumulates message records plus simulated elapsed time.
+
+    ``simulated_seconds`` sums transfer time (latency + bytes/bandwidth);
+    ``processing_seconds`` sums the per-row processing cost the SkyNodes
+    charge while scanning — the two halves of the paper's Section 5.3 cost
+    model ("processing costs at the individual SkyNodes and transmission
+    costs in sending partial results").
+    """
+
+    messages: List[MessageRecord] = field(default_factory=list)
+    simulated_seconds: float = 0.0
+    processing_seconds: float = 0.0
+
+    def record(self, message: MessageRecord) -> None:
+        """Append one message record."""
+        self.messages.append(message)
+
+    def total_bytes(
+        self,
+        *,
+        phase: Optional[str] = None,
+        src: Optional[str] = None,
+        dst: Optional[str] = None,
+    ) -> int:
+        """Sum of wire bytes, optionally filtered."""
+        return sum(
+            m.wire_bytes
+            for m in self.messages
+            if (phase is None or m.phase == phase)
+            and (src is None or m.src == src)
+            and (dst is None or m.dst == dst)
+        )
+
+    def message_count(self, *, phase: Optional[str] = None) -> int:
+        """Number of messages, optionally filtered by phase."""
+        return sum(1 for m in self.messages if phase is None or m.phase == phase)
+
+    def bytes_by_phase(self) -> Dict[str, int]:
+        """Total wire bytes per phase label."""
+        totals: Dict[str, int] = defaultdict(int)
+        for m in self.messages:
+            totals[m.phase] += m.wire_bytes
+        return dict(totals)
+
+    def bytes_by_link(self) -> Dict[Tuple[str, str], int]:
+        """Total wire bytes per directed (src, dst) link."""
+        totals: Dict[Tuple[str, str], int] = defaultdict(int)
+        for m in self.messages:
+            totals[(m.src, m.dst)] += m.wire_bytes
+        return dict(totals)
+
+    def reset(self) -> None:
+        """Forget all records and zero the accumulators."""
+        self.messages.clear()
+        self.simulated_seconds = 0.0
+        self.processing_seconds = 0.0

@@ -1,0 +1,220 @@
+"""The simulated Internet between federation hosts.
+
+Hosts register an HTTP handler under a hostname; links between host pairs
+have latency and bandwidth. Delivering a message advances a deterministic
+clock by ``latency + wire_bytes / bandwidth`` in each direction, and every
+message is recorded in :class:`~repro.transport.metrics.NetworkMetrics`
+under the currently active *phase* label (registration, performance-query,
+cross-match chain, ...), which is what the benchmarks report.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, Optional, Tuple
+
+from repro.errors import TransportError
+from repro.transport.http import HttpRequest, HttpResponse
+from repro.transport.metrics import MessageRecord, NetworkMetrics
+
+Handler = Callable[[HttpRequest], HttpResponse]
+
+
+class SimClock:
+    """A deterministic simulated clock (seconds)."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def advance(self, seconds: float) -> None:
+        """Move time forward; negative advances are rejected."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance clock by {seconds!r}")
+        self.now += seconds
+
+
+@dataclass(frozen=True)
+class Link:
+    """Directed link properties."""
+
+    latency_s: float = 0.05
+    bandwidth_bps: float = 1_000_000.0  # bytes per second
+
+    def transfer_time(self, wire_bytes: int) -> float:
+        """Seconds to deliver a message of the given size."""
+        return self.latency_s + wire_bytes / self.bandwidth_bps
+
+
+class SimulatedNetwork:
+    """Host registry + link model + metrics, with phase tagging."""
+
+    LOCAL_PHASE = "unspecified"
+
+    def __init__(
+        self,
+        *,
+        default_latency_s: float = 0.05,
+        default_bandwidth_bps: float = 1_000_000.0,
+    ) -> None:
+        self.clock = SimClock()
+        self.metrics = NetworkMetrics()
+        self._default_link = Link(default_latency_s, default_bandwidth_bps)
+        self._links: Dict[Tuple[str, str], Link] = {}
+        self._hosts: Dict[str, Handler] = {}
+        self._phase_stack: list[str] = []
+        self._failed_hosts: set[str] = set()
+        self._parallel_stack: list[list[float]] = []
+        self._request_depth = 0
+
+    # -- topology -------------------------------------------------------------
+
+    def add_host(self, hostname: str, handler: Handler) -> None:
+        """Register an HTTP handler for a hostname."""
+        if hostname in self._hosts:
+            raise TransportError(f"host {hostname!r} already registered")
+        self._hosts[hostname] = handler
+
+    def remove_host(self, hostname: str) -> None:
+        """Unregister a host (it becomes unreachable)."""
+        self._hosts.pop(hostname, None)
+
+    def has_host(self, hostname: str) -> bool:
+        """True if a handler is registered for the hostname."""
+        return hostname in self._hosts
+
+    def hostnames(self) -> list[str]:
+        """All registered hostnames."""
+        return sorted(self._hosts)
+
+    def set_link(
+        self,
+        src: str,
+        dst: str,
+        *,
+        latency_s: Optional[float] = None,
+        bandwidth_bps: Optional[float] = None,
+        symmetric: bool = True,
+    ) -> None:
+        """Override link properties between two hosts."""
+        link = Link(
+            latency_s if latency_s is not None else self._default_link.latency_s,
+            bandwidth_bps
+            if bandwidth_bps is not None
+            else self._default_link.bandwidth_bps,
+        )
+        self._links[(src, dst)] = link
+        if symmetric:
+            self._links[(dst, src)] = link
+
+    def link(self, src: str, dst: str) -> Link:
+        """The link used from src to dst (default if not overridden)."""
+        return self._links.get((src, dst), self._default_link)
+
+    # -- failure injection --------------------------------------------------------
+
+    def fail_host(self, hostname: str) -> None:
+        """Partition a host off the network (requests to it now fail)."""
+        self._failed_hosts.add(hostname)
+
+    def restore_host(self, hostname: str) -> None:
+        """Bring a failed host back."""
+        self._failed_hosts.discard(hostname)
+
+    def is_failed(self, hostname: str) -> bool:
+        """True if the host is currently partitioned off."""
+        return hostname in self._failed_hosts
+
+    # -- phase tagging ----------------------------------------------------------
+
+    @contextmanager
+    def phase(self, label: str) -> Iterator[None]:
+        """Tag all messages sent inside the block with a phase label."""
+        self._phase_stack.append(label)
+        try:
+            yield
+        finally:
+            self._phase_stack.pop()
+
+    @property
+    def current_phase(self) -> str:
+        """The innermost active phase label."""
+        return self._phase_stack[-1] if self._phase_stack else self.LOCAL_PHASE
+
+    @contextmanager
+    def parallel(self) -> Iterator[None]:
+        """Treat the requests issued inside the block as dispatched together.
+
+        The paper sends performance queries "as asynchronous SOAP messages";
+        with concurrent dispatch the elapsed (clock) time is the *makespan*
+        — the slowest request — rather than the sum. Byte metrics are
+        unaffected. Each top-level request inside the block contributes its
+        duration to a pool; on exit the clock advances by max instead of sum.
+        """
+        start = self.clock.now
+        self._parallel_stack.append([])
+        try:
+            yield
+        finally:
+            durations = self._parallel_stack.pop()
+            if not self._parallel_stack:
+                self.clock.now = start + (max(durations) if durations else 0.0)
+
+    # -- message delivery ---------------------------------------------------------
+
+    def request(
+        self, src_host: str, request: HttpRequest, *, operation: str = ""
+    ) -> HttpResponse:
+        """Deliver an HTTP request from ``src_host`` and return the response.
+
+        Charges both directions to the clock and records both messages.
+        Inside a :meth:`parallel` block, top-level requests contribute
+        their duration to the block's makespan pool instead of serializing.
+        """
+        dst_host = request.host
+        if src_host in self._failed_hosts:
+            raise TransportError(f"host {src_host!r} is down")
+        if dst_host in self._failed_hosts:
+            raise TransportError(f"no route to host {dst_host!r}: host is down")
+        handler = self._hosts.get(dst_host)
+        if handler is None:
+            raise TransportError(f"no route to host {dst_host!r}")
+
+        outermost_parallel = (
+            bool(self._parallel_stack) and self._request_depth == 0
+        )
+        started = self.clock.now
+        self._request_depth += 1
+        try:
+            self._deliver(
+                src_host, dst_host, request.wire_bytes, "request", operation
+            )
+            response = handler(request)
+            self._deliver(
+                dst_host, src_host, response.wire_bytes, "response", operation
+            )
+        finally:
+            self._request_depth -= 1
+        if outermost_parallel:
+            self._parallel_stack[-1].append(self.clock.now - started)
+            self.clock.now = started  # rewind; parallel() advances by the max
+        return response
+
+    def _deliver(
+        self, src: str, dst: str, wire_bytes: int, kind: str, operation: str
+    ) -> None:
+        link = self.link(src, dst)
+        elapsed = link.transfer_time(wire_bytes)
+        self.clock.advance(elapsed)
+        self.metrics.simulated_seconds += elapsed
+        self.metrics.record(
+            MessageRecord(
+                src=src,
+                dst=dst,
+                wire_bytes=wire_bytes,
+                kind=kind,
+                phase=self.current_phase,
+                operation=operation,
+                sim_time=self.clock.now,
+            )
+        )

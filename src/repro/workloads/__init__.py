@@ -1,0 +1,26 @@
+"""Synthetic sky-survey workloads.
+
+The published prototype federated the real SDSS, 2MASS and FIRST archives.
+Those proprietary-scale datasets are replaced by a controlled synthetic
+sky: true astronomical bodies are sampled in a cap, and each survey
+"observes" a body with its own detection rate and scatters the measured
+position with its own circular Gaussian error — exactly the measurement
+model the paper's XMATCH semantics assume. Because generation keeps the
+object-id -> body-id ground truth, match precision/recall is measurable.
+"""
+
+from repro.workloads.skysim import (
+    SkyField,
+    SurveySpec,
+    TrueBody,
+    generate_bodies,
+    observe_survey,
+)
+
+__all__ = [
+    "SkyField",
+    "SurveySpec",
+    "TrueBody",
+    "generate_bodies",
+    "observe_survey",
+]

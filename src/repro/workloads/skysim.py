@@ -1,0 +1,153 @@
+"""Sky simulation: true bodies and per-survey observations."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.db.schema import Column
+from repro.db.types import ColumnType
+from repro.sphere.coords import radec_to_vector, vector_to_radec
+from repro.sphere.random import perturb_gaussian, random_in_cap
+from repro.sphere.vector import Vec3
+from repro.units import arcsec_to_rad
+
+OBJECT_TYPES = ("GALAXY", "STAR", "QSO")
+TYPE_WEIGHTS = (0.70, 0.25, 0.05)
+
+
+@dataclass(frozen=True)
+class SkyField:
+    """The patch of sky a simulation populates."""
+
+    center_ra_deg: float = 185.0
+    center_dec_deg: float = -0.5
+    radius_arcsec: float = 3600.0  # 1 degree
+
+    @property
+    def center(self) -> Vec3:
+        """Unit vector of the field center."""
+        return radec_to_vector(self.center_ra_deg, self.center_dec_deg)
+
+    @property
+    def radius_rad(self) -> float:
+        """Field radius in radians."""
+        return arcsec_to_rad(self.radius_arcsec)
+
+
+@dataclass(frozen=True)
+class TrueBody:
+    """One real astronomical body (the ground truth)."""
+
+    body_id: int
+    position: Vec3
+    object_type: str
+    fluxes: Dict[str, float]  # per band
+
+
+@dataclass(frozen=True)
+class SurveySpec:
+    """One survey's instrument model and schema personality."""
+
+    archive: str
+    sigma_arcsec: float
+    detection_rate: float
+    primary_table: str
+    object_id_column: str = "object_id"
+    ra_column: str = "ra"
+    dec_column: str = "dec"
+    bands: Tuple[str, ...] = ("i",)
+    has_type: bool = True
+    dialect: str = "ansi"
+    flux_offset: float = 0.0  # systematic per-survey flux shift
+    flux_noise: float = 0.1
+    #: Sky coverage; None = all sky. Real surveys cover footprints (SDSS
+    #: imaged about a quarter of the sky), so bodies outside are never
+    #: observed regardless of detection_rate.
+    footprint: Optional["SkyField"] = None
+
+    def columns(self) -> List[Column]:
+        """The primary table's column list."""
+        cols = [
+            Column(self.object_id_column, ColumnType.INT, nullable=False),
+            Column(self.ra_column, ColumnType.FLOAT, nullable=False),
+            Column(self.dec_column, ColumnType.FLOAT, nullable=False),
+        ]
+        if self.has_type:
+            cols.append(Column("type", ColumnType.STRING, nullable=False))
+        cols.extend(
+            Column(f"{band}_flux", ColumnType.FLOAT) for band in self.bands
+        )
+        return cols
+
+
+def generate_bodies(
+    field: SkyField, n_bodies: int, seed: int, bands: Sequence[str] = ("u", "g", "r", "i", "z", "j", "h", "k")
+) -> List[TrueBody]:
+    """Sample true bodies uniformly in the field."""
+    rng = random.Random(seed)
+    bodies: List[TrueBody] = []
+    for body_id in range(1, n_bodies + 1):
+        position = random_in_cap(rng, field.center, field.radius_rad)
+        object_type = rng.choices(OBJECT_TYPES, weights=TYPE_WEIGHTS, k=1)[0]
+        base = rng.uniform(12.0, 22.0)
+        fluxes = {
+            band: base + rng.uniform(-1.5, 1.5) for band in bands
+        }
+        bodies.append(TrueBody(body_id, position, object_type, fluxes))
+    return bodies
+
+
+@dataclass
+class SurveyObservation:
+    """One survey's view of the sky, plus the ground-truth mapping."""
+
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    truth: Dict[int, int] = field(default_factory=dict)  # object_id -> body_id
+
+
+def observe_survey(
+    survey: SurveySpec, bodies: Sequence[TrueBody], seed: int
+) -> SurveyObservation:
+    """Produce the survey's primary-table rows for the given true sky.
+
+    Each body is detected with ``detection_rate``; the measured position is
+    the true position scattered by the survey's circular Gaussian sigma
+    (the paper's error model), and per-band fluxes get survey-systematic
+    offsets plus noise.
+    """
+    # zlib.crc32 is stable across processes (str.__hash__ is randomized).
+    import zlib
+
+    rng = random.Random(seed ^ zlib.crc32(survey.archive.encode("utf-8")))
+    sigma_rad = arcsec_to_rad(survey.sigma_arcsec)
+    observation = SurveyObservation()
+    object_id = 0
+    from repro.sphere.distance import angular_separation
+
+    for body in bodies:
+        if survey.footprint is not None and angular_separation(
+            body.position, survey.footprint.center
+        ) > survey.footprint.radius_rad:
+            continue
+        if rng.random() >= survey.detection_rate:
+            continue
+        object_id += 1
+        measured = perturb_gaussian(rng, body.position, sigma_rad)
+        ra, dec = vector_to_radec(measured)
+        row: Dict[str, Any] = {
+            survey.object_id_column: object_id,
+            survey.ra_column: ra,
+            survey.dec_column: dec,
+        }
+        if survey.has_type:
+            row["type"] = body.object_type
+        for band in survey.bands:
+            base = body.fluxes.get(band, 18.0)
+            row[f"{band}_flux"] = (
+                base + survey.flux_offset + rng.gauss(0.0, survey.flux_noise)
+            )
+        observation.rows.append(row)
+        observation.truth[object_id] = body.body_id
+    return observation

@@ -1,0 +1,52 @@
+"""A k-d-tree candidate search for in-memory object sets.
+
+The SkyNodes use HTM (their archives' index); the *Portal-side* matchers —
+the pull-to-portal baseline and the reference oracle — hold plain object
+lists, where the brute-force scan is O(n) per probe. Since an angular
+cap on the unit sphere is exactly a Euclidean ball of radius
+``2 sin(theta/2)`` (the chord), a 3-D cKDTree answers the same range query
+in O(log n + k).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+from repro.sphere.distance import chord_for_angle
+from repro.sphere.vector import Vec3
+from repro.xmatch.stream import CandidateSearch
+from repro.xmatch.tuples import LocalObject
+
+
+class KDTreeSearch:
+    """A :class:`~repro.xmatch.stream.CandidateSearch` over a fixed set."""
+
+    def __init__(self, objects: Sequence[LocalObject]) -> None:
+        self._objects: List[LocalObject] = list(objects)
+        if self._objects:
+            points = np.array([obj.position for obj in self._objects])
+            self._tree: cKDTree | None = cKDTree(points)
+        else:
+            self._tree = None
+
+    def __call__(self, center: Vec3, radius_rad: float) -> Iterable[LocalObject]:
+        if self._tree is None:
+            return []
+        # Chord distance is monotone in angle, so the Euclidean ball is the
+        # exact angular cap — no post-filtering needed.
+        import math
+
+        chord = chord_for_angle(min(radius_rad, math.pi))
+        indexes = self._tree.query_ball_point(np.asarray(center), chord + 1e-12)
+        return [self._objects[i] for i in indexes]
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+
+def kdtree_search(objects: Sequence[LocalObject]) -> CandidateSearch:
+    """Build a k-d-tree search (drop-in for ``in_memory_search``)."""
+    return KDTreeSearch(objects)

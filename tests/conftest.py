@@ -1,0 +1,35 @@
+"""Shared fixtures: federations are expensive, so session-scope them."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.federation.builder import FederationConfig, build_federation
+from repro.workloads.skysim import SkyField
+
+
+@pytest.fixture(scope="session")
+def small_federation():
+    """A three-survey federation over a 0.5-degree field, 600 bodies."""
+    return build_federation(
+        FederationConfig(
+            n_bodies=600,
+            seed=77,
+            sky_field=SkyField(185.0, -0.5, 1800.0),
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def figure2():
+    """The exact Figure 2 two-body scenario (federation, ids)."""
+    from repro.bench.scenarios import build_figure2_federation
+
+    return build_figure2_federation()
+
+
+@pytest.fixture()
+def fresh_metrics(small_federation):
+    """The shared federation with its network metrics reset."""
+    small_federation.network.metrics.reset()
+    return small_federation

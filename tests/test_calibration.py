@@ -1,0 +1,94 @@
+"""Black-box cost calibration and byte-based ordering."""
+
+import pytest
+
+from repro.errors import PlanningError
+from repro.portal.calibration import ArchiveCostModel, CostCalibrator
+from repro.portal.decompose import decompose
+from repro.portal.planner import OrderingStrategy
+from repro.sql.parser import parse_query
+
+WIDE_SQL = (
+    "SELECT O.object_id, O.type, O.u_flux, O.g_flux, O.r_flux, O.i_flux, "
+    "O.z_flux, T.obj_id "
+    "FROM SDSS:Photo_Object O, TWOMASS:Photo_Primary T "
+    "WHERE AREA(185.0, -0.5, 900.0) AND XMATCH(O, T) < 3.5 "
+    "AND O.type = GALAXY"
+)
+
+
+@pytest.fixture()
+def decomposed(small_federation):
+    return decompose(parse_query(WIDE_SQL), small_federation.portal.catalog)
+
+
+def test_calibration_measures_row_widths(small_federation, decomposed):
+    models = CostCalibrator(small_federation.portal).calibrate(decomposed)
+    assert set(models) == {"O", "T"}
+    # SDSS ships 6 extra attributes vs TWOMASS's 1: much wider rows.
+    assert models["O"].bytes_per_row > models["T"].bytes_per_row * 2
+    assert models["O"].sample_rows > 0
+    assert models["O"].round_trip_s > 0
+
+
+def test_calibration_traffic_tagged(small_federation, decomposed):
+    small_federation.network.metrics.reset()
+    CostCalibrator(small_federation.portal).calibrate(decomposed)
+    metrics = small_federation.network.metrics
+    assert metrics.message_count(phase="calibration") == 4  # 2 round trips
+
+
+def test_estimated_bytes_scales(small_federation, decomposed):
+    models = CostCalibrator(small_federation.portal).calibrate(decomposed)
+    model = models["O"]
+    assert model.estimated_bytes(100) == pytest.approx(
+        100 * model.bytes_per_row
+    )
+
+
+def test_bytes_desc_requires_models(small_federation, decomposed):
+    portal = small_federation.portal
+    counts = portal.planner.performance_counts(decomposed)
+    with pytest.raises(PlanningError):
+        portal.planner.build_plan(
+            decomposed, counts, strategy=OrderingStrategy.BYTES_DESC
+        )
+
+
+def test_bytes_desc_orders_by_estimated_bytes(small_federation, decomposed):
+    portal = small_federation.portal
+    counts = portal.planner.performance_counts(decomposed)
+    models = {
+        "O": ArchiveCostModel("O", "SDSS", bytes_per_row=200.0,
+                              round_trip_s=0.1, sample_rows=10),
+        "T": ArchiveCostModel("T", "TWOMASS", bytes_per_row=10.0,
+                              round_trip_s=0.1, sample_rows=10),
+    }
+    plan = portal.planner.build_plan(
+        decomposed, counts,
+        strategy=OrderingStrategy.BYTES_DESC, cost_models=models,
+    )
+    # O's estimated bytes dwarf T's despite the smaller count.
+    assert [s.alias for s in plan.steps] == ["O", "T"]
+
+
+def test_bytes_desc_same_results_as_count_desc(small_federation):
+    client = small_federation.client()
+    by_count = client.submit(WIDE_SQL, strategy="count_desc")
+    by_bytes = client.submit(WIDE_SQL, strategy="bytes_desc")
+    assert sorted(by_count.rows) == sorted(by_bytes.rows)
+
+
+def test_bytes_desc_ships_fewer_bytes_for_wide_rows(small_federation):
+    client = small_federation.client()
+    metrics = small_federation.network.metrics
+
+    metrics.reset()
+    client.submit(WIDE_SQL, strategy="count_desc")
+    count_bytes = metrics.total_bytes(phase="crossmatch-chain")
+
+    metrics.reset()
+    client.submit(WIDE_SQL, strategy="bytes_desc")
+    bytes_bytes = metrics.total_bytes(phase="crossmatch-chain")
+
+    assert bytes_bytes < count_bytes

@@ -1,0 +1,112 @@
+"""The command-line interface."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(*argv):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *argv],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+
+
+def test_info(capsys):
+    assert main(["info"]) == 0
+    out = capsys.readouterr().out
+    assert "skyquery-repro" in out
+    assert "CIDR 2003" in out
+
+
+def test_demo(capsys):
+    assert main(["demo", "--bodies", "300"]) == 0
+    out = capsys.readouterr().out
+    assert "Registered: ['FIRST', 'SDSS', 'TWOMASS']" in out
+    assert "cross matches" in out
+
+
+def test_query_table(capsys):
+    code = main([
+        "query",
+        "SELECT O.object_id, T.obj_id FROM SDSS:Photo_Object O, "
+        "TWOMASS:Photo_Primary T "
+        "WHERE AREA(185.0, -0.5, 600.0) AND XMATCH(O, T) < 3.5",
+        "--bodies", "300", "--stats",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "O.object_id" in out
+    assert "crossmatch-chain" in out
+
+
+def test_query_votable(capsys):
+    code = main([
+        "query",
+        "SELECT t.object_id FROM SDSS:Photo_Object t "
+        "WHERE AREA(185.0, -0.5, 300.0) LIMIT 3",
+        "--bodies", "300", "--format", "votable",
+    ])
+    assert code == 0
+    assert "<VOTABLE" in capsys.readouterr().out
+
+
+def test_query_csv(capsys):
+    code = main([
+        "query",
+        "SELECT t.object_id, t.ra FROM SDSS:Photo_Object t "
+        "WHERE AREA(185.0, -0.5, 300.0) LIMIT 2",
+        "--bodies", "300", "--format", "csv",
+    ])
+    assert code == 0
+    lines = capsys.readouterr().out.strip().splitlines()
+    assert lines[0] == "t.object_id,t.ra"
+    assert len(lines) == 3
+
+
+def test_query_bad_sql_is_clean_error(capsys):
+    code = main(["query", "NOT SQL AT ALL", "--bodies", "300"])
+    assert code == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_experiments_filter(capsys, tmp_path):
+    out_file = tmp_path / "report.md"
+    code = main(["experiments", "--ids", "E2", "--out", str(out_file)])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "E2:" in out
+    assert "E4:" not in out
+    assert "XMATCH semantics" in out_file.read_text()
+
+
+def test_experiments_unknown_id(capsys):
+    assert main(["experiments", "--ids", "E99"]) == 1
+    assert "no experiments matched" in capsys.readouterr().err
+
+
+def test_module_invocation():
+    proc = run_cli("info")
+    assert proc.returncode == 0
+    assert "skyquery-repro" in proc.stdout
+
+
+def test_query_explain(capsys):
+    code = main([
+        "query",
+        "SELECT O.object_id, T.obj_id FROM SDSS:Photo_Object O, "
+        "TWOMASS:Photo_Primary T "
+        "WHERE AREA(185.0, -0.5, 600.0) AND XMATCH(O, T) < 3.5 "
+        "AND O.i_flux - T.i_flux > 2",
+        "--bodies", "300", "--explain",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "performance queries:" in out
+    assert "plan list" in out
+    assert "portal-side predicates" in out

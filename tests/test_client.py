@@ -1,0 +1,79 @@
+"""The client API and result formatting."""
+
+import pytest
+
+from repro.client.formatting import format_table
+
+SQL = (
+    "SELECT O.object_id, T.obj_id "
+    "FROM SDSS:Photo_Object O, TWOMASS:Photo_Primary T "
+    "WHERE AREA(185.0, -0.5, 600.0) AND XMATCH(O, T) < 3.5"
+)
+
+
+def test_client_result_fields(small_federation):
+    result = small_federation.client().submit(SQL)
+    assert result.columns == ["O.object_id", "T.obj_id"]
+    assert len(result) == len(result.rows)
+    assert result.matched_tuples >= len(result)
+    assert set(result.counts) == {"O", "T"}
+    assert result.plan is not None
+    assert len(result.node_stats) == 2
+
+
+def test_client_to_dicts(small_federation):
+    result = small_federation.client().submit(SQL)
+    dicts = result.to_dicts()
+    assert len(dicts) == len(result)
+    assert set(dicts[0]) == {"O.object_id", "T.obj_id"}
+
+
+def test_client_traffic_tagged(fresh_metrics):
+    fed = fresh_metrics
+    fed.client().submit(SQL)
+    assert fed.network.metrics.message_count(phase="client") == 2
+
+
+def test_client_strategy_passthrough(small_federation):
+    result = small_federation.client().submit(SQL, strategy="count_asc")
+    counts = [
+        s["count_star"] for s in result.plan["steps"] if not s["dropout"]
+    ]
+    assert counts == sorted(counts)
+
+
+def test_format_table_basic():
+    text = format_table(["a", "bb"], [(1, "x"), (22, None)])
+    lines = text.splitlines()
+    assert lines[0].split("|")[0].strip() == "a"
+    assert "NULL" in text
+    assert "-+-" in lines[1]
+
+
+def test_format_table_elision():
+    text = format_table(["a"], [(i,) for i in range(10)], max_rows=3)
+    assert "7 more rows" in text
+    assert text.count("\n") == 5  # header + sep + 3 rows + elision
+
+
+def test_format_table_floats():
+    text = format_table(["v"], [(1.23456789,)])
+    assert "1.23457" in text
+
+
+def test_format_table_empty():
+    text = format_table(["a", "b"], [])
+    assert "a" in text and "b" in text
+
+
+def test_federation_info(small_federation):
+    info = small_federation.client().federation_info()
+    assert info["federation_size"] == 3
+    archives = {a["archive"]: a for a in info["archives"]}
+    assert set(archives) == {"FIRST", "SDSS", "TWOMASS"}
+    sdss = archives["SDSS"]
+    assert sdss["primary_table"] == "Photo_Object"
+    assert sdss["sigma_arcsec"] == 0.1
+    assert "Photo_Object" in sdss["tables"]
+    assert sdss["object_count"] > 0
+    assert sdss["footprint_ra_deg"] is None  # all-sky in the default build

@@ -1,0 +1,84 @@
+"""The simulated buffer pool."""
+
+import pytest
+
+from repro.db.buffer import BufferPool
+
+
+def test_first_access_is_miss():
+    pool = BufferPool(4)
+    assert pool.access("t", 0) is False
+    assert pool.stats.physical_reads == 1
+    assert pool.stats.logical_reads == 1
+
+
+def test_second_access_is_hit():
+    pool = BufferPool(4)
+    pool.access("t", 0)
+    assert pool.access("t", 0) is True
+    assert pool.stats.physical_reads == 1
+    assert pool.stats.logical_reads == 2
+
+
+def test_lru_eviction():
+    pool = BufferPool(2)
+    pool.access("t", 0)
+    pool.access("t", 1)
+    pool.access("t", 2)  # evicts page 0
+    assert pool.stats.evictions == 1
+    assert pool.access("t", 0) is False  # miss again
+
+
+def test_lru_touch_order():
+    pool = BufferPool(2)
+    pool.access("t", 0)
+    pool.access("t", 1)
+    pool.access("t", 0)  # 0 becomes most recent
+    pool.access("t", 2)  # evicts 1, not 0
+    assert pool.access("t", 0) is True
+    assert pool.access("t", 1) is False
+
+
+def test_tables_are_distinct():
+    pool = BufferPool(4)
+    pool.access("a", 0)
+    assert pool.access("b", 0) is False
+
+
+def test_invalidate_table():
+    pool = BufferPool(8)
+    pool.access("a", 0)
+    pool.access("b", 0)
+    pool.invalidate_table("a")
+    assert pool.access("a", 0) is False
+    assert pool.access("b", 0) is True
+
+
+def test_clear_keeps_counters():
+    pool = BufferPool(4)
+    pool.access("t", 0)
+    pool.clear()
+    assert pool.resident_pages == 0
+    assert pool.stats.physical_reads == 1
+
+
+def test_reset_stats_keeps_pages():
+    pool = BufferPool(4)
+    pool.access("t", 0)
+    pool.reset_stats()
+    assert pool.stats.logical_reads == 0
+    assert pool.access("t", 0) is True
+
+
+def test_hit_ratio():
+    pool = BufferPool(4)
+    assert pool.stats.hit_ratio == 0.0
+    pool.access("t", 0)
+    pool.access("t", 0)
+    pool.access("t", 0)
+    assert pool.stats.hit_ratio == pytest.approx(2 / 3)
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        BufferPool(0)

@@ -1,0 +1,89 @@
+"""Spatial index probes."""
+
+import random
+
+import pytest
+
+from repro.db.indexes import spatial_probe
+from repro.db.schema import Column
+from repro.db.table import SpatialSpec, Table, TableSchema
+from repro.db.types import ColumnType
+from repro.sphere.coords import radec_to_vector, vector_to_radec
+from repro.sphere.distance import angular_separation
+from repro.sphere.random import random_in_cap
+from repro.sphere.regions import Cap
+from repro.units import arcsec_to_rad
+
+
+def make_table(n=400, depth=10, seed=3):
+    schema = TableSchema(
+        "objects",
+        [
+            Column("object_id", ColumnType.INT, nullable=False),
+            Column("ra", ColumnType.FLOAT, nullable=False),
+            Column("dec", ColumnType.FLOAT, nullable=False),
+        ],
+    )
+    table = Table(schema, spatial=SpatialSpec("ra", "dec", htm_depth=depth))
+    rng = random.Random(seed)
+    center = radec_to_vector(185.0, -0.5)
+    for i in range(n):
+        ra, dec = vector_to_radec(random_in_cap(rng, center, 0.02))
+        table.insert((i, ra, dec))
+    return table
+
+
+def brute_force(table, cap):
+    hits = set()
+    for pos in table.iter_positions():
+        row = table.row(pos)
+        if cap.contains(radec_to_vector(row[1], row[2])):
+            hits.add(pos)
+    return hits
+
+
+def test_probe_exact_rows_truly_inside():
+    table = make_table()
+    cap = Cap.from_radec(185.0, -0.5, 1200.0)
+    probe = spatial_probe(table, cap)
+    for pos in probe.exact:
+        row = table.row(pos)
+        assert cap.contains(radec_to_vector(row[1], row[2]))
+
+
+def test_probe_covers_all_matches():
+    table = make_table()
+    cap = Cap.from_radec(185.0, -0.5, 1200.0)
+    probe = spatial_probe(table, cap)
+    candidates = set(probe.exact) | set(probe.candidates)
+    assert brute_force(table, cap) <= candidates
+
+
+def test_probe_prunes_most_rows():
+    table = make_table(n=1000)
+    cap = Cap.from_radec(185.0, -0.5, 120.0)
+    probe = spatial_probe(table, cap)
+    assert probe.stats.candidate_rows < 200
+
+
+def test_probe_empty_region():
+    table = make_table()
+    cap = Cap.from_radec(20.0, 50.0, 60.0)  # nowhere near the data
+    probe = spatial_probe(table, cap)
+    assert probe.exact == [] and probe.candidates == []
+
+
+def test_probe_requires_spatial_table():
+    schema = TableSchema("t", [Column("a", ColumnType.INT)])
+    table = Table(schema)
+    with pytest.raises(ValueError):
+        spatial_probe(table, Cap.from_radec(0.0, 0.0, 10.0))
+
+
+def test_probe_stats_counts():
+    table = make_table()
+    cap = Cap.from_radec(185.0, -0.5, 600.0)
+    probe = spatial_probe(table, cap)
+    assert probe.stats.exact_rows == len(probe.exact)
+    assert probe.stats.tested_rows == len(probe.candidates)
+    assert probe.stats.candidate_rows == len(probe.exact) + len(probe.candidates)

@@ -1,0 +1,115 @@
+"""Row storage, paging, spatial ids."""
+
+import pytest
+
+from repro.db.schema import Column, TableSchema
+from repro.db.table import SpatialSpec, Table
+from repro.db.types import ColumnType
+from repro.errors import SchemaError
+from repro.htm.index import id_for_radec
+
+
+def make_table(page_size=4, spatial=True):
+    schema = TableSchema(
+        "objects",
+        [
+            Column("object_id", ColumnType.INT, nullable=False),
+            Column("ra", ColumnType.FLOAT, nullable=False),
+            Column("dec", ColumnType.FLOAT, nullable=False),
+        ],
+    )
+    spec = SpatialSpec("ra", "dec", htm_depth=8) if spatial else None
+    return Table(schema, page_size=page_size, spatial=spec)
+
+
+def test_insert_and_len():
+    table = make_table()
+    table.insert((1, 185.0, -0.5))
+    table.insert({"object_id": 2, "ra": 186.0, "dec": 0.5})
+    assert len(table) == 2
+
+
+def test_row_retrieval():
+    table = make_table()
+    table.insert((1, 185.0, -0.5))
+    assert table.row(0) == [1, 185.0, -0.5]
+
+
+def test_page_arithmetic():
+    table = make_table(page_size=4)
+    for i in range(10):
+        table.insert((i, 10.0, 10.0))
+    assert table.page_count == 3
+    assert table.page_of(0) == 0
+    assert table.page_of(3) == 0
+    assert table.page_of(4) == 1
+    assert table.page_of(9) == 2
+
+
+def test_htm_id_matches_index():
+    table = make_table()
+    table.insert((1, 185.0, -0.5))
+    assert table.htm_id(0) == id_for_radec(185.0, -0.5, 8)
+
+
+def test_htm_id_without_spatial_raises():
+    table = make_table(spatial=False)
+    table.insert((1, 185.0, -0.5))
+    with pytest.raises(SchemaError):
+        table.htm_id(0)
+
+
+def test_spatial_entries_sorted():
+    table = make_table()
+    for i, ra in enumerate((300.0, 10.0, 185.0)):
+        table.insert((i, ra, 0.0))
+    entries = table.spatial_entries()
+    assert entries == sorted(entries)
+    assert len(entries) == 3
+
+
+def test_spatial_entries_refresh_after_insert():
+    table = make_table()
+    table.insert((1, 185.0, -0.5))
+    assert len(table.spatial_entries()) == 1
+    table.insert((2, 10.0, 0.0))
+    assert len(table.spatial_entries()) == 2
+
+
+def test_spatial_requires_position_columns():
+    schema = TableSchema("t", [Column("a", ColumnType.INT)])
+    with pytest.raises(SchemaError):
+        Table(schema, spatial=SpatialSpec("ra", "dec"))
+
+
+def test_null_position_rejected():
+    schema = TableSchema(
+        "t",
+        [
+            Column("ra", ColumnType.FLOAT),
+            Column("dec", ColumnType.FLOAT),
+        ],
+    )
+    table = Table(schema, spatial=SpatialSpec("ra", "dec"))
+    with pytest.raises(SchemaError):
+        table.insert((None, 0.0))
+
+
+def test_truncate():
+    table = make_table()
+    table.insert((1, 185.0, -0.5))
+    table.truncate()
+    assert len(table) == 0
+    assert table.spatial_entries() == []
+
+
+def test_insert_many():
+    table = make_table()
+    assert table.insert_many([(i, 10.0, 10.0) for i in range(5)]) == 5
+    assert len(table) == 5
+
+
+def test_bad_page_size():
+    schema = TableSchema("t", [Column("a", ColumnType.INT)])
+    with pytest.raises(SchemaError):
+        Table(schema, page_size=0)

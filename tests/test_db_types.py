@@ -1,0 +1,78 @@
+"""Column types and coercion."""
+
+import pytest
+
+from repro.db.types import ColumnType
+from repro.errors import SchemaError
+
+
+def test_int_accepts_int():
+    assert ColumnType.INT.coerce(42) == 42
+
+
+def test_int_accepts_integral_float():
+    assert ColumnType.INT.coerce(42.0) == 42
+    assert isinstance(ColumnType.INT.coerce(42.0), int)
+
+
+def test_int_rejects_fractional_float():
+    with pytest.raises(SchemaError):
+        ColumnType.INT.coerce(42.5)
+
+
+def test_int_rejects_bool():
+    with pytest.raises(SchemaError):
+        ColumnType.INT.coerce(True)
+
+
+def test_float_widens_int():
+    value = ColumnType.FLOAT.coerce(3)
+    assert value == 3.0
+    assert isinstance(value, float)
+
+
+def test_float_rejects_string():
+    with pytest.raises(SchemaError):
+        ColumnType.FLOAT.coerce("3.0")
+
+
+def test_string_accepts_string():
+    assert ColumnType.STRING.coerce("abc") == "abc"
+
+
+def test_string_rejects_number():
+    with pytest.raises(SchemaError):
+        ColumnType.STRING.coerce(1)
+
+
+def test_bool_accepts_bool():
+    assert ColumnType.BOOL.coerce(True) is True
+
+
+def test_bool_rejects_int():
+    with pytest.raises(SchemaError):
+        ColumnType.BOOL.coerce(1)
+
+
+def test_nullable_accepts_none():
+    assert ColumnType.INT.coerce(None, nullable=True) is None
+
+
+def test_not_null_rejects_none():
+    with pytest.raises(SchemaError):
+        ColumnType.INT.coerce(None, nullable=False)
+
+
+def test_of_value_bool_before_int():
+    assert ColumnType.of_value(True) is ColumnType.BOOL
+    assert ColumnType.of_value(1) is ColumnType.INT
+
+
+def test_of_value_all_kinds():
+    assert ColumnType.of_value(1.5) is ColumnType.FLOAT
+    assert ColumnType.of_value("x") is ColumnType.STRING
+
+
+def test_of_value_unsupported():
+    with pytest.raises(SchemaError):
+        ColumnType.of_value([1, 2])

@@ -1,0 +1,87 @@
+"""Partial-sky survey footprints."""
+
+import pytest
+
+from repro.federation.builder import FederationConfig, build_federation
+from repro.federation.surveys import SDSS, TWOMASS
+from repro.skynode.wrapper import ArchiveInfo
+from repro.workloads.skysim import SkyField, SurveySpec, generate_bodies, observe_survey
+from dataclasses import replace
+
+
+def test_footprint_limits_observations():
+    field = SkyField(185.0, -0.5, 3600.0)
+    bodies = generate_bodies(field, 500, seed=3)
+    half = SurveySpec(
+        archive="HALF", sigma_arcsec=0.2, detection_rate=1.0,
+        primary_table="objects",
+        footprint=SkyField(185.0, -0.5, 1800.0),  # inner half-radius cap
+    )
+    full = replace(half, archive="FULL", footprint=None)
+    obs_half = observe_survey(half, bodies, seed=3)
+    obs_full = observe_survey(full, bodies, seed=3)
+    assert len(obs_half.rows) < len(obs_full.rows)
+    # Area scales quadratically for small caps: expect roughly a quarter.
+    assert 0.15 < len(obs_half.rows) / len(obs_full.rows) < 0.4
+
+
+def test_archive_info_footprint_wire_roundtrip():
+    info = ArchiveInfo(
+        "X", 0.1, "t", "object_id", "ra", "dec",
+        footprint_ra_deg=185.0, footprint_dec_deg=-0.5,
+        footprint_radius_arcsec=1800.0,
+    )
+    assert ArchiveInfo.from_wire(info.to_wire()) == info
+    allsky = ArchiveInfo("Y", 0.1, "t", "object_id", "ra", "dec")
+    assert ArchiveInfo.from_wire(allsky.to_wire()) == allsky
+
+
+def test_covers():
+    info = ArchiveInfo(
+        "X", 0.1, "t", "object_id", "ra", "dec",
+        footprint_ra_deg=185.0, footprint_dec_deg=-0.5,
+        footprint_radius_arcsec=1800.0,
+    )
+    assert info.covers(185.0, -0.5)
+    assert info.covers(185.1, -0.5)
+    assert not info.covers(190.0, -0.5)
+    allsky = ArchiveInfo("Y", 0.1, "t", "object_id", "ra", "dec")
+    assert allsky.covers(0.0, 89.0)
+
+
+def test_federation_with_partial_footprint():
+    """A query outside one archive's footprint early-exits via count star."""
+    narrow_sdss = replace(
+        SDSS, footprint=SkyField(185.0, -0.5, 900.0)
+    )
+    fed = build_federation(
+        FederationConfig(
+            surveys=[narrow_sdss, TWOMASS],
+            n_bodies=600,
+            seed=21,
+            sky_field=SkyField(185.0, -0.5, 3600.0),
+        )
+    )
+    record = fed.portal.catalog.node("SDSS")
+    assert record.info.footprint_radius_arcsec == 900.0
+
+    # Inside the footprint: matches exist.
+    inside = fed.client().submit(
+        "SELECT O.object_id, T.obj_id "
+        "FROM SDSS:Photo_Object O, TWOMASS:Photo_Primary T "
+        "WHERE AREA(185.0, -0.5, 600.0) AND XMATCH(O, T) < 3.5"
+    )
+    assert len(inside) > 0
+
+    # An annulus-region query beyond the SDSS footprint but inside the
+    # TWOMASS sky: SDSS count is 0, the chain never runs.
+    fed.network.metrics.reset()
+    outside = fed.client().submit(
+        "SELECT O.object_id, T.obj_id "
+        "FROM SDSS:Photo_Object O, TWOMASS:Photo_Primary T "
+        "WHERE AREA(185.8, -0.5, 600.0) AND XMATCH(O, T) < 3.5"
+    )
+    assert len(outside) == 0
+    assert outside.counts["O"] == 0
+    assert outside.counts["T"] > 0
+    assert fed.network.metrics.message_count(phase="crossmatch-chain") == 0

@@ -1,0 +1,157 @@
+"""Region covers: soundness and conservativeness."""
+
+import random
+
+import pytest
+
+from repro.errors import HTMError
+from repro.htm.cover import cover
+from repro.htm.index import id_for_point
+from repro.sphere.coords import radec_to_vector
+from repro.sphere.random import random_in_cap
+from repro.sphere.regions import Cap, ConvexPolygon
+from repro.units import arcsec_to_rad
+
+
+def test_full_and_partial_disjoint():
+    cap = Cap.from_radec(185.0, -0.5, 3600.0)
+    result = cover(cap, 8)
+    for lo, hi in result.full:
+        for hid in (lo, hi):
+            assert not result.partial.contains(hid)
+
+
+def test_cover_sound_for_cap():
+    """No point of the region may fall outside the cover; no point of a
+    'full' trixel may fall outside the region."""
+    cap = Cap.from_radec(185.0, -0.5, 1800.0)
+    result = cover(cap, 9)
+    rng = random.Random(0)
+    for _ in range(1500):
+        p = random_in_cap(rng, cap.center, cap.radius_rad * 1.4)
+        hid = id_for_point(p, 9)
+        if cap.contains(p):
+            assert result.full.contains(hid) or result.partial.contains(hid)
+        if result.full.contains(hid):
+            assert cap.contains(p)
+
+
+def test_cover_tightens_with_depth():
+    cap = Cap.from_radec(185.0, -0.5, 1800.0)
+    shallow = cover(cap, 6)
+    deep = cover(cap, 10)
+    # Fraction of covered area that is 'partial' must shrink with depth.
+    def partial_fraction(c, depth):
+        scale = 4 ** (10 - depth)
+        total = c.full.id_count() + c.partial.id_count()
+        return c.partial.id_count() / total
+
+    assert partial_fraction(deep, 10) < partial_fraction(shallow, 6)
+
+
+def test_tiny_cap_cover_nonempty():
+    cap = Cap.from_radec(185.0, -0.5, 4.5)
+    result = cover(cap, 12)
+    assert result.all_ranges().id_count() >= 1
+    hid = id_for_point(radec_to_vector(185.0, -0.5), 12)
+    assert result.all_ranges().contains(hid)
+
+
+def test_depth_zero_cover():
+    cap = Cap.from_radec(185.0, -0.5, 3600.0)
+    result = cover(cap, 0)
+    assert result.partial.id_count() >= 1
+    assert all(8 <= lo <= hi <= 15 for lo, hi in result.all_ranges())
+
+
+def test_polygon_cover_sound():
+    poly = ConvexPolygon.from_radec(
+        [(10.0, 10.0), (12.0, 10.0), (12.0, 12.0), (10.0, 12.0)]
+    )
+    result = cover(poly, 8)
+    rng = random.Random(3)
+    center = radec_to_vector(11.0, 11.0)
+    for _ in range(500):
+        p = random_in_cap(rng, center, arcsec_to_rad(3600.0 * 3))
+        hid = id_for_point(p, 8)
+        if poly.contains(p):
+            assert result.full.contains(hid) or result.partial.contains(hid)
+        if result.full.contains(hid):
+            assert poly.contains(p)
+
+
+def test_bad_depth_rejected():
+    cap = Cap.from_radec(0.0, 0.0, 10.0)
+    with pytest.raises(HTMError):
+        cover(cap, -1)
+    with pytest.raises(HTMError):
+        cover(cap, 99)
+
+
+def test_full_ranges_at_target_depth():
+    from repro.htm.mesh import depth_of_id
+
+    cap = Cap.from_radec(185.0, -0.5, 3600.0)
+    result = cover(cap, 8)
+    for lo, hi in result.full:
+        assert depth_of_id(lo) == 8
+        assert depth_of_id(hi) == 8
+
+
+class TestAdaptiveCover:
+    def _cap(self):
+        from repro.sphere.regions import Cap
+
+        return Cap.from_radec(185.0, -0.5, 1800.0)
+
+    def test_adaptive_cover_sound(self):
+        import random
+
+        from repro.htm.cover import cover_adaptive
+
+        cap = self._cap()
+        result = cover_adaptive(cap, 10, max_ranges=24)
+        rng = random.Random(7)
+        for _ in range(800):
+            p = random_in_cap(rng, cap.center, cap.radius_rad * 1.3)
+            hid = id_for_point(p, 10)
+            if cap.contains(p):
+                assert result.full.contains(hid) or result.partial.contains(hid)
+            if result.full.contains(hid):
+                assert cap.contains(p)
+
+    def test_adaptive_cover_respects_budget(self):
+        from repro.htm.cover import cover_adaptive
+
+        cap = self._cap()
+        for budget in (8, 16, 64):
+            result = cover_adaptive(cap, 12, max_ranges=budget)
+            # Ranges merge after the fact, so the soft budget holds with a
+            # small slack for the final frontier flush.
+            total = len(result.full) + len(result.partial)
+            assert total <= budget + 8, (budget, total)
+
+    def test_tighter_budget_coarser_cover(self):
+        from repro.htm.cover import cover_adaptive
+
+        cap = self._cap()
+        tight = cover_adaptive(cap, 12, max_ranges=8)
+        loose = cover_adaptive(cap, 12, max_ranges=256)
+        # A coarser cover marks more ids as 'needs geometric recheck'.
+        assert tight.partial.id_count() >= loose.partial.id_count()
+
+    def test_adaptive_matches_exact_when_budget_huge(self):
+        from repro.htm.cover import cover, cover_adaptive
+
+        cap = self._cap()
+        exact = cover(cap, 8)
+        adaptive = cover_adaptive(cap, 8, max_ranges=100_000)
+        assert adaptive.full.union(adaptive.partial) == exact.full.union(
+            exact.partial
+        )
+
+    def test_bad_budget_rejected(self):
+        from repro.htm.cover import cover_adaptive
+
+        with pytest.raises(HTMError):
+            cover_adaptive(self._cap(), 8, max_ranges=2)

@@ -1,0 +1,66 @@
+"""HTM point lookups."""
+
+import random
+
+import pytest
+
+from repro.errors import HTMError
+from repro.htm.index import HTMIndex, id_for_point, id_for_radec
+from repro.htm.mesh import depth_of_id, trixel_by_id
+from repro.sphere.coords import radec_to_vector
+from repro.sphere.random import random_on_sphere
+
+
+def test_id_has_requested_depth():
+    for depth in (0, 1, 5, 12):
+        hid = id_for_radec(185.0, -0.5, depth)
+        assert depth_of_id(hid) == depth
+
+
+def test_point_inside_its_trixel():
+    rng = random.Random(0)
+    for _ in range(100):
+        p = random_on_sphere(rng)
+        hid = id_for_point(p, 8)
+        assert trixel_by_id(hid).contains(p)
+
+
+def test_nested_ids_are_prefixes():
+    p = radec_to_vector(123.0, 45.0)
+    deep = id_for_point(p, 10)
+    shallow = id_for_point(p, 6)
+    assert deep >> (2 * 4) == shallow
+
+
+def test_nearby_points_share_coarse_trixel():
+    a = id_for_radec(185.0, -0.5, 6)
+    b = id_for_radec(185.0001, -0.5001, 6)
+    assert a == b
+
+
+def test_distant_points_differ():
+    assert id_for_radec(0.0, 0.0, 4) != id_for_radec(180.0, 0.0, 4)
+
+
+def test_depth_bounds_enforced():
+    with pytest.raises(HTMError):
+        id_for_point((1.0, 0.0, 0.0), -1)
+    with pytest.raises(HTMError):
+        id_for_point((1.0, 0.0, 0.0), 25)
+
+
+def test_htm_index_object():
+    index = HTMIndex(10)
+    v = radec_to_vector(185.0, -0.5)
+    assert index.id_for(v) == id_for_point(v, 10)
+    assert index.id_for_radec(185.0, -0.5) == id_for_point(v, 10)
+
+
+def test_htm_index_bad_depth():
+    with pytest.raises(HTMError):
+        HTMIndex(99)
+
+
+def test_deterministic():
+    v = radec_to_vector(271.3, -12.0)
+    assert id_for_point(v, 12) == id_for_point(v, 12)

@@ -1,0 +1,74 @@
+"""HTM id range sets."""
+
+import pytest
+
+from repro.htm.ranges import HTMRanges
+
+
+def test_empty():
+    ranges = HTMRanges()
+    assert len(ranges) == 0
+    assert not ranges
+    assert not ranges.contains(5)
+    assert ranges.id_count() == 0
+
+
+def test_single_range_contains():
+    ranges = HTMRanges([(10, 20)])
+    assert ranges.contains(10)
+    assert ranges.contains(20)
+    assert ranges.contains(15)
+    assert not ranges.contains(9)
+    assert not ranges.contains(21)
+
+
+def test_merge_overlapping():
+    ranges = HTMRanges([(10, 20), (15, 30)])
+    assert ranges.as_tuples() == [(10, 30)]
+
+
+def test_merge_adjacent():
+    ranges = HTMRanges([(10, 20), (21, 30)])
+    assert ranges.as_tuples() == [(10, 30)]
+
+
+def test_keeps_gaps():
+    ranges = HTMRanges([(10, 20), (22, 30)])
+    assert ranges.as_tuples() == [(10, 20), (22, 30)]
+    assert not ranges.contains(21)
+
+
+def test_sorts_input():
+    ranges = HTMRanges([(30, 40), (10, 20)])
+    assert ranges.as_tuples() == [(10, 20), (30, 40)]
+
+
+def test_drops_inverted_ranges():
+    ranges = HTMRanges([(20, 10), (1, 2)])
+    assert ranges.as_tuples() == [(1, 2)]
+
+
+def test_union():
+    a = HTMRanges([(1, 5)])
+    b = HTMRanges([(4, 10), (20, 25)])
+    merged = a.union(b)
+    assert merged.as_tuples() == [(1, 10), (20, 25)]
+
+
+def test_id_count():
+    ranges = HTMRanges([(1, 5), (10, 10)])
+    assert ranges.id_count() == 6
+
+
+def test_equality():
+    assert HTMRanges([(1, 5)]) == HTMRanges([(1, 3), (4, 5)])
+    assert HTMRanges([(1, 5)]) != HTMRanges([(1, 6)])
+
+
+def test_iteration_order():
+    ranges = HTMRanges([(10, 12), (1, 2)])
+    assert list(ranges) == [(1, 2), (10, 12)]
+
+
+def test_repr():
+    assert "1, 2" in repr(HTMRanges([(1, 2)]))

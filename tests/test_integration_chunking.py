@@ -1,0 +1,83 @@
+"""Chunked transfers and the parser-memory failure mode, end to end."""
+
+import pytest
+
+from repro.errors import SoapFaultError
+from repro.federation.builder import FederationConfig, build_federation
+from repro.workloads.skysim import SkyField
+
+SQL = (
+    "SELECT O.object_id, T.obj_id "
+    "FROM SDSS:Photo_Object O, TWOMASS:Photo_Primary T "
+    "WHERE AREA(185.0, -0.5, 1800.0) AND XMATCH(O, T) < 3.5"
+)
+
+
+def make_fed(parser_memory_limit, chunk_budget_bytes, n_bodies=1200):
+    return build_federation(
+        FederationConfig(
+            n_bodies=n_bodies,
+            seed=5,
+            sky_field=SkyField(185.0, -0.5, 1800.0),
+            parser_memory_limit=parser_memory_limit,
+            chunk_budget_bytes=chunk_budget_bytes,
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def reference_rows():
+    fed = make_fed(parser_memory_limit=None, chunk_budget_bytes=None)
+    return sorted(fed.client().submit(SQL).rows)
+
+
+def test_monolithic_oom_faults(reference_rows):
+    fed = make_fed(parser_memory_limit=300_000, chunk_budget_bytes=None)
+    with pytest.raises(SoapFaultError) as err:
+        fed.client().submit(SQL)
+    assert "memory" in str(err.value).lower()
+
+
+def test_chunked_succeeds_under_same_limit(reference_rows):
+    fed = make_fed(parser_memory_limit=300_000, chunk_budget_bytes=32_768)
+    result = fed.client().submit(SQL)
+    assert sorted(result.rows) == reference_rows
+
+
+def test_chunk_messages_respect_budget(reference_rows):
+    budget = 32_768
+    fed = make_fed(parser_memory_limit=300_000, chunk_budget_bytes=budget)
+    fed.network.metrics.reset()
+    fed.client().submit(SQL)
+    chain = [
+        m
+        for m in fed.network.metrics.messages
+        if m.phase == "crossmatch-chain" and m.operation == "FetchChunk"
+        and m.kind == "response"
+    ]
+    assert chain, "expected chunked FetchChunk traffic"
+    # HTTP headers add a little on top of the SOAP envelope budget.
+    assert all(m.wire_bytes <= budget + 512 for m in chain)
+
+
+def test_smaller_chunks_mean_more_messages(reference_rows):
+    def chain_messages(budget):
+        fed = make_fed(parser_memory_limit=None, chunk_budget_bytes=budget)
+        fed.network.metrics.reset()
+        fed.client().submit(SQL)
+        return fed.network.metrics.message_count(phase="crossmatch-chain")
+
+    assert chain_messages(16_384) > chain_messages(65_536)
+
+
+def test_chunking_preserves_results_exactly(reference_rows):
+    fed = make_fed(parser_memory_limit=None, chunk_budget_bytes=16_384)
+    assert sorted(fed.client().submit(SQL).rows) == reference_rows
+
+
+def test_transfers_cleaned_up_after_fetch(reference_rows):
+    fed = make_fed(parser_memory_limit=None, chunk_budget_bytes=16_384)
+    fed.client().submit(SQL)
+    for node in fed.nodes.values():
+        assert node.crossmatch.sender.pending_transfers == 0
+        assert node.query.sender.pending_transfers == 0

@@ -1,0 +1,109 @@
+"""The Portal's federation catalog."""
+
+import pytest
+
+from repro.errors import RegistrationError, ValidationError
+from repro.portal.catalog import FederationCatalog, NodeRecord
+
+
+def make_record(archive="SDSS"):
+    return NodeRecord.from_wire(
+        archive=archive,
+        services={
+            "information": "http://h/i",
+            "metadata": "http://h/m",
+            "query": "http://h/q",
+            "crossmatch": "http://h/x",
+        },
+        info_wire={
+            "archive": archive,
+            "sigma_arcsec": 0.1,
+            "primary_table": "Photo_Object",
+            "object_id_column": "object_id",
+            "ra_column": "ra",
+            "dec_column": "dec",
+            "object_count": 42,
+            "dialect": "sqlserver",
+        },
+        schema_wire={
+            "tables": [
+                {
+                    "name": "Photo_Object",
+                    "columns": [
+                        {"name": "object_id", "type": "int", "nullable": False},
+                        {"name": "i_flux", "type": "double", "nullable": True},
+                    ],
+                }
+            ]
+        },
+        registered_at=1.5,
+    )
+
+
+def test_from_wire_fields():
+    record = make_record()
+    assert record.archive == "SDSS"
+    assert record.object_count == 42
+    assert record.dialect == "sqlserver"
+    assert record.info.sigma_arcsec == 0.1
+    assert record.registered_at == 1.5
+
+
+def test_resolve_table_case_insensitive():
+    record = make_record()
+    assert record.resolve_table("photo_object") == "Photo_Object"
+    assert record.resolve_table("PHOTO_OBJECT") == "Photo_Object"
+
+
+def test_resolve_unknown_table():
+    with pytest.raises(ValidationError):
+        make_record().resolve_table("Nope")
+
+
+def test_column_type_lookup():
+    record = make_record()
+    assert record.column_type("Photo_Object", "I_FLUX") == "double"
+    assert record.column_name("photo_object", "i_flux") == "i_flux"
+
+
+def test_column_type_unknown_column():
+    with pytest.raises(ValidationError):
+        make_record().column_type("Photo_Object", "nope")
+
+
+def test_catalog_register_and_lookup():
+    catalog = FederationCatalog()
+    catalog.register(make_record())
+    assert catalog.has("sdss")
+    assert catalog.node("SDSS").archive == "SDSS"
+    assert len(catalog) == 1
+
+
+def test_catalog_unknown_archive():
+    with pytest.raises(RegistrationError):
+        FederationCatalog().node("SDSS")
+
+
+def test_catalog_reregistration_replaces():
+    catalog = FederationCatalog()
+    catalog.register(make_record())
+    updated = make_record()
+    updated.object_count = 99
+    catalog.register(updated)
+    assert catalog.node("SDSS").object_count == 99
+    assert len(catalog) == 1
+
+
+def test_catalog_unregister():
+    catalog = FederationCatalog()
+    catalog.register(make_record())
+    assert catalog.unregister("SDSS") is True
+    assert catalog.unregister("SDSS") is False
+    assert not catalog.has("SDSS")
+
+
+def test_archives_sorted():
+    catalog = FederationCatalog()
+    catalog.register(make_record("TWOMASS"))
+    catalog.register(make_record("SDSS"))
+    assert catalog.archives() == ["SDSS", "TWOMASS"]

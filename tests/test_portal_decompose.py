@@ -1,0 +1,158 @@
+"""Query decomposition against a live catalog."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.portal.decompose import decompose
+from repro.sql.parser import parse_query
+
+
+@pytest.fixture()
+def catalog(small_federation):
+    return small_federation.portal.catalog
+
+
+def paper_query():
+    return parse_query(
+        "SELECT O.object_id, O.ra, T.obj_id "
+        "FROM SDSS:Photo_Object O, TWOMASS:Photo_Primary T, "
+        "FIRST:Primary_Object P "
+        "WHERE AREA(185.0, -0.5, 900.0) AND XMATCH(O, T, P) < 3.5 "
+        "AND O.type = GALAXY AND O.i_flux - T.i_flux > 2"
+    )
+
+
+def test_subqueries_per_alias(catalog):
+    decomposed = decompose(paper_query(), catalog)
+    assert set(decomposed.subqueries) == {"O", "T", "P"}
+    assert decomposed.mandatory_aliases == ["O", "T", "P"]
+    assert decomposed.dropout_aliases == []
+
+
+def test_local_conjunct_pushed_to_sdss(catalog):
+    decomposed = decompose(paper_query(), catalog)
+    assert decomposed.subqueries["O"].residual_sql == "O.type = GALAXY"
+    assert decomposed.subqueries["T"].residual_sql == ""
+
+
+def test_cross_conjunct_kept_at_portal(catalog):
+    decomposed = decompose(paper_query(), catalog)
+    from repro.sql.printer import to_sql
+
+    cross = [to_sql(c) for c in decomposed.analysis.cross_conjuncts]
+    assert cross == ["O.i_flux - T.i_flux > 2"]
+
+
+def test_attr_select_covers_select_and_cross(catalog):
+    decomposed = decompose(paper_query(), catalog)
+    o_attrs = {wire for _, wire, _ in decomposed.subqueries["O"].attr_select}
+    t_attrs = {wire for _, wire, _ in decomposed.subqueries["T"].attr_select}
+    assert {"O.object_id", "O.ra", "O.i_flux"} <= o_attrs
+    assert {"T.obj_id", "T.i_flux"} <= t_attrs
+
+
+def test_attr_typecodes_from_catalog(catalog):
+    decomposed = decompose(paper_query(), catalog)
+    types = {
+        wire: code for _, wire, code in decomposed.subqueries["O"].attr_select
+    }
+    assert types["O.object_id"] == "int"
+    assert types["O.i_flux"] == "double"
+
+
+def test_perf_sql_only_for_mandatory(catalog):
+    sql = (
+        "SELECT O.object_id FROM SDSS:Photo_Object O, "
+        "TWOMASS:Photo_Primary T, FIRST:Primary_Object P "
+        "WHERE AREA(185.0, -0.5, 900.0) AND XMATCH(O, T, !P) < 3.5"
+    )
+    decomposed = decompose(parse_query(sql), catalog)
+    assert decomposed.subqueries["O"].perf_sql is not None
+    assert decomposed.subqueries["P"].perf_sql is None
+    assert decomposed.subqueries["P"].dropout
+
+
+def test_perf_sql_shape(catalog):
+    decomposed = decompose(paper_query(), catalog)
+    perf = decomposed.subqueries["O"].perf_sql
+    assert perf.startswith("SELECT COUNT(*) FROM Photo_Object O")
+    assert "AREA(185.0, -0.5, 900.0)" in perf
+    assert "O.type = GALAXY" in perf
+
+
+def test_unknown_archive_rejected(catalog):
+    sql = (
+        "SELECT a.x FROM NOPE:T1 a, SDSS:Photo_Object b "
+        "WHERE XMATCH(a, b) < 1"
+    )
+    from repro.errors import RegistrationError
+
+    with pytest.raises(RegistrationError):
+        decompose(parse_query(sql), catalog)
+
+
+def test_unknown_table_rejected(catalog):
+    sql = (
+        "SELECT a.x FROM SDSS:Nope a, TWOMASS:Photo_Primary b "
+        "WHERE XMATCH(a, b) < 1"
+    )
+    with pytest.raises(ValidationError):
+        decompose(parse_query(sql), catalog)
+
+
+def test_unknown_column_in_select_rejected(catalog):
+    sql = (
+        "SELECT O.nonexistent FROM SDSS:Photo_Object O, "
+        "TWOMASS:Photo_Primary T WHERE XMATCH(O, T) < 1"
+    )
+    with pytest.raises(ValidationError):
+        decompose(parse_query(sql), catalog)
+
+
+def test_unknown_column_in_residual_rejected(catalog):
+    sql = (
+        "SELECT O.object_id FROM SDSS:Photo_Object O, "
+        "TWOMASS:Photo_Primary T WHERE XMATCH(O, T) < 1 AND O.bogus = 1"
+    )
+    with pytest.raises(ValidationError):
+        decompose(parse_query(sql), catalog)
+
+
+def test_missing_archive_qualifier_rejected(catalog):
+    sql = (
+        "SELECT O.object_id FROM Photo_Object O, TWOMASS:Photo_Primary T "
+        "WHERE XMATCH(O, T) < 1"
+    )
+    with pytest.raises(ValidationError):
+        decompose(parse_query(sql), catalog)
+
+
+def test_from_table_not_in_xmatch_rejected(catalog):
+    sql = (
+        "SELECT O.object_id FROM SDSS:Photo_Object O, "
+        "TWOMASS:Photo_Primary T, FIRST:Primary_Object P "
+        "WHERE XMATCH(O, T) < 1"
+    )
+    with pytest.raises(ValidationError):
+        decompose(parse_query(sql), catalog)
+
+
+def test_select_star_rejected(catalog):
+    sql = (
+        "SELECT * FROM SDSS:Photo_Object O, TWOMASS:Photo_Primary T "
+        "WHERE XMATCH(O, T) < 1"
+    )
+    with pytest.raises(ValidationError):
+        decompose(parse_query(sql), catalog)
+
+
+def test_single_archive_query_not_decomposed(catalog):
+    with pytest.raises(ValidationError):
+        decompose(parse_query("SELECT t.ra FROM SDSS:Photo_Object t"), catalog)
+
+
+def test_node_sql_display(catalog):
+    decomposed = decompose(paper_query(), catalog)
+    node_sql = decomposed.subqueries["T"].node_sql
+    assert "Photo_Primary" in node_sql
+    assert "AREA(185.0, -0.5, 900.0)" in node_sql

@@ -1,0 +1,103 @@
+"""The execution-plan model."""
+
+import pytest
+
+from repro.errors import PlanningError
+from repro.portal.plan import ExecutionPlan, PlanStep
+from repro.sql.ast import AreaClause
+
+
+def make_step(alias, *, dropout=False, count=None, attrs=()):
+    return PlanStep(
+        alias=alias,
+        archive=f"ARCH_{alias}",
+        url=f"http://{alias.lower()}/crossmatch",
+        sigma_arcsec=0.5,
+        dropout=dropout,
+        count_star=count,
+        table="objects",
+        id_column="object_id",
+        ra_column="ra",
+        dec_column="dec",
+        residual_sql="",
+        attr_select=tuple(attrs),
+        sql=f"SELECT ... {alias}",
+    )
+
+
+def make_plan():
+    # Paper order: drop-out first on the list, then descending counts.
+    return ExecutionPlan(
+        steps=(
+            make_step("D", dropout=True),
+            make_step("B", count=200, attrs=(("flux", "B.flux", "double"),)),
+            make_step("A", count=50, attrs=(("mag", "A.mag", "double"),)),
+        ),
+        threshold=3.5,
+        area=AreaClause(185.0, -0.5, 900.0),
+    )
+
+
+def test_step_access():
+    plan = make_plan()
+    assert plan.step(0).alias == "D"
+    assert plan.step(2).alias == "A"
+    with pytest.raises(PlanningError):
+        plan.step(3)
+    with pytest.raises(PlanningError):
+        plan.step(-1)
+
+
+def test_member_aliases_in_computation_order():
+    plan = make_plan()
+    # Execution starts at the END of the list (A) and moves backwards.
+    assert plan.member_aliases_after(0) == ["A", "B"]
+    assert plan.member_aliases_after(1) == ["A", "B"]
+    assert plan.member_aliases_after(2) == ["A"]
+
+
+def test_dropouts_never_join_members():
+    plan = make_plan()
+    assert "D" not in plan.member_aliases_after(0)
+
+
+def test_attr_columns_accumulate():
+    plan = make_plan()
+    assert plan.attr_columns_after(2) == [("A.mag", "double")]
+    assert plan.attr_columns_after(0) == [("A.mag", "double"), ("B.flux", "double")]
+
+
+def test_wire_roundtrip():
+    plan = make_plan()
+    back = ExecutionPlan.from_wire(plan.to_wire())
+    assert back == plan
+
+
+def test_wire_roundtrip_without_area():
+    plan = ExecutionPlan(
+        steps=(make_step("A", count=1),), threshold=2.0, area=None
+    )
+    back = ExecutionPlan.from_wire(plan.to_wire())
+    assert back.area is None
+    assert back == plan
+
+
+def test_empty_plan_rejected():
+    with pytest.raises(PlanningError):
+        ExecutionPlan(steps=(), threshold=1.0, area=None)
+
+
+def test_dropout_last_rejected():
+    with pytest.raises(PlanningError):
+        ExecutionPlan(
+            steps=(make_step("A", count=1), make_step("D", dropout=True)),
+            threshold=1.0,
+            area=None,
+        )
+
+
+def test_all_dropout_rejected():
+    with pytest.raises(PlanningError):
+        ExecutionPlan(
+            steps=(make_step("D", dropout=True),), threshold=1.0, area=None
+        )

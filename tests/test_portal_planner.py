@@ -1,0 +1,111 @@
+"""Performance queries and plan ordering."""
+
+import pytest
+
+from repro.portal.decompose import decompose
+from repro.portal.planner import OrderingStrategy
+from repro.sql.parser import parse_query
+
+
+@pytest.fixture()
+def decomposed(small_federation):
+    query = parse_query(
+        "SELECT O.object_id, T.obj_id "
+        "FROM SDSS:Photo_Object O, TWOMASS:Photo_Primary T, "
+        "FIRST:Primary_Object P "
+        "WHERE AREA(185.0, -0.5, 900.0) AND XMATCH(O, T, P) < 3.5 "
+        "AND O.type = GALAXY"
+    )
+    return decompose(query, small_federation.portal.catalog)
+
+
+def test_performance_counts_match_direct_queries(small_federation, decomposed):
+    portal = small_federation.portal
+    counts = portal.planner.performance_counts(decomposed)
+    assert set(counts) == {"O", "T", "P"}
+    for alias, count in counts.items():
+        subquery = decomposed.subqueries[alias]
+        node = small_federation.node(subquery.archive)
+        direct = node.db.execute(subquery.perf_sql).scalar()
+        assert count == direct
+
+
+def test_performance_queries_tagged_phase(small_federation, decomposed):
+    portal = small_federation.portal
+    small_federation.network.metrics.reset()
+    portal.planner.performance_counts(decomposed)
+    metrics = small_federation.network.metrics
+    assert metrics.message_count(phase="performance-query") == 6  # 3 round trips
+
+
+def test_count_desc_ordering(small_federation, decomposed):
+    portal = small_federation.portal
+    counts = {"O": 100, "T": 300, "P": 20}
+    plan = portal.planner.build_plan(decomposed, counts)
+    assert [s.alias for s in plan.steps] == ["T", "O", "P"]
+    assert [s.count_star for s in plan.steps] == [300, 100, 20]
+
+
+def test_count_asc_ordering(small_federation, decomposed):
+    portal = small_federation.portal
+    counts = {"O": 100, "T": 300, "P": 20}
+    plan = portal.planner.build_plan(
+        decomposed, counts, strategy=OrderingStrategy.COUNT_ASC
+    )
+    assert [s.alias for s in plan.steps] == ["P", "O", "T"]
+
+
+def test_as_written_ordering(small_federation, decomposed):
+    portal = small_federation.portal
+    counts = {"O": 1, "T": 2, "P": 3}
+    plan = portal.planner.build_plan(
+        decomposed, counts, strategy=OrderingStrategy.AS_WRITTEN
+    )
+    assert [s.alias for s in plan.steps] == ["O", "T", "P"]
+
+
+def test_random_ordering_deterministic_by_seed(small_federation, decomposed):
+    portal = small_federation.portal
+    counts = {"O": 1, "T": 2, "P": 3}
+    plan_a = portal.planner.build_plan(
+        decomposed, counts, strategy=OrderingStrategy.RANDOM, random_seed=5
+    )
+    plan_b = portal.planner.build_plan(
+        decomposed, counts, strategy=OrderingStrategy.RANDOM, random_seed=5
+    )
+    assert [s.alias for s in plan_a.steps] == [s.alias for s in plan_b.steps]
+
+
+def test_dropouts_at_beginning(small_federation):
+    query = parse_query(
+        "SELECT O.object_id FROM SDSS:Photo_Object O, "
+        "TWOMASS:Photo_Primary T, FIRST:Primary_Object P "
+        "WHERE AREA(185.0, -0.5, 900.0) AND XMATCH(O, T, !P) < 3.5"
+    )
+    portal = small_federation.portal
+    decomposed = decompose(query, portal.catalog)
+    counts = portal.planner.performance_counts(decomposed)
+    assert "P" not in counts  # no performance query for drop-outs
+    plan = portal.planner.build_plan(decomposed, counts)
+    assert plan.steps[0].alias == "P"
+    assert plan.steps[0].dropout
+    assert plan.steps[0].count_star is None
+
+
+def test_missing_counts_rejected(small_federation, decomposed):
+    from repro.errors import PlanningError
+
+    with pytest.raises(PlanningError):
+        small_federation.portal.planner.build_plan(decomposed, {"O": 1})
+
+
+def test_plan_steps_carry_node_info(small_federation, decomposed):
+    portal = small_federation.portal
+    counts = portal.planner.performance_counts(decomposed)
+    plan = portal.planner.build_plan(decomposed, counts)
+    by_alias = {s.alias: s for s in plan.steps}
+    assert by_alias["O"].sigma_arcsec == pytest.approx(0.1)
+    assert by_alias["T"].ra_column == "ra_deg"
+    assert by_alias["T"].id_column == "obj_id"
+    assert by_alias["O"].url.endswith("/crossmatch")
+    assert by_alias["O"].residual_sql == "O.type = GALAXY"

@@ -1,0 +1,102 @@
+"""Portal service edge cases and multi-client behaviour."""
+
+import pytest
+
+from repro.errors import SoapFaultError
+from repro.services.client import ServiceProxy
+
+SQL = (
+    "SELECT O.object_id, T.obj_id "
+    "FROM SDSS:Photo_Object O, TWOMASS:Photo_Primary T "
+    "WHERE AREA(185.0, -0.5, 600.0) AND XMATCH(O, T) < 3.5"
+)
+
+
+def portal_proxy(fed):
+    return ServiceProxy(
+        fed.network, "tester", fed.portal.service_url("skyquery")
+    )
+
+
+def test_unknown_strategy_faults(small_federation):
+    with pytest.raises(SoapFaultError):
+        portal_proxy(small_federation).call(
+            "SubmitQuery", sql=SQL, strategy="not_a_strategy"
+        )
+
+
+def test_validation_errors_become_client_faults(small_federation):
+    with pytest.raises(SoapFaultError) as err:
+        portal_proxy(small_federation).call(
+            "SubmitQuery",
+            sql="SELECT a.x FROM SDSS:Photo_Object a, TWOMASS:Photo_Primary b "
+                "WHERE a.x = b.y",  # multi-archive without XMATCH
+            strategy="",
+        )
+    assert "XMATCH" in str(err.value)
+
+
+def test_portal_wsdl_lists_operations(small_federation):
+    proxy = portal_proxy(small_federation)
+    description = proxy.fetch_wsdl()
+    names = {op.name for op in description.operations}
+    assert {"SubmitQuery", "ExplainQuery", "GetFederation"} <= names
+
+
+def test_registration_wsdl(small_federation):
+    proxy = ServiceProxy(
+        small_federation.network,
+        "tester",
+        small_federation.portal.service_url("registration"),
+    )
+    names = {op.name for op in proxy.fetch_wsdl().operations}
+    assert {"Register", "Unregister"} <= names
+
+
+def test_queries_served_counter(small_federation):
+    before = small_federation.portal.queries_served
+    small_federation.client().submit(SQL)
+    small_federation.client().submit(SQL)
+    assert small_federation.portal.queries_served == before + 2
+
+
+def test_two_clients_interleaved(small_federation):
+    """Two client hosts submitting the same query get identical answers."""
+    first = small_federation.client("alice.example.org")
+    second = small_federation.client("bob.example.org")
+    result_a = first.submit(SQL)
+    result_b = second.submit(SQL)
+    assert sorted(result_a.rows) == sorted(result_b.rows)
+
+
+def test_concurrent_clients_makespan(small_federation):
+    """Under parallel dispatch, two whole queries overlap on the clock."""
+    network = small_federation.network
+    client_a = small_federation.client("alice.example.org")
+    client_b = small_federation.client("bob.example.org")
+
+    start = network.clock.now
+    client_a.submit(SQL)
+    sequential_elapsed = network.clock.now - start
+
+    start = network.clock.now
+    with network.parallel():
+        client_a.submit(SQL)
+        client_b.submit(SQL)
+    parallel_elapsed = network.clock.now - start
+    # Two full queries in roughly the time of one (plus noise).
+    assert parallel_elapsed < sequential_elapsed * 1.7
+
+
+def test_unregistered_federation_rejects_queries():
+    from repro.portal.portal import Portal
+    from repro.transport.network import SimulatedNetwork
+    from repro.client.client import SkyQueryClient
+
+    network = SimulatedNetwork()
+    portal = Portal()
+    portal.attach(network)
+    client = SkyQueryClient(network, portal.service_url("skyquery"))
+    with pytest.raises(SoapFaultError) as err:
+        client.submit(SQL)
+    assert "not registered" in str(err.value)

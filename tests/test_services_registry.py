@@ -1,0 +1,77 @@
+"""The UDDI-style registry."""
+
+import pytest
+
+from repro.errors import SoapFaultError
+from repro.services.client import ServiceProxy
+from repro.services.framework import ServiceHost
+from repro.services.registry import RegistryEntry, UDDIRegistry
+from repro.transport.network import SimulatedNetwork
+
+
+@pytest.fixture()
+def registry_proxy():
+    net = SimulatedNetwork()
+    registry = UDDIRegistry()
+    host = ServiceHost("uddi.net")
+    url = host.mount("/registry", registry)
+    net.add_host("uddi.net", host.handle)
+    return registry, ServiceProxy(net, "client", url)
+
+
+def test_publish_and_find(registry_proxy):
+    registry, proxy = registry_proxy
+    proxy.call("Publish", name="SDSSQuery", category="skynode",
+               url="http://sdss/query", description="d")
+    found = proxy.call("Find", category="skynode", name="")
+    assert len(found) == 1
+    entry = RegistryEntry.from_wire(found[0])
+    assert entry.name == "SDSSQuery"
+    assert entry.url == "http://sdss/query"
+
+
+def test_find_by_name(registry_proxy):
+    _, proxy = registry_proxy
+    proxy.call("Publish", name="A", category="c1", url="http://a", description="")
+    proxy.call("Publish", name="B", category="c1", url="http://b", description="")
+    found = proxy.call("Find", category="", name="B")
+    assert [e["name"] for e in found] == ["B"]
+
+
+def test_find_all(registry_proxy):
+    _, proxy = registry_proxy
+    proxy.call("Publish", name="A", category="c1", url="http://a", description="")
+    proxy.call("Publish", name="B", category="c2", url="http://b", description="")
+    found = proxy.call("Find", category="", name="")
+    assert [e["name"] for e in found] == ["A", "B"]
+
+
+def test_republish_replaces(registry_proxy):
+    registry, proxy = registry_proxy
+    proxy.call("Publish", name="A", category="c", url="http://old", description="")
+    proxy.call("Publish", name="A", category="c", url="http://new", description="")
+    found = proxy.call("Find", category="c", name="A")
+    assert found[0]["url"] == "http://new"
+    assert registry.entry_count() == 1
+
+
+def test_unpublish(registry_proxy):
+    _, proxy = registry_proxy
+    proxy.call("Publish", name="A", category="c", url="http://a", description="")
+    assert proxy.call("Unpublish", name="A") is True
+    assert proxy.call("Unpublish", name="A") is False
+    assert proxy.call("Find", category="", name="") == []
+
+
+def test_publish_requires_name_and_url(registry_proxy):
+    _, proxy = registry_proxy
+    with pytest.raises(SoapFaultError):
+        proxy.call("Publish", name="", category="c", url="http://a",
+                   description="")
+    with pytest.raises(SoapFaultError):
+        proxy.call("Publish", name="A", category="c", url="", description="")
+
+
+def test_entry_wire_roundtrip():
+    entry = RegistryEntry("n", "c", "http://u", "d")
+    assert RegistryEntry.from_wire(entry.to_wire()) == entry

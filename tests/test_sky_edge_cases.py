@@ -1,0 +1,76 @@
+"""End-to-end geometry edge cases: the RA=0 meridian and the poles."""
+
+import pytest
+
+from repro.federation.builder import FederationConfig, build_federation
+from repro.federation.surveys import SDSS, TWOMASS
+from repro.workloads.skysim import SkyField
+
+
+def make_fed(center_ra, center_dec):
+    return build_federation(
+        FederationConfig(
+            surveys=[SDSS, TWOMASS],
+            n_bodies=400,
+            seed=44,
+            sky_field=SkyField(center_ra, center_dec, 1800.0),
+        )
+    )
+
+
+def run_query(fed, ra, dec):
+    return fed.client().submit(
+        f"SELECT O.object_id, T.obj_id "
+        f"FROM SDSS:Photo_Object O, TWOMASS:Photo_Primary T "
+        f"WHERE AREA({ra}, {dec}, 900.0) AND XMATCH(O, T) < 3.5"
+    )
+
+
+def check_accuracy(fed, result):
+    truth_o = fed.truth["SDSS"]
+    truth_t = fed.truth["TWOMASS"]
+    correct = sum(1 for o, t in result.rows if truth_o[o] == truth_t[t])
+    assert correct / len(result) > 0.95
+
+
+def test_field_straddling_ra_zero():
+    """A field centered on the RA wrap point: ids span 359.9.. and 0.0.."""
+    fed = make_fed(0.0, 10.0)
+    sdss = fed.node("SDSS").db
+    ras = [row[0] for row in sdss.execute(
+        "SELECT o.ra FROM Photo_Object o"
+    ).rows]
+    assert any(ra > 350 for ra in ras) and any(ra < 10 for ra in ras)
+    result = run_query(fed, 0.0, 10.0)
+    assert len(result) > 0
+    check_accuracy(fed, result)
+
+
+def test_area_centered_just_west_of_meridian():
+    fed = make_fed(0.0, 10.0)
+    result = run_query(fed, 359.9, 10.0)
+    assert len(result) > 0
+    check_accuracy(fed, result)
+
+
+def test_field_at_north_pole():
+    fed = make_fed(120.0, 89.7)
+    result = run_query(fed, 120.0, 89.7)
+    assert len(result) > 0
+    check_accuracy(fed, result)
+
+
+def test_field_at_south_pole():
+    fed = make_fed(300.0, -89.7)
+    result = run_query(fed, 300.0, -89.7)
+    assert len(result) > 0
+    check_accuracy(fed, result)
+
+
+def test_area_at_exact_pole_is_ra_independent():
+    """AREA(x, 90, r) denotes the same cap for every RA value x."""
+    fed = make_fed(120.0, 89.7)
+    a = run_query(fed, 0.0, 90.0)
+    b = run_query(fed, 180.0, 90.0)
+    assert sorted(a.rows) == sorted(b.rows)
+    assert len(a) > 0

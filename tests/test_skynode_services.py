@@ -1,0 +1,137 @@
+"""SkyNode services against a live (simulated) network."""
+
+import pytest
+
+from repro.errors import SoapFaultError
+from repro.services.client import ServiceProxy
+from repro.soap.encoding import WireRowSet
+
+
+@pytest.fixture()
+def sdss(small_federation):
+    return small_federation.node("SDSS")
+
+
+@pytest.fixture()
+def proxy_for(small_federation):
+    def make(url):
+        return ServiceProxy(small_federation.network, "tester", url)
+
+    return make
+
+
+def test_information_service(sdss, proxy_for):
+    info = proxy_for(sdss.service_url("information")).call("GetInfo")
+    assert info["archive"] == "SDSS"
+    assert info["sigma_arcsec"] == pytest.approx(0.1)
+    assert info["primary_table"] == "Photo_Object"
+    assert info["object_count"] > 0
+
+
+def test_metadata_service(sdss, proxy_for):
+    schema = proxy_for(sdss.service_url("metadata")).call("GetSchema")
+    tables = {t["name"] for t in schema["tables"]}
+    assert "Photo_Object" in tables
+
+
+def test_query_service_count(sdss, proxy_for):
+    rowset = proxy_for(sdss.service_url("query")).call(
+        "ExecuteQuery",
+        sql="SELECT count(*) FROM Photo_Object o",
+    )
+    assert isinstance(rowset, WireRowSet)
+    assert rowset.rows[0][0] == sdss.db.count_rows("Photo_Object")
+
+
+def test_query_service_area(sdss, proxy_for):
+    rowset = proxy_for(sdss.service_url("query")).call(
+        "ExecuteQuery",
+        sql="SELECT o.object_id FROM Photo_Object o "
+            "WHERE AREA(185.0, -0.5, 300.0)",
+    )
+    assert len(rowset.rows) > 0
+
+
+def test_query_service_rejects_bad_sql(sdss, proxy_for):
+    with pytest.raises(SoapFaultError):
+        proxy_for(sdss.service_url("query")).call("ExecuteQuery", sql="NOT SQL")
+
+
+def test_query_service_rejects_unknown_table(sdss, proxy_for):
+    with pytest.raises(SoapFaultError):
+        proxy_for(sdss.service_url("query")).call(
+            "ExecuteQuery", sql="SELECT t.a FROM Nope t"
+        )
+
+
+def test_all_services_publish_wsdl(sdss, proxy_for):
+    for service in ("information", "metadata", "query", "crossmatch"):
+        description = proxy_for(sdss.service_url(service)).fetch_wsdl()
+        assert description.operations, service
+
+
+def test_crossmatch_rejects_bad_position(sdss, proxy_for, small_federation):
+    plan = {
+        "steps": [
+            {
+                "alias": "O",
+                "archive": "TWOMASS",  # wrong archive for this node
+                "url": sdss.service_url("crossmatch"),
+                "sigma_arcsec": 0.1,
+                "dropout": False,
+                "count_star": 1,
+                "table": "Photo_Object",
+                "id_column": "object_id",
+                "ra_column": "ra",
+                "dec_column": "dec",
+                "residual_sql": "",
+                "attr_select": [],
+                "sql": "",
+            }
+        ],
+        "threshold": 3.5,
+        "area": None,
+    }
+    with pytest.raises(SoapFaultError):
+        proxy_for(sdss.service_url("crossmatch")).call(
+            "PerformXMatch", plan=plan, position=0
+        )
+
+
+def test_fetch_chunk_unknown_transfer(sdss, proxy_for):
+    with pytest.raises(SoapFaultError):
+        proxy_for(sdss.service_url("crossmatch")).call(
+            "FetchChunk", transfer_id="nope", seq=0
+        )
+
+
+def test_node_register_requires_network():
+    from repro.db.engine import Database
+    from repro.db.schema import Column
+    from repro.db.table import SpatialSpec
+    from repro.db.types import ColumnType
+    from repro.errors import RegistrationError
+    from repro.skynode.node import SkyNode
+    from repro.skynode.wrapper import ArchiveInfo
+
+    db = Database("x")
+    db.create_table(
+        "t",
+        [
+            Column("object_id", ColumnType.INT),
+            Column("ra", ColumnType.FLOAT),
+            Column("dec", ColumnType.FLOAT),
+        ],
+        spatial=SpatialSpec("ra", "dec"),
+    )
+    node = SkyNode(db, ArchiveInfo("X", 0.1, "t", "object_id", "ra", "dec"))
+    with pytest.raises(RegistrationError):
+        node.register_with_portal("http://portal/registration")
+    with pytest.raises(RegistrationError):
+        node.proxy("http://anywhere/x")
+
+
+def test_service_urls(sdss):
+    urls = sdss.service_urls()
+    assert set(urls) == {"information", "metadata", "query", "crossmatch"}
+    assert all(url.startswith("http://sdss.skyquery.net/") for url in urls.values())

@@ -1,0 +1,133 @@
+"""The archive wrapper: info, schema wire structs, dialect rendering."""
+
+import pytest
+
+from repro.db.engine import Database
+from repro.db.schema import Column
+from repro.db.table import SpatialSpec
+from repro.db.types import ColumnType
+from repro.errors import SchemaError
+from repro.skynode.wrapper import ArchiveInfo, ArchiveWrapper
+
+
+def make_db(dialect="sqlserver"):
+    db = Database("sdss", dialect=dialect)
+    db.create_table(
+        "Photo_Object",
+        [
+            Column("object_id", ColumnType.INT, nullable=False),
+            Column("ra", ColumnType.FLOAT, nullable=False),
+            Column("dec", ColumnType.FLOAT, nullable=False),
+            Column("type", ColumnType.STRING),
+            Column("i_flux", ColumnType.FLOAT),
+            Column("saturated", ColumnType.BOOL),
+        ],
+        spatial=SpatialSpec("ra", "dec"),
+    )
+    db.insert("Photo_Object", [(1, 185.0, -0.5, "GALAXY", 12.0, False)])
+    return db
+
+
+def make_info():
+    return ArchiveInfo(
+        archive="SDSS",
+        sigma_arcsec=0.1,
+        primary_table="Photo_Object",
+        object_id_column="object_id",
+        ra_column="ra",
+        dec_column="dec",
+    )
+
+
+def test_wrapper_validates_columns():
+    db = make_db()
+    bad = ArchiveInfo("SDSS", 0.1, "Photo_Object", "missing", "ra", "dec")
+    with pytest.raises(SchemaError):
+        ArchiveWrapper(db, bad)
+
+
+def test_wrapper_requires_spatial_primary():
+    db = Database("d")
+    db.create_table(
+        "t",
+        [
+            Column("object_id", ColumnType.INT),
+            Column("ra", ColumnType.FLOAT),
+            Column("dec", ColumnType.FLOAT),
+        ],
+    )
+    info = ArchiveInfo("D", 0.1, "t", "object_id", "ra", "dec")
+    with pytest.raises(SchemaError):
+        ArchiveWrapper(db, info)
+
+
+def test_info_wire_contents():
+    wrapper = ArchiveWrapper(make_db(), make_info())
+    wire = wrapper.info_wire()
+    assert wire["archive"] == "SDSS"
+    assert wire["sigma_arcsec"] == 0.1
+    assert wire["primary_table"] == "Photo_Object"
+    assert wire["object_count"] == 1
+    assert wire["dialect"] == "sqlserver"
+
+
+def test_info_wire_roundtrip():
+    info = make_info()
+    assert ArchiveInfo.from_wire(info.to_wire()) == info
+
+
+def test_schema_wire_types():
+    wrapper = ArchiveWrapper(make_db(), make_info())
+    wire = wrapper.schema_wire()
+    table = wire["tables"][0]
+    assert table["name"] == "Photo_Object"
+    types = {c["name"]: c["type"] for c in table["columns"]}
+    assert types == {
+        "object_id": "int",
+        "ra": "double",
+        "dec": "double",
+        "type": "string",
+        "i_flux": "double",
+        "saturated": "boolean",
+    }
+
+
+def test_execute_sql_logs_dialect_rendering():
+    wrapper = ArchiveWrapper(make_db("sqlserver"), make_info())
+    wrapper.execute_sql("SELECT o.object_id FROM Photo_Object o")
+    assert "[object_id]" in wrapper.statement_log[-1]
+    assert "[Photo_Object]" in wrapper.statement_log[-1]
+
+
+def test_execute_sql_returns_rows():
+    wrapper = ArchiveWrapper(make_db(), make_info())
+    result = wrapper.execute_sql("SELECT o.i_flux FROM Photo_Object o")
+    assert result.rows == [(12.0,)]
+
+
+def test_resultset_to_wire_uses_schema_types():
+    wrapper = ArchiveWrapper(make_db(), make_info())
+    from repro.sql.parser import parse_query
+
+    query = parse_query("SELECT o.object_id, o.i_flux FROM Photo_Object o")
+    rowset = wrapper.resultset_to_wire(wrapper.execute_ast(query), query)
+    assert rowset.columns == [("o.object_id", "int"), ("o.i_flux", "double")]
+
+
+def test_resultset_to_wire_infers_expression_types():
+    wrapper = ArchiveWrapper(make_db(), make_info())
+    from repro.sql.parser import parse_query
+
+    query = parse_query("SELECT o.i_flux + 1 AS up FROM Photo_Object o")
+    rowset = wrapper.resultset_to_wire(wrapper.execute_ast(query), query)
+    assert rowset.columns == [("up", "double")]
+
+
+def test_resultset_to_wire_count():
+    wrapper = ArchiveWrapper(make_db(), make_info())
+    from repro.sql.parser import parse_query
+
+    query = parse_query("SELECT count(*) FROM Photo_Object o")
+    rowset = wrapper.resultset_to_wire(wrapper.execute_ast(query), query)
+    assert rowset.rows == [(1,)]
+    assert rowset.columns[0][1] == "int"

@@ -1,0 +1,101 @@
+"""SOAP envelopes: RPC conventions and faults."""
+
+import pytest
+
+from repro.errors import SoapError, SoapFaultError
+from repro.soap.encoding import WireRowSet
+from repro.soap.envelope import (
+    build_fault,
+    build_rpc_request,
+    build_rpc_response,
+    parse_rpc_request,
+    parse_rpc_response,
+)
+
+
+def test_request_roundtrip():
+    text = build_rpc_request("DoThing", {"a": 1, "b": "x", "c": None})
+    operation, params = parse_rpc_request(text)
+    assert operation == "DoThing"
+    assert params == {"a": 1, "b": "x", "c": None}
+
+
+def test_request_with_rowset_param():
+    rowset = WireRowSet([("a", "int")], [(1,), (2,)])
+    text = build_rpc_request("Send", {"rows": rowset})
+    _, params = parse_rpc_request(text)
+    assert params["rows"].rows == [(1,), (2,)]
+
+
+def test_request_no_params():
+    operation, params = parse_rpc_request(build_rpc_request("Ping", {}))
+    assert operation == "Ping"
+    assert params == {}
+
+
+def test_response_roundtrip():
+    text = build_rpc_response("DoThing", {"ok": True, "n": 3})
+    assert parse_rpc_response(text) == {"ok": True, "n": 3}
+
+
+def test_response_scalar():
+    assert parse_rpc_response(build_rpc_response("Q", 42)) == 42
+
+
+def test_fault_raises():
+    text = build_fault("soap:Server", "boom", "details")
+    with pytest.raises(SoapFaultError) as err:
+        parse_rpc_response(text)
+    assert err.value.faultcode == "soap:Server"
+    assert err.value.faultstring == "boom"
+    assert err.value.detail == "details"
+
+
+def test_fault_without_detail():
+    with pytest.raises(SoapFaultError) as err:
+        parse_rpc_response(build_fault("soap:Client", "bad"))
+    assert err.value.detail == ""
+
+
+def test_envelope_is_soap_namespaced():
+    text = build_rpc_request("Op", {})
+    assert "soap:Envelope" in text
+    assert "http://schemas.xmlsoap.org/soap/envelope/" in text
+
+
+def test_non_envelope_rejected():
+    with pytest.raises(SoapError):
+        parse_rpc_request("<notsoap/>")
+
+
+def test_empty_body_rejected():
+    doc = (
+        '<soap:Envelope xmlns:soap="http://schemas.xmlsoap.org/soap/envelope/">'
+        "<soap:Body></soap:Body></soap:Envelope>"
+    )
+    with pytest.raises(SoapError):
+        parse_rpc_request(doc)
+
+
+def test_response_without_result_rejected():
+    doc = (
+        '<soap:Envelope xmlns:soap="x"><soap:Body>'
+        "<QResponse></QResponse></soap:Body></soap:Envelope>"
+    )
+    with pytest.raises(SoapError):
+        parse_rpc_response(doc)
+
+
+def test_non_response_element_rejected():
+    doc = (
+        '<soap:Envelope xmlns:soap="x"><soap:Body>'
+        "<Weird/></soap:Body></soap:Envelope>"
+    )
+    with pytest.raises(SoapError):
+        parse_rpc_response(doc)
+
+
+def test_bytes_input_accepted():
+    text = build_rpc_request("Op", {"a": 1}).encode("utf-8")
+    operation, params = parse_rpc_request(text)
+    assert (operation, params) == ("Op", {"a": 1})

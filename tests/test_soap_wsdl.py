@@ -1,0 +1,71 @@
+"""WSDL generation and parsing."""
+
+import pytest
+
+from repro.errors import SoapError
+from repro.soap.wsdl import (
+    OperationSpec,
+    ServiceDescription,
+    generate_wsdl,
+    parse_wsdl,
+)
+
+
+def make_description():
+    return ServiceDescription(
+        name="QueryService",
+        url="http://sdss.skyquery.net/query",
+        operations=[
+            OperationSpec(
+                "ExecuteQuery", (("sql", "string"),), "rowset", doc="run SQL"
+            ),
+            OperationSpec(
+                "Ping", (), "boolean",
+            ),
+        ],
+    )
+
+
+def test_roundtrip():
+    description = make_description()
+    parsed = parse_wsdl(generate_wsdl(description))
+    assert parsed.name == description.name
+    assert parsed.url == description.url
+    assert [op.name for op in parsed.operations] == ["ExecuteQuery", "Ping"]
+    assert parsed.operations[0].params == (("sql", "string"),)
+    assert parsed.operations[0].returns == "rowset"
+    assert parsed.operations[0].doc == "run SQL"
+
+
+def test_operation_lookup():
+    description = make_description()
+    assert description.operation("Ping") is not None
+    assert description.operation("Nope") is None
+
+
+def test_wsdl_contains_soap_binding():
+    text = generate_wsdl(make_description())
+    assert "wsdl:binding" in text
+    assert 'transport="http://schemas.xmlsoap.org/soap/http"' in text
+    assert 'soapAction="urn:skyquery#ExecuteQuery"' in text
+
+
+def test_wsdl_contains_address():
+    text = generate_wsdl(make_description())
+    assert 'location="http://sdss.skyquery.net/query"' in text
+
+
+def test_parse_rejects_non_wsdl():
+    with pytest.raises(SoapError):
+        parse_wsdl("<notwsdl/>")
+
+
+def test_parse_requires_name():
+    with pytest.raises(SoapError):
+        parse_wsdl('<wsdl:definitions xmlns:wsdl="x"/>')
+
+
+def test_empty_operations():
+    description = ServiceDescription("Empty", "http://h/e", [])
+    parsed = parse_wsdl(generate_wsdl(description))
+    assert parsed.operations == []

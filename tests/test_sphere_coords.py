@@ -1,0 +1,61 @@
+"""Coordinate conversions."""
+
+import math
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.sphere.coords import radec_to_vector, vector_to_radec
+from repro.sphere.vector import norm
+
+
+@pytest.mark.parametrize(
+    "ra,dec,expected",
+    [
+        (0.0, 0.0, (1.0, 0.0, 0.0)),
+        (90.0, 0.0, (0.0, 1.0, 0.0)),
+        (180.0, 0.0, (-1.0, 0.0, 0.0)),
+        (0.0, 90.0, (0.0, 0.0, 1.0)),
+        (0.0, -90.0, (0.0, 0.0, -1.0)),
+    ],
+)
+def test_cardinal_directions(ra, dec, expected):
+    assert radec_to_vector(ra, dec) == pytest.approx(expected, abs=1e-12)
+
+
+@pytest.mark.parametrize(
+    "ra,dec",
+    [(185.0, -0.5), (0.0, 0.0), (359.999, 89.0), (12.25, -45.5), (270.0, 33.0)],
+)
+def test_roundtrip(ra, dec):
+    back_ra, back_dec = vector_to_radec(radec_to_vector(ra, dec))
+    assert back_ra == pytest.approx(ra, abs=1e-9)
+    assert back_dec == pytest.approx(dec, abs=1e-9)
+
+
+def test_ra_normalized_on_input():
+    assert radec_to_vector(370.0, 0.0) == pytest.approx(radec_to_vector(10.0, 0.0))
+
+
+def test_result_is_unit_vector():
+    assert norm(radec_to_vector(123.4, 56.7)) == pytest.approx(1.0)
+
+
+def test_bad_dec_raises():
+    with pytest.raises(GeometryError):
+        radec_to_vector(0.0, 91.0)
+
+
+def test_zero_vector_raises():
+    with pytest.raises(GeometryError):
+        vector_to_radec((0.0, 0.0, 0.0))
+
+
+def test_non_unit_vector_accepted():
+    ra, dec = vector_to_radec((2.0, 0.0, 0.0))
+    assert (ra, dec) == pytest.approx((0.0, 0.0))
+
+
+def test_pole_roundtrip():
+    ra, dec = vector_to_radec(radec_to_vector(45.0, 90.0))
+    assert dec == pytest.approx(90.0)

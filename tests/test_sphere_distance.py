@@ -1,0 +1,61 @@
+"""Angular separations."""
+
+import math
+
+import pytest
+
+from repro.sphere.coords import radec_to_vector
+from repro.sphere.distance import angular_separation, chord_for_angle, separation_arcsec
+from repro.units import arcsec_to_rad
+
+
+def test_identical_vectors():
+    v = radec_to_vector(10.0, 20.0)
+    assert angular_separation(v, v) == pytest.approx(0.0, abs=1e-12)
+
+
+def test_orthogonal_vectors():
+    a = radec_to_vector(0.0, 0.0)
+    b = radec_to_vector(90.0, 0.0)
+    assert angular_separation(a, b) == pytest.approx(math.pi / 2)
+
+
+def test_antipodal_vectors():
+    a = radec_to_vector(0.0, 0.0)
+    b = radec_to_vector(180.0, 0.0)
+    assert angular_separation(a, b) == pytest.approx(math.pi)
+
+
+def test_tiny_separation_accuracy():
+    # One milli-arcsecond apart: acos() would lose precision, atan2 must not.
+    a = radec_to_vector(185.0, 0.0)
+    b = radec_to_vector(185.0 + 0.001 / 3600.0, 0.0)
+    assert separation_arcsec(a, b) == pytest.approx(0.001, rel=1e-6)
+
+
+def test_separation_along_declination():
+    a = radec_to_vector(185.0, -0.5)
+    b = radec_to_vector(185.0, -0.5 + 1.0 / 3600.0)
+    assert separation_arcsec(a, b) == pytest.approx(1.0, rel=1e-9)
+
+
+def test_ra_separation_scales_with_cos_dec():
+    # 1 arcsec of RA at dec=60 is 0.5 arcsec on the sky.
+    a = radec_to_vector(10.0, 60.0)
+    b = radec_to_vector(10.0 + 1.0 / 3600.0, 60.0)
+    assert separation_arcsec(a, b) == pytest.approx(0.5, rel=1e-6)
+
+
+def test_chord_for_angle_small():
+    theta = arcsec_to_rad(10.0)
+    assert chord_for_angle(theta) == pytest.approx(theta, rel=1e-6)
+
+
+def test_chord_for_angle_pi():
+    assert chord_for_angle(math.pi) == pytest.approx(2.0)
+
+
+def test_symmetry():
+    a = radec_to_vector(1.0, 2.0)
+    b = radec_to_vector(3.0, 4.0)
+    assert angular_separation(a, b) == pytest.approx(angular_separation(b, a))

@@ -1,0 +1,63 @@
+"""Vector arithmetic."""
+
+import math
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.sphere.vector import add, cross, dot, midpoint, norm, normalize, scale, sub
+
+
+def test_add_sub_inverse():
+    a, b = (1.0, 2.0, 3.0), (0.5, -1.0, 2.0)
+    assert sub(add(a, b), b) == pytest.approx(a)
+
+
+def test_scale():
+    assert scale((1.0, -2.0, 0.5), 2.0) == (2.0, -4.0, 1.0)
+
+
+def test_dot_orthogonal():
+    assert dot((1.0, 0.0, 0.0), (0.0, 1.0, 0.0)) == 0.0
+
+
+def test_dot_self_is_norm_squared():
+    v = (3.0, 4.0, 12.0)
+    assert dot(v, v) == pytest.approx(norm(v) ** 2)
+
+
+def test_cross_right_handed():
+    assert cross((1.0, 0.0, 0.0), (0.0, 1.0, 0.0)) == (0.0, 0.0, 1.0)
+
+
+def test_cross_anticommutative():
+    a, b = (1.0, 2.0, 3.0), (-2.0, 0.5, 1.0)
+    assert cross(a, b) == pytest.approx(scale(cross(b, a), -1.0))
+
+
+def test_cross_parallel_is_zero():
+    a = (1.0, 2.0, 3.0)
+    assert cross(a, scale(a, 2.0)) == pytest.approx((0.0, 0.0, 0.0))
+
+
+def test_normalize_unit_length():
+    v = normalize((3.0, 4.0, 0.0))
+    assert norm(v) == pytest.approx(1.0)
+    assert v == pytest.approx((0.6, 0.8, 0.0))
+
+
+def test_normalize_zero_raises():
+    with pytest.raises(GeometryError):
+        normalize((0.0, 0.0, 0.0))
+
+
+def test_midpoint_on_great_circle():
+    m = midpoint((1.0, 0.0, 0.0), (0.0, 1.0, 0.0))
+    assert norm(m) == pytest.approx(1.0)
+    assert m[0] == pytest.approx(m[1])
+    assert m[2] == 0.0
+
+
+def test_midpoint_of_antipodes_raises():
+    with pytest.raises(GeometryError):
+        midpoint((1.0, 0.0, 0.0), (-1.0, 0.0, 0.0))

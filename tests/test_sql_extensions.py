@@ -1,0 +1,281 @@
+"""ORDER BY, BETWEEN, IS NULL, and the polygon AREA extension."""
+
+import pytest
+
+from repro.db.engine import Database
+from repro.db.schema import Column
+from repro.db.table import SpatialSpec
+from repro.db.types import ColumnType
+from repro.errors import SQLSyntaxError, ValidationError
+from repro.sql.area import area_from_wire, area_to_wire, is_area, region_for
+from repro.sql.ast import AreaClause, IsNull, OrderItem, PolygonClause
+from repro.sql.parser import parse_expression, parse_query
+from repro.sql.printer import to_sql
+from repro.sql.validate import validate_query
+
+
+class TestParsing:
+    def test_order_by_single(self):
+        query = parse_query("SELECT t.a FROM T t ORDER BY t.a")
+        assert query.order_by == (OrderItem(parse_expression("t.a"), False),)
+
+    def test_order_by_desc_and_multiple(self):
+        query = parse_query("SELECT t.a FROM T t ORDER BY t.a DESC, t.b ASC")
+        assert query.order_by[0].descending is True
+        assert query.order_by[1].descending is False
+
+    def test_order_by_before_limit(self):
+        query = parse_query("SELECT t.a FROM T t ORDER BY t.a LIMIT 3")
+        assert query.limit == 3
+        assert len(query.order_by) == 1
+
+    def test_between_desugars(self):
+        expr = parse_expression("t.a BETWEEN 1 AND 5")
+        assert expr == parse_expression("t.a >= 1 AND t.a <= 5")
+
+    def test_between_in_where(self):
+        query = parse_query("SELECT t.a FROM T t WHERE t.a BETWEEN 1 AND 5 AND t.b = 2")
+        assert query.where == parse_expression(
+            "t.a >= 1 AND t.a <= 5 AND t.b = 2"
+        )
+
+    def test_is_null(self):
+        assert parse_expression("t.a IS NULL") == IsNull(
+            parse_expression("t.a"), False
+        )
+
+    def test_is_not_null(self):
+        assert parse_expression("t.a IS NOT NULL") == IsNull(
+            parse_expression("t.a"), True
+        )
+
+    def test_polygon_area(self):
+        expr = parse_expression("AREA(POLYGON, 10.0, 10.0, 20.0, 10.0, 20.0, 20.0)")
+        assert expr == PolygonClause(((10.0, 10.0), (20.0, 10.0), (20.0, 20.0)))
+
+    def test_polygon_negative_coordinates(self):
+        expr = parse_expression("AREA(POLYGON, 184.0, -1.0, 186.0, -1.0, 185.0, 0.5)")
+        assert isinstance(expr, PolygonClause)
+        assert expr.vertices[0] == (184.0, -1.0)
+
+    def test_polygon_too_few_vertices(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_expression("AREA(POLYGON, 1.0, 2.0, 3.0, 4.0)")
+
+    def test_polygon_odd_coordinates(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_expression("AREA(POLYGON, 1.0, 2.0, 3.0, 4.0, 5.0)")
+
+
+class TestPrinting:
+    def test_order_by_roundtrip(self):
+        sql = "SELECT t.a FROM T t ORDER BY t.a DESC, t.b LIMIT 2"
+        assert parse_query(to_sql(parse_query(sql))) == parse_query(sql)
+
+    def test_is_null_roundtrip(self):
+        for text in ("t.a IS NULL", "t.a IS NOT NULL"):
+            assert parse_expression(to_sql(parse_expression(text))) == \
+                parse_expression(text)
+
+    def test_polygon_roundtrip(self):
+        text = "AREA(POLYGON, 10.0, 10.0, 20.0, 10.0, 20.0, 20.0)"
+        assert parse_expression(to_sql(parse_expression(text))) == \
+            parse_expression(text)
+
+
+class TestAreaHelpers:
+    def test_is_area(self):
+        assert is_area(AreaClause(1.0, 2.0, 3.0))
+        assert is_area(PolygonClause(((0.0, 0.0), (1.0, 0.0), (1.0, 1.0))))
+        assert not is_area(parse_expression("1 + 1"))
+
+    def test_region_for_circle(self):
+        from repro.sphere.regions import Cap
+
+        region = region_for(AreaClause(185.0, -0.5, 4.5))
+        assert isinstance(region, Cap)
+
+    def test_region_for_polygon(self):
+        from repro.sphere.regions import ConvexPolygon
+
+        region = region_for(
+            PolygonClause(((10.0, 10.0), (20.0, 10.0), (20.0, 20.0)))
+        )
+        assert isinstance(region, ConvexPolygon)
+
+    def test_wire_roundtrip_circle(self):
+        clause = AreaClause(185.0, -0.5, 4.5)
+        assert area_from_wire(area_to_wire(clause)) == clause
+
+    def test_wire_roundtrip_polygon(self):
+        clause = PolygonClause(((10.0, 10.0), (20.0, 10.0), (20.0, 20.0)))
+        assert area_from_wire(area_to_wire(clause)) == clause
+
+    def test_wire_none(self):
+        assert area_to_wire(None) is None
+        assert area_from_wire(None) is None
+
+
+@pytest.fixture()
+def db():
+    database = Database("t", page_size=8)
+    database.create_table(
+        "objects",
+        [
+            Column("object_id", ColumnType.INT, nullable=False),
+            Column("ra", ColumnType.FLOAT, nullable=False),
+            Column("dec", ColumnType.FLOAT, nullable=False),
+            Column("flux", ColumnType.FLOAT),
+        ],
+        spatial=SpatialSpec("ra", "dec", htm_depth=10),
+    )
+    database.insert(
+        "objects",
+        [
+            (1, 15.0, 15.0, 5.0),
+            (2, 15.1, 15.1, None),
+            (3, 15.2, 15.2, 1.0),
+            (4, 30.0, 30.0, 9.0),
+            (5, 15.3, 14.9, 3.0),
+        ],
+    )
+    return database
+
+
+class TestEngineExtensions:
+    def test_order_by_asc(self, db):
+        result = db.execute(
+            "SELECT o.object_id FROM objects o WHERE o.flux IS NOT NULL "
+            "ORDER BY o.flux"
+        )
+        assert [r[0] for r in result.rows] == [3, 5, 1, 4]
+
+    def test_order_by_desc(self, db):
+        result = db.execute("SELECT o.object_id FROM objects o ORDER BY o.flux DESC")
+        # NULLs first ascending => last descending.
+        assert [r[0] for r in result.rows] == [4, 1, 5, 3, 2]
+
+    def test_order_by_with_limit(self, db):
+        result = db.execute(
+            "SELECT o.object_id FROM objects o ORDER BY o.flux DESC LIMIT 2"
+        )
+        assert [r[0] for r in result.rows] == [4, 1]
+
+    def test_order_by_expression(self, db):
+        result = db.execute(
+            "SELECT o.object_id FROM objects o WHERE o.flux IS NOT NULL "
+            "ORDER BY 0 - o.flux"
+        )
+        assert [r[0] for r in result.rows] == [4, 1, 5, 3]
+
+    def test_is_null_predicate(self, db):
+        result = db.execute(
+            "SELECT o.object_id FROM objects o WHERE o.flux IS NULL"
+        )
+        assert [r[0] for r in result.rows] == [2]
+
+    def test_is_not_null_predicate(self, db):
+        result = db.execute(
+            "SELECT count(*) FROM objects o WHERE o.flux IS NOT NULL"
+        )
+        assert result.scalar() == 4
+
+    def test_between_predicate(self, db):
+        result = db.execute(
+            "SELECT o.object_id FROM objects o WHERE o.flux BETWEEN 1 AND 5 "
+            "ORDER BY o.object_id"
+        )
+        assert [r[0] for r in result.rows] == [1, 3, 5]
+
+    def test_polygon_area_query(self, db):
+        result = db.execute(
+            "SELECT o.object_id FROM objects o "
+            "WHERE AREA(POLYGON, 14.0, 14.0, 16.0, 14.0, 16.0, 16.0, 14.0, 16.0) "
+            "ORDER BY o.object_id"
+        )
+        assert [r[0] for r in result.rows] == [1, 2, 3, 5]
+
+    def test_polygon_excludes_outside(self, db):
+        result = db.execute(
+            "SELECT count(*) FROM objects o "
+            "WHERE AREA(POLYGON, 14.0, 14.0, 16.0, 14.0, 16.0, 16.0, 14.0, 16.0)"
+        )
+        assert result.scalar() == 4  # object 4 at (30, 30) excluded
+
+
+class TestValidateExtensions:
+    def test_polygon_counts_as_area(self):
+        query = parse_query(
+            "SELECT a.x FROM S:T1 a, W:T2 b "
+            "WHERE AREA(POLYGON, 1.0, 1.0, 2.0, 1.0, 2.0, 2.0) "
+            "AND XMATCH(a, b) < 3.5"
+        )
+        analysis = validate_query(query)
+        assert isinstance(analysis.area, PolygonClause)
+
+    def test_circle_plus_polygon_rejected(self):
+        query = parse_query(
+            "SELECT a.x FROM S:T1 a, W:T2 b "
+            "WHERE AREA(1.0, 2.0, 3.0) "
+            "AND AREA(POLYGON, 1.0, 1.0, 2.0, 1.0, 2.0, 2.0) "
+            "AND XMATCH(a, b) < 3.5"
+        )
+        with pytest.raises(ValidationError):
+            validate_query(query)
+
+    def test_order_by_unknown_alias_rejected(self):
+        query = parse_query("SELECT t.a FROM S:T1 t ORDER BY z.b")
+        with pytest.raises(ValidationError):
+            validate_query(query)
+
+    def test_order_by_spatial_rejected(self):
+        query = parse_query(
+            "SELECT t.a FROM S:T1 t ORDER BY AREA(1.0, 2.0, 3.0)"
+        )
+        with pytest.raises(ValidationError):
+            validate_query(query)
+
+
+class TestFederatedExtensions:
+    def test_polygon_area_federated(self, small_federation):
+        # A triangle around the field center, compared to a brute-force
+        # in-polygon filter of the circular-area result.
+        poly_sql = (
+            "SELECT O.object_id, O.ra, O.dec, T.obj_id "
+            "FROM SDSS:Photo_Object O, TWOMASS:Photo_Primary T "
+            "WHERE AREA(POLYGON, 184.9, -0.6, 185.1, -0.6, 185.0, -0.4) "
+            "AND XMATCH(O, T) < 3.5"
+        )
+        result = small_federation.client().submit(poly_sql)
+        assert len(result) > 0
+        from repro.sphere.coords import radec_to_vector
+        from repro.sphere.regions import ConvexPolygon
+
+        polygon = ConvexPolygon.from_radec(
+            [(184.9, -0.6), (185.1, -0.6), (185.0, -0.4)]
+        )
+        for row in result.rows:
+            assert polygon.contains(radec_to_vector(row[1], row[2]))
+
+    def test_federated_order_by(self, small_federation):
+        sql = (
+            "SELECT O.object_id, O.i_flux "
+            "FROM SDSS:Photo_Object O, TWOMASS:Photo_Primary T "
+            "WHERE AREA(185.0, -0.5, 600.0) AND XMATCH(O, T) < 3.5 "
+            "ORDER BY O.i_flux DESC LIMIT 5"
+        )
+        result = small_federation.client().submit(sql)
+        fluxes = [row[1] for row in result.rows]
+        assert fluxes == sorted(fluxes, reverse=True)
+        assert len(result) == 5
+
+    def test_federated_order_by_cross_archive_expr(self, small_federation):
+        sql = (
+            "SELECT O.object_id, O.i_flux - T.i_flux AS color "
+            "FROM SDSS:Photo_Object O, TWOMASS:Photo_Primary T "
+            "WHERE AREA(185.0, -0.5, 600.0) AND XMATCH(O, T) < 3.5 "
+            "ORDER BY O.i_flux - T.i_flux"
+        )
+        result = small_federation.client().submit(sql)
+        colors = [row[1] for row in result.rows]
+        assert colors == sorted(colors)

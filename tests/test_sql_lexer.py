@@ -1,0 +1,87 @@
+"""The SQL tokenizer."""
+
+import pytest
+
+from repro.errors import SQLSyntaxError
+from repro.sql.lexer import TokenType, tokenize
+
+
+def kinds(text):
+    return [(t.type, t.value) for t in tokenize(text) if t.type is not TokenType.EOF]
+
+
+def test_keywords_uppercased():
+    assert kinds("select") == [(TokenType.KEYWORD, "SELECT")]
+    assert kinds("SeLeCt") == [(TokenType.KEYWORD, "SELECT")]
+
+
+def test_identifiers_keep_case():
+    assert kinds("Photo_Object") == [(TokenType.IDENT, "Photo_Object")]
+
+
+def test_numbers():
+    assert kinds("42") == [(TokenType.NUMBER, "42")]
+    assert kinds("3.5") == [(TokenType.NUMBER, "3.5")]
+    assert kinds("1e3") == [(TokenType.NUMBER, "1e3")]
+    assert kinds("2.5e-4") == [(TokenType.NUMBER, "2.5e-4")]
+    assert kinds(".5") == [(TokenType.NUMBER, ".5")]
+
+
+def test_negative_number_is_minus_then_number():
+    assert kinds("-0.5") == [(TokenType.OP, "-"), (TokenType.NUMBER, "0.5")]
+
+
+def test_strings_with_escaped_quote():
+    assert kinds("'it''s'") == [(TokenType.STRING, "it's")]
+
+
+def test_unterminated_string():
+    with pytest.raises(SQLSyntaxError):
+        tokenize("'oops")
+
+
+def test_operators():
+    assert [v for _, v in kinds("<= >= <> != = < >")] == [
+        "<=", ">=", "<>", "!=", "=", "<", ">",
+    ]
+
+
+def test_bang_is_punct_when_not_equals():
+    assert kinds("!P") == [(TokenType.PUNCT, "!"), (TokenType.IDENT, "P")]
+
+
+def test_archive_qualifier_punctuation():
+    assert kinds("SDSS:T")[1] == (TokenType.PUNCT, ":")
+
+
+def test_comments_skipped():
+    assert kinds("1 -- comment\n2") == [
+        (TokenType.NUMBER, "1"),
+        (TokenType.NUMBER, "2"),
+    ]
+
+
+def test_positions_tracked():
+    tokens = tokenize("SELECT\n  x")
+    ident = [t for t in tokens if t.type is TokenType.IDENT][0]
+    assert ident.line == 2
+    assert ident.column == 3
+
+
+def test_unexpected_character():
+    with pytest.raises(SQLSyntaxError) as err:
+        tokenize("SELECT @")
+    assert "unexpected" in str(err.value)
+
+
+def test_eof_token_present():
+    tokens = tokenize("x")
+    assert tokens[-1].type is TokenType.EOF
+
+
+def test_matches_helper():
+    token = tokenize("SELECT")[0]
+    assert token.matches(TokenType.KEYWORD, "SELECT")
+    assert token.matches(TokenType.KEYWORD)
+    assert not token.matches(TokenType.IDENT)
+    assert not token.matches(TokenType.KEYWORD, "FROM")

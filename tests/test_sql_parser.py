@@ -1,0 +1,178 @@
+"""The SQL dialect parser."""
+
+import math
+
+import pytest
+
+from repro.errors import SQLSyntaxError
+from repro.sql.ast import (
+    AreaClause,
+    BinaryOp,
+    ColumnRef,
+    FuncCall,
+    Literal,
+    Star,
+    XMatchClause,
+    conjuncts,
+)
+from repro.sql.parser import parse_expression, parse_query
+
+PAPER_QUERY = """
+SELECT O.object_id, O.right_ascension, T.object_id
+FROM SDSS:Photo_Object O, TWOMASS:Photo_Primary T, FIRST:Primary_Object P
+WHERE AREA(185.0, -0.5, 4.5) AND XMATCH(O, T, P) < 3.5
+  AND O.type = GALAXY AND (O.i_flux - T.i_flux) > 2
+"""
+
+
+def test_paper_query_tables():
+    query = parse_query(PAPER_QUERY)
+    assert [(t.archive, t.table, t.alias) for t in query.tables] == [
+        ("SDSS", "Photo_Object", "O"),
+        ("TWOMASS", "Photo_Primary", "T"),
+        ("FIRST", "Primary_Object", "P"),
+    ]
+
+
+def test_paper_query_select_items():
+    query = parse_query(PAPER_QUERY)
+    assert query.items[0].expr == ColumnRef("O", "object_id")
+    assert query.items[2].expr == ColumnRef("T", "object_id")
+
+
+def test_paper_query_clauses():
+    query = parse_query(PAPER_QUERY)
+    parts = conjuncts(query.where)
+    area = [c for c in parts if isinstance(c, AreaClause)]
+    xmatch = [c for c in parts if isinstance(c, XMatchClause)]
+    assert area == [AreaClause(185.0, -0.5, 4.5)]
+    assert len(xmatch) == 1
+    assert xmatch[0].threshold == 3.5
+    assert [t.alias for t in xmatch[0].terms] == ["O", "T", "P"]
+    assert not any(t.dropout for t in xmatch[0].terms)
+
+
+def test_dropout_parsing():
+    query = parse_query(
+        "SELECT a.x FROM A:T1 a, B:T2 b WHERE XMATCH(a, !b) < 2.0"
+    )
+    clause = conjuncts(query.where)[0]
+    assert isinstance(clause, XMatchClause)
+    assert [t.dropout for t in clause.terms] == [False, True]
+    assert clause.mandatory[0].alias == "a"
+    assert clause.dropouts[0].alias == "b"
+
+
+def test_negative_area_coordinates():
+    expr = parse_expression("AREA(185.0, -0.5, 4.5)")
+    assert expr == AreaClause(185.0, -0.5, 4.5)
+
+
+def test_xmatch_without_threshold_rejected():
+    with pytest.raises(SQLSyntaxError):
+        parse_query("SELECT a.x FROM A:T a WHERE XMATCH(a)")
+
+
+def test_xmatch_wrong_operator_rejected():
+    with pytest.raises(SQLSyntaxError):
+        parse_query("SELECT a.x FROM A:T a WHERE XMATCH(a) > 3.5")
+
+
+def test_xmatch_non_numeric_threshold_rejected():
+    with pytest.raises(SQLSyntaxError):
+        parse_query("SELECT a.x FROM A:T a WHERE XMATCH(a) < 'x'")
+
+
+def test_count_star():
+    query = parse_query("SELECT count(*) FROM T t")
+    expr = query.items[0].expr
+    assert isinstance(expr, FuncCall)
+    assert expr.name == "COUNT"
+    assert isinstance(expr.args[0], Star)
+
+
+def test_select_star():
+    query = parse_query("SELECT * FROM T t")
+    assert isinstance(query.items[0].expr, Star)
+
+
+def test_alias_with_and_without_as():
+    query = parse_query("SELECT t.a AS x, t.b y FROM T t")
+    assert query.items[0].alias == "x"
+    assert query.items[1].alias == "y"
+
+
+def test_limit():
+    assert parse_query("SELECT t.a FROM T t LIMIT 10").limit == 10
+    assert parse_query("SELECT t.a FROM T t").limit is None
+
+
+def test_precedence_and_or():
+    expr = parse_expression("a = 1 OR b = 2 AND c = 3")
+    assert isinstance(expr, BinaryOp) and expr.op == "OR"
+    assert isinstance(expr.right, BinaryOp) and expr.right.op == "AND"
+
+
+def test_precedence_arith():
+    expr = parse_expression("1 + 2 * 3")
+    assert isinstance(expr, BinaryOp) and expr.op == "+"
+    assert isinstance(expr.right, BinaryOp) and expr.right.op == "*"
+
+
+def test_parenthesized_expression():
+    expr = parse_expression("(1 + 2) * 3")
+    assert isinstance(expr, BinaryOp) and expr.op == "*"
+
+
+def test_not_equals_normalized():
+    expr = parse_expression("a != 1")
+    assert isinstance(expr, BinaryOp) and expr.op == "<>"
+
+
+def test_literals():
+    assert parse_expression("NULL") == Literal(None)
+    assert parse_expression("TRUE") == Literal(True)
+    assert parse_expression("FALSE") == Literal(False)
+    assert parse_expression("'txt'") == Literal("txt")
+    assert parse_expression("7") == Literal(7)
+    assert parse_expression("7.5") == Literal(7.5)
+
+
+def test_int_vs_float_literal_types():
+    assert isinstance(parse_expression("7").value, int)
+    assert isinstance(parse_expression("7.0").value, float)
+    assert isinstance(parse_expression("1e3").value, float)
+
+
+def test_unary_plus_and_minus():
+    assert parse_expression("+5") == Literal(5)
+    from repro.sql.ast import UnaryOp
+
+    assert parse_expression("-5") == UnaryOp("-", Literal(5))
+
+
+def test_trailing_garbage_rejected():
+    with pytest.raises(SQLSyntaxError):
+        parse_query("SELECT t.a FROM T t extra garbage here")
+
+
+def test_missing_from_rejected():
+    with pytest.raises(SQLSyntaxError):
+        parse_query("SELECT 1")
+
+
+def test_trailing_semicolon_allowed():
+    assert parse_query("SELECT t.a FROM T t;").tables[0].table == "T"
+
+
+def test_error_carries_position():
+    with pytest.raises(SQLSyntaxError) as err:
+        parse_query("SELECT ,")
+    assert err.value.line >= 1
+
+
+def test_xmatch_nan_never_escapes():
+    # A folded clause always has a real threshold.
+    query = parse_query("SELECT a.x FROM A:T a WHERE XMATCH(a) < 1.5")
+    clause = conjuncts(query.where)[0]
+    assert not math.isnan(clause.threshold)

@@ -1,0 +1,99 @@
+"""SQL rendering and dialects."""
+
+import pytest
+
+from repro.sql.parser import parse_expression, parse_query
+from repro.sql.printer import ANSI, POSTGRES, SQLSERVER, to_sql
+
+
+def roundtrip(sql):
+    """Parse -> print -> parse must be a fixed point (AST equality)."""
+    first = parse_query(sql)
+    printed = to_sql(first)
+    second = parse_query(printed)
+    assert first == second
+    return printed
+
+
+def test_roundtrip_simple():
+    roundtrip("SELECT t.a FROM T t WHERE t.a > 1")
+
+
+def test_roundtrip_paper_query():
+    printed = roundtrip(
+        "SELECT O.object_id, T.object_id "
+        "FROM SDSS:Photo_Object O, TWOMASS:Photo_Primary T "
+        "WHERE AREA(185.0, -0.5, 4.5) AND XMATCH(O, T) < 3.5 "
+        "AND O.type = GALAXY"
+    )
+    assert "AREA(185.0, -0.5, 4.5)" in printed
+    assert "XMATCH(O, T) < 3.5" in printed
+
+
+def test_roundtrip_dropout():
+    printed = roundtrip(
+        "SELECT a.x FROM A:T1 a, B:T2 b WHERE XMATCH(a, !b) < 2.0"
+    )
+    assert "XMATCH(a, !b)" in printed
+
+
+def test_roundtrip_precedence_preserved():
+    printed = roundtrip("SELECT t.a FROM T t WHERE (t.a + 1) * 2 > 6")
+    assert parse_query(printed) == parse_query(
+        "SELECT t.a FROM T t WHERE (t.a + 1) * 2 > 6"
+    )
+
+
+def test_or_inside_and_parenthesized():
+    printed = to_sql(parse_expression("(a = 1 OR b = 2) AND c = 3"))
+    assert printed.startswith("(")
+    assert parse_expression(printed) == parse_expression(
+        "(a = 1 OR b = 2) AND c = 3"
+    )
+
+
+def test_string_escaping():
+    printed = to_sql(parse_expression("'it''s'"))
+    assert printed == "'it''s'"
+    assert parse_expression(printed) == parse_expression("'it''s'")
+
+
+def test_null_true_false():
+    assert to_sql(parse_expression("NULL")) == "NULL"
+    assert to_sql(parse_expression("TRUE")) == "TRUE"
+
+
+def test_sqlserver_dialect_brackets():
+    query = parse_query("SELECT t.a FROM T t")
+    printed = to_sql(query, SQLSERVER)
+    assert "[a]" in printed and "[T]" in printed
+
+
+def test_postgres_dialect_quotes_and_area():
+    query = parse_query("SELECT t.a FROM T t WHERE AREA(1.0, 2.0, 3.0)")
+    printed = to_sql(query, POSTGRES)
+    assert '"a"' in printed
+    assert "sky_area(" in printed
+
+
+def test_ansi_dialect_no_quotes():
+    query = parse_query("SELECT t.a FROM T t")
+    assert to_sql(query, ANSI) == "SELECT t.a FROM T t"
+
+
+def test_limit_printed():
+    assert to_sql(parse_query("SELECT t.a FROM T t LIMIT 5")).endswith("LIMIT 5")
+
+
+def test_select_alias_printed():
+    printed = to_sql(parse_query("SELECT t.a AS x FROM T t"))
+    assert "AS x" in printed
+
+
+def test_count_star_printed():
+    assert "COUNT(*)" in to_sql(parse_query("SELECT count(*) FROM T t"))
+
+
+def test_archive_qualifier_printed():
+    printed = to_sql(parse_query("SELECT O.a FROM SDSS:T O"))
+    assert "SDSS:T O" in printed

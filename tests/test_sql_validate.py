@@ -1,0 +1,114 @@
+"""Semantic validation of cross-match queries."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.sql.parser import parse_query
+from repro.sql.printer import to_sql
+from repro.sql.validate import validate_query
+
+
+def analyze(sql):
+    return validate_query(parse_query(sql))
+
+
+def test_classifies_local_and_cross_conjuncts():
+    analysis = analyze(
+        "SELECT O.a, T.b FROM S:T1 O, W:T2 T "
+        "WHERE AREA(185.0, -0.5, 4.5) AND XMATCH(O, T) < 3.5 "
+        "AND O.x = 1 AND T.y = 2 AND O.a - T.b > 0"
+    )
+    assert [to_sql(c) for c in analysis.local_conjuncts["O"]] == ["O.x = 1"]
+    assert [to_sql(c) for c in analysis.local_conjuncts["T"]] == ["T.y = 2"]
+    assert [to_sql(c) for c in analysis.cross_conjuncts] == ["O.a - T.b > 0"]
+    assert analysis.area is not None
+    assert analysis.xmatch is not None
+
+
+def test_single_table_query_valid_without_xmatch():
+    analysis = analyze("SELECT t.a FROM S:T1 t WHERE t.a > 1")
+    assert analysis.xmatch is None
+    assert analysis.local_conjuncts["t"]
+
+
+def test_multi_table_requires_xmatch():
+    with pytest.raises(ValidationError):
+        analyze("SELECT a.x, b.y FROM S:T1 a, W:T2 b WHERE a.x = b.y")
+
+
+def test_duplicate_alias_rejected():
+    with pytest.raises(ValidationError):
+        analyze("SELECT a.x FROM S:T1 a, W:T2 a WHERE XMATCH(a, a) < 1")
+
+
+def test_xmatch_unknown_alias_rejected():
+    with pytest.raises(ValidationError):
+        analyze("SELECT a.x FROM S:T1 a, W:T2 b WHERE XMATCH(a, c) < 1")
+
+
+def test_xmatch_duplicate_alias_rejected():
+    with pytest.raises(ValidationError):
+        analyze("SELECT a.x FROM S:T1 a, W:T2 b WHERE XMATCH(a, a, b) < 1")
+
+
+def test_multiple_xmatch_rejected():
+    with pytest.raises(ValidationError):
+        analyze(
+            "SELECT a.x FROM S:T1 a, W:T2 b "
+            "WHERE XMATCH(a, b) < 1 AND XMATCH(b, a) < 2"
+        )
+
+
+def test_multiple_area_rejected():
+    with pytest.raises(ValidationError):
+        analyze(
+            "SELECT a.x FROM S:T1 a, W:T2 b WHERE XMATCH(a, b) < 1 "
+            "AND AREA(1.0, 2.0, 3.0) AND AREA(4.0, 5.0, 6.0)"
+        )
+
+
+def test_all_dropouts_rejected():
+    with pytest.raises(ValidationError):
+        analyze("SELECT a.x FROM S:T1 a, W:T2 b WHERE XMATCH(!a, !b) < 1")
+
+
+def test_single_mandatory_with_dropout_rejected():
+    with pytest.raises(ValidationError):
+        analyze("SELECT a.x FROM S:T1 a, W:T2 b WHERE XMATCH(a, !b) < 1")
+
+
+def test_two_mandatory_with_dropout_ok():
+    analysis = analyze(
+        "SELECT a.x FROM S:T1 a, W:T2 b, V:T3 c WHERE XMATCH(a, b, !c) < 1"
+    )
+    assert [t.alias for t in analysis.xmatch.dropouts] == ["c"]
+
+
+def test_negative_threshold_rejected():
+    with pytest.raises(ValidationError):
+        analyze("SELECT a.x FROM S:T1 a, W:T2 b WHERE XMATCH(a, b) < -1")
+
+
+def test_spatial_clause_under_or_rejected():
+    with pytest.raises(ValidationError):
+        analyze(
+            "SELECT a.x FROM S:T1 a, W:T2 b "
+            "WHERE XMATCH(a, b) < 1 AND (AREA(1.0, 2.0, 3.0) OR a.x = 1)"
+        )
+
+
+def test_unknown_alias_in_condition_rejected():
+    with pytest.raises(ValidationError):
+        analyze(
+            "SELECT a.x FROM S:T1 a, W:T2 b WHERE XMATCH(a, b) < 1 AND z.q = 1"
+        )
+
+
+def test_unknown_alias_in_select_rejected():
+    with pytest.raises(ValidationError):
+        analyze("SELECT z.q FROM S:T1 a, W:T2 b WHERE XMATCH(a, b) < 1")
+
+
+def test_alias_defaults_to_table_name():
+    analysis = analyze("SELECT T1.a FROM S:T1 WHERE T1.a = 1")
+    assert analysis.aliases == ("T1",)

@@ -1,0 +1,260 @@
+"""Two-phase commit data exchange between archives."""
+
+import pytest
+
+from repro.errors import SoapFaultError, TransactionError
+from repro.federation.builder import FederationConfig, build_federation
+from repro.services.client import ServiceProxy
+from repro.soap.encoding import WireRowSet
+from repro.sql.ast import AreaClause
+from repro.transactions import (
+    CoordinatorCrash,
+    CoordinatorLog,
+    DataExchange,
+    TwoPhaseCoordinator,
+)
+from repro.workloads.skysim import SkyField
+
+
+@pytest.fixture()
+def fed():
+    federation = build_federation(
+        FederationConfig(
+            n_bodies=300, seed=31, sky_field=SkyField(185.0, -0.5, 1200.0)
+        )
+    )
+    for node in federation.nodes.values():
+        node.enable_transactions()
+    return federation
+
+
+def txn_url(fed, archive):
+    return fed.node(archive).enable_transactions()
+
+
+def txn_urls(fed):
+    return {name: txn_url(fed, name) for name in fed.nodes}
+
+
+def proxy(fed, archive):
+    return ServiceProxy(fed.network, "tester", txn_url(fed, archive))
+
+
+AREA = AreaClause(185.0, -0.5, 600.0)
+
+
+class TestParticipant:
+    def test_begin_stage_prepare_commit(self, fed):
+        p = proxy(fed, "TWOMASS")
+        p.call("Begin", txn_id="t1")
+        p.call("EnsureTable", table="incoming",
+               columns=[{"name": "x", "type": "int"}])
+        staged = p.call("StageRows", txn_id="t1", table="incoming",
+                        rows=WireRowSet([("x", "int")], [(1,), (2,)]))
+        assert staged == 2
+        # Staged rows are invisible before commit.
+        db = fed.node("TWOMASS").db
+        assert db.count_rows("incoming") == 0
+        assert p.call("Prepare", txn_id="t1")["vote"] == "commit"
+        assert db.count_rows("incoming") == 0
+        assert p.call("Commit", txn_id="t1") is True
+        assert db.count_rows("incoming") == 2
+
+    def test_commit_idempotent(self, fed):
+        p = proxy(fed, "TWOMASS")
+        p.call("Begin", txn_id="t2")
+        p.call("EnsureTable", table="inc2", columns=[{"name": "x", "type": "int"}])
+        p.call("StageRows", txn_id="t2", table="inc2",
+               rows=WireRowSet([("x", "int")], [(1,)]))
+        p.call("Prepare", txn_id="t2")
+        p.call("Commit", txn_id="t2")
+        p.call("Commit", txn_id="t2")  # redelivery is safe
+        assert fed.node("TWOMASS").db.count_rows("inc2") == 1
+
+    def test_commit_without_prepare_rejected(self, fed):
+        p = proxy(fed, "SDSS")
+        p.call("Begin", txn_id="t3")
+        with pytest.raises(SoapFaultError) as err:
+            p.call("Commit", txn_id="t3")
+        assert "two-phase" in str(err.value)
+
+    def test_abort_discards_staged(self, fed):
+        p = proxy(fed, "SDSS")
+        p.call("Begin", txn_id="t4")
+        p.call("EnsureTable", table="inc4", columns=[{"name": "x", "type": "int"}])
+        p.call("StageRows", txn_id="t4", table="inc4",
+               rows=WireRowSet([("x", "int")], [(9,)]))
+        p.call("Abort", txn_id="t4")
+        assert fed.node("SDSS").db.count_rows("inc4") == 0
+        assert p.call("GetStatus", txn_id="t4") == "aborted"
+
+    def test_abort_unknown_txn_is_presumed_abort(self, fed):
+        p = proxy(fed, "SDSS")
+        assert p.call("Abort", txn_id="never-began") is True
+
+    def test_abort_committed_rejected(self, fed):
+        p = proxy(fed, "FIRST")
+        p.call("Begin", txn_id="t5")
+        p.call("Prepare", txn_id="t5")
+        p.call("Commit", txn_id="t5")
+        with pytest.raises(SoapFaultError):
+            p.call("Abort", txn_id="t5")
+
+    def test_prepare_validates_schema(self, fed):
+        p = proxy(fed, "SDSS")
+        p.call("Begin", txn_id="t6")
+        p.call("EnsureTable", table="inc6", columns=[{"name": "x", "type": "int"}])
+        p.call("StageRows", txn_id="t6", table="inc6",
+               rows=WireRowSet([("y", "int")], [(1,)]))  # unknown column
+        reply = p.call("Prepare", txn_id="t6")
+        assert reply["vote"] == "abort"
+        assert "no column" in reply["reason"]
+
+    def test_stage_unknown_txn_rejected(self, fed):
+        p = proxy(fed, "SDSS")
+        with pytest.raises(SoapFaultError):
+            p.call("StageRows", txn_id="nope", table="t",
+                   rows=WireRowSet([("x", "int")], []))
+
+    def test_status_unknown(self, fed):
+        assert proxy(fed, "SDSS").call("GetStatus", txn_id="zz") == "unknown"
+
+    def test_crash_loses_active_keeps_prepared(self, fed):
+        node = fed.node("TWOMASS")
+        p = proxy(fed, "TWOMASS")
+        p.call("Begin", txn_id="active1")
+        p.call("Begin", txn_id="prepared1")
+        p.call("Prepare", txn_id="prepared1")
+        node.transaction.simulate_crash()
+        assert p.call("GetStatus", txn_id="active1") == "unknown"
+        assert p.call("GetStatus", txn_id="prepared1") == "prepared"
+        assert p.call("Commit", txn_id="prepared1") is True
+
+
+class TestExchange:
+    def test_replicate_region_happy_path(self, fed):
+        exchange = DataExchange(fed.portal, txn_urls(fed))
+        result = exchange.replicate_region("SDSS", ["TWOMASS", "FIRST"], AREA)
+        assert result.committed
+        assert result.rows_copied > 0
+        for archive in ("TWOMASS", "FIRST"):
+            db = fed.node(archive).db
+            assert db.count_rows(result.replica_table) == result.rows_copied
+        # Source count inside the AREA matches what was copied.
+        source_count = fed.node("SDSS").db.execute(
+            "SELECT count(*) FROM Photo_Object o WHERE AREA(185.0, -0.5, 600.0)"
+        ).scalar()
+        assert result.rows_copied == source_count
+
+    def test_one_abort_vote_rolls_back_everyone(self, fed):
+        exchange = DataExchange(fed.portal, txn_urls(fed))
+        fed.node("FIRST").transaction.fail_next_prepare = "disk full"
+        result = exchange.replicate_region("SDSS", ["TWOMASS", "FIRST"], AREA)
+        assert not result.committed
+        assert result.abort_reason == "disk full"
+        for archive in ("TWOMASS", "FIRST"):
+            db = fed.node(archive).db
+            if db.has_table(result.replica_table):
+                assert db.count_rows(result.replica_table) == 0
+
+    def test_atomic_visibility(self, fed):
+        """No target sees rows until the global commit."""
+        exchange = DataExchange(fed.portal, txn_urls(fed))
+        result = exchange.replicate_region("FIRST", ["SDSS"], AREA)
+        assert result.committed
+        # A second, aborted exchange leaves the replica untouched.
+        before = fed.node("SDSS").db.count_rows(result.replica_table)
+        fed.node("SDSS").transaction.fail_next_prepare = "nope"
+        second = exchange.replicate_region("FIRST", ["SDSS"], AREA)
+        assert not second.committed
+        assert fed.node("SDSS").db.count_rows(result.replica_table) == before
+
+    def test_unknown_target_rejected(self, fed):
+        exchange = DataExchange(fed.portal, {"SDSS": txn_url(fed, "SDSS")})
+        with pytest.raises(TransactionError):
+            exchange.replicate_region("SDSS", ["TWOMASS"], AREA)
+
+
+class TestCoordinatorRecovery:
+    def test_coordinator_crash_then_recovery_commits_everyone(self, fed):
+        log = CoordinatorLog()
+        coordinator = TwoPhaseCoordinator(
+            fed.network, fed.portal.hostname, log
+        )
+        exchange = DataExchange(
+            fed.portal, txn_urls(fed), coordinator=coordinator
+        )
+
+        # Crash after the decision is logged and the FIRST commit delivered.
+        delivered = []
+
+        def crash_on_second(url):
+            if delivered:
+                raise CoordinatorCrash(url)
+            delivered.append(url)
+
+        coordinator.fault_hook = crash_on_second
+        with pytest.raises(CoordinatorCrash):
+            exchange.replicate_region("SDSS", ["TWOMASS", "FIRST"], AREA)
+
+        # One target committed, one is still in doubt (prepared).
+        states = {
+            archive: proxy(fed, archive).call(
+                "GetStatus", txn_id=log.records[-1].txn_id
+            )
+            for archive in ("TWOMASS", "FIRST")
+        }
+        assert sorted(states.values()) == ["committed", "prepared"]
+
+        # A new coordinator over the same log finishes the job.
+        recovered = TwoPhaseCoordinator(fed.network, fed.portal.hostname, log)
+        outcomes = recovered.recover()
+        assert len(outcomes) == 1 and outcomes[0].committed
+        txn_id = outcomes[0].txn_id
+        for archive in ("TWOMASS", "FIRST"):
+            assert proxy(fed, archive).call(
+                "GetStatus", txn_id=txn_id
+            ) == "committed"
+        counts = {
+            archive: fed.node(archive).db.count_rows("sdss_replica")
+            for archive in ("TWOMASS", "FIRST")
+        }
+        assert counts["TWOMASS"] == counts["FIRST"] > 0
+
+    def test_partitioned_participant_recovers_after_restore(self, fed):
+        log = CoordinatorLog()
+        coordinator = TwoPhaseCoordinator(fed.network, fed.portal.hostname, log)
+        exchange = DataExchange(
+            fed.portal, txn_urls(fed), coordinator=coordinator
+        )
+        target = fed.node("TWOMASS")
+
+        # Partition the target between its Prepare vote and the Commit
+        # delivery: the coordinator's decision cannot reach it.
+        original_hook_state = {"partitioned": False}
+
+        def partition_before_commit(url):
+            if target.hostname in url and not original_hook_state["partitioned"]:
+                fed.network.fail_host(target.hostname)
+                original_hook_state["partitioned"] = True
+
+        coordinator.fault_hook = partition_before_commit
+        result = exchange.replicate_region("FIRST", ["TWOMASS"], AREA)
+        assert result.committed  # decision was commit; delivery pending
+        txn_id = result.txn_id
+        fed.network.restore_host(target.hostname)
+        assert proxy(fed, "TWOMASS").call("GetStatus", txn_id=txn_id) == "prepared"
+
+        coordinator.fault_hook = None
+        coordinator.recover()
+        assert proxy(fed, "TWOMASS").call("GetStatus", txn_id=txn_id) == "committed"
+        assert target.db.count_rows("first_replica") == result.rows_copied
+
+    def test_recover_noop_when_log_complete(self, fed):
+        log = CoordinatorLog()
+        coordinator = TwoPhaseCoordinator(fed.network, fed.portal.hostname, log)
+        exchange = DataExchange(
+            fed.portal, txn_urls(fed), coordinator=coordinator
+        )
+        exchange.replicate_region("SDSS", ["TWOMASS"], AREA)
+        assert coordinator.recover() == []

@@ -1,0 +1,86 @@
+"""Rowset chunking."""
+
+import pytest
+
+from repro.errors import SoapError
+from repro.soap.encoding import WireRowSet
+from repro.transport.chunking import chunk_rowset, envelope_bytes, split_for_budget
+
+
+def make_rowset(n):
+    return WireRowSet(
+        [("id", "int"), ("ra", "double"), ("name", "string")],
+        [(i, i * 1.5, f"obj-{i}") for i in range(n)],
+    )
+
+
+def test_chunk_rowset_sizes():
+    chunks = chunk_rowset(make_rowset(10), 3)
+    assert [len(c.rows) for c in chunks] == [3, 3, 3, 1]
+
+
+def test_chunk_rowset_preserves_rows():
+    rowset = make_rowset(10)
+    chunks = chunk_rowset(rowset, 4)
+    assert WireRowSet.concat(chunks).rows == rowset.rows
+
+
+def test_chunk_rowset_empty_gives_one_chunk():
+    chunks = chunk_rowset(make_rowset(0), 5)
+    assert len(chunks) == 1
+    assert chunks[0].rows == []
+    assert chunks[0].columns == make_rowset(0).columns
+
+
+def test_chunk_rowset_bad_size():
+    with pytest.raises(SoapError):
+        chunk_rowset(make_rowset(3), 0)
+
+
+def test_envelope_bytes_positive_even_when_empty():
+    assert envelope_bytes(make_rowset(0)) > 0
+
+
+def test_split_for_budget_respects_budget():
+    rowset = make_rowset(500)
+    budget = 4096
+    chunks = split_for_budget(rowset, budget)
+    assert len(chunks) > 1
+    for chunk in chunks:
+        assert envelope_bytes(chunk) <= budget
+
+
+def test_split_for_budget_preserves_rows():
+    rowset = make_rowset(200)
+    chunks = split_for_budget(rowset, 4096)
+    assert WireRowSet.concat(chunks).rows == rowset.rows
+
+
+def test_split_for_budget_single_chunk_when_small():
+    rowset = make_rowset(2)
+    chunks = split_for_budget(rowset, 1_000_000)
+    assert len(chunks) == 1
+
+
+def test_split_for_budget_empty_rowset():
+    chunks = split_for_budget(make_rowset(0), 4096)
+    assert len(chunks) == 1
+
+
+def test_split_for_budget_budget_too_small():
+    with pytest.raises(SoapError):
+        split_for_budget(make_rowset(10), 10)
+
+
+def test_split_handles_wide_rows():
+    # One huge string row amid small rows: bisecting must isolate it.
+    rowset = WireRowSet(
+        [("s", "string")],
+        [("x",)] * 50 + [("y" * 2000,)] + [("z",)] * 50,
+    )
+    budget = 4000
+    chunks = split_for_budget(rowset, budget)
+    assert WireRowSet.concat(chunks).rows == rowset.rows
+    for chunk in chunks:
+        if len(chunk.rows) > 1:
+            assert envelope_bytes(chunk) <= budget

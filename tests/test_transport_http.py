@@ -1,0 +1,60 @@
+"""HTTP message objects."""
+
+import pytest
+
+from repro.errors import TransportError
+from repro.transport.http import HttpRequest, HttpResponse, soap_request
+
+
+def test_request_host_and_path():
+    request = HttpRequest("POST", "http://sdss.skyquery.net/query", body=b"x")
+    assert request.host == "sdss.skyquery.net"
+    assert request.path == "/query"
+
+
+def test_request_default_path():
+    assert HttpRequest("GET", "http://h").path == "/"
+
+
+def test_non_http_url_rejected():
+    with pytest.raises(TransportError):
+        HttpRequest("GET", "ftp://h/x").host
+    with pytest.raises(TransportError):
+        HttpRequest("GET", "not a url").host
+
+
+def test_request_render_contains_request_line():
+    request = HttpRequest("POST", "http://h/p", body=b"body")
+    rendered = request.render()
+    assert rendered.startswith(b"POST /p HTTP/1.1\r\n")
+    assert rendered.endswith(b"\r\n\r\nbody")
+    assert b"Content-Length: 4" in rendered
+    assert b"Host: h" in rendered
+
+
+def test_wire_bytes_grow_with_body():
+    small = HttpRequest("POST", "http://h/p", body=b"a").wire_bytes
+    big = HttpRequest("POST", "http://h/p", body=b"a" * 100).wire_bytes
+    assert big == small + 99 + 2  # 99 more body bytes, 2 more length digits
+
+
+def test_response_render():
+    response = HttpResponse(200, "OK", body=b"hello")
+    rendered = response.render()
+    assert rendered.startswith(b"HTTP/1.1 200 OK\r\n")
+    assert b"Content-Length: 5" in rendered
+
+
+def test_response_ok_flag():
+    assert HttpResponse(200).ok
+    assert HttpResponse(204).ok
+    assert not HttpResponse(404).ok
+    assert not HttpResponse(500).ok
+
+
+def test_soap_request_headers():
+    request = soap_request("http://h/svc", "urn:skyquery#Op", "<xml/>")
+    assert request.method == "POST"
+    assert request.headers["SOAPAction"] == '"urn:skyquery#Op"'
+    assert request.headers["Content-Type"].startswith("text/xml")
+    assert request.body == b"<xml/>"

@@ -1,0 +1,62 @@
+"""VOTable export."""
+
+from repro.client.formatting import to_votable
+from repro.soap.xmlparser import parse_xml
+
+
+def sample():
+    return to_votable(
+        ["object_id", "ra", "name", "ok"],
+        [(1, 185.5, "a <b>", True), (2, -0.25, None, False)],
+        table_name="matches",
+        description="cross matches",
+    )
+
+
+def test_votable_structure():
+    doc = parse_xml(sample())
+    assert doc.local_name() == "VOTABLE"
+    table = doc.require("RESOURCE").require("TABLE")
+    assert table.get("name") == "matches"
+    fields = table.find_all("FIELD")
+    assert [f.get("name") for f in fields] == ["object_id", "ra", "name", "ok"]
+    assert [f.get("datatype") for f in fields] == [
+        "long", "double", "char", "boolean",
+    ]
+
+
+def test_votable_rows_and_escaping():
+    doc = parse_xml(sample())
+    trs = doc.require("RESOURCE").require("TABLE").require("DATA") \
+        .require("TABLEDATA").find_all("TR")
+    assert len(trs) == 2
+    cells = [td.text for td in trs[0].find_all("TD")]
+    assert cells == ["1", "185.5", "a <b>", "true"]
+    # NULL travels as an empty cell.
+    assert trs[1].find_all("TD")[2].text == ""
+
+
+def test_votable_string_fields_have_arraysize():
+    doc = parse_xml(sample())
+    fields = doc.require("RESOURCE").require("TABLE").find_all("FIELD")
+    by_name = {f.get("name"): f for f in fields}
+    assert by_name["name"].get("arraysize") == "*"
+    assert by_name["ra"].get("arraysize") is None
+
+
+def test_votable_from_client_result(small_federation):
+    result = small_federation.client().submit(
+        "SELECT O.object_id, T.obj_id "
+        "FROM SDSS:Photo_Object O, TWOMASS:Photo_Primary T "
+        "WHERE AREA(185.0, -0.5, 300.0) AND XMATCH(O, T) < 3.5"
+    )
+    doc = parse_xml(to_votable(result.columns, result.rows))
+    table = doc.require("RESOURCE").require("TABLE")
+    trs = table.require("DATA").require("TABLEDATA").find_all("TR")
+    assert len(trs) == len(result)
+
+
+def test_votable_empty():
+    doc = parse_xml(to_votable(["a"], []))
+    assert doc.require("RESOURCE").require("TABLE").require("DATA") \
+        .require("TABLEDATA").find_all("TR") == []

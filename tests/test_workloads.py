@@ -1,0 +1,140 @@
+"""The synthetic sky generator."""
+
+import pytest
+
+from repro.federation.surveys import FIRST, SDSS, TWOMASS, default_surveys
+from repro.sphere.distance import separation_arcsec
+from repro.sphere.coords import radec_to_vector
+from repro.workloads.skysim import (
+    SkyField,
+    SurveySpec,
+    generate_bodies,
+    observe_survey,
+)
+
+
+def test_bodies_inside_field():
+    field = SkyField(185.0, -0.5, 600.0)
+    bodies = generate_bodies(field, 100, seed=1)
+    assert len(bodies) == 100
+    for body in bodies:
+        assert (
+            separation_arcsec(body.position, field.center) <= 600.0 + 1e-6
+        )
+
+
+def test_bodies_deterministic():
+    field = SkyField()
+    a = generate_bodies(field, 50, seed=7)
+    b = generate_bodies(field, 50, seed=7)
+    assert [x.position for x in a] == [y.position for y in b]
+    c = generate_bodies(field, 50, seed=8)
+    assert [x.position for x in a] != [y.position for y in c]
+
+
+def test_body_types_weighted():
+    bodies = generate_bodies(SkyField(), 2000, seed=2)
+    galaxies = sum(1 for b in bodies if b.object_type == "GALAXY")
+    assert 0.6 < galaxies / 2000 < 0.8
+
+
+def test_observation_detection_rate():
+    bodies = generate_bodies(SkyField(), 2000, seed=3)
+    survey = SurveySpec(
+        archive="X", sigma_arcsec=0.5, detection_rate=0.3,
+        primary_table="objects",
+    )
+    observation = observe_survey(survey, bodies, seed=3)
+    assert 0.25 < len(observation.rows) / 2000 < 0.35
+
+
+def test_observation_positions_scattered_by_sigma():
+    bodies = generate_bodies(SkyField(), 500, seed=4)
+    survey = SurveySpec(
+        archive="X", sigma_arcsec=1.0, detection_rate=1.0,
+        primary_table="objects",
+    )
+    observation = observe_survey(survey, bodies, seed=4)
+    body_by_id = {b.body_id: b for b in bodies}
+    seps = []
+    for row in observation.rows:
+        body = body_by_id[observation.truth[row["object_id"]]]
+        measured = radec_to_vector(row["ra"], row["dec"])
+        seps.append(separation_arcsec(measured, body.position))
+    mean = sum(seps) / len(seps)
+    assert 1.0 < mean < 1.6  # Rayleigh mean = sigma * sqrt(pi/2) ~ 1.25
+
+
+def test_truth_mapping_consistent():
+    bodies = generate_bodies(SkyField(), 100, seed=5)
+    survey = SurveySpec(
+        archive="X", sigma_arcsec=0.1, detection_rate=1.0,
+        primary_table="objects",
+    )
+    observation = observe_survey(survey, bodies, seed=5)
+    assert len(observation.truth) == len(observation.rows)
+    assert set(observation.truth) == {
+        row["object_id"] for row in observation.rows
+    }
+
+
+def test_observation_deterministic_per_archive():
+    bodies = generate_bodies(SkyField(), 100, seed=6)
+    survey = SurveySpec(
+        archive="X", sigma_arcsec=0.1, detection_rate=0.8,
+        primary_table="objects",
+    )
+    a = observe_survey(survey, bodies, seed=6)
+    b = observe_survey(survey, bodies, seed=6)
+    assert a.rows == b.rows
+    other = observe_survey(
+        SurveySpec(archive="Y", sigma_arcsec=0.1, detection_rate=0.8,
+                   primary_table="objects"),
+        bodies,
+        seed=6,
+    )
+    assert a.rows != other.rows  # different archive -> different stream
+
+
+def test_survey_columns_match_spec():
+    survey = SurveySpec(
+        archive="X", sigma_arcsec=0.1, detection_rate=1.0,
+        primary_table="objects", object_id_column="oid",
+        ra_column="alpha", dec_column="delta", bands=("j", "k"),
+        has_type=False,
+    )
+    names = [c.name for c in survey.columns()]
+    assert names == ["oid", "alpha", "delta", "j_flux", "k_flux"]
+
+
+def test_rows_fit_columns():
+    bodies = generate_bodies(SkyField(), 20, seed=8)
+    observation = observe_survey(TWOMASS, bodies, seed=8)
+    column_names = {c.name for c in TWOMASS.columns()}
+    for row in observation.rows:
+        assert set(row) == column_names
+
+
+def test_flux_offset_applied():
+    bodies = generate_bodies(SkyField(), 300, seed=9)
+    base = SurveySpec(
+        archive="A", sigma_arcsec=0.1, detection_rate=1.0,
+        primary_table="objects", bands=("i",), flux_offset=0.0,
+        flux_noise=0.01,
+    )
+    shifted = SurveySpec(
+        archive="A", sigma_arcsec=0.1, detection_rate=1.0,
+        primary_table="objects", bands=("i",), flux_offset=3.0,
+        flux_noise=0.01,
+    )
+    rows_a = observe_survey(base, bodies, seed=9).rows
+    rows_b = observe_survey(shifted, bodies, seed=9).rows
+    mean_a = sum(r["i_flux"] for r in rows_a) / len(rows_a)
+    mean_b = sum(r["i_flux"] for r in rows_b) / len(rows_b)
+    assert mean_b - mean_a == pytest.approx(3.0, abs=0.05)
+
+
+def test_default_surveys_are_papers_three():
+    assert [s.archive for s in default_surveys()] == ["SDSS", "TWOMASS", "FIRST"]
+    assert SDSS.sigma_arcsec < TWOMASS.sigma_arcsec < FIRST.sigma_arcsec
+    assert FIRST.detection_rate < 0.5  # radio survey detects a minority

@@ -1,0 +1,140 @@
+"""The chi-squared accumulator math."""
+
+import math
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.sphere.coords import radec_to_vector
+from repro.sphere.random import perturb_gaussian
+from repro.units import arcsec_to_rad
+from repro.xmatch.chi2 import Accumulator
+
+
+def test_empty_accumulator():
+    acc = Accumulator.empty()
+    assert acc.a == 0.0
+    with pytest.raises(GeometryError):
+        acc.best_position()
+    with pytest.raises(GeometryError):
+        acc.effective_sigma()
+
+
+def test_single_observation_perfect_fit():
+    v = radec_to_vector(185.0, -0.5)
+    acc = Accumulator.of_observation(v, arcsec_to_rad(0.1))
+    assert acc.chi2() == pytest.approx(0.0, abs=1e-3)
+    assert acc.best_position() == pytest.approx(v)
+
+
+def test_sigma_must_be_positive():
+    v = radec_to_vector(0.0, 0.0)
+    with pytest.raises(GeometryError):
+        Accumulator.empty().with_observation(v, 0.0)
+    with pytest.raises(GeometryError):
+        Accumulator.empty().with_observation(v, -1.0)
+
+
+def test_two_equal_sigma_observations_chi2():
+    # Two observations separated by d with equal sigma: chi2 = d^2/(2 sigma^2).
+    sigma = arcsec_to_rad(1.0)
+    d_arcsec = 2.0
+    a = radec_to_vector(185.0, 0.0)
+    b = radec_to_vector(185.0, d_arcsec / 3600.0)
+    acc = Accumulator.of_observation(a, sigma).with_observation(b, sigma)
+    expected = (arcsec_to_rad(d_arcsec) ** 2) / (2 * sigma**2)
+    # abs tolerance per the documented cancellation bound in chi2.py
+    assert acc.chi2() == pytest.approx(expected, abs=1e-3)
+
+
+def test_best_position_weighted_mean():
+    # Much tighter sigma pulls the best position toward its observation.
+    a = radec_to_vector(185.0, 0.0)
+    b = radec_to_vector(185.0, 10.0 / 3600.0)
+    acc = Accumulator.of_observation(a, arcsec_to_rad(0.1)).with_observation(
+        b, arcsec_to_rad(10.0)
+    )
+    from repro.sphere.distance import separation_arcsec
+
+    assert separation_arcsec(acc.best_position(), a) < 0.1
+
+
+def test_log_likelihood_is_minus_half_chi2():
+    sigma = arcsec_to_rad(1.0)
+    a = radec_to_vector(185.0, 0.0)
+    b = radec_to_vector(185.0, 1.5 / 3600.0)
+    acc = Accumulator.of_observation(a, sigma).with_observation(b, sigma)
+    assert acc.log_likelihood() == pytest.approx(-acc.chi2() / 2.0, rel=1e-9)
+
+
+def test_accepts_thresholds():
+    sigma = arcsec_to_rad(1.0)
+    a = radec_to_vector(185.0, 0.0)
+    b = radec_to_vector(185.0, 2.0 / 3600.0)  # chi2 = 2.0
+    acc = Accumulator.of_observation(a, sigma).with_observation(b, sigma)
+    assert acc.accepts(3.5)
+    assert acc.accepts(math.sqrt(2.01))  # just above the boundary
+    assert not acc.accepts(1.0)
+
+
+def test_effective_sigma_shrinks_with_observations():
+    v = radec_to_vector(185.0, -0.5)
+    sigma = arcsec_to_rad(1.0)
+    one = Accumulator.of_observation(v, sigma)
+    two = one.with_observation(v, sigma)
+    assert two.effective_sigma() == pytest.approx(
+        one.effective_sigma() / math.sqrt(2.0)
+    )
+
+
+def test_search_radius_superset_bound():
+    """Any observation that keeps the tuple alive must be inside the
+    search radius around the current best position."""
+    import random
+
+    rng = random.Random(5)
+    sigma1 = arcsec_to_rad(0.5)
+    sigma2 = arcsec_to_rad(1.5)
+    threshold = 3.5
+    true = radec_to_vector(185.0, -0.5)
+    for _ in range(200):
+        acc = Accumulator.of_observation(
+            perturb_gaussian(rng, true, sigma1), sigma1
+        )
+        candidate = perturb_gaussian(rng, true, sigma2 * 2.0)
+        extended = acc.with_observation(candidate, sigma2)
+        if extended.accepts(threshold):
+            from repro.sphere.distance import angular_separation
+
+            separation = angular_separation(acc.best_position(), candidate)
+            assert separation <= acc.search_radius(sigma2, threshold) + 1e-12
+
+
+def test_search_radius_whole_sky_when_empty():
+    assert Accumulator.empty().search_radius(1e-6, 3.5) == math.pi
+
+
+def test_accumulator_immutable():
+    acc = Accumulator.empty()
+    extended = acc.with_observation(radec_to_vector(0.0, 0.0), 1e-6)
+    assert acc.a == 0.0
+    assert extended.a > 0.0
+
+
+def test_order_independence_of_accumulation():
+    sigma = [arcsec_to_rad(s) for s in (0.1, 0.5, 1.0)]
+    points = [
+        radec_to_vector(185.0, 0.0),
+        radec_to_vector(185.0001, 0.0001),
+        radec_to_vector(184.9999, -0.0001),
+    ]
+    forward = Accumulator.empty()
+    for p, s in zip(points, sigma):
+        forward = forward.with_observation(p, s)
+    backward = Accumulator.empty()
+    for p, s in zip(reversed(points), reversed(sigma)):
+        backward = backward.with_observation(p, s)
+    # abs tolerance: the 0.1-arcsec archive's 1/sigma^2 weight is ~4e12,
+    # so the cumulative-value cancellation bound is ~1e-2 here.
+    assert forward.chi2() == pytest.approx(backward.chi2(), abs=0.05)
+    assert forward.best_position() == pytest.approx(backward.best_position())

@@ -1,0 +1,81 @@
+"""Partial-tuple wire serialization."""
+
+import pytest
+
+from repro.errors import SoapError
+from repro.sphere.coords import radec_to_vector
+from repro.units import arcsec_to_rad
+from repro.xmatch.tuples import LocalObject, PartialTuple
+from repro.xmatch.wire import rowset_to_tuples, tuple_schema, tuples_to_rowset
+
+
+def make_tuples():
+    sigma = arcsec_to_rad(0.5)
+    tuples = []
+    for i in range(3):
+        obj_a = LocalObject(i, radec_to_vector(185.0 + i * 0.001, -0.5),
+                            {"flux": 10.0 + i})
+        obj_b = LocalObject(100 + i, radec_to_vector(185.0 + i * 0.001, -0.5001),
+                            {"mag": None if i == 1 else float(i)})
+        tuples.append(
+            PartialTuple.seed("A", obj_a, sigma).extended("B", obj_b, sigma)
+        )
+    return tuples
+
+
+ATTRS = [("A.flux", "double"), ("B.mag", "double")]
+
+
+def test_schema_layout():
+    schema = tuple_schema(["A", "B"], ATTRS)
+    names = [name for name, _ in schema]
+    assert names == ["id_A", "id_B", "acc_a", "acc_ax", "acc_ay", "acc_az",
+                     "A.flux", "B.mag"]
+
+
+def test_roundtrip():
+    tuples = make_tuples()
+    rowset = tuples_to_rowset(tuples, ["A", "B"], ATTRS)
+    back = rowset_to_tuples(rowset, ["A", "B"], ATTRS)
+    assert len(back) == len(tuples)
+    for original, restored in zip(tuples, back):
+        assert restored.members == original.members
+        assert restored.acc.a == pytest.approx(original.acc.a)
+        assert restored.acc.chi2() == pytest.approx(original.acc.chi2())
+        assert restored.attributes["A.flux"] == original.attributes["A.flux"]
+
+
+def test_roundtrip_preserves_chi2_decisions():
+    tuples = make_tuples()
+    rowset = tuples_to_rowset(tuples, ["A", "B"], ATTRS)
+    back = rowset_to_tuples(rowset, ["A", "B"], ATTRS)
+    for original, restored in zip(tuples, back):
+        assert restored.acc.accepts(3.5) == original.acc.accepts(3.5)
+
+
+def test_null_attributes_travel():
+    tuples = make_tuples()
+    rowset = tuples_to_rowset(tuples, ["A", "B"], ATTRS)
+    back = rowset_to_tuples(rowset, ["A", "B"], ATTRS)
+    assert back[1].attributes["B.mag"] is None
+
+
+def test_member_mismatch_rejected():
+    tuples = make_tuples()
+    with pytest.raises(SoapError):
+        tuples_to_rowset(tuples, ["A", "C"], ATTRS)
+
+
+def test_schema_mismatch_on_decode_rejected():
+    tuples = make_tuples()
+    rowset = tuples_to_rowset(tuples, ["A", "B"], ATTRS)
+    with pytest.raises(SoapError):
+        rowset_to_tuples(rowset, ["B", "A"], ATTRS)
+    with pytest.raises(SoapError):
+        rowset_to_tuples(rowset, ["A", "B"], [("other", "double")])
+
+
+def test_empty_tuple_list():
+    rowset = tuples_to_rowset([], ["A"], [])
+    assert len(rowset.rows) == 0
+    assert rowset_to_tuples(rowset, ["A"], []) == []
