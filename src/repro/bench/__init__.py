@@ -28,6 +28,7 @@ from repro.bench.experiments import (
     run_e12_radius_ablation,
     run_e13_async_dispatch,
     run_e14_byte_ordering,
+    run_e15_fault_recovery,
 )
 
 ALL_EXPERIMENTS = (
@@ -45,6 +46,7 @@ ALL_EXPERIMENTS = (
     run_e12_radius_ablation,
     run_e13_async_dispatch,
     run_e14_byte_ordering,
+    run_e15_fault_recovery,
 )
 
 __all__ = [
@@ -68,4 +70,5 @@ __all__ = [
     "run_e12_radius_ablation",
     "run_e13_async_dispatch",
     "run_e14_byte_ordering",
+    "run_e15_fault_recovery",
 ]

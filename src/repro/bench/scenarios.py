@@ -9,6 +9,8 @@ from repro.db.engine import Database
 from repro.db.table import SpatialSpec
 from repro.federation.builder import Federation, FederationConfig, build_federation
 from repro.portal.portal import Portal
+from repro.services.retry import RetryPolicy
+from repro.transport.faults import FaultPlan
 from repro.skynode.node import SkyNode
 from repro.skynode.wrapper import ArchiveInfo
 from repro.sphere.coords import vector_to_radec
@@ -149,6 +151,9 @@ def fresh_federation(
     parser_memory_limit: Optional[int] = None,
     chunk_budget_bytes: Optional[int] = None,
     buffer_pages: int = 512,
+    retry_policy: Optional[RetryPolicy] = None,
+    health_probes: bool = True,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> Federation:
     """An uncached federation with experiment-specific knobs."""
     from repro.skynode.node import DEFAULT_PARSER_MEMORY_LIMIT
@@ -165,5 +170,8 @@ def fresh_federation(
             ),
             chunk_budget_bytes=chunk_budget_bytes,
             buffer_pages=buffer_pages,
+            retry_policy=retry_policy,
+            health_probes=health_probes,
+            fault_plan=fault_plan,
         )
     )

@@ -78,6 +78,28 @@ def _federation_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=42, help="random seed")
     parser.add_argument("--radius", type=float, default=1800.0,
                         help="field radius in arcseconds (default 1800)")
+    parser.add_argument(
+        "--retries", type=int, default=0,
+        help="retries per RPC after the first attempt (default 0: "
+             "single-shot calls)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-attempt request timeout in simulated seconds "
+             "(default: no timeout)",
+    )
+
+
+def _retry_policy(args: argparse.Namespace):
+    from repro.services.retry import RetryPolicy
+
+    if args.retries <= 0 and args.timeout is None:
+        return None
+    return RetryPolicy(
+        max_attempts=max(1, args.retries + 1),
+        timeout_s=args.timeout,
+        seed=args.seed,
+    )
 
 
 def _make_federation(args: argparse.Namespace):
@@ -86,6 +108,7 @@ def _make_federation(args: argparse.Namespace):
             n_bodies=args.bodies,
             seed=args.seed,
             sky_field=SkyField(185.0, -0.5, args.radius),
+            retry_policy=_retry_policy(args),
         )
     )
 
@@ -150,6 +173,10 @@ def _cmd_query(args: argparse.Namespace) -> int:
             print(",".join("" if v is None else str(v) for v in row))
     else:
         print(format_table(result.columns, result.rows))
+    if result.degraded:
+        print("\nwarning: degraded result", file=sys.stderr)
+        for warning in result.warnings:
+            print(f"  - {warning}", file=sys.stderr)
     if args.stats:
         print(f"\nrows: {len(result)}  counts: {result.counts}")
         for stats in result.node_stats:
@@ -161,6 +188,10 @@ def _cmd_query(args: argparse.Namespace) -> int:
         phases = federation.network.metrics.bytes_by_phase()
         for phase, total in sorted(phases.items()):
             print(f"  {phase:<18} {total} B")
+        metrics = federation.network.metrics
+        if metrics.retries or metrics.timeouts or metrics.faults:
+            print(f"  retries={metrics.retries} timeouts={metrics.timeouts} "
+                  f"faults={metrics.faults}")
     return 0
 
 

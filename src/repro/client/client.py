@@ -13,6 +13,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import ExecutionError
 from repro.services.client import ServiceProxy
+from repro.services.retry import RetryPolicy
 from repro.soap.encoding import WireRowSet
 from repro.transport.network import SimulatedNetwork
 
@@ -27,6 +28,10 @@ class ClientResult:
     counts: Dict[str, int] = field(default_factory=dict)
     matched_tuples: int = 0
     plan: Optional[Dict[str, Any]] = None
+    #: Per-node degradation events relayed from the Portal (see
+    #: docs/RESILIENCE.md for the degraded-result contract).
+    warnings: List[str] = field(default_factory=list)
+    degraded: bool = False
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -45,10 +50,13 @@ class SkyQueryClient:
         skyquery_url: str,
         *,
         hostname: str = "client.skyquery.net",
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         self.network = network
         self.hostname = hostname
-        self._proxy = ServiceProxy(network, hostname, skyquery_url)
+        self._proxy = ServiceProxy(
+            network, hostname, skyquery_url, retry_policy=retry_policy
+        )
 
     def explain(self, sql: str, *, strategy: str = "") -> Dict[str, Any]:
         """The Portal's plan for a query, without executing the chain."""
@@ -85,4 +93,6 @@ class SkyQueryClient:
             },
             matched_tuples=int(response.get("matched_tuples") or 0),
             plan=response.get("plan"),
+            warnings=[str(w) for w in (response.get("warnings") or [])],
+            degraded=bool(response.get("degraded")),
         )

@@ -81,6 +81,28 @@ class TransportError(SkyQueryError):
     """Simulated-HTTP transport failure (unknown host, link down, ...)."""
 
 
+class RequestTimeoutError(TransportError):
+    """A request or response was lost (or too slow) and the caller timed out.
+
+    Raised by the simulated network after advancing the clock by the full
+    timeout — the caller really does wait out its deadline, exactly as a
+    blocking HTTP client would.
+    """
+
+    def __init__(self, message: str, timeout_s: float = 0.0) -> None:
+        self.timeout_s = timeout_s
+        super().__init__(message)
+
+
+class CircuitOpenError(TransportError):
+    """A circuit breaker is open: the call fails fast without touching the wire."""
+
+    def __init__(self, message: str, endpoint: str = "", retry_at_s: float = 0.0) -> None:
+        self.endpoint = endpoint
+        self.retry_at_s = retry_at_s
+        super().__init__(message)
+
+
 class ServiceError(SkyQueryError):
     """A web-service framework error (unknown operation, bad arguments)."""
 

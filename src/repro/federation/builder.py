@@ -10,8 +10,10 @@ from repro.db.engine import Database
 from repro.db.table import SpatialSpec
 from repro.federation.surveys import default_surveys
 from repro.portal.portal import Portal
+from repro.services.retry import RetryPolicy
 from repro.skynode.node import DEFAULT_PARSER_MEMORY_LIMIT, SkyNode
 from repro.skynode.wrapper import ArchiveInfo
+from repro.transport.faults import FaultPlan
 from repro.transport.network import SimulatedNetwork
 from repro.workloads.skysim import (
     SkyField,
@@ -42,6 +44,14 @@ class FederationConfig:
     #: counts processing alongside transmission). 5 microseconds/row by
     #: default — a 2002-era disk-backed scan rate of ~200k rows/s.
     processing_seconds_per_row: float = 5e-6
+    #: Retry/timeout/breaker configuration for the Portal and every node's
+    #: outbound calls. None keeps single-shot RPCs (the seed's behaviour).
+    retry_policy: Optional[RetryPolicy] = None
+    #: Portal pings archives before planning (graceful degradation).
+    health_probes: bool = True
+    #: Scripted transient faults, installed only AFTER registration
+    #: completes so federation construction is never fault-injected.
+    fault_plan: Optional[FaultPlan] = None
 
 
 @dataclass
@@ -58,7 +68,10 @@ class Federation:
     def client(self, hostname: str = "client.skyquery.net") -> SkyQueryClient:
         """A client wired to this federation's Portal."""
         return SkyQueryClient(
-            self.network, self.portal.service_url("skyquery"), hostname=hostname
+            self.network,
+            self.portal.service_url("skyquery"),
+            hostname=hostname,
+            retry_policy=self.config.retry_policy,
         )
 
     def node(self, archive: str) -> SkyNode:
@@ -78,7 +91,10 @@ def build_federation(config: Optional[FederationConfig] = None) -> Federation:
         default_latency_s=config.default_latency_s,
         default_bandwidth_bps=config.default_bandwidth_bps,
     )
-    portal = Portal()
+    portal = Portal(
+        retry_policy=config.retry_policy,
+        health_probes=config.health_probes,
+    )
     portal.attach(network)
 
     bodies = generate_bodies(config.sky_field, config.n_bodies, config.seed)
@@ -123,10 +139,14 @@ def build_federation(config: Optional[FederationConfig] = None) -> Federation:
             parser_overhead_factor=config.parser_overhead_factor,
             chunk_budget_bytes=config.chunk_budget_bytes,
             processing_seconds_per_row=config.processing_seconds_per_row,
+            retry_policy=config.retry_policy,
         )
         node.attach(network)
         node.register_with_portal(portal.service_url("registration"))
         nodes[survey.archive] = node
+
+    if config.fault_plan is not None:
+        network.set_fault_plan(config.fault_plan)
 
     return Federation(
         config=config,

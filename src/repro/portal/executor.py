@@ -5,6 +5,11 @@ plan list; the chain does the rest (Section 5.3, steps 6-7 of Figure 3).
 When the surviving tuples come back, the Portal applies the cross-archive
 predicates no single node could evaluate, projects the SELECT list, and
 relays the result to the client.
+
+A failed chain is not necessarily a failed query: the executor retries
+transient failures, re-plans around drop-out archives that died mid-run,
+and — when a *mandatory* node is permanently lost — returns a degraded
+:class:`FederatedResult` carrying structured warnings instead of raising.
 """
 
 from __future__ import annotations
@@ -14,7 +19,7 @@ from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
 from repro.db.expr import RowContext, evaluate, is_true
 from repro.db.engine import ASTRO_CONSTANTS
-from repro.errors import ExecutionError
+from repro.errors import ExecutionError, SoapFaultError, TransportError
 from repro.portal.decompose import DecomposedQuery
 from repro.portal.plan import ExecutionPlan
 from repro.services.chunked import receive_rowset
@@ -28,7 +33,13 @@ if TYPE_CHECKING:
 
 @dataclass
 class FederatedResult:
-    """What the Portal relays back to the client."""
+    """What the Portal relays back to the client.
+
+    ``warnings`` lists the per-node degradation events (unreachable
+    drop-out skipped, mandatory archive lost, ...) and ``degraded`` is True
+    whenever the answer is incomplete relative to the submitted query —
+    the structured alternative to aborting the whole federation run.
+    """
 
     columns: List[str]
     rows: List[Tuple[Any, ...]]
@@ -36,6 +47,8 @@ class FederatedResult:
     plan: Optional[ExecutionPlan] = None
     counts: Dict[str, int] = field(default_factory=dict)
     matched_tuples: int = 0
+    warnings: List[str] = field(default_factory=list)
+    degraded: bool = False
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -48,28 +61,122 @@ class FederatedResult:
 class ChainExecutor:
     """Runs an :class:`ExecutionPlan` and finishes the query at the Portal."""
 
+    #: Whole-chain retry budget when every plan node still looks healthy
+    #: (the failure was transient but outlasted the per-hop retries).
+    MAX_CHAIN_ATTEMPTS = 3
+
     def __init__(self, portal: "Portal") -> None:
         self._portal = portal
 
     def execute(
-        self, plan: ExecutionPlan, decomposed: DecomposedQuery
+        self,
+        plan: ExecutionPlan,
+        decomposed: DecomposedQuery,
+        *,
+        warnings: Optional[List[str]] = None,
+        degraded: bool = False,
     ) -> FederatedResult:
-        """Start the chain at the first plan step and post-process."""
+        """Start the chain at the first plan step and post-process.
+
+        On chain failure the executor consults the Portal's health probe:
+        transient faults retry the chain, dead drop-out archives are pruned
+        from the plan (and the chain restarted from the surviving nodes),
+        and a dead mandatory archive yields a degraded empty result whose
+        warnings name the lost node.
+        """
         network = self._portal.require_network()
-        first = plan.step(0)
-        proxy = self._portal.proxy(first.url)
-        with network.phase("crossmatch-chain"):
-            response = proxy.call(
-                "PerformXMatch", plan=plan.to_wire(), position=0
-            )
-            if not isinstance(response, dict):
-                raise ExecutionError(f"malformed chain response: {response!r}")
-            rowset = receive_rowset(response, proxy)
+        warnings = list(warnings or [])
+        attempts = 0
+        current = plan
+        while True:
+            first = current.step(0)
+            proxy = self._portal.proxy(first.url)
+            try:
+                with network.phase("crossmatch-chain"):
+                    response = proxy.call(
+                        "PerformXMatch", plan=current.to_wire(), position=0
+                    )
+                    if not isinstance(response, dict):
+                        raise ExecutionError(
+                            f"malformed chain response: {response!r}"
+                        )
+                    rowset = receive_rowset(response, proxy)
+                break
+            except (TransportError, SoapFaultError) as exc:
+                attempts += 1
+                current, fallback = self._recover(
+                    current, decomposed, warnings, exc, attempts
+                )
+                if fallback is not None:
+                    return fallback
         tuples = rowset_to_tuples(
-            rowset, plan.member_aliases_after(0), plan.attr_columns_after(0)
+            rowset,
+            current.member_aliases_after(0),
+            current.attr_columns_after(0),
         )
         stats = list(response.get("stats") or [])
-        return self._finish(plan, decomposed, tuples, stats)
+        result = self._finish(current, decomposed, tuples, stats)
+        result.warnings = warnings
+        result.degraded = degraded or bool(warnings)
+        return result
+
+    def _recover(
+        self,
+        plan: ExecutionPlan,
+        decomposed: DecomposedQuery,
+        warnings: List[str],
+        exc: Exception,
+        attempts: int,
+    ) -> Tuple[ExecutionPlan, Optional[FederatedResult]]:
+        """Decide how a failed chain continues: retry, re-plan, or degrade."""
+        health = self._portal.probe_health(
+            sorted({step.archive for step in plan.steps})
+        )
+        dead = {archive for archive, alive in health.items() if not alive}
+        if not dead:
+            if attempts >= self.MAX_CHAIN_ATTEMPTS:
+                raise ExecutionError(
+                    f"cross-match chain failed after {attempts} attempt(s): "
+                    f"{exc}"
+                ) from exc
+            return plan, None  # transient: retry the same plan
+        dead_mandatory = [
+            step
+            for step in plan.steps
+            if not step.dropout and step.archive in dead
+        ]
+        if dead_mandatory:
+            for step in dead_mandatory:
+                warnings.append(
+                    f"mandatory archive {step.archive!r} (alias "
+                    f"{step.alias!r}) is unreachable; cross-match aborted"
+                )
+            return plan, FederatedResult(
+                columns=self._output_columns(decomposed.query.items),
+                rows=[],
+                plan=plan,
+                warnings=list(warnings),
+                degraded=True,
+            )
+        # Only drop-out archives died: prune them and restart the chain
+        # from the surviving nodes (the paper's !X semantics are advisory
+        # filters, so the query can still answer — degraded).
+        for step in plan.steps:
+            if step.dropout and step.archive in dead:
+                warnings.append(
+                    f"drop-out archive {step.archive!r} (alias "
+                    f"{step.alias!r}) became unreachable mid-chain; skipped"
+                )
+        pruned = ExecutionPlan(
+            steps=tuple(
+                step
+                for step in plan.steps
+                if not (step.dropout and step.archive in dead)
+            ),
+            threshold=plan.threshold,
+            area=plan.area,
+        )
+        return pruned, None
 
     def _finish(
         self,

@@ -12,9 +12,9 @@ from __future__ import annotations
 
 import random
 from enum import Enum
-from typing import TYPE_CHECKING, Dict, List, Optional
+from typing import TYPE_CHECKING, Collection, Dict, List, Optional
 
-from repro.errors import PlanningError
+from repro.errors import PlanningError, SoapFaultError, TransportError
 from repro.portal.calibration import ArchiveCostModel
 from repro.portal.decompose import DecomposedQuery, NodeSubquery
 from repro.portal.plan import ExecutionPlan, PlanStep
@@ -40,12 +40,22 @@ class Planner:
     def __init__(self, portal: "Portal") -> None:
         self._portal = portal
 
-    def performance_counts(self, decomposed: DecomposedQuery) -> Dict[str, int]:
+    def performance_counts(
+        self,
+        decomposed: DecomposedQuery,
+        *,
+        failures: Optional[Dict[str, str]] = None,
+    ) -> Dict[str, int]:
         """Run the count-star queries at every mandatory archive.
 
         "These performance queries are passed as asynchronous SOAP
         messages": the probes are dispatched concurrently, so the elapsed
         simulated time is the slowest archive's round trip, not the sum.
+
+        When ``failures`` is a dict, an archive whose probe fails (after
+        whatever retries its proxy is configured with) is recorded there
+        instead of aborting the whole query — the Portal's graceful-
+        degradation path. With the default ``None``, failures raise.
         """
         network = self._portal.require_network()
         counts: Dict[str, int] = {}
@@ -55,7 +65,13 @@ class Planner:
                 record = self._portal.catalog.node(subquery.archive)
                 proxy = self._portal.proxy(record.services["query"])
                 assert subquery.perf_sql is not None
-                result = proxy.call("ExecuteQuery", sql=subquery.perf_sql)
+                try:
+                    result = proxy.call("ExecuteQuery", sql=subquery.perf_sql)
+                except (TransportError, SoapFaultError) as exc:
+                    if failures is None:
+                        raise
+                    failures[alias] = str(exc)
+                    continue
                 counts[alias] = self._scalar_count(result, subquery)
         return counts
 
@@ -82,10 +98,21 @@ class Planner:
         strategy: OrderingStrategy = OrderingStrategy.COUNT_DESC,
         random_seed: int = 0,
         cost_models: Optional[Dict[str, "ArchiveCostModel"]] = None,
+        skip_aliases: Collection[str] = (),
     ) -> ExecutionPlan:
-        """Assemble the plan list: drop-outs first, then ordered mandatory."""
+        """Assemble the plan list: drop-outs first, then ordered mandatory.
+
+        ``skip_aliases`` removes unreachable *drop-out* archives from the
+        plan (graceful degradation); skipping a mandatory archive would
+        change the join semantics and is refused.
+        """
         assert decomposed.xmatch is not None
         mandatory = list(decomposed.mandatory_aliases)
+        skipped_mandatory = sorted(set(skip_aliases) & set(mandatory))
+        if skipped_mandatory:
+            raise PlanningError(
+                f"cannot skip mandatory archive alias(es) {skipped_mandatory}"
+            )
         missing = [alias for alias in mandatory if alias not in counts]
         if missing:
             raise PlanningError(
@@ -94,7 +121,12 @@ class Planner:
         mandatory = self._order(
             mandatory, counts, strategy, random_seed, cost_models
         )
-        ordered_aliases = list(decomposed.dropout_aliases) + mandatory
+        dropouts = [
+            alias
+            for alias in decomposed.dropout_aliases
+            if alias not in skip_aliases
+        ]
+        ordered_aliases = dropouts + mandatory
         steps = [
             self._step_for(decomposed.subqueries[alias], counts.get(alias))
             for alias in ordered_aliases

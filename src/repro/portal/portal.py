@@ -2,9 +2,9 @@
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, List, Optional, Sequence
 
-from repro.errors import TransportError, ValidationError
+from repro.errors import SoapFaultError, TransportError, ValidationError
 from repro.portal.catalog import FederationCatalog
 from repro.portal.decompose import decompose
 from repro.portal.executor import ChainExecutor, FederatedResult
@@ -13,6 +13,7 @@ from repro.portal.registration import RegistrationService
 from repro.portal.skyquery_service import SkyQueryService
 from repro.services.client import ServiceProxy
 from repro.services.framework import ServiceHost
+from repro.services.retry import BreakerRegistry, RetryPolicy
 from repro.soap.xmlparser import XMLParser
 from repro.sql.ast import Query
 from repro.sql.parser import parse_query
@@ -24,7 +25,14 @@ PORTAL_PATHS = {"registration": "/registration", "skyquery": "/skyquery"}
 
 
 class Portal:
-    """The mediator of the federation."""
+    """The mediator of the federation.
+
+    ``retry_policy`` arms every Portal-side proxy with retries/timeouts and
+    per-endpoint circuit breakers; ``health_probes`` (on by default) makes
+    the Portal ping each involved archive's Information service before
+    planning so unreachable drop-out archives are skipped — and a lost
+    mandatory archive yields a degraded result instead of an exception.
+    """
 
     def __init__(
         self,
@@ -32,6 +40,8 @@ class Portal:
         *,
         parser_memory_limit: Optional[int] = None,
         parser_overhead_factor: float = 4.0,
+        retry_policy: Optional[RetryPolicy] = None,
+        health_probes: bool = True,
     ) -> None:
         self.hostname = hostname
         self.catalog = FederationCatalog()
@@ -48,6 +58,16 @@ class Portal:
         self.executor = ChainExecutor(self)
         self.network: Optional[SimulatedNetwork] = None
         self.queries_served = 0
+        self.retry_policy = retry_policy
+        self.health_probes = health_probes
+        self.breakers = (
+            BreakerRegistry(metrics=self._current_metrics)
+            if retry_policy is not None
+            else None
+        )
+
+    def _current_metrics(self):
+        return self.network.metrics if self.network is not None else None
 
     def attach(self, network: SimulatedNetwork) -> None:
         """Put the Portal on the (simulated) Internet."""
@@ -67,8 +87,42 @@ class Portal:
     def proxy(self, url: str) -> ServiceProxy:
         """A caller proxy originating at the Portal."""
         return ServiceProxy(
-            self.require_network(), self.hostname, url, parser=self.parser
+            self.require_network(),
+            self.hostname,
+            url,
+            parser=self.parser,
+            retry_policy=self.retry_policy,
+            breaker=(
+                self.breakers.breaker_for(url)
+                if self.breakers is not None
+                else None
+            ),
         )
+
+    # -- health probing -----------------------------------------------------------
+
+    def probe_health(self, archives: Sequence[str]) -> Dict[str, bool]:
+        """Ping each archive's Information service (``IsAlive``).
+
+        Probes are dispatched concurrently like the performance queries;
+        an archive is dead when the probe fails after whatever retries the
+        Portal's policy allows. With ``health_probes`` disabled everything
+        reports alive (the seed's behaviour).
+        """
+        unique = sorted(dict.fromkeys(archives))
+        if not self.health_probes:
+            return {archive: True for archive in unique}
+        network = self.require_network()
+        health: Dict[str, bool] = {}
+        with network.phase("health-probe"), network.parallel():
+            for archive in unique:
+                record = self.catalog.node(archive)
+                proxy = self.proxy(record.services["information"])
+                try:
+                    health[archive] = bool(proxy.call("IsAlive"))
+                except (TransportError, SoapFaultError):
+                    health[archive] = False
+        return health
 
     # -- the full query path ------------------------------------------------------
 
@@ -79,21 +133,85 @@ class Portal:
         strategy: OrderingStrategy = OrderingStrategy.COUNT_DESC,
         random_seed: int = 0,
     ) -> FederatedResult:
-        """Figure 3 end to end: decompose, probe, plan, chain, project."""
+        """Figure 3 end to end: decompose, probe, plan, chain, project.
+
+        Resilience: before planning, the Portal health-probes every archive
+        the query touches. Dead *drop-out* archives are skipped at plan
+        time (with a warning); a dead *mandatory* archive — or one whose
+        performance query fails after retries — yields a degraded empty
+        result whose warnings name the node, instead of an exception.
+        """
         self.queries_served += 1
         query = parse_query(sql) if isinstance(sql, str) else sql
         analysis = validate_query(query)
         if analysis.xmatch is None:
             return self._submit_single_archive(query)
         decomposed = decompose(query, self.catalog)
-        counts = self.planner.performance_counts(decomposed)
-        if any(counts[alias] == 0 for alias in decomposed.mandatory_aliases):
+
+        warnings: List[str] = []
+        skip_aliases: List[str] = []
+        # With probes disabled the Portal keeps the seed's strict behaviour:
+        # a failed performance query raises instead of degrading.
+        perf_failures: Optional[Dict[str, str]] = (
+            {} if self.health_probes else None
+        )
+        if self.health_probes:
+            # Probes and performance queries are independent round trips to
+            # the same archives: dispatch both groups in one parallel block
+            # so probing hides entirely under the count-star makespan.
+            with self.require_network().parallel():
+                health = self.probe_health(
+                    [sub.archive for sub in decomposed.subqueries.values()]
+                )
+                counts = self.planner.performance_counts(
+                    decomposed, failures=perf_failures
+                )
+            dead_mandatory = [
+                alias
+                for alias in decomposed.mandatory_aliases
+                if not health[decomposed.subqueries[alias].archive]
+            ]
+            if dead_mandatory:
+                for alias in dead_mandatory:
+                    archive = decomposed.subqueries[alias].archive
+                    warnings.append(
+                        f"mandatory archive {archive!r} (alias {alias!r}) "
+                        "is unreachable; cross-match aborted"
+                    )
+                return self._degraded_result(query, warnings)
+            for alias in decomposed.dropout_aliases:
+                archive = decomposed.subqueries[alias].archive
+                if not health[archive]:
+                    skip_aliases.append(alias)
+                    warnings.append(
+                        f"drop-out archive {archive!r} (alias {alias!r}) "
+                        "is unreachable; skipped"
+                    )
+        else:
+            counts = self.planner.performance_counts(
+                decomposed, failures=perf_failures
+            )
+        if perf_failures:
+            for alias in sorted(perf_failures):
+                archive = decomposed.subqueries[alias].archive
+                warnings.append(
+                    f"mandatory archive {archive!r} (alias {alias!r}) failed "
+                    f"its performance query: {perf_failures[alias]}"
+                )
+            result = self._degraded_result(query, warnings)
+            result.counts = counts
+            return result
+        if any(
+            counts.get(alias) == 0 for alias in decomposed.mandatory_aliases
+        ):
             # A mandatory archive has nothing in the AREA: no tuple can
             # survive the inner join, so skip the whole chain. The
             # count-star probes pay for themselves here.
             result = FederatedResult(
                 columns=self.executor._output_columns(query.items),
                 rows=[],
+                warnings=warnings,
+                degraded=bool(warnings),
             )
             result.counts = counts
             return result
@@ -108,10 +226,24 @@ class Portal:
             strategy=strategy,
             random_seed=random_seed,
             cost_models=cost_models,
+            skip_aliases=skip_aliases,
         )
-        result = self.executor.execute(plan, decomposed)
+        result = self.executor.execute(
+            plan, decomposed, warnings=warnings, degraded=bool(warnings)
+        )
         result.counts = counts
         return result
+
+    def _degraded_result(
+        self, query: Query, warnings: List[str]
+    ) -> FederatedResult:
+        """An empty, degraded answer naming the lost node(s)."""
+        return FederatedResult(
+            columns=self.executor._output_columns(query.items),
+            rows=[],
+            warnings=list(warnings),
+            degraded=True,
+        )
 
     def explain(
         self,

@@ -90,4 +90,6 @@ class SkyQueryService(WebService):
             "counts": dict(result.counts),
             "matched_tuples": result.matched_tuples,
             "plan": result.plan.to_wire() if result.plan is not None else None,
+            "warnings": list(result.warnings),
+            "degraded": result.degraded,
         }

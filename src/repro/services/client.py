@@ -4,11 +4,12 @@ from __future__ import annotations
 
 from typing import Any, Optional
 
-from repro.errors import TransportError
+from repro.errors import SoapFaultError, TransportError
+from repro.services.retry import CircuitBreaker, RetryPolicy
 from repro.soap.envelope import build_rpc_request, parse_rpc_response
 from repro.soap.wsdl import ServiceDescription, parse_wsdl
 from repro.soap.xmlparser import XMLParser
-from repro.transport.http import HttpRequest, soap_request
+from repro.transport.http import HttpRequest, HttpResponse, soap_request
 from repro.transport.network import SimulatedNetwork
 
 
@@ -19,6 +20,13 @@ class ServiceProxy:
     XML parser (with its memory budget) so that a SkyNode receiving a huge
     partial-result rowset from its neighbour hits the same out-of-memory
     wall the paper describes.
+
+    With a :class:`~repro.services.retry.RetryPolicy`, transient transport
+    failures (lost messages, timeouts, dead hosts) are retried with
+    exponential backoff on the *simulated* clock; an optional
+    :class:`~repro.services.retry.CircuitBreaker` fails fast once the
+    endpoint has failed repeatedly. Without either, behaviour is the
+    seed's single-shot call.
     """
 
     def __init__(
@@ -29,12 +37,21 @@ class ServiceProxy:
         *,
         parser: Optional[XMLParser] = None,
         description: Optional[ServiceDescription] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        breaker: Optional[CircuitBreaker] = None,
     ) -> None:
         self.network = network
         self.src_host = src_host
         self.url = url
         self.parser = parser or XMLParser()
         self.description = description
+        self.retry_policy = retry_policy
+        self.breaker = breaker
+        self._rng = (
+            retry_policy.rng_for(src_host, url)
+            if retry_policy is not None
+            else None
+        )
 
     def call(self, operation: str, **params: Any) -> Any:
         """Invoke one operation; raises SoapFaultError on remote faults."""
@@ -45,7 +62,63 @@ class ServiceProxy:
             )
         envelope = build_rpc_request(operation, params)
         request = soap_request(self.url, f"urn:skyquery#{operation}", envelope)
-        response = self.network.request(self.src_host, request, operation=operation)
+        clock = self.network.clock
+        if self.breaker is not None:
+            self.breaker.check(clock.now)
+        policy = self.retry_policy
+        timeout_s = policy.timeout_s if policy is not None else None
+        deadline = (
+            clock.now + policy.deadline_s
+            if policy is not None and policy.deadline_s is not None
+            else None
+        )
+        attempt = 0
+        with self.network.branch():
+            while True:
+                try:
+                    response = self.network.request(
+                        self.src_host,
+                        request,
+                        operation=operation,
+                        timeout_s=timeout_s,
+                    )
+                    result = self._decode(operation, response)
+                except TransportError:
+                    attempt += 1
+                    retryable = (
+                        policy is not None and attempt < policy.max_attempts
+                    )
+                    if retryable:
+                        backoff = policy.backoff_s(attempt, self._rng)
+                        retryable = (
+                            deadline is None
+                            or clock.now + backoff <= deadline
+                        )
+                    if not retryable:
+                        if self.breaker is not None:
+                            self.breaker.record_failure(clock.now)
+                        raise
+                    self.network.sleep(backoff)
+                    self.network.metrics.retries += 1
+                    continue
+                except SoapFaultError:
+                    # The endpoint answered (with an application fault):
+                    # it is alive as far as the breaker is concerned.
+                    if self.breaker is not None:
+                        self.breaker.record_success(clock.now)
+                    raise
+                if self.breaker is not None:
+                    self.breaker.record_success(clock.now)
+                return result
+
+    def _decode(self, operation: str, response: HttpResponse) -> Any:
+        """Deserialize one response, surfacing non-SOAP HTTP errors clearly."""
+        if not response.ok and b"Envelope" not in response.body:
+            snippet = response.body[:120].decode("utf-8", "replace")
+            raise TransportError(
+                f"HTTP {response.status} from {self.url} for "
+                f"{operation!r}: {snippet}"
+            )
         return parse_rpc_response(response.body, self.parser)
 
     def fetch_wsdl(self) -> ServiceDescription:

@@ -1,0 +1,163 @@
+"""Retry policies and circuit breakers for service calls.
+
+The seed made every RPC a single-shot call: one transient fault anywhere
+in the daisy chain aborted the whole cross-match. This module gives
+:class:`~repro.services.client.ServiceProxy` the standard resilience
+toolkit — bounded retries with exponential backoff and (seeded,
+deterministic) jitter, per-attempt timeouts, an overall deadline, and a
+per-endpoint circuit breaker that fails fast once an endpoint looks dead
+and half-opens after a cooldown.
+
+Everything runs against the *simulated* clock: backoff waits advance
+``network.clock``, breaker cooldowns compare sim timestamps, and jitter
+comes from a seeded RNG, so resilience tests replay identically.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.errors import CircuitOpenError
+from repro.transport.metrics import NetworkMetrics
+
+MetricsFn = Callable[[], Optional[NetworkMetrics]]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How a proxy retries transient transport failures.
+
+    ``max_attempts`` counts the first try: ``max_attempts=4`` is one call
+    plus up to three retries. ``timeout_s`` bounds each attempt's transfer
+    directions; ``deadline_s`` bounds the whole call (attempts + backoff)
+    in simulated seconds.
+    """
+
+    max_attempts: int = 4
+    timeout_s: Optional[float] = 30.0
+    base_backoff_s: float = 0.5
+    backoff_multiplier: float = 2.0
+    max_backoff_s: float = 15.0
+    jitter: float = 0.5  # fraction of the backoff randomized on top
+    deadline_s: Optional[float] = None
+    seed: int = 0
+
+    def backoff_s(self, attempt: int, rng: random.Random) -> float:
+        """Backoff before retry number ``attempt`` (1-based), with jitter."""
+        base = min(
+            self.base_backoff_s * self.backoff_multiplier ** (attempt - 1),
+            self.max_backoff_s,
+        )
+        return base * (1.0 + self.jitter * rng.random())
+
+    def rng_for(self, src_host: str, url: str) -> random.Random:
+        """A deterministic jitter RNG for one caller/endpoint pair."""
+        return random.Random(f"{self.seed}:{src_host}:{url}")
+
+
+class CircuitBreaker:
+    """Per-endpoint breaker: closed -> open -> half-open -> closed.
+
+    ``failure_threshold`` consecutive transport failures trip the breaker;
+    while open, calls fail fast with :class:`~repro.errors.CircuitOpenError`
+    (no wire traffic). After ``cooldown_s`` simulated seconds the breaker
+    half-opens: the next call goes through as a probe, and its outcome
+    either closes the breaker or re-opens it for another cooldown.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+    def __init__(
+        self,
+        endpoint: str,
+        *,
+        failure_threshold: int = 5,
+        cooldown_s: float = 60.0,
+        metrics: Optional[MetricsFn] = None,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        self.endpoint = endpoint
+        self.failure_threshold = failure_threshold
+        self.cooldown_s = cooldown_s
+        self.state = self.CLOSED
+        self.consecutive_failures = 0
+        self.opened_at_s = 0.0
+        self._metrics = metrics
+
+    def check(self, now: float) -> None:
+        """Gate one call: raises when open, admits a probe when cooled down."""
+        if self.state != self.OPEN:
+            return
+        if now - self.opened_at_s >= self.cooldown_s:
+            self._transition(self.HALF_OPEN, now)
+            return
+        retry_at = self.opened_at_s + self.cooldown_s
+        raise CircuitOpenError(
+            f"circuit for {self.endpoint} is open until t={retry_at:g}s",
+            endpoint=self.endpoint,
+            retry_at_s=retry_at,
+        )
+
+    def record_success(self, now: float) -> None:
+        """The endpoint answered: reset failures, close if probing."""
+        self.consecutive_failures = 0
+        if self.state != self.CLOSED:
+            self._transition(self.CLOSED, now)
+
+    def record_failure(self, now: float) -> None:
+        """A transport-level failure: maybe trip (or re-trip) the breaker."""
+        self.consecutive_failures += 1
+        should_open = (
+            self.state == self.HALF_OPEN
+            or self.consecutive_failures >= self.failure_threshold
+        )
+        if should_open and self.state != self.OPEN:
+            self._transition(self.OPEN, now)
+        if self.state == self.OPEN:
+            self.opened_at_s = now
+
+    def _transition(self, new_state: str, now: float) -> None:
+        old_state, self.state = self.state, new_state
+        if new_state == self.OPEN:
+            self.opened_at_s = now
+        metrics = self._metrics() if self._metrics is not None else None
+        if metrics is not None:
+            metrics.record_breaker(self.endpoint, old_state, new_state, now)
+
+
+class BreakerRegistry:
+    """Shared per-endpoint breakers for all proxies of one caller."""
+
+    def __init__(
+        self,
+        *,
+        failure_threshold: int = 5,
+        cooldown_s: float = 60.0,
+        metrics: Optional[MetricsFn] = None,
+    ) -> None:
+        self.failure_threshold = failure_threshold
+        self.cooldown_s = cooldown_s
+        self._metrics = metrics
+        self._breakers: Dict[str, CircuitBreaker] = {}
+
+    def breaker_for(self, endpoint: str) -> CircuitBreaker:
+        """The breaker guarding an endpoint URL (created on first use)."""
+        breaker = self._breakers.get(endpoint)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                endpoint,
+                failure_threshold=self.failure_threshold,
+                cooldown_s=self.cooldown_s,
+                metrics=self._metrics,
+            )
+            self._breakers[endpoint] = breaker
+        return breaker
+
+    def states(self) -> Dict[str, str]:
+        """Current state of every known breaker (for tests/reports)."""
+        return {url: b.state for url, b in self._breakers.items()}

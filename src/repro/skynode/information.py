@@ -30,6 +30,15 @@ class InformationService(WebService):
             returns="struct",
             doc="Positional error sigma, primary table/columns, object count.",
         )
+        self.register(
+            "IsAlive",
+            self._is_alive,
+            returns="boolean",
+            doc="Lightweight health probe the Portal consults before planning.",
+        )
 
     def _get_info(self) -> Dict[str, Any]:
         return self._wrapper.info_wire()
+
+    def _is_alive(self) -> bool:
+        return True

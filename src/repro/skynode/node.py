@@ -8,6 +8,7 @@ from repro.db.engine import Database
 from repro.errors import RegistrationError
 from repro.services.client import ServiceProxy
 from repro.services.framework import ServiceHost
+from repro.services.retry import BreakerRegistry, RetryPolicy
 from repro.skynode.crossmatch import CrossMatchService
 from repro.skynode.information import InformationService
 from repro.skynode.metadata import MetadataService
@@ -42,6 +43,7 @@ class SkyNode:
         parser_overhead_factor: float = 4.0,
         chunk_budget_bytes: Optional[int] = None,
         processing_seconds_per_row: float = 0.0,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         self.wrapper = ArchiveWrapper(db, info)
         self.info = info
@@ -80,6 +82,17 @@ class SkyNode:
         self.network: Optional[SimulatedNetwork] = None
         self.transaction = None  # mounted on demand (extension service)
         self._parser_memory_limit = parser_memory_limit
+        #: Resilience for this node's outbound calls (chain hops, portal
+        #: registration). None keeps the seed's single-shot behaviour.
+        self.retry_policy = retry_policy
+        self.breakers = (
+            BreakerRegistry(metrics=self._current_metrics)
+            if retry_policy is not None
+            else None
+        )
+
+    def _current_metrics(self):
+        return self.network.metrics if self.network is not None else None
 
     def enable_transactions(self) -> str:
         """Mount the Section 6 extension Transaction service; returns its URL.
@@ -134,7 +147,18 @@ class SkyNode:
             raise RegistrationError(
                 f"SkyNode {self.info.archive!r} is not attached to a network"
             )
-        return ServiceProxy(self.network, self.hostname, url, parser=self.parser)
+        return ServiceProxy(
+            self.network,
+            self.hostname,
+            url,
+            parser=self.parser,
+            retry_policy=self.retry_policy,
+            breaker=(
+                self.breakers.breaker_for(url)
+                if self.breakers is not None
+                else None
+            ),
+        )
 
     def register_with_portal(self, registration_url: str) -> Dict[str, Any]:
         """Join the federation: call the Portal's Registration service.

@@ -34,10 +34,47 @@ class NetworkMetrics:
     messages: List[MessageRecord] = field(default_factory=list)
     simulated_seconds: float = 0.0
     processing_seconds: float = 0.0
+    #: Injected faults by kind ("request-drop", "response-drop",
+    #: "latency-spike", "outage"); what the resilience benchmarks report.
+    faults: Dict[str, int] = field(default_factory=dict)
+    timeouts: int = 0
+    retries: int = 0
+    backoff_seconds: float = 0.0
+    #: Circuit-breaker state transitions: (endpoint, old state, new state,
+    #: sim time).
+    breaker_events: List[Tuple[str, str, str, float]] = field(
+        default_factory=list
+    )
 
     def record(self, message: MessageRecord) -> None:
         """Append one message record."""
         self.messages.append(message)
+
+    def record_fault(self, kind: str) -> None:
+        """Count one injected fault by kind."""
+        self.faults[kind] = self.faults.get(kind, 0) + 1
+
+    def fault_count(self, kind: Optional[str] = None) -> int:
+        """Total injected faults, optionally of one kind."""
+        if kind is not None:
+            return self.faults.get(kind, 0)
+        return sum(self.faults.values())
+
+    def record_breaker(
+        self, endpoint: str, old_state: str, new_state: str, sim_time: float
+    ) -> None:
+        """Record one circuit-breaker state transition."""
+        self.breaker_events.append((endpoint, old_state, new_state, sim_time))
+
+    def breaker_transitions(
+        self, endpoint: Optional[str] = None
+    ) -> List[Tuple[str, str, str, float]]:
+        """Breaker transitions, optionally for one endpoint."""
+        return [
+            event
+            for event in self.breaker_events
+            if endpoint is None or event[0] == endpoint
+        ]
 
     def total_bytes(
         self,
@@ -78,3 +115,8 @@ class NetworkMetrics:
         self.messages.clear()
         self.simulated_seconds = 0.0
         self.processing_seconds = 0.0
+        self.faults.clear()
+        self.timeouts = 0
+        self.retries = 0
+        self.backoff_seconds = 0.0
+        self.breaker_events.clear()

@@ -6,6 +6,11 @@ clock by ``latency + wire_bytes / bandwidth`` in each direction, and every
 message is recorded in :class:`~repro.transport.metrics.NetworkMetrics`
 under the currently active *phase* label (registration, performance-query,
 cross-match chain, ...), which is what the benchmarks report.
+
+Failures come in two flavours: the binary partition of
+:meth:`SimulatedNetwork.fail_host`, and the scripted transient faults of a
+:class:`~repro.transport.faults.FaultPlan` (request/response drops, latency
+spikes, scheduled outages) — all deterministic, all counted in the metrics.
 """
 
 from __future__ import annotations
@@ -14,11 +19,15 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterator, Optional, Tuple
 
-from repro.errors import TransportError
+from repro.errors import RequestTimeoutError, TransportError
+from repro.transport.faults import FaultPlan
 from repro.transport.http import HttpRequest, HttpResponse
 from repro.transport.metrics import MessageRecord, NetworkMetrics
 
 Handler = Callable[[HttpRequest], HttpResponse]
+
+#: How long a caller without an explicit timeout waits for a lost message.
+DEFAULT_TIMEOUT_S = 30.0
 
 
 class SimClock:
@@ -56,16 +65,20 @@ class SimulatedNetwork:
         *,
         default_latency_s: float = 0.05,
         default_bandwidth_bps: float = 1_000_000.0,
+        default_timeout_s: float = DEFAULT_TIMEOUT_S,
     ) -> None:
         self.clock = SimClock()
         self.metrics = NetworkMetrics()
         self._default_link = Link(default_latency_s, default_bandwidth_bps)
+        self.default_timeout_s = default_timeout_s
         self._links: Dict[Tuple[str, str], Link] = {}
         self._hosts: Dict[str, Handler] = {}
         self._phase_stack: list[str] = []
         self._failed_hosts: set[str] = set()
-        self._parallel_stack: list[list[float]] = []
+        #: (entry request-depth, pooled branch durations) per open block.
+        self._parallel_stack: list[Tuple[int, list[float]]] = []
         self._request_depth = 0
+        self.fault_plan: Optional[FaultPlan] = None
 
     # -- topology -------------------------------------------------------------
 
@@ -77,7 +90,9 @@ class SimulatedNetwork:
 
     def remove_host(self, hostname: str) -> None:
         """Unregister a host (it becomes unreachable)."""
-        self._hosts.pop(hostname, None)
+        if hostname not in self._hosts:
+            raise TransportError(f"host {hostname!r} is not registered")
+        del self._hosts[hostname]
 
     def has_host(self, hostname: str) -> bool:
         """True if a handler is registered for the hostname."""
@@ -125,6 +140,20 @@ class SimulatedNetwork:
         """True if the host is currently partitioned off."""
         return hostname in self._failed_hosts
 
+    def set_fault_plan(self, plan: Optional[FaultPlan]) -> None:
+        """Install (or clear, with None) the scripted fault plan."""
+        self.fault_plan = plan
+
+    def _host_down(self, hostname: str) -> Optional[str]:
+        """Why the host is unreachable right now, or None if it is fine."""
+        if hostname in self._failed_hosts:
+            return "host is down"
+        if self.fault_plan is not None and self.fault_plan.host_in_outage(
+            hostname, self.clock.now
+        ):
+            return "scheduled outage"
+        return None
+
     # -- phase tagging ----------------------------------------------------------
 
     @contextmanager
@@ -148,63 +177,141 @@ class SimulatedNetwork:
         The paper sends performance queries "as asynchronous SOAP messages";
         with concurrent dispatch the elapsed (clock) time is the *makespan*
         — the slowest request — rather than the sum. Byte metrics are
-        unaffected. Each top-level request inside the block contributes its
-        duration to a pool; on exit the clock advances by max instead of sum.
+        unaffected. Each request issued directly inside the block (at the
+        block's own nesting depth) contributes its duration to a pool; on
+        exit the clock advances by max instead of sum.
+
+        Blocks compose: a ``parallel()`` opened inside a service handler
+        pools that handler's fan-out, and the whole block then acts as one
+        branch of any enclosing block at the same depth.
         """
         start = self.clock.now
-        self._parallel_stack.append([])
+        self._parallel_stack.append((self._request_depth, []))
         try:
             yield
         finally:
-            durations = self._parallel_stack.pop()
-            if not self._parallel_stack:
-                self.clock.now = start + (max(durations) if durations else 0.0)
+            _, durations = self._parallel_stack.pop()
+            if durations:
+                self.clock.now = start + max(durations)
+            if self._in_parallel_block():
+                self._parallel_stack[-1][1].append(self.clock.now - start)
+                self.clock.now = start  # enclosing block advances by the max
+
+    def _in_parallel_block(self) -> bool:
+        """True when work at the current depth pools into a parallel block."""
+        return bool(
+            self._parallel_stack
+            and self._parallel_stack[-1][0] == self._request_depth
+        )
+
+    @contextmanager
+    def branch(self) -> Iterator[None]:
+        """Group sequential work (requests, backoff waits) as ONE parallel branch.
+
+        A retried call is several round trips plus backoff sleeps that must
+        serialize *within* their branch of a :meth:`parallel` block while
+        still overlapping with sibling branches. Outside a parallel block
+        this is a no-op.
+        """
+        if not self._in_parallel_block():
+            yield
+            return
+        started = self.clock.now
+        self._request_depth += 1
+        try:
+            yield
+        finally:
+            self._request_depth -= 1
+            self._parallel_stack[-1][1].append(self.clock.now - started)
+            self.clock.now = started  # rewind; parallel() advances by the max
+
+    # -- time -----------------------------------------------------------------
+
+    def sleep(self, seconds: float) -> None:
+        """Advance the clock for a deliberate wait (retry backoff)."""
+        if seconds <= 0.0:
+            return
+        self.clock.advance(seconds)
+        self.metrics.backoff_seconds += seconds
 
     # -- message delivery ---------------------------------------------------------
 
     def request(
-        self, src_host: str, request: HttpRequest, *, operation: str = ""
+        self,
+        src_host: str,
+        request: HttpRequest,
+        *,
+        operation: str = "",
+        timeout_s: Optional[float] = None,
     ) -> HttpResponse:
         """Deliver an HTTP request from ``src_host`` and return the response.
 
         Charges both directions to the clock and records both messages.
         Inside a :meth:`parallel` block, top-level requests contribute
         their duration to the block's makespan pool instead of serializing.
+
+        ``timeout_s`` bounds each *transfer direction*: when the fault plan
+        drops a message, or a latency spike makes a transfer slower than the
+        timeout, the caller waits out the timeout on the sim clock and gets
+        a :class:`~repro.errors.RequestTimeoutError`.
         """
         dst_host = request.host
         if src_host in self._failed_hosts:
             raise TransportError(f"host {src_host!r} is down")
-        if dst_host in self._failed_hosts:
-            raise TransportError(f"no route to host {dst_host!r}: host is down")
+        down = self._host_down(dst_host)
+        if down is not None:
+            if down == "scheduled outage":
+                self.metrics.record_fault("outage")
+            raise TransportError(f"no route to host {dst_host!r}: {down}")
         handler = self._hosts.get(dst_host)
         if handler is None:
             raise TransportError(f"no route to host {dst_host!r}")
 
-        outermost_parallel = (
-            bool(self._parallel_stack) and self._request_depth == 0
-        )
+        pooled = self._in_parallel_block()
         started = self.clock.now
         self._request_depth += 1
         try:
             self._deliver(
-                src_host, dst_host, request.wire_bytes, "request", operation
+                src_host, dst_host, request.wire_bytes, "request", operation,
+                timeout_s,
             )
             response = handler(request)
             self._deliver(
-                dst_host, src_host, response.wire_bytes, "response", operation
+                dst_host, src_host, response.wire_bytes, "response", operation,
+                timeout_s,
             )
         finally:
             self._request_depth -= 1
-        if outermost_parallel:
-            self._parallel_stack[-1].append(self.clock.now - started)
-            self.clock.now = started  # rewind; parallel() advances by the max
+            if pooled:
+                self._parallel_stack[-1][1].append(self.clock.now - started)
+                self.clock.now = started  # rewind; parallel() advances by max
         return response
 
     def _deliver(
-        self, src: str, dst: str, wire_bytes: int, kind: str, operation: str
+        self,
+        src: str,
+        dst: str,
+        wire_bytes: int,
+        kind: str,
+        operation: str,
+        timeout_s: Optional[float] = None,
     ) -> None:
+        extra_latency = 0.0
+        if self.fault_plan is not None:
+            decision = self.fault_plan.on_message(
+                kind, src, dst, self.clock.now
+            )
+            if decision is not None:
+                if decision.drop:
+                    self.metrics.record_fault(f"{kind}-drop")
+                    self._time_out(timeout_s, kind, src, dst, operation)
+                if decision.extra_latency_s > 0.0:
+                    self.metrics.record_fault("latency-spike")
+                    extra_latency = decision.extra_latency_s
         link = self.link(src, dst)
-        elapsed = link.transfer_time(wire_bytes)
+        elapsed = link.transfer_time(wire_bytes) + extra_latency
+        if timeout_s is not None and elapsed > timeout_s:
+            self._time_out(timeout_s, kind, src, dst, operation)
         self.clock.advance(elapsed)
         self.metrics.simulated_seconds += elapsed
         self.metrics.record(
@@ -217,4 +324,23 @@ class SimulatedNetwork:
                 operation=operation,
                 sim_time=self.clock.now,
             )
+        )
+
+    def _time_out(
+        self,
+        timeout_s: Optional[float],
+        kind: str,
+        src: str,
+        dst: str,
+        operation: str,
+    ) -> None:
+        """Wait out the caller's timeout on the sim clock, then raise."""
+        wait = timeout_s if timeout_s is not None else self.default_timeout_s
+        self.clock.advance(wait)
+        self.metrics.timeouts += 1
+        label = f" ({operation})" if operation else ""
+        raise RequestTimeoutError(
+            f"{kind} from {src!r} to {dst!r}{label} timed out "
+            f"after {wait:g}s",
+            timeout_s=wait,
         )

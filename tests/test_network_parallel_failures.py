@@ -92,9 +92,23 @@ class TestFailureInjection:
         assert net.request("c", HttpRequest("POST", "http://a/x")).ok
         assert not net.is_failed("a")
 
+    def test_remove_unknown_host_raises(self):
+        net = make_net()
+        with pytest.raises(TransportError):
+            net.remove_host("never-registered")
+
+    def test_remove_then_rereg_roundtrip(self):
+        net = make_net()
+        net.remove_host("a")
+        assert not net.has_host("a")
+        net.add_host("a", echo)  # the name is free again
+        assert net.request("c", HttpRequest("POST", "http://a/x")).ok
+
 
 class TestFederationFailures:
-    def test_chain_faults_cleanly_when_node_dies(self, small_federation):
+    def test_dead_mandatory_node_degrades_instead_of_raising(
+        self, small_federation
+    ):
         fed = small_federation
         sql = (
             "SELECT O.object_id, T.obj_id "
@@ -104,12 +118,16 @@ class TestFederationFailures:
         node = fed.node("TWOMASS")
         fed.network.fail_host(node.hostname)
         try:
-            with pytest.raises(SoapFaultError):
-                fed.client().submit(sql)
+            result = fed.client().submit(sql)
+            assert result.degraded
+            assert result.rows == []
+            assert any("TWOMASS" in warning for warning in result.warnings)
         finally:
             fed.network.restore_host(node.hostname)
         # Recovery: the same query works once the node is back.
-        assert len(fed.client().submit(sql)) > 0
+        recovered = fed.client().submit(sql)
+        assert len(recovered) > 0
+        assert not recovered.degraded
 
     def test_mid_chain_failure_leaves_no_temp_tables(self, small_federation):
         fed = small_federation
@@ -123,13 +141,31 @@ class TestFederationFailures:
         node = fed.node("FIRST")
         fed.network.fail_host(node.hostname)
         try:
-            with pytest.raises(SoapFaultError):
-                fed.client().submit(sql)
+            result = fed.client().submit(sql)
+            assert result.degraded and result.rows == []
         finally:
             fed.network.restore_host(node.hostname)
         for other in fed.nodes.values():
             leftovers = [n for n in other.db._tables if "tmp" in n]
             assert leftovers == []
+
+    def test_strict_portal_still_raises(self, small_federation):
+        # With health probes off the seed's fail-fast contract survives.
+        fed = small_federation
+        sql = (
+            "SELECT O.object_id, T.obj_id "
+            "FROM SDSS:Photo_Object O, TWOMASS:Photo_Primary T "
+            "WHERE AREA(185.0, -0.5, 600.0) AND XMATCH(O, T) < 3.5"
+        )
+        node = fed.node("TWOMASS")
+        fed.network.fail_host(node.hostname)
+        fed.portal.health_probes = False
+        try:
+            with pytest.raises((SoapFaultError, TransportError)):
+                fed.portal.submit(sql)
+        finally:
+            fed.portal.health_probes = True
+            fed.network.restore_host(node.hostname)
 
     def test_registration_of_unreachable_portal_fails(self, small_federation):
         fed = small_federation
