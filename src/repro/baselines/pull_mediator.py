@@ -35,10 +35,17 @@ PHASE = "pull-mediator"
 
 
 class PullMediator:
-    """Pulls full per-archive results to the Portal and matches there."""
+    """Pulls full per-archive results to the Portal and matches there.
 
-    def __init__(self, portal: Portal) -> None:
+    ``kernel`` selects the central matcher engine: the numpy batch kernel
+    (``vectorized``, the default), the brute-force reference (``scalar``),
+    or the optional scipy ``kdtree`` — all three produce identical match
+    sets (see :func:`repro.xmatch.stream.run_chain`).
+    """
+
+    def __init__(self, portal: Portal, *, kernel: str = "vectorized") -> None:
         self._portal = portal
+        self._kernel = kernel
 
     def execute(self, sql: str) -> FederatedResult:
         """Run a cross-match query with the pull strategy."""
@@ -68,7 +75,9 @@ class PullMediator:
                     term.dropout,
                 )
             )
-        tuples = run_chain(chain_spec, decomposed.xmatch.threshold)
+        tuples = run_chain(
+            chain_spec, decomposed.xmatch.threshold, engine=self._kernel
+        )
         return self._finish(decomposed, tuples)
 
     def _finish(

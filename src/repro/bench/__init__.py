@@ -29,6 +29,7 @@ from repro.bench.experiments import (
     run_e13_async_dispatch,
     run_e14_byte_ordering,
     run_e15_fault_recovery,
+    run_e16_kernel_speedup,
 )
 
 ALL_EXPERIMENTS = (
@@ -47,6 +48,7 @@ ALL_EXPERIMENTS = (
     run_e13_async_dispatch,
     run_e14_byte_ordering,
     run_e15_fault_recovery,
+    run_e16_kernel_speedup,
 )
 
 __all__ = [
@@ -71,4 +73,5 @@ __all__ = [
     "run_e13_async_dispatch",
     "run_e14_byte_ordering",
     "run_e15_fault_recovery",
+    "run_e16_kernel_speedup",
 ]

@@ -1038,3 +1038,107 @@ def run_e15_fault_recovery(n_bodies: int = 600) -> ExperimentReport:
         "timeout and injected fault above is visible in NetworkMetrics."
     )
     return report
+
+
+# -- E16: extension — the vectorized cross-match kernel vs the scalar loop ----------
+
+
+def _e16_federation(n_nodes: int, n_bodies: int, kernel: str):
+    """The E11 scenario's federation, with a selectable cross-match kernel."""
+    surveys = [
+        SurveySpec(
+            archive=f"SURV{i}",
+            sigma_arcsec=0.1 + 0.2 * i,
+            detection_rate=0.9,
+            primary_table="objects",
+            bands=("i",),
+            has_type=False,
+        )
+        for i in range(n_nodes)
+    ]
+    return build_federation(
+        FederationConfig(
+            surveys=surveys,
+            n_bodies=n_bodies,
+            seed=99,
+            sky_field=SkyField(185.0, -0.5, 1800.0),
+            xmatch_kernel=kernel,
+        )
+    )
+
+
+def run_e16_kernel_speedup(
+    node_counts: Sequence[int] = (3, 5),
+    n_bodies: int = 1500,
+    repeats: int = 3,
+) -> ExperimentReport:
+    """Wall-clock of both kernels on the E11 scalability scenario.
+
+    The scalar per-tuple loop was the original engine (and remains the
+    testing oracle); the vectorized kernel evaluates the same recurrence
+    set-at-a-time with numpy and batches the HTM covers of all search
+    caps. The two must differ in wall-clock only: identical match sets,
+    identical per-node stats, byte-for-byte identical wire traffic.
+    """
+    report = ExperimentReport(
+        exp_id="E16",
+        title="Vectorized numpy cross-match kernel vs scalar reference",
+        source="Section 5.4 cross-match recurrence, evaluated set-at-a-time "
+        "(the bugfix making scipy an optional extra)",
+        headers=[
+            "archives", "bodies", "scalar s", "vectorized s", "speedup",
+            "rows", "same wire bytes", "same node stats",
+        ],
+    )
+    for n_nodes in node_counts:
+        froms = ", ".join(f"SURV{i}:objects S{i}" for i in range(n_nodes))
+        aliases = ", ".join(f"S{i}" for i in range(n_nodes))
+        sql = (
+            f"SELECT S0.object_id FROM {froms} "
+            f"WHERE AREA(185.0, -0.5, 900.0) AND XMATCH({aliases}) < 3.5"
+        )
+        arms: Dict[str, Dict[str, Any]] = {}
+        for kernel in ("scalar", "vectorized"):
+            fed = _e16_federation(n_nodes, n_bodies, kernel)
+            client = fed.client()
+            best = float("inf")
+            result = None
+            for _ in range(repeats):
+                fed.network.metrics.reset()
+                started = time.perf_counter()
+                result = client.submit(sql)
+                best = min(best, time.perf_counter() - started)
+            assert result is not None
+            arms[kernel] = {
+                "elapsed": best,
+                "rows": sorted(result.rows),
+                "bytes": fed.network.metrics.bytes_by_phase(),
+                "node_stats": result.node_stats,
+            }
+        scalar, vectorized = arms["scalar"], arms["vectorized"]
+        assert vectorized["rows"] == scalar["rows"], "kernel changed matches!"
+        report.add_row(
+            n_nodes,
+            n_bodies,
+            round(scalar["elapsed"], 3),
+            round(vectorized["elapsed"], 3),
+            round(scalar["elapsed"] / vectorized["elapsed"], 2),
+            len(vectorized["rows"]),
+            "yes" if vectorized["bytes"] == scalar["bytes"] else "NO",
+            "yes" if vectorized["node_stats"] == scalar["node_stats"] else "NO",
+        )
+    report.note(
+        "Same matches, same per-node cost counters, byte-identical SOAP "
+        "traffic: the kernels differ only in wall-clock. The vectorized "
+        "engine wins on three axes: batched HTM cap covers (one "
+        "level-synchronous quad-tree walk for all tuples), searchsorted "
+        "probes over columnar index arrays, and one broadcasted "
+        "chi-squared pass per chain step."
+    )
+    report.note(
+        "The gap widens with archives and bodies — the scalar loop pays "
+        "per (tuple, candidate) pair in Python, the vectorized kernel "
+        "per chain step. Isolated from SOAP/simulation overhead (see "
+        "docs/PERFORMANCE.md) the kernel itself is 40-50x faster."
+    )
+    return report

@@ -88,6 +88,12 @@ def _federation_args(parser: argparse.ArgumentParser) -> None:
         help="per-attempt request timeout in simulated seconds "
              "(default: no timeout)",
     )
+    parser.add_argument(
+        "--kernel", default="vectorized",
+        choices=["vectorized", "scalar"],
+        help="cross-match kernel at every node: the numpy batch kernel "
+             "(default) or the per-tuple scalar reference loop",
+    )
 
 
 def _retry_policy(args: argparse.Namespace):
@@ -109,6 +115,7 @@ def _make_federation(args: argparse.Namespace):
             seed=args.seed,
             sky_field=SkyField(185.0, -0.5, args.radius),
             retry_policy=_retry_policy(args),
+            xmatch_kernel=args.kernel,
         )
     )
 

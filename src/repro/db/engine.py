@@ -223,13 +223,13 @@ class Database:
     def insert(
         self, table_name: str, rows: Iterable[Dict[str, Any] | Sequence[Any]]
     ) -> int:
-        """Insert rows into a table; returns the count inserted."""
+        """Insert rows into a table; returns the count inserted.
+
+        Routed through the table's bulk path: one deferred spatial-index
+        rebuild per statement instead of one invalidation per row.
+        """
         table = self.table(table_name)
-        n = 0
-        for row in rows:
-            table.insert(row)
-            n += 1
-        return n
+        return table.insert_many(list(rows))
 
     # -- query execution -------------------------------------------------------
 

@@ -5,6 +5,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.db.schema import TableSchema
 from repro.errors import SchemaError
 from repro.htm.index import HTMIndex
@@ -30,7 +32,11 @@ class Table:
 
     If a :class:`SpatialSpec` is attached, every row gets a precomputed HTM
     trixel id, and :meth:`spatial_entries` exposes the sorted (htm_id, row)
-    pairs the spatial index scans.
+    pairs the spatial index scans. Two columnar companions back the
+    vectorized cross-match kernel: :meth:`position_matrix` (an ``(n, 3)``
+    float64 unit-vector matrix) and :meth:`spatial_arrays` (the sorted HTM
+    entries as parallel numpy arrays). Both are built lazily and
+    invalidated on insert/truncate, exactly like the sorted entry list.
     """
 
     def __init__(
@@ -43,17 +49,24 @@ class Table:
     ) -> None:
         if page_size < 1:
             raise SchemaError(f"page_size must be >= 1, got {page_size}")
-        if spatial is not None:
-            schema.column_index(spatial.ra_column)
-            schema.column_index(spatial.dec_column)
         self.schema = schema
         self.page_size = page_size
         self.spatial = spatial
         self.temporary = temporary
+        # Spatial column positions are resolved once here, not per insert.
+        if spatial is not None:
+            self._ra_idx: Optional[int] = schema.column_index(spatial.ra_column)
+            self._dec_idx: Optional[int] = schema.column_index(spatial.dec_column)
+        else:
+            self._ra_idx = None
+            self._dec_idx = None
         self._rows: List[List[Any]] = []
         self._htm_ids: List[int] = []
+        self._positions: List[Tuple[float, float, float]] = []
         self._htm = HTMIndex(spatial.htm_depth) if spatial else None
         self._spatial_sorted: Optional[List[Tuple[int, int]]] = None
+        self._spatial_arrays: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        self._position_matrix: Optional[np.ndarray] = None
 
     def __len__(self) -> int:
         return len(self._rows)
@@ -72,29 +85,56 @@ class Table:
         """Page number holding a row position."""
         return row_pos // self.page_size
 
+    def _spatial_data(
+        self, values: List[Any]
+    ) -> Tuple[int, Tuple[float, float, float]]:
+        """The HTM id + unit vector of one coerced row."""
+        ra = values[self._ra_idx]
+        dec = values[self._dec_idx]
+        if ra is None or dec is None:
+            raise SchemaError(
+                f"spatial table {self.name!r} requires non-NULL "
+                f"{self.spatial.ra_column}/{self.spatial.dec_column}"
+            )
+        assert self._htm is not None
+        vector = radec_to_vector(ra, dec)
+        return self._htm.id_for(vector), vector
+
+    def _invalidate_derived(self) -> None:
+        self._spatial_sorted = None
+        self._spatial_arrays = None
+        self._position_matrix = None
+
     def insert(self, row: Dict[str, Any] | Sequence[Any]) -> int:
         """Insert one row (mapping or positional); returns its row position."""
         values = self.schema.coerce_row(row)
         pos = len(self._rows)
-        self._rows.append(values)
         if self.spatial is not None:
-            ra = values[self.schema.column_index(self.spatial.ra_column)]
-            dec = values[self.schema.column_index(self.spatial.dec_column)]
-            if ra is None or dec is None:
-                raise SchemaError(
-                    f"spatial table {self.name!r} requires non-NULL "
-                    f"{self.spatial.ra_column}/{self.spatial.dec_column}"
-                )
-            assert self._htm is not None
-            self._htm_ids.append(self._htm.id_for(radec_to_vector(ra, dec)))
-            self._spatial_sorted = None
+            htm_id, vector = self._spatial_data(values)
+            self._htm_ids.append(htm_id)
+            self._positions.append(vector)
+            self._invalidate_derived()
+        self._rows.append(values)
         return pos
 
     def insert_many(self, rows: Sequence[Dict[str, Any] | Sequence[Any]]) -> int:
-        """Insert many rows; returns the number inserted."""
-        for row in rows:
-            self.insert(row)
-        return len(rows)
+        """Bulk insert; returns the number inserted.
+
+        The bulk path coerces and ingests every row first and invalidates
+        the derived spatial structures (sorted HTM entries, columnar
+        arrays) exactly once at the end, so a bulk load pays one deferred
+        rebuild instead of one per row.
+        """
+        coerced = [self.schema.coerce_row(row) for row in rows]
+        if self.spatial is not None:
+            # Validate and compute spatial data for the whole batch before
+            # mutating anything, so a bad row leaves the table untouched.
+            spatial_data = [self._spatial_data(values) for values in coerced]
+            self._htm_ids.extend(htm_id for htm_id, _ in spatial_data)
+            self._positions.extend(vector for _, vector in spatial_data)
+            self._invalidate_derived()
+        self._rows.extend(coerced)
+        return len(coerced)
 
     def row(self, row_pos: int) -> List[Any]:
         """The raw row values at a position."""
@@ -120,8 +160,56 @@ class Table:
             )
         return self._spatial_sorted
 
+    def spatial_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The sorted HTM entries as parallel ``(htm_ids, row_positions)``.
+
+        Both are int64 numpy arrays in the exact order of
+        :meth:`spatial_entries`, so a searchsorted slice visits rows in
+        the same order the scalar bisect scan yields them.
+        """
+        if self.spatial is None:
+            raise SchemaError(f"table {self.name!r} has no spatial column")
+        if self._spatial_arrays is None:
+            entries = self.spatial_entries()
+            if entries:
+                pairs = np.asarray(entries, dtype=np.int64)
+                self._spatial_arrays = (
+                    np.ascontiguousarray(pairs[:, 0]),
+                    np.ascontiguousarray(pairs[:, 1]),
+                )
+            else:
+                empty = np.empty(0, dtype=np.int64)
+                self._spatial_arrays = (empty, empty)
+        return self._spatial_arrays
+
+    def position_matrix(self) -> np.ndarray:
+        """The ``(n, 3)`` float64 unit-vector position of every row.
+
+        Row ``i`` of the matrix is exactly ``radec_to_vector(ra, dec)`` of
+        row position ``i`` — the same floats the scalar path computes per
+        candidate — so vectorized and scalar chi-squared evaluations agree
+        bitwise. Built lazily, invalidated on insert/truncate.
+        """
+        if self.spatial is None:
+            raise SchemaError(f"table {self.name!r} has no spatial column")
+        if self._position_matrix is None:
+            matrix = np.empty((len(self._positions), 3), dtype=np.float64)
+            for i, (x, y, z) in enumerate(self._positions):
+                matrix[i, 0] = x
+                matrix[i, 1] = y
+                matrix[i, 2] = z
+            self._position_matrix = matrix
+        return self._position_matrix
+
+    def position_of(self, row_pos: int) -> Tuple[float, float, float]:
+        """The precomputed unit vector of a row (spatial tables only)."""
+        if self.spatial is None:
+            raise SchemaError(f"table {self.name!r} has no spatial column")
+        return self._positions[row_pos]
+
     def truncate(self) -> None:
         """Delete all rows."""
         self._rows.clear()
         self._htm_ids.clear()
-        self._spatial_sorted = None
+        self._positions.clear()
+        self._invalidate_derived()

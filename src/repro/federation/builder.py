@@ -49,6 +49,9 @@ class FederationConfig:
     retry_policy: Optional[RetryPolicy] = None
     #: Portal pings archives before planning (graceful degradation).
     health_probes: bool = True
+    #: Which sp_xmatch kernel every node runs: ``vectorized`` (the numpy
+    #: batch kernel, default) or ``scalar`` (the per-tuple reference loop).
+    xmatch_kernel: str = "vectorized"
     #: Scripted transient faults, installed only AFTER registration
     #: completes so federation construction is never fault-injected.
     fault_plan: Optional[FaultPlan] = None
@@ -140,6 +143,7 @@ def build_federation(config: Optional[FederationConfig] = None) -> Federation:
             chunk_budget_bytes=config.chunk_budget_bytes,
             processing_seconds_per_row=config.processing_seconds_per_row,
             retry_policy=config.retry_policy,
+            xmatch_kernel=config.xmatch_kernel,
         )
         node.attach(network)
         node.register_with_portal(portal.service_url("registration"))

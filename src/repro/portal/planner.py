@@ -10,6 +10,7 @@ what the paper's choice buys.
 
 from __future__ import annotations
 
+import numbers
 import random
 from enum import Enum
 from typing import TYPE_CHECKING, Collection, Dict, List, Optional
@@ -83,12 +84,14 @@ class Planner:
                 "scalar count"
             )
         value = result.rows[0][0]
-        if not isinstance(value, int):
+        # bool is an int subclass but never a valid count; integral numpy
+        # scalars (a vectorized COUNT(*)'s natural output) are fine.
+        if isinstance(value, bool) or not isinstance(value, numbers.Integral):
             raise PlanningError(
                 f"performance query at {subquery.archive!r} returned "
                 f"{value!r}, expected an integer"
             )
-        return value
+        return int(value)
 
     def build_plan(
         self,

@@ -194,6 +194,7 @@ class CrossMatchService(WebService):
                 area=area_region,
                 residual=residual,
                 attr_columns=[column for column, _, _ in me.attr_select],
+                kernel=self._node.xmatch_kernel,
             )
         finally:
             db.drop_table(temp.name)  # "The temporary table is deleted."

@@ -44,10 +44,15 @@ class SkyNode:
         chunk_budget_bytes: Optional[int] = None,
         processing_seconds_per_row: float = 0.0,
         retry_policy: Optional[RetryPolicy] = None,
+        xmatch_kernel: str = "vectorized",
     ) -> None:
         self.wrapper = ArchiveWrapper(db, info)
         self.info = info
         self.hostname = hostname or f"{info.archive.lower()}.skyquery.net"
+        #: Which sp_xmatch kernel this node's cross-match steps run:
+        #: ``vectorized`` (numpy batch, the default) or ``scalar`` (the
+        #: reference loop). Identical results either way.
+        self.xmatch_kernel = xmatch_kernel
         if not db.has_procedure(PROCEDURE_NAME):
             register_xmatch_procedure(db)
         #: Parser for everything this node receives from its chain neighbour

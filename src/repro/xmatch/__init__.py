@@ -13,8 +13,14 @@ network-cost reasons.
 from repro.xmatch.chi2 import Accumulator
 from repro.xmatch.tuples import LocalObject, PartialTuple
 from repro.xmatch.kdtree import KDTreeSearch, kdtree_search
+from repro.xmatch.kernel import (
+    ColumnarObjects,
+    batch_dropout_step,
+    batch_match_step,
+)
 from repro.xmatch.stream import (
     CandidateSearch,
+    ENGINES,
     dropout_step,
     in_memory_search,
     match_step,
@@ -27,8 +33,12 @@ __all__ = [
     "LocalObject",
     "PartialTuple",
     "CandidateSearch",
+    "ColumnarObjects",
+    "ENGINES",
     "KDTreeSearch",
     "kdtree_search",
+    "batch_dropout_step",
+    "batch_match_step",
     "dropout_step",
     "in_memory_search",
     "match_step",

@@ -1,4 +1,4 @@
-"""A k-d-tree candidate search for in-memory object sets.
+"""A k-d-tree candidate search for in-memory object sets (optional extra).
 
 The SkyNodes use HTM (their archives' index); the *Portal-side* matchers —
 the pull-to-portal baseline and the reference oracle — hold plain object
@@ -6,14 +6,20 @@ lists, where the brute-force scan is O(n) per probe. Since an angular
 cap on the unit sphere is exactly a Euclidean ball of radius
 ``2 sin(theta/2)`` (the chord), a 3-D cKDTree answers the same range query
 in O(log n + k).
+
+scipy is NOT a dependency of this package: the default matcher is the
+numpy batch kernel in :mod:`repro.xmatch.kernel`. This module imports
+scipy lazily, so merely importing :mod:`repro.xmatch` works on a clean
+install; constructing a :class:`KDTreeSearch` without scipy raises an
+ImportError pointing at the ``[kdtree]`` extra.
 """
 
 from __future__ import annotations
 
+import math
 from typing import Iterable, List, Sequence
 
 import numpy as np
-from scipy.spatial import cKDTree
 
 from repro.sphere.distance import chord_for_angle
 from repro.sphere.vector import Vec3
@@ -21,14 +27,29 @@ from repro.xmatch.stream import CandidateSearch
 from repro.xmatch.tuples import LocalObject
 
 
+def _load_ckdtree():
+    """Import scipy's cKDTree on first use, with an actionable error."""
+    try:
+        from scipy.spatial import cKDTree
+    except ImportError as exc:
+        raise ImportError(
+            "the k-d-tree matcher needs scipy, an optional dependency — "
+            "install it with `pip install 'skyquery-repro[kdtree]'` (or "
+            "`pip install scipy`). The default vectorized kernel "
+            "(repro.xmatch.kernel) needs only numpy."
+        ) from exc
+    return cKDTree
+
+
 class KDTreeSearch:
     """A :class:`~repro.xmatch.stream.CandidateSearch` over a fixed set."""
 
     def __init__(self, objects: Sequence[LocalObject]) -> None:
+        ckdtree = _load_ckdtree()
         self._objects: List[LocalObject] = list(objects)
         if self._objects:
             points = np.array([obj.position for obj in self._objects])
-            self._tree: cKDTree | None = cKDTree(points)
+            self._tree = ckdtree(points)
         else:
             self._tree = None
 
@@ -37,8 +58,6 @@ class KDTreeSearch:
             return []
         # Chord distance is monotone in angle, so the Euclidean ball is the
         # exact angular cap — no post-filtering needed.
-        import math
-
         chord = chord_for_angle(min(radius_rad, math.pi))
         indexes = self._tree.query_ball_point(np.asarray(center), chord + 1e-12)
         return [self._objects[i] for i in indexes]

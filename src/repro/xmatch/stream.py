@@ -15,10 +15,16 @@ checks) and the SkyNode's stored procedure (temp table + HTM range scan).
 
 from __future__ import annotations
 
-from typing import Iterable, List, Protocol, Sequence
+from typing import Iterable, List, Optional, Protocol, Sequence
 
 from repro.sphere.vector import Vec3
 from repro.xmatch.tuples import LocalObject, PartialTuple
+
+#: Engines :func:`run_chain` can match with. ``vectorized`` (the default)
+#: is the numpy batch kernel and needs only numpy; ``scalar`` is the
+#: per-tuple brute-force reference; ``kdtree`` is the per-tuple scipy
+#: cKDTree search (optional ``[kdtree]`` extra).
+ENGINES = ("vectorized", "scalar", "kdtree")
 
 
 class CandidateSearch(Protocol):
@@ -110,9 +116,10 @@ def run_chain(
     archives: Sequence[tuple[str, Sequence[LocalObject], float, bool]],
     threshold: float,
     *,
-    use_kdtree: bool = True,
+    engine: str = "vectorized",
+    use_kdtree: Optional[bool] = None,
 ) -> List[PartialTuple]:
-    """Reference end-to-end matcher over in-memory archives.
+    """End-to-end matcher over in-memory archives.
 
     ``archives`` is ordered by *computation* order: each entry is
     ``(alias, objects, sigma_rad, is_dropout)``. Mandatory archives must
@@ -120,16 +127,43 @@ def run_chain(
     against); the first entry must be mandatory.
 
     Used as the oracle the distributed implementation is checked against
-    and as the pull-to-portal baseline's matcher. ``use_kdtree`` switches
-    between the O(log n) cKDTree range search and the brute-force scan
-    (they return identical results; the tests verify it).
+    and as the pull-to-portal baseline's matcher. ``engine`` selects the
+    matcher: the numpy batch kernel (``vectorized``, the default — no
+    scipy required), the per-tuple brute-force scan (``scalar``, the
+    reference oracle), or the per-tuple scipy cKDTree search (``kdtree``,
+    the optional extra). All three return identical match sets; the tests
+    verify it. ``use_kdtree`` is the legacy toggle between the two
+    per-tuple engines and overrides ``engine`` when given.
     """
+    if use_kdtree is not None:
+        engine = "kdtree" if use_kdtree else "scalar"
+    if engine not in ENGINES:
+        raise ValueError(
+            f"unknown xmatch engine {engine!r}; expected one of {ENGINES}"
+        )
     if not archives or archives[0][3]:
         raise ValueError("the chain must start with a mandatory archive")
     alias0, objects0, sigma0, _ = archives[0]
     tuples = seed_tuples(alias0, objects0, sigma0)
     for alias, objects, sigma_rad, is_dropout in archives[1:]:
-        if use_kdtree:
+        if engine == "vectorized":
+            from repro.xmatch.kernel import (
+                ColumnarObjects,
+                batch_dropout_step,
+                batch_match_step,
+            )
+
+            columnar = ColumnarObjects(objects)
+            if is_dropout:
+                tuples = batch_dropout_step(
+                    tuples, columnar, sigma_rad, threshold
+                )
+            else:
+                tuples = batch_match_step(
+                    tuples, alias, columnar, sigma_rad, threshold
+                )
+            continue
+        if engine == "kdtree":
             from repro.xmatch.kdtree import kdtree_search
 
             search = kdtree_search(objects)

@@ -87,3 +87,48 @@ def test_probe_stats_counts():
     assert probe.stats.exact_rows == len(probe.exact)
     assert probe.stats.tested_rows == len(probe.candidates)
     assert probe.stats.candidate_rows == len(probe.exact) + len(probe.candidates)
+
+
+def test_batch_probe_equals_scalar_probe():
+    from repro.db.indexes import batch_spatial_probe
+
+    table = make_table(n=600, seed=5)
+    rng = random.Random(9)
+    center = radec_to_vector(185.0, -0.5)
+    caps = [
+        Cap(random_in_cap(rng, center, 0.02), arcsec_to_rad(rng.uniform(5.0, 900.0)))
+        for _ in range(40)
+    ]
+    caps.append(Cap.from_radec(20.0, 50.0, 60.0))  # off-field: empty probe
+    batched = batch_spatial_probe(table, caps)
+    assert len(batched) == len(caps)
+    for cap, got in zip(caps, batched):
+        ref = spatial_probe(table, cap)
+        assert got.exact == ref.exact
+        assert got.candidates == ref.candidates
+        assert got.stats == ref.stats
+
+
+def test_batch_probe_non_cap_regions_fall_back():
+    from repro.db.indexes import batch_spatial_probe
+    from repro.sphere.regions import ConvexPolygon
+
+    table = make_table(n=200, seed=6)
+    polygon = ConvexPolygon.from_radec(
+        [(184.8, -0.7), (185.2, -0.7), (185.2, -0.3), (184.8, -0.3)]
+    )
+    cap = Cap.from_radec(185.0, -0.5, 600.0)
+    batched = batch_spatial_probe(table, [polygon, cap])
+    for region, got in zip([polygon, cap], batched):
+        ref = spatial_probe(table, region)
+        assert got.exact == ref.exact
+        assert got.candidates == ref.candidates
+        assert got.stats == ref.stats
+
+
+def test_batch_probe_empty_table():
+    from repro.db.indexes import batch_spatial_probe
+
+    table = make_table(n=0)
+    probes = batch_spatial_probe(table, [Cap.from_radec(185.0, -0.5, 600.0)])
+    assert probes[0].exact == [] and probes[0].candidates == []

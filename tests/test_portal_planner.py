@@ -109,3 +109,38 @@ def test_plan_steps_carry_node_info(small_federation, decomposed):
     assert by_alias["T"].id_column == "obj_id"
     assert by_alias["O"].url.endswith("/crossmatch")
     assert by_alias["O"].residual_sql == "O.type = GALAXY"
+
+
+def test_scalar_count_rejects_bool(small_federation, decomposed):
+    from repro.errors import PlanningError
+    from repro.portal.planner import Planner
+    from repro.soap.encoding import WireRowSet
+
+    subquery = decomposed.subqueries["O"]
+    rowset = WireRowSet(columns=[("c", "boolean")], rows=[(True,)])
+    with pytest.raises(PlanningError):
+        Planner._scalar_count(rowset, subquery)
+
+
+def test_scalar_count_accepts_numpy_integers(small_federation, decomposed):
+    import numpy as np
+
+    from repro.portal.planner import Planner
+    from repro.soap.encoding import WireRowSet
+
+    subquery = decomposed.subqueries["O"]
+    rowset = WireRowSet(columns=[("c", "int")], rows=[(np.int64(42),)])
+    count = Planner._scalar_count(rowset, subquery)
+    assert count == 42 and type(count) is int
+
+
+def test_scalar_count_rejects_non_integral(small_federation, decomposed):
+    from repro.errors import PlanningError
+    from repro.portal.planner import Planner
+    from repro.soap.encoding import WireRowSet
+
+    subquery = decomposed.subqueries["O"]
+    for value in (3.5, "7", None):
+        rowset = WireRowSet(columns=[("c", "string")], rows=[(value,)])
+        with pytest.raises(PlanningError):
+            Planner._scalar_count(rowset, subquery)

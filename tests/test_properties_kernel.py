@@ -1,0 +1,126 @@
+"""Property-based equivalence: vectorized kernel vs scalar oracle.
+
+Satellite of the vectorized-kernel work: across random skies, archive
+orderings, dropout placements, empty candidate sets, and near-boundary
+thresholds, the batch kernel must return exactly the scalar engine's
+survivor set (same members, same order) with accumulators within 1e-3
+absolute tolerance (bitwise equality is the implementation goal; the
+tolerance is the contract).
+"""
+
+import random
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import HealthCheck, given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from repro.sphere.coords import radec_to_vector  # noqa: E402
+from repro.sphere.random import perturb_gaussian, random_in_cap  # noqa: E402
+from repro.units import arcsec_to_rad  # noqa: E402
+from repro.xmatch.stream import run_chain  # noqa: E402
+from repro.xmatch.tuples import LocalObject  # noqa: E402
+
+
+def build_sky(seed, n_bodies, sigmas_arcsec, detection_rates, spread_arcsec):
+    rng = random.Random(seed)
+    center = radec_to_vector(185.0, -0.5)
+    bodies = [
+        random_in_cap(rng, center, arcsec_to_rad(spread_arcsec))
+        for _ in range(n_bodies)
+    ]
+    archives = []
+    for sigma_arcsec, rate in zip(sigmas_arcsec, detection_rates):
+        sigma = arcsec_to_rad(sigma_arcsec)
+        objects = [
+            LocalObject(object_id=i, position=perturb_gaussian(rng, b, sigma))
+            for i, b in enumerate(bodies)
+            if rng.random() < rate
+        ]
+        archives.append((objects, sigma))
+    return archives
+
+
+chain_strategy = st.fixed_dictionaries(
+    {
+        "seed": st.integers(0, 10_000),
+        "n_bodies": st.integers(0, 25),
+        "n_archives": st.integers(2, 4),
+        "sigma_exp": st.lists(
+            st.floats(-1.0, 0.5), min_size=4, max_size=4
+        ),
+        "detection": st.lists(
+            st.sampled_from([0.0, 0.4, 0.8, 1.0]), min_size=4, max_size=4
+        ),
+        # Dense fields + loose thresholds exercise multi-candidate tuples;
+        # tiny thresholds exercise the accept/reject boundary.
+        "spread": st.sampled_from([30.0, 120.0, 600.0]),
+        "threshold": st.sampled_from([0.05, 0.5, 1.0, 3.5, 10.0]),
+        "order_seed": st.integers(0, 100),
+        "n_dropouts": st.integers(0, 2),
+    }
+)
+
+
+@settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(params=chain_strategy)
+def test_vectorized_chain_equals_scalar_chain(params):
+    n = params["n_archives"]
+    sigmas = [10.0 ** e for e in params["sigma_exp"][:n]]
+    archives = build_sky(
+        params["seed"],
+        params["n_bodies"],
+        sigmas,
+        params["detection"][:n],
+        params["spread"],
+    )
+    order = list(range(n))
+    random.Random(params["order_seed"]).shuffle(order)
+    n_dropouts = min(params["n_dropouts"], n - 1)
+    spec = []
+    for slot, archive_idx in enumerate(order):
+        objects, sigma = archives[archive_idx]
+        is_dropout = slot >= n - n_dropouts
+        spec.append((f"A{archive_idx}", objects, sigma, is_dropout))
+
+    scalar = run_chain(spec, params["threshold"], engine="scalar")
+    vectorized = run_chain(spec, params["threshold"], engine="vectorized")
+
+    assert [t.members for t in vectorized] == [t.members for t in scalar]
+    for v, s in zip(vectorized, scalar):
+        assert v.acc.a == pytest.approx(s.acc.a, abs=1e-3)
+        assert v.acc.ax == pytest.approx(s.acc.ax, abs=1e-3)
+        assert v.acc.ay == pytest.approx(s.acc.ay, abs=1e-3)
+        assert v.acc.az == pytest.approx(s.acc.az, abs=1e-3)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(0, 5_000),
+    depth=st.integers(0, 10),
+    radius_exp=st.floats(-6.5, -0.5),
+    count=st.integers(1, 8),
+)
+def test_batch_cap_covers_property(seed, depth, radius_exp, count):
+    from repro.htm.batch import batch_cap_covers
+    from repro.htm.cover import cover
+    from repro.sphere.regions import Cap
+
+    rng = random.Random(seed)
+    caps = [
+        Cap(
+            radec_to_vector(rng.uniform(0, 360), rng.uniform(-89, 89)),
+            10.0 ** (radius_exp + rng.uniform(-0.5, 0.5)),
+        )
+        for _ in range(count)
+    ]
+    for cap, batched in zip(caps, batch_cap_covers(caps, depth)):
+        reference = cover(cap, depth)
+        assert batched.full == reference.full
+        assert batched.partial == reference.partial

@@ -177,3 +177,135 @@ def test_stats_counters(db):
     assert result.stats.tuples_in == 1
     assert result.stats.candidates_tested >= result.stats.matches_found
     assert result.stats.rows_examined >= result.stats.candidates_tested
+
+
+def make_crowded(db, seed=7, n=40):
+    """A crowded field plus incoming tuples over the same bodies."""
+    rng = random.Random(seed)
+    sigma = arcsec_to_rad(0.5)
+    center = radec_to_vector(185.0, -0.5)
+    from repro.sphere.random import random_in_cap
+
+    bodies = [random_in_cap(rng, center, arcsec_to_rad(400.0)) for _ in range(n)]
+    insert_objects(
+        db,
+        [perturb_gaussian(rng, b, sigma) for b in bodies],
+        fluxes=[float(i) for i in range(n)],
+    )
+    incoming = [
+        Accumulator.of_observation(perturb_gaussian(rng, b, sigma), sigma)
+        for b in bodies
+    ]
+    return incoming
+
+
+def snapshot(result):
+    return (
+        {
+            seq: [(o.object_id, o.position, sorted(o.attributes.items()))
+                  for o in matched]
+            for seq, matched in result.matches.items()
+        },
+        (result.stats.tuples_in, result.stats.candidates_tested,
+         result.stats.rows_examined, result.stats.matches_found),
+    )
+
+
+@pytest.mark.parametrize("overrides", [
+    {},
+    {"area": Cap.from_radec(185.0, -0.5, 300.0)},
+    {"residual": parse_expression("X.flux > 10")},
+    {"attr_columns": ("flux",)},
+])
+def test_vectorized_kernel_matches_scalar(db, overrides):
+    """Both kernels: identical matches, stats, and buffer-pool traffic."""
+    results = {}
+    for kernel in ("scalar", "vectorized"):
+        database = Database("arch", page_size=16)
+        database.create_table(
+            "objects",
+            [
+                Column("object_id", ColumnType.INT, nullable=False),
+                Column("ra", ColumnType.FLOAT, nullable=False),
+                Column("dec", ColumnType.FLOAT, nullable=False),
+                Column("flux", ColumnType.FLOAT),
+            ],
+            spatial=SpatialSpec("ra", "dec", htm_depth=12),
+        )
+        register_xmatch_procedure(database)
+        incoming = make_crowded(database)
+        temp = make_temp(database, incoming)
+        result = call_proc(database, temp, kernel=kernel, **overrides)
+        stats = database.buffer.stats
+        results[kernel] = (
+            snapshot(result), stats.logical_reads, stats.physical_reads
+        )
+    assert results["vectorized"] == results["scalar"]
+    (matches, _), _, _ = results["vectorized"]
+    assert matches  # the scenario is non-trivial
+
+
+def test_vectorized_kernel_empty_temp(db):
+    temp = make_temp(db, [])
+    result = call_proc(db, temp, kernel="vectorized")
+    assert result.matches == {} and result.stats.tuples_in == 0
+
+
+def test_unknown_kernel_rejected(db):
+    temp = make_temp(db, [])
+    with pytest.raises(QueryError):
+        call_proc(db, temp, kernel="simd")
+
+
+def test_vectorized_kernel_alternate_position_columns():
+    """A caller naming non-spatial position columns takes the row-by-row
+    fallback and still agrees with the scalar loop."""
+    results = {}
+    for kernel in ("scalar", "vectorized"):
+        database = Database("arch", page_size=16)
+        database.create_table(
+            "objects",
+            [
+                Column("object_id", ColumnType.INT, nullable=False),
+                Column("ra", ColumnType.FLOAT, nullable=False),
+                Column("dec", ColumnType.FLOAT, nullable=False),
+                Column("ra2", ColumnType.FLOAT),
+                Column("dec2", ColumnType.FLOAT),
+            ],
+            spatial=SpatialSpec("ra", "dec", htm_depth=12),
+        )
+        register_xmatch_procedure(database)
+        rng = random.Random(11)
+        sigma = arcsec_to_rad(0.5)
+        center = radec_to_vector(185.0, -0.5)
+        from repro.sphere.random import random_in_cap
+
+        bodies = [random_in_cap(rng, center, arcsec_to_rad(300.0))
+                  for _ in range(15)]
+        rows = []
+        for i, body in enumerate(bodies, start=1):
+            ra, dec = vector_to_radec(perturb_gaussian(rng, body, sigma))
+            rows.append((i, ra, dec, ra, dec))
+        database.insert("objects", rows)
+        incoming = [
+            Accumulator.of_observation(perturb_gaussian(rng, b, sigma), sigma)
+            for b in bodies
+        ]
+        temp = make_temp(database, incoming)
+        result = database.call_procedure(
+            PROCEDURE_NAME,
+            temp_table=temp.name,
+            primary_table="objects",
+            id_column="object_id",
+            ra_column="ra2",
+            dec_column="dec2",
+            alias="X",
+            sigma_arcsec=0.5,
+            threshold=3.5,
+            area=None,
+            residual=None,
+            attr_columns=(),
+            kernel=kernel,
+        )
+        results[kernel] = snapshot(result)
+    assert results["vectorized"] == results["scalar"]
