@@ -8,6 +8,7 @@ path with pytest-benchmark. Reports are also collected under
 
 from __future__ import annotations
 
+import os
 import pathlib
 
 import pytest
@@ -17,14 +18,21 @@ REPORT_DIR = pathlib.Path(__file__).resolve().parent / "_reports"
 
 @pytest.fixture(scope="session")
 def report_sink():
-    """Write an ExperimentReport to stdout and benchmarks/_reports/."""
+    """Write an ExperimentReport to stdout and benchmarks/_reports/.
+
+    ``SKYQUERY_BENCH_QUICK`` runs shrink experiments to smoke sizes, so
+    their tables would overwrite the committed full-size reports; quick
+    mode prints but does not write.
+    """
     REPORT_DIR.mkdir(exist_ok=True)
+    quick = bool(os.environ.get("SKYQUERY_BENCH_QUICK"))
 
     def sink(report):
         text = report.to_text()
         print("\n" + text)
-        path = REPORT_DIR / f"{report.exp_id.lower()}.md"
-        path.write_text(report.to_markdown(), encoding="utf-8")
+        if not quick:
+            path = REPORT_DIR / f"{report.exp_id.lower()}.md"
+            path.write_text(report.to_markdown(), encoding="utf-8")
         return report
 
     return sink

@@ -30,6 +30,7 @@ from repro.bench.experiments import (
     run_e14_byte_ordering,
     run_e15_fault_recovery,
     run_e16_kernel_speedup,
+    run_e17_pipelined_chain,
 )
 
 ALL_EXPERIMENTS = (
@@ -49,6 +50,7 @@ ALL_EXPERIMENTS = (
     run_e14_byte_ordering,
     run_e15_fault_recovery,
     run_e16_kernel_speedup,
+    run_e17_pipelined_chain,
 )
 
 __all__ = [
@@ -74,4 +76,5 @@ __all__ = [
     "run_e14_byte_ordering",
     "run_e15_fault_recovery",
     "run_e16_kernel_speedup",
+    "run_e17_pipelined_chain",
 ]

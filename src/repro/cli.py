@@ -94,6 +94,23 @@ def _federation_args(parser: argparse.ArgumentParser) -> None:
         help="cross-match kernel at every node: the numpy batch kernel "
              "(default) or the per-tuple scalar reference loop",
     )
+    parser.add_argument(
+        "--chain-mode", default="store-forward",
+        choices=["store-forward", "pipelined"],
+        help="chain execution mode: one PerformXMatch round trip "
+             "(default, the reference oracle) or pipelined "
+             "OpenStream/PullBatch batches with overlapped transfer",
+    )
+    parser.add_argument(
+        "--batch-size", type=int, default=200, metavar="TUPLES",
+        help="tuples per batch when the chain is pipelined (default 200)",
+    )
+    parser.add_argument(
+        "--wire-format", default="columnar",
+        choices=["columnar", "rows"],
+        help="encoding for streamed partial tuples: compact column-major "
+             "colset (default) or the classic row-major rowset",
+    )
 
 
 def _retry_policy(args: argparse.Namespace):
@@ -116,6 +133,9 @@ def _make_federation(args: argparse.Namespace):
             sky_field=SkyField(185.0, -0.5, args.radius),
             retry_policy=_retry_policy(args),
             xmatch_kernel=args.kernel,
+            chain_mode=args.chain_mode,
+            stream_batch_size=args.batch_size,
+            stream_wire_format=args.wire_format,
         )
     )
 

@@ -55,6 +55,16 @@ class FederationConfig:
     #: Scripted transient faults, installed only AFTER registration
     #: completes so federation construction is never fault-injected.
     fault_plan: Optional[FaultPlan] = None
+    #: How the Portal drives the chain: ``store-forward`` (one
+    #: PerformXMatch round trip, the reference oracle) or ``pipelined``
+    #: (OpenStream/PullBatch batches pulled concurrently so transfer
+    #: overlaps compute).
+    chain_mode: str = "store-forward"
+    #: Tuples per batch when the chain is pipelined.
+    stream_batch_size: int = 200
+    #: Wire encoding for streamed partial tuples: ``columnar`` (compact
+    #: column-major colset) or ``rows`` (classic rowset).
+    stream_wire_format: str = "columnar"
 
 
 @dataclass
@@ -97,6 +107,9 @@ def build_federation(config: Optional[FederationConfig] = None) -> Federation:
     portal = Portal(
         retry_policy=config.retry_policy,
         health_probes=config.health_probes,
+        chain_mode=config.chain_mode,
+        stream_batch_size=config.stream_batch_size,
+        stream_wire_format=config.stream_wire_format,
     )
     portal.attach(network)
 

@@ -10,6 +10,16 @@ A failed chain is not necessarily a failed query: the executor retries
 transient failures, re-plans around drop-out archives that died mid-run,
 and — when a *mandatory* node is permanently lost — returns a degraded
 :class:`FederatedResult` carrying structured warnings instead of raising.
+
+Two chain execution modes are supported. ``store-forward`` (the default,
+and the reference oracle) is the classic single ``PerformXMatch`` round
+trip: each node waits for its neighbour's complete tuple set.
+``pipelined`` opens a stream down the chain and then pulls every batch
+inside one ``parallel()`` block, so each batch's whole chain traversal is
+one branch and the clock charges the *makespan* over batches — transfer
+of one batch overlaps compute of another, exactly the overlap a real
+pipelined chain would enjoy. Both modes return identical rows in
+identical order.
 """
 
 from __future__ import annotations
@@ -58,6 +68,15 @@ class FederatedResult:
         return [dict(zip(self.columns, row)) for row in self.rows]
 
 
+#: Chain execution modes: the store-and-forward reference path and the
+#: batch-pipelined streaming path. Selectable like the xmatch kernel.
+CHAIN_MODES = ("store-forward", "pipelined")
+
+#: Phase label for the per-batch payload traffic of a pipelined chain, so
+#: reports separate bulk tuple bytes from chain-control bytes.
+BATCH_TRANSFER_PHASE = "batch-transfer"
+
+
 class ChainExecutor:
     """Runs an :class:`ExecutionPlan` and finishes the query at the Portal."""
 
@@ -85,22 +104,21 @@ class ChainExecutor:
         warnings name the lost node.
         """
         network = self._portal.require_network()
+        mode = getattr(self._portal, "chain_mode", "store-forward")
+        if mode not in CHAIN_MODES:
+            raise ExecutionError(
+                f"unknown chain mode {mode!r}; expected one of {CHAIN_MODES}"
+            )
         warnings = list(warnings or [])
         attempts = 0
         current = plan
         while True:
-            first = current.step(0)
-            proxy = self._portal.proxy(first.url)
             try:
                 with network.phase("crossmatch-chain"):
-                    response = proxy.call(
-                        "PerformXMatch", plan=current.to_wire(), position=0
-                    )
-                    if not isinstance(response, dict):
-                        raise ExecutionError(
-                            f"malformed chain response: {response!r}"
-                        )
-                    rowset = receive_rowset(response, proxy)
+                    if mode == "pipelined":
+                        rowset, stats = self._stream_chain(current, network)
+                    else:
+                        rowset, stats = self._store_forward_chain(current)
                 break
             except (TransportError, SoapFaultError) as exc:
                 attempts += 1
@@ -114,11 +132,80 @@ class ChainExecutor:
             current.member_aliases_after(0),
             current.attr_columns_after(0),
         )
-        stats = list(response.get("stats") or [])
         result = self._finish(current, decomposed, tuples, stats)
         result.warnings = warnings
         result.degraded = degraded or bool(warnings)
         return result
+
+    def _store_forward_chain(
+        self, plan: ExecutionPlan
+    ) -> Tuple[Any, List[Dict[str, Any]]]:
+        """One ``PerformXMatch`` round trip (the reference oracle path)."""
+        proxy = self._portal.proxy(plan.step(0).url)
+        response = proxy.call(
+            "PerformXMatch", plan=plan.to_wire(), position=0
+        )
+        if not isinstance(response, dict):
+            raise ExecutionError(f"malformed chain response: {response!r}")
+        rowset = receive_rowset(response, proxy)
+        return rowset, list(response.get("stats") or [])
+
+    def _stream_chain(
+        self, plan: ExecutionPlan, network: Any
+    ) -> Tuple[Any, List[Dict[str, Any]]]:
+        """Open a stream down the chain, then pull every batch concurrently.
+
+        The open cascades once (the last node seeds and partitions); the
+        batch pulls are dispatched inside one ``parallel()`` block so each
+        batch's full chain traversal — transfer and per-hop ``sp_xmatch``
+        compute alike — is one branch, and the clock advances by the
+        slowest batch instead of the sum. The final batch's response
+        piggybacks the per-node stats chain, so closing costs no extra
+        round trip. On failure the portal best-effort aborts the stream
+        (server TTLs are the backstop) and lets the caller's recovery
+        logic retry the whole chain.
+        """
+        from repro.soap.encoding import WireRowSet
+
+        proxy = self._portal.proxy(plan.step(0).url)
+        opened = proxy.call(
+            "OpenStream",
+            plan=plan.to_wire(),
+            position=0,
+            batch_size=getattr(self._portal, "stream_batch_size", 200),
+            wire_format=getattr(self._portal, "stream_wire_format", "columnar"),
+        )
+        if not isinstance(opened, dict):
+            raise ExecutionError(f"malformed OpenStream response: {opened!r}")
+        stream_id = str(opened["stream_id"])
+        batch_count = int(opened["batch_count"])
+        responses: List[Optional[Dict[str, Any]]] = [None] * batch_count
+        try:
+            with network.phase(BATCH_TRANSFER_PHASE), network.parallel():
+                for seq in range(batch_count):
+                    responses[seq] = proxy.call(
+                        "PullBatch", stream_id=stream_id, seq=seq
+                    )
+        except Exception:
+            try:
+                proxy.call("AbortStream", stream_id=stream_id)
+            except Exception:
+                pass
+            raise
+        parts: List[Any] = []
+        stats: List[Dict[str, Any]] = []
+        for seq, response in enumerate(responses):
+            if not isinstance(response, dict) or not isinstance(
+                response.get("rows"), WireRowSet
+            ):
+                raise ExecutionError(
+                    f"malformed PullBatch response for batch {seq}: "
+                    f"{response!r}"
+                )
+            parts.append(response["rows"])
+            if response.get("stats"):
+                stats = list(response["stats"])
+        return WireRowSet.concat(parts), stats
 
     def _recover(
         self,

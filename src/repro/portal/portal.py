@@ -42,8 +42,20 @@ class Portal:
         parser_overhead_factor: float = 4.0,
         retry_policy: Optional[RetryPolicy] = None,
         health_probes: bool = True,
+        chain_mode: str = "store-forward",
+        stream_batch_size: int = 200,
+        stream_wire_format: str = "columnar",
     ) -> None:
         self.hostname = hostname
+        #: How the executor drives the chain: ``store-forward`` (single
+        #: PerformXMatch round trip, the reference oracle) or ``pipelined``
+        #: (OpenStream/PullBatch batches pulled concurrently).
+        self.chain_mode = chain_mode
+        #: Tuples per batch when the chain is pipelined.
+        self.stream_batch_size = stream_batch_size
+        #: Encoding for streamed partial tuples: ``columnar`` (compact
+        #: column-major colset) or ``rows`` (the classic rowset).
+        self.stream_wire_format = stream_wire_format
         self.catalog = FederationCatalog()
         self.parser = XMLParser(
             memory_limit_bytes=parser_memory_limit,

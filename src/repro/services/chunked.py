@@ -6,37 +6,115 @@ Cross match service between chain neighbours *and* by the Query service
 when a caller pulls a large result. The sender returns either the rowset
 inline or a ``{chunked, transfer_id, chunk_count}`` descriptor; the caller
 then drains numbered ``FetchChunk`` calls and reassembles.
+
+Sender-side state is bounded: a transfer a caller abandons mid-drain
+(crash, circuit opened, chain retried from scratch) is reclaimed either by
+an explicit ``AbortTransfer`` or by a TTL keyed off the simulated clock
+(:meth:`ChunkedSender.bind_clock`), with every reclaim counted in
+``NetworkMetrics.reclaimed_transfers``. A fully drained transfer parks its
+final chunk in a small completed-cache so a retry of the *last* fetch
+(response lost in flight) is served idempotently instead of failing with
+"unknown transfer".
 """
 
 from __future__ import annotations
 
 import itertools
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.errors import ExecutionError, SoapError
 from repro.soap.encoding import WireRowSet
 from repro.transport.chunking import envelope_bytes, split_for_budget
 
+#: Phase label for the bulk chunk-drain traffic, so reports separate
+#: payload bytes from chain-control bytes.
+CHUNK_TRANSFER_PHASE = "chunk-transfer"
+
+#: How long (simulated seconds) an unfetched transfer survives once the
+#: sender is bound to a clock. Generous relative to any retry budget.
+DEFAULT_TRANSFER_TTL_S = 600.0
+
 
 class ChunkedSender:
     """Sender half: hold prepared chunks until the caller fetches them."""
 
-    def __init__(self, owner_name: str, chunk_budget_bytes: Optional[int]) -> None:
+    def __init__(
+        self,
+        owner_name: str,
+        chunk_budget_bytes: Optional[int],
+        *,
+        ttl_s: float = DEFAULT_TRANSFER_TTL_S,
+    ) -> None:
         self.owner_name = owner_name
         self.chunk_budget_bytes = chunk_budget_bytes
+        self.ttl_s = ttl_s
         self._transfers: Dict[str, List[WireRowSet]] = {}
+        self._deadlines: Dict[str, float] = {}
+        #: Fully drained transfers: transfer_id -> (final seq, final chunk,
+        #: expiry). Lets a lost final-fetch response be retried.
+        self._completed: Dict[str, Tuple[int, WireRowSet, float]] = {}
         self._transfer_ids = itertools.count(1)
+        self._clock_fn: Optional[Callable[[], float]] = None
+        self._on_reclaim: Optional[Callable[[int], None]] = None
+
+    def bind_clock(
+        self,
+        clock_fn: Callable[[], float],
+        on_reclaim: Optional[Callable[[int], None]] = None,
+    ) -> None:
+        """Arm TTL expiry against a clock; report reclaimed transfers.
+
+        Without a clock the sender keeps the original behaviour: transfers
+        live until their last chunk is fetched (or aborted explicitly).
+        """
+        self._clock_fn = clock_fn
+        self._on_reclaim = on_reclaim
+
+    def _now(self) -> Optional[float]:
+        return self._clock_fn() if self._clock_fn is not None else None
+
+    def _reclaimed(self, count: int) -> None:
+        if count and self._on_reclaim is not None:
+            self._on_reclaim(count)
+
+    def reap(self) -> int:
+        """Free transfers whose TTL passed; returns how many were pending.
+
+        Completed-cache entries expire silently (their payload was fully
+        delivered); abandoned *pending* transfers count as reclaimed.
+        """
+        now = self._now()
+        if now is None:
+            return 0
+        expired = [
+            tid for tid, deadline in self._deadlines.items() if deadline <= now
+        ]
+        for tid in expired:
+            del self._transfers[tid]
+            del self._deadlines[tid]
+        self._reclaimed(len(expired))
+        for tid in [
+            tid
+            for tid, (_, _, deadline) in self._completed.items()
+            if deadline <= now
+        ]:
+            del self._completed[tid]
+        return len(expired)
 
     def respond(
         self, rowset: WireRowSet, extra: Optional[Dict[str, Any]] = None
     ) -> Dict[str, Any]:
         """Wrap a rowset for the wire, chunking when over budget."""
+        self.reap()
         response: Dict[str, Any] = dict(extra or {})
         budget = self.chunk_budget_bytes
         if budget is not None and envelope_bytes(rowset) > budget:
             chunks = split_for_budget(rowset, budget)
             transfer_id = f"{self.owner_name}-{next(self._transfer_ids)}"
             self._transfers[transfer_id] = chunks
+            now = self._now()
+            if now is not None:
+                self._deadlines[transfer_id] = now + self.ttl_s
             response.update(
                 chunked=True,
                 transfer_id=transfer_id,
@@ -48,19 +126,63 @@ class ChunkedSender:
         return response
 
     def fetch_chunk(self, transfer_id: str, seq: int) -> WireRowSet:
-        """The ``FetchChunk`` operation body; frees the transfer at the end."""
+        """The ``FetchChunk`` operation body; frees the transfer at the end.
+
+        A repeat of the *final* fetch re-serves the cached last chunk (the
+        caller's retry after a lost response must not fault); any other
+        touch of an unknown or expired transfer fails deterministically.
+        """
+        self.reap()
+        seq = int(seq)
+        completed = self._completed.get(transfer_id)
+        if completed is not None:
+            final_seq, final_chunk, _ = completed
+            if seq != final_seq:
+                raise ExecutionError(
+                    f"chunk {seq} of completed transfer {transfer_id!r} is "
+                    f"gone (only the final chunk {final_seq} is re-servable)"
+                )
+            now = self._now()
+            if now is not None:
+                self._completed[transfer_id] = (
+                    final_seq, final_chunk, now + self.ttl_s,
+                )
+            return final_chunk
         chunks = self._transfers.get(transfer_id)
         if chunks is None:
             raise ExecutionError(f"unknown transfer {transfer_id!r}")
-        seq = int(seq)
         if not 0 <= seq < len(chunks):
             raise ExecutionError(
                 f"chunk {seq} out of range for transfer {transfer_id!r}"
             )
         chunk = chunks[seq]
+        now = self._now()
         if seq == len(chunks) - 1:
             del self._transfers[transfer_id]
+            self._deadlines.pop(transfer_id, None)
+            if now is not None:
+                self._completed[transfer_id] = (seq, chunk, now + self.ttl_s)
+        elif now is not None:
+            self._deadlines[transfer_id] = now + self.ttl_s
         return chunk
+
+    def abort(self, transfer_id: str) -> bool:
+        """Free a transfer early (the ``AbortTransfer`` operation body).
+
+        Idempotent: returns False for ids already gone. Aborting a pending
+        transfer counts as a reclaim; dropping a completed-cache entry does
+        not (its payload was delivered).
+        """
+        self.reap()
+        if transfer_id in self._transfers:
+            del self._transfers[transfer_id]
+            self._deadlines.pop(transfer_id, None)
+            self._reclaimed(1)
+            return True
+        if transfer_id in self._completed:
+            del self._completed[transfer_id]
+            return True
+        return False
 
     @property
     def pending_transfers(self) -> int:
@@ -69,9 +191,19 @@ class ChunkedSender:
 
 
 def receive_rowset(
-    response: Dict[str, Any], proxy: Any, *, fetch_operation: str = "FetchChunk"
+    response: Dict[str, Any],
+    proxy: Any,
+    *,
+    fetch_operation: str = "FetchChunk",
+    abort_operation: Optional[str] = "AbortTransfer",
 ) -> WireRowSet:
-    """Receiver half: unwrap an inline rowset or drain the chunks."""
+    """Receiver half: unwrap an inline rowset or drain the chunks.
+
+    Chunk fetches are tagged with the ``chunk-transfer`` phase so byte
+    reports separate bulk payload from chain control. When a drain dies
+    part-way the receiver best-effort aborts the transfer so the sender
+    frees its chunks immediately instead of waiting out the TTL.
+    """
     if not isinstance(response, dict):
         raise ExecutionError(f"malformed chunked response: {response!r}")
     if not response.get("chunked"):
@@ -81,8 +213,28 @@ def receive_rowset(
         return rowset
     transfer_id = str(response["transfer_id"])
     chunk_count = int(response["chunk_count"])
-    parts = [
-        proxy.call(fetch_operation, transfer_id=transfer_id, seq=seq)
-        for seq in range(chunk_count)
-    ]
+    network = getattr(proxy, "network", None)
+    parts: List[WireRowSet] = []
+    try:
+        for seq in range(chunk_count):
+            if network is not None:
+                with network.phase(CHUNK_TRANSFER_PHASE):
+                    parts.append(
+                        proxy.call(
+                            fetch_operation, transfer_id=transfer_id, seq=seq
+                        )
+                    )
+            else:
+                parts.append(
+                    proxy.call(
+                        fetch_operation, transfer_id=transfer_id, seq=seq
+                    )
+                )
+    except Exception:
+        if abort_operation is not None:
+            try:
+                proxy.call(abort_operation, transfer_id=transfer_id)
+            except Exception:
+                pass
+        raise
     return WireRowSet.concat(parts)

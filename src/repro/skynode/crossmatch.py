@@ -7,11 +7,26 @@ extends/filters the partial tuples via the ``sp_xmatch`` stored procedure
 (temp table, spatial join, chi-squared test), then ships the surviving
 tuples to its caller as a serialized rowset — chunked when a monolithic
 envelope would blow the caller's XML parser memory budget.
+
+That classic ``PerformXMatch`` path is store-and-forward: every node sits
+idle until its downstream neighbour has computed and shipped its *entire*
+tuple set. The streaming operation set (``OpenStream`` / ``PullBatch`` /
+``AbortStream``) pipelines the same computation instead: the open cascades
+down the chain once (the last node seeds and partitions its tuples into
+batches), then each batch flows up hop by hop on demand, so one batch's
+transfer overlaps another's compute under the network's makespan
+semantics. Batches are pulled strictly in order; a *retry* of the batch
+just served is answered from a cached response (a lost response must not
+re-run the step or duplicate rows), anything else out of order faults
+deterministically. Stream state expires against the simulated clock so an
+abandoned stream cannot pin tuples forever.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple
 
 from repro.errors import ExecutionError
 from repro.portal.plan import ExecutionPlan, PlanStep
@@ -29,13 +44,51 @@ from repro.sql.ast import (
     TableRef,
 )
 from repro.sql.parser import parse_expression
+from repro.transport.chunking import batch_slices
 from repro.units import arcsec_to_rad
 from repro.xmatch.stream import seed_tuples
 from repro.xmatch.tuples import LocalObject, PartialTuple
-from repro.xmatch.wire import rowset_to_tuples, tuples_to_rowset
+from repro.xmatch.wire import (
+    WIRE_FORMATS,
+    rowset_to_tuples,
+    tuples_to_payload,
+    tuples_to_rowset,
+)
 
 if TYPE_CHECKING:
     from repro.skynode.node import SkyNode
+
+#: How long (simulated seconds) an open stream survives between touches.
+STREAM_TTL_S = 600.0
+
+
+@dataclass
+class _Stream:
+    """Server-side state of one open tuple stream."""
+
+    plan_wire: Dict[str, Any]
+    plan: ExecutionPlan
+    me: PlanStep
+    position: int
+    wire_format: str
+    batch_count: int
+    deadline: Optional[float] = None
+    next_seq: int = 0
+    done: bool = False
+    #: Cached response of the batch most recently served, so a caller's
+    #: retry after a lost response is answered without re-running the step.
+    last_response: Optional[Dict[str, Any]] = None
+    #: This node's stats, accumulated across batches.
+    stats: Dict[str, Any] = field(default_factory=dict)
+    #: Per-batch tuples shipped upstream (batch-granular accounting).
+    batch_rows: List[int] = field(default_factory=list)
+    # Last node on the list: the seeded tuples and their batch partition.
+    tuples: Optional[List[PartialTuple]] = None
+    slices: Optional[List[Tuple[int, int]]] = None
+    # Middle/first nodes: where the incoming batches come from.
+    downstream_url: Optional[str] = None
+    downstream_id: Optional[str] = None
+    downstream_stats: Optional[List[Dict[str, Any]]] = None
 
 
 class CrossMatchService(WebService):
@@ -70,18 +123,59 @@ class CrossMatchService(WebService):
             returns="rowset",
             doc="Fetch one chunk of a chunked partial-result transfer.",
         )
+        self.register(
+            "AbortTransfer",
+            self._abort_transfer,
+            params=(("transfer_id", "string"),),
+            returns="struct",
+            doc="Free an abandoned chunked transfer before its TTL.",
+        )
+        self.register(
+            "OpenStream",
+            self._open_stream,
+            params=(
+                ("plan", "struct"),
+                ("position", "int"),
+                ("batch_size", "int"),
+                ("wire_format", "string"),
+            ),
+            returns="struct",
+            doc="Open a pipelined tuple stream for this node's chain step.",
+        )
+        self.register(
+            "PullBatch",
+            self._pull_batch,
+            params=(("stream_id", "string"), ("seq", "int")),
+            returns="struct",
+            doc="Pull one batch of an open stream (strictly in order).",
+        )
+        self.register(
+            "AbortStream",
+            self._abort_stream,
+            params=(("stream_id", "string"),),
+            returns="struct",
+            doc="Tear down an open stream (cascades downstream).",
+        )
+        self._streams: Dict[str, _Stream] = {}
+        self._stream_ids = itertools.count(1)
+        self._clock_fn: Optional[Callable[[], float]] = None
+        self._on_reclaim: Optional[Callable[[int], None]] = None
+
+    def bind_clock(
+        self,
+        clock_fn: Callable[[], float],
+        on_reclaim: Optional[Callable[[int], None]] = None,
+    ) -> None:
+        """Expire abandoned streams against a clock, reporting reclaims."""
+        self._clock_fn = clock_fn
+        self._on_reclaim = on_reclaim
 
     # -- operations ------------------------------------------------------------
 
     def _perform(self, plan: Dict[str, Any], position: int) -> Dict[str, Any]:
         plan_obj = ExecutionPlan.from_wire(plan)
         position = int(position)
-        me = plan_obj.step(position)
-        if me.archive != self._node.info.archive:
-            raise ExecutionError(
-                f"plan step {position} targets {me.archive!r} but reached "
-                f"{self._node.info.archive!r}"
-            )
+        me = self._validate_step(plan_obj, position)
         stats_chain: List[Dict[str, Any]] = []
         if position == len(plan_obj.steps) - 1:
             tuples, my_stats = self._seed_step(plan_obj, me)
@@ -99,6 +193,218 @@ class CrossMatchService(WebService):
 
     def _fetch_chunk(self, transfer_id: str, seq: int) -> WireRowSet:
         return self.sender.fetch_chunk(transfer_id, seq)
+
+    def _abort_transfer(self, transfer_id: str) -> Dict[str, Any]:
+        return {"aborted": self.sender.abort(str(transfer_id))}
+
+    # -- the streaming operation set ----------------------------------------------
+
+    def _validate_step(self, plan: ExecutionPlan, position: int) -> PlanStep:
+        me = plan.step(position)
+        if me.archive != self._node.info.archive:
+            raise ExecutionError(
+                f"plan step {position} targets {me.archive!r} but reached "
+                f"{self._node.info.archive!r}"
+            )
+        return me
+
+    def _stream_now(self) -> Optional[float]:
+        return self._clock_fn() if self._clock_fn is not None else None
+
+    def _reap_streams(self) -> None:
+        now = self._stream_now()
+        if now is None:
+            return
+        expired = [
+            sid
+            for sid, stream in self._streams.items()
+            if stream.deadline is not None and stream.deadline <= now
+        ]
+        abandoned = 0
+        for sid in expired:
+            if not self._streams.pop(sid).done:
+                abandoned += 1
+        if abandoned and self._on_reclaim is not None:
+            self._on_reclaim(abandoned)
+
+    def _touch(self, stream: _Stream) -> None:
+        now = self._stream_now()
+        if now is not None:
+            stream.deadline = now + STREAM_TTL_S
+
+    def _open_stream(
+        self,
+        plan: Dict[str, Any],
+        position: int,
+        batch_size: int,
+        wire_format: str,
+    ) -> Dict[str, Any]:
+        self._reap_streams()
+        plan_obj = ExecutionPlan.from_wire(plan)
+        position = int(position)
+        me = self._validate_step(plan_obj, position)
+        batch_size = int(batch_size)
+        if batch_size < 1:
+            raise ExecutionError(f"batch_size must be >= 1, got {batch_size}")
+        if wire_format not in WIRE_FORMATS:
+            raise ExecutionError(
+                f"unknown wire format {wire_format!r}; expected one of "
+                f"{WIRE_FORMATS}"
+            )
+        stream = _Stream(
+            plan_wire=plan,
+            plan=plan_obj,
+            me=me,
+            position=position,
+            wire_format=wire_format,
+            batch_count=0,
+        )
+        if position == len(plan_obj.steps) - 1:
+            # Last node on the list: seed once, partition into batches. The
+            # per-batch payloads then stream out on demand while upstream
+            # nodes are still chewing on earlier batches.
+            tuples, stats = self._seed_step(plan_obj, me)
+            stats["tuples_out"] = len(tuples)
+            stream.tuples = tuples
+            stream.slices = batch_slices(len(tuples), batch_size)
+            stream.batch_count = len(stream.slices)
+            stream.stats = stats
+        else:
+            next_step = plan_obj.step(position + 1)
+            proxy = self._node.proxy(next_step.url)
+            opened = proxy.call(
+                "OpenStream",
+                plan=plan,
+                position=position + 1,
+                batch_size=batch_size,
+                wire_format=wire_format,
+            )
+            if not isinstance(opened, dict):
+                raise ExecutionError(
+                    f"malformed OpenStream response: {opened!r}"
+                )
+            stream.downstream_url = next_step.url
+            stream.downstream_id = str(opened["stream_id"])
+            stream.batch_count = int(opened["batch_count"])
+            stream.stats = self._stats_dict(
+                me,
+                role="dropout" if me.dropout else "match",
+                tuples_in=0,
+            )
+        stream.stats["batches"] = stream.batch_count
+        stream_id = f"{self._node.info.archive}-s{next(self._stream_ids)}"
+        self._streams[stream_id] = stream
+        self._touch(stream)
+        return {"stream_id": stream_id, "batch_count": stream.batch_count}
+
+    def _pull_batch(self, stream_id: str, seq: int) -> Dict[str, Any]:
+        self._reap_streams()
+        stream = self._streams.get(str(stream_id))
+        if stream is None:
+            raise ExecutionError(f"unknown stream {stream_id!r}")
+        seq = int(seq)
+        if seq == stream.next_seq - 1 and stream.last_response is not None:
+            # The caller is retrying the batch we just served (its response
+            # was lost in flight): re-serve the cached answer verbatim —
+            # no reprocessing, no duplicated rows, no stats double-count.
+            self._touch(stream)
+            return stream.last_response
+        if seq != stream.next_seq:
+            raise ExecutionError(
+                f"batch {seq} out of order for stream {stream_id!r} "
+                f"(expected {stream.next_seq})"
+            )
+        if stream.done or seq >= stream.batch_count:
+            raise ExecutionError(
+                f"batch {seq} out of order for stream {stream_id!r} "
+                f"(the stream has only {stream.batch_count} batches)"
+            )
+        plan, me, position = stream.plan, stream.me, stream.position
+        if stream.tuples is not None and stream.slices is not None:
+            start, stop = stream.slices[seq]
+            out_tuples = stream.tuples[start:stop]
+        else:
+            incoming, downstream_stats = self._pull_downstream(stream, seq)
+            if downstream_stats is not None:
+                stream.downstream_stats = downstream_stats
+            out_tuples, step_stats = self._local_step(plan, me, incoming)
+            self._accumulate(stream.stats, step_stats, len(out_tuples))
+        stream.batch_rows.append(len(out_tuples))
+        payload = tuples_to_payload(
+            out_tuples,
+            plan.member_aliases_after(position),
+            plan.attr_columns_after(position),
+            stream.wire_format,
+        )
+        response: Dict[str, Any] = {"rows": payload, "batch": seq}
+        stream.next_seq = seq + 1
+        if seq == stream.batch_count - 1:
+            stream.done = True
+            stream.tuples = None  # the batches are out; free the seed set
+            stream.stats["batch_rows"] = list(stream.batch_rows)
+            chain = list(stream.downstream_stats or [])
+            chain.append(stream.stats)
+            response["stats"] = chain
+        stream.last_response = response
+        self._touch(stream)
+        return response
+
+    def _pull_downstream(
+        self, stream: _Stream, seq: int
+    ) -> Tuple[List[PartialTuple], Optional[List[Dict[str, Any]]]]:
+        """Fetch batch ``seq`` from the downstream neighbour and decode it."""
+        assert stream.downstream_url is not None
+        proxy = self._node.proxy(stream.downstream_url)
+        response = proxy.call(
+            "PullBatch", stream_id=stream.downstream_id, seq=seq
+        )
+        if not isinstance(response, dict) or not isinstance(
+            response.get("rows"), WireRowSet
+        ):
+            raise ExecutionError(f"malformed PullBatch response: {response!r}")
+        incoming = rowset_to_tuples(
+            response["rows"],
+            stream.plan.member_aliases_after(stream.position + 1),
+            stream.plan.attr_columns_after(stream.position + 1),
+        )
+        stats = response.get("stats")
+        return incoming, list(stats) if stats else None
+
+    @staticmethod
+    def _accumulate(
+        total: Dict[str, Any], step: Dict[str, Any], tuples_out: int
+    ) -> None:
+        """Fold one batch's step stats into the stream's running totals."""
+        for key in (
+            "tuples_in",
+            "rows_examined",
+            "candidates_tested",
+            "logical_reads",
+            "physical_reads",
+        ):
+            total[key] += step[key]
+        total["tuples_out"] += tuples_out
+
+    def _abort_stream(self, stream_id: str) -> Dict[str, Any]:
+        self._reap_streams()
+        stream = self._streams.pop(str(stream_id), None)
+        if stream is None:
+            return {"aborted": False}
+        if not stream.done and self._on_reclaim is not None:
+            self._on_reclaim(1)
+        if stream.downstream_id is not None and stream.downstream_url:
+            try:
+                self._node.proxy(stream.downstream_url).call(
+                    "AbortStream", stream_id=stream.downstream_id
+                )
+            except Exception:
+                pass  # best effort; the downstream TTL is the backstop
+        return {"aborted": True}
+
+    @property
+    def open_streams(self) -> int:
+        """Streams still holding server-side state (0 after clean runs)."""
+        return sum(1 for stream in self._streams.values() if not stream.done)
 
     # -- chain plumbing -----------------------------------------------------------
 

@@ -138,6 +138,18 @@ class SkyNode:
         network.add_host(self.hostname, self.host.handle)
         self.network = network
 
+        # Abandoned chunked transfers / streams now expire against the sim
+        # clock, and every reclaim is counted in the network's metrics.
+        def clock_fn() -> float:
+            return network.clock.now
+
+        def on_reclaim(count: int) -> None:
+            network.metrics.reclaimed_transfers += count
+
+        self.query.sender.bind_clock(clock_fn, on_reclaim)
+        self.crossmatch.sender.bind_clock(clock_fn, on_reclaim)
+        self.crossmatch.bind_clock(clock_fn, on_reclaim)
+
     def service_url(self, service: str) -> str:
         """Endpoint URL of one of the four services."""
         return self.host.url_for(SERVICE_PATHS[service])

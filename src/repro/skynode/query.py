@@ -61,6 +61,13 @@ class QueryService(WebService):
             returns="rowset",
             doc="Fetch one chunk of a chunked query result.",
         )
+        self.register(
+            "AbortTransfer",
+            self._abort_transfer,
+            params=(("transfer_id", "string"),),
+            returns="struct",
+            doc="Free an abandoned chunked transfer before its TTL.",
+        )
 
     def _run(self, sql: str) -> WireRowSet:
         query = parse_query(sql)
@@ -74,3 +81,6 @@ class QueryService(WebService):
 
     def _execute_chunked(self, sql: str) -> Dict[str, Any]:
         return self.sender.respond(self._run(sql))
+
+    def _abort_transfer(self, transfer_id: str) -> Dict[str, Any]:
+        return {"aborted": self.sender.abort(str(transfer_id))}

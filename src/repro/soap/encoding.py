@@ -10,13 +10,18 @@ A binary codec (:func:`encode_binary_rowset`) provides the CORBA-style
 comparison point for the serialization-overhead experiment (paper Section 6
 notes SOAP "is considered to be slower than other middleware, like, CORBA,
 because of the time spent for serialization and de-serialization").
+
+:class:`ColumnarRowSet` selects the compact column-major XML form
+(``colset``): per-column packed token streams with delta-encoded ints and
+dictionary-encoded strings. Decoding a colset yields a plain
+:class:`WireRowSet`, so only senders opt in.
 """
 
 from __future__ import annotations
 
 import struct
 from dataclasses import dataclass, field
-from typing import Any, List, Sequence, Tuple
+from typing import Any, Dict, List, Sequence, Tuple
 
 from repro.errors import SoapError
 from repro.soap.xmlwriter import Element
@@ -67,6 +72,46 @@ class WireRowSet:
         return cls(list(first.columns), rows)
 
 
+@dataclass
+class ColumnarRowSet:
+    """A rowset marked for the compact column-major wire form (``colset``).
+
+    Semantically identical to the wrapped :class:`WireRowSet`; only the
+    XML shape differs. Instead of ``<r><c>`` per cell, each column travels
+    as one packed text stream: int columns are delta-encoded (first value
+    raw, then successive differences), string columns are
+    dictionary-encoded (unique values once as child elements, then integer
+    indexes), doubles and booleans are plain token streams. ``None`` cells
+    use the ``_`` sentinel in every stream. Decoding yields a plain
+    :class:`WireRowSet` again, so receivers are agnostic to which form the
+    sender chose.
+    """
+
+    rowset: WireRowSet
+
+    def __len__(self) -> int:
+        return len(self.rowset)
+
+    @property
+    def columns(self) -> List[Tuple[str, str]]:
+        """The wrapped rowset's (name, typecode) schema."""
+        return self.rowset.columns
+
+    @property
+    def column_names(self) -> List[str]:
+        """Column names in order."""
+        return self.rowset.column_names
+
+    @property
+    def rows(self) -> List[Tuple[Any, ...]]:
+        """The wrapped rowset's rows."""
+        return self.rowset.rows
+
+    def slice(self, start: int, stop: int) -> "ColumnarRowSet":
+        """A columnar view of a row subrange (for chunking)."""
+        return ColumnarRowSet(self.rowset.slice(start, stop))
+
+
 def typecode_of(value: Any) -> str:
     """The wire typecode of a python scalar."""
     if isinstance(value, bool):
@@ -84,6 +129,8 @@ def encode_value(name: str, value: Any) -> Element:
     """Encode a python value (scalar, list, dict, WireRowSet) as an element."""
     if value is None:
         return Element(name, {"xsi:nil": "true"})
+    if isinstance(value, ColumnarRowSet):
+        return _encode_colset(name, value.rowset)
     if isinstance(value, WireRowSet):
         return _encode_rowset(name, value)
     if isinstance(value, dict):
@@ -112,6 +159,8 @@ def decode_value(node: Element) -> Any:
         return [decode_value(kid) for kid in node.children]
     if xtype == "rowset" or node.local_name() == "RowSet":
         return _decode_rowset(node)
+    if xtype == "colset":
+        return _decode_colset(node)
     if xtype is None:
         # Untyped leaf: best-effort string (tolerant of foreign documents).
         return node.text
@@ -198,6 +247,170 @@ def _decode_rowset(node: Element) -> WireRowSet:
             else:
                 row.append(_text_to_scalar(cell.text, code))
         rowset.rows.append(tuple(row))
+    return rowset
+
+
+# -- columnar form ("colset"): packed per-column token streams -----------------
+
+#: Token marking a NULL cell in a packed column stream. Unambiguous: int
+#: and index streams are decimal literals, doubles are ``repr`` floats,
+#: booleans are ``t``/``f``.
+_NIL_TOKEN = "_"
+
+
+def _check_cell(value: Any, col_name: str, code: str) -> None:
+    if typecode_of(value) != code and not (
+        code == "double"
+        and isinstance(value, int)
+        and not isinstance(value, bool)
+    ):
+        raise SoapError(
+            f"value {value!r} does not match column {col_name!r} type {code!r}"
+        )
+
+
+def _encode_colset(name: str, rowset: WireRowSet) -> Element:
+    node = Element(name, {"xsi:type": "colset", "rows": str(len(rowset.rows))})
+    schema = node.child("schema")
+    for col_name, code in rowset.columns:
+        schema.child("col", name=col_name, type=code)
+    for row in rowset.rows:
+        if len(row) != len(rowset.columns):
+            raise SoapError(
+                f"row width {len(row)} does not match schema "
+                f"width {len(rowset.columns)}"
+            )
+    cols = node.child("cols")
+    for i, (col_name, code) in enumerate(rowset.columns):
+        values = [row[i] for row in rowset.rows]
+        col_el = cols.child("col")
+        tokens: List[str] = []
+        if code == "string":
+            # Dictionary encoding: unique values once (as child elements,
+            # so arbitrary text stays XML-safe), then integer indexes.
+            index: Dict[str, int] = {}
+            entries: List[str] = []
+            for value in values:
+                if value is None:
+                    tokens.append(_NIL_TOKEN)
+                    continue
+                _check_cell(value, col_name, code)
+                slot = index.get(value)
+                if slot is None:
+                    slot = len(entries)
+                    index[value] = slot
+                    entries.append(value)
+                tokens.append(str(slot))
+            if entries:
+                dict_el = col_el.child("dict")
+                for entry in entries:
+                    dict_el.child("v", text=entry)
+        elif code == "int":
+            # Delta encoding: first value raw, then differences from the
+            # previous non-NULL value (ids are near-sorted, so deltas are
+            # short).
+            prev = 0
+            for value in values:
+                if value is None:
+                    tokens.append(_NIL_TOKEN)
+                    continue
+                _check_cell(value, col_name, code)
+                tokens.append(str(value - prev))
+                prev = value
+        elif code == "boolean":
+            for value in values:
+                if value is None:
+                    tokens.append(_NIL_TOKEN)
+                    continue
+                _check_cell(value, col_name, code)
+                tokens.append("t" if value else "f")
+        else:  # double
+            for value in values:
+                if value is None:
+                    tokens.append(_NIL_TOKEN)
+                    continue
+                _check_cell(value, col_name, code)
+                tokens.append(_scalar_to_text(float(value)))
+        col_el.child("data", text=" ".join(tokens))
+    return node
+
+
+def _decode_colset(node: Element) -> WireRowSet:
+    schema = node.require("schema")
+    columns: List[Tuple[str, str]] = []
+    for col in schema.find_all("col"):
+        col_name = col.get("name")
+        code = col.get("type")
+        if col_name is None or code is None:
+            raise SoapError("colset schema column missing name/type")
+        columns.append((col_name, code))
+    try:
+        n_rows = int(node.get("rows") or "0")
+    except ValueError as exc:
+        raise SoapError(f"bad colset row count {node.get('rows')!r}") from exc
+    cols = node.require("cols")
+    col_elements = cols.find_all("col")
+    if len(col_elements) != len(columns):
+        raise SoapError(
+            f"colset has {len(col_elements)} column streams, "
+            f"schema has {len(columns)}"
+        )
+    decoded_columns: List[List[Any]] = []
+    for col_el, (col_name, code) in zip(col_elements, columns):
+        tokens = col_el.require("data").text.split()
+        if len(tokens) != n_rows:
+            raise SoapError(
+                f"colset column {col_name!r} has {len(tokens)} tokens "
+                f"for {n_rows} rows"
+            )
+        values: List[Any] = []
+        if code == "string":
+            dict_el = col_el.find("dict")
+            entries = (
+                [kid.text for kid in dict_el.find_all("v")]
+                if dict_el is not None
+                else []
+            )
+            for token in tokens:
+                if token == _NIL_TOKEN:
+                    values.append(None)
+                    continue
+                slot = int(token)
+                if not 0 <= slot < len(entries):
+                    raise SoapError(
+                        f"colset column {col_name!r} dictionary index "
+                        f"{slot} out of range"
+                    )
+                values.append(entries[slot])
+        elif code == "int":
+            prev = 0
+            for token in tokens:
+                if token == _NIL_TOKEN:
+                    values.append(None)
+                    continue
+                prev += int(token)
+                values.append(prev)
+        elif code == "boolean":
+            for token in tokens:
+                if token == _NIL_TOKEN:
+                    values.append(None)
+                elif token in ("t", "f"):
+                    values.append(token == "t")
+                else:
+                    raise SoapError(f"bad colset boolean token {token!r}")
+        elif code == "double":
+            values = [
+                None if token == _NIL_TOKEN else float(token)
+                for token in tokens
+            ]
+        else:
+            raise SoapError(f"unknown colset typecode {code!r}")
+        decoded_columns.append(values)
+    rowset = WireRowSet(columns)
+    rowset.rows = [
+        tuple(decoded_columns[c][r] for c in range(len(columns)))
+        for r in range(n_rows)
+    ]
     return rowset
 
 

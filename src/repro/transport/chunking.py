@@ -9,7 +9,7 @@ a sequence of chunk messages instead of one monolithic envelope.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Tuple
 
 from repro.errors import SoapError
 from repro.soap.encoding import WireRowSet
@@ -29,6 +29,25 @@ def chunk_rowset(rowset: WireRowSet, rows_per_chunk: int) -> List[WireRowSet]:
     return [
         rowset.slice(start, start + rows_per_chunk)
         for start in range(0, len(rowset.rows), rows_per_chunk)
+    ]
+
+
+def batch_slices(total: int, batch_size: int) -> List[Tuple[int, int]]:
+    """Partition ``total`` items into ``[start, stop)`` batch ranges.
+
+    The streaming chain's planning helper: zero items still yield one
+    (empty) batch so every stream serves at least one batch and the schema
+    always reaches the consumer — mirroring :func:`chunk_rowset`.
+    """
+    if batch_size < 1:
+        raise SoapError(f"batch_size must be >= 1, got {batch_size}")
+    if total < 0:
+        raise SoapError(f"total must be >= 0, got {total}")
+    if total == 0:
+        return [(0, 0)]
+    return [
+        (start, min(start + batch_size, total))
+        for start in range(0, total, batch_size)
     ]
 
 

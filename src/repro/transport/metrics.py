@@ -45,6 +45,10 @@ class NetworkMetrics:
     breaker_events: List[Tuple[str, str, str, float]] = field(
         default_factory=list
     )
+    #: Server-side transfers/streams freed without a full drain — an
+    #: explicit abort or a sim-clock TTL expiry reclaiming state a crashed
+    #: or circuit-opened caller abandoned mid-fetch.
+    reclaimed_transfers: int = 0
 
     def record(self, message: MessageRecord) -> None:
         """Append one message record."""
@@ -120,3 +124,4 @@ class NetworkMetrics:
         self.retries = 0
         self.backoff_seconds = 0.0
         self.breaker_events.clear()
+        self.reclaimed_transfers = 0

@@ -118,6 +118,7 @@ def run_chain(
     *,
     engine: str = "vectorized",
     use_kdtree: Optional[bool] = None,
+    batch_size: Optional[int] = None,
 ) -> List[PartialTuple]:
     """End-to-end matcher over in-memory archives.
 
@@ -134,6 +135,12 @@ def run_chain(
     the optional extra). All three return identical match sets; the tests
     verify it. ``use_kdtree`` is the legacy toggle between the two
     per-tuple engines and overrides ``engine`` when given.
+
+    ``batch_size`` mirrors the pipelined wire protocol in memory: the seed
+    tuples are partitioned into batches and the rest of the chain runs per
+    batch, with the surviving tuples concatenated in batch order. The
+    result is identical to the unbatched run (the tests verify it) — the
+    knob exists so the streaming protocol has an in-process oracle.
     """
     if use_kdtree is not None:
         engine = "kdtree" if use_kdtree else "scalar"
@@ -144,8 +151,27 @@ def run_chain(
     if not archives or archives[0][3]:
         raise ValueError("the chain must start with a mandatory archive")
     alias0, objects0, sigma0, _ = archives[0]
-    tuples = seed_tuples(alias0, objects0, sigma0)
-    for alias, objects, sigma_rad, is_dropout in archives[1:]:
+    seeds = seed_tuples(alias0, objects0, sigma0)
+    if batch_size is not None:
+        from repro.transport.chunking import batch_slices
+
+        out: List[PartialTuple] = []
+        for start, stop in batch_slices(len(seeds), batch_size):
+            out.extend(
+                _chain_rest(seeds[start:stop], archives[1:], threshold, engine)
+            )
+        return out
+    return _chain_rest(seeds, archives[1:], threshold, engine)
+
+
+def _chain_rest(
+    tuples: List[PartialTuple],
+    rest: Sequence[tuple[str, Sequence[LocalObject], float, bool]],
+    threshold: float,
+    engine: str,
+) -> List[PartialTuple]:
+    """Run every post-seed step of the chain over one tuple set."""
+    for alias, objects, sigma_rad, is_dropout in rest:
         if engine == "vectorized":
             from repro.xmatch.kernel import (
                 ColumnarObjects,

@@ -49,10 +49,11 @@ def test_chunk_messages_respect_budget(reference_rows):
     fed = make_fed(parser_memory_limit=300_000, chunk_budget_bytes=budget)
     fed.network.metrics.reset()
     fed.client().submit(SQL)
+    # Chunk drains carry their own phase label, separate from chain control.
     chain = [
         m
         for m in fed.network.metrics.messages
-        if m.phase == "crossmatch-chain" and m.operation == "FetchChunk"
+        if m.phase == "chunk-transfer" and m.operation == "FetchChunk"
         and m.kind == "response"
     ]
     assert chain, "expected chunked FetchChunk traffic"
@@ -65,7 +66,10 @@ def test_smaller_chunks_mean_more_messages(reference_rows):
         fed = make_fed(parser_memory_limit=None, chunk_budget_bytes=budget)
         fed.network.metrics.reset()
         fed.client().submit(SQL)
-        return fed.network.metrics.message_count(phase="crossmatch-chain")
+        metrics = fed.network.metrics
+        return metrics.message_count(
+            phase="crossmatch-chain"
+        ) + metrics.message_count(phase="chunk-transfer")
 
     assert chain_messages(16_384) > chain_messages(65_536)
 
