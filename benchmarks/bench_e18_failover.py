@@ -1,0 +1,64 @@
+"""E18 — extension: replica failover, checkpoint/resume vs restart vs degrade.
+
+``SKYQUERY_BENCH_QUICK=1`` shrinks the federation to smoke-test size.
+"""
+
+import os
+
+from repro.bench import run_e18_failover_recovery
+
+QUICK = bool(os.environ.get("SKYQUERY_BENCH_QUICK"))
+
+
+def test_e18_failover_recovery(benchmark, report_sink):
+    report = report_sink(
+        run_e18_failover_recovery(n_bodies=400 if QUICK else 800)
+    )
+    rows = {(row[0], row[1]): row for row in report.rows}
+
+    for mode in ("store-forward", "pipelined"):
+        oracle = rows[(mode, "fault-free oracle")]
+        resume = rows[(mode, "resume (late crash)")]
+        restart = rows[(mode, "full restart (late crash)")]
+
+        # Failover must keep the answer complete and byte-identical.
+        for arm in (resume, restart):
+            assert arm[2] == "yes", f"{mode}: crashed arm did not complete"
+            assert arm[4] == "yes", f"{mode}: rows differ from oracle"
+            assert arm[5] >= 1, f"{mode}: no failover recorded"
+            assert arm[3] == oracle[3]
+
+        # The acceptance criterion: checkpoint/resume re-transfers
+        # strictly fewer bytes than a full restart after a late crash.
+        assert resume[7] < restart[7], (
+            f"{mode}: resume wasted {resume[7]} B, "
+            f"restart wasted {restart[7]} B — resume must win strictly"
+        )
+
+        # The losing regime is honest: an early crash leaves nothing to
+        # resume, so the two strategies waste (almost) the same bytes.
+        early_resume = rows[(mode, "resume (early crash)")]
+        early_restart = rows[(mode, "full restart (early crash)")]
+        early_gap = abs(early_resume[7] - early_restart[7])
+        late_gap = restart[7] - resume[7]
+        assert early_gap < late_gap, (
+            f"{mode}: the early-crash arms should show resume's advantage "
+            f"collapsing (early gap {early_gap} B vs late gap {late_gap} B)"
+        )
+
+        # Without replicas the same crash degrades to an empty answer.
+        degrade = rows[(mode, "degrade (late crash)")]
+        assert degrade[2] == "degraded"
+        assert degrade[3] == 0
+
+    # Hot path: a replica-backed resilient submit, zero faults.
+    from repro.bench.scenarios import fresh_federation, paper_query
+    from repro.services.retry import RetryPolicy
+
+    fed = fresh_federation(
+        n_bodies=400 if QUICK else 800,
+        retry_policy=RetryPolicy(max_attempts=3, timeout_s=5.0),
+        replicas=1,
+    )
+    sql = paper_query(radius_arcsec=900.0)
+    benchmark(lambda: fed.client().submit(sql))

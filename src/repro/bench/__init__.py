@@ -31,6 +31,7 @@ from repro.bench.experiments import (
     run_e15_fault_recovery,
     run_e16_kernel_speedup,
     run_e17_pipelined_chain,
+    run_e18_failover_recovery,
 )
 
 ALL_EXPERIMENTS = (
@@ -51,6 +52,7 @@ ALL_EXPERIMENTS = (
     run_e15_fault_recovery,
     run_e16_kernel_speedup,
     run_e17_pipelined_chain,
+    run_e18_failover_recovery,
 )
 
 __all__ = [
@@ -77,4 +79,5 @@ __all__ = [
     "run_e15_fault_recovery",
     "run_e16_kernel_speedup",
     "run_e17_pipelined_chain",
+    "run_e18_failover_recovery",
 ]

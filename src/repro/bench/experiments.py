@@ -1307,3 +1307,202 @@ def run_e17_pipelined_chain(
         "per-cell XML elements on every streamed batch."
     )
     return report
+
+
+# -- E18: extension — replica failover: resume vs full-restart vs degrade -----------
+
+
+def run_e18_failover_recovery(n_bodies: int = 800) -> ExperimentReport:
+    """Mid-chain crash recovery: checkpoint/resume vs full-restart vs degrade.
+
+    A replica-backed federation answers the paper query while the first
+    chain hop's host is crashed mid-execution. Three recovery strategies
+    compete under the *same* injected crash: checkpoint/stream resume (the
+    shipped path — downstream hops serve their cached payloads, so only
+    the failed hop's bytes travel again), full restart (failover to the
+    replica but every hop recomputes and re-transfers), and degrade (no
+    replicas provisioned at all). Wasted bytes = chain bytes beyond the
+    fault-free oracle's; recovery makespan = simulated seconds beyond the
+    oracle's elapsed time.
+    """
+    from repro.bench.scenarios import fresh_federation
+    from repro.services.retry import RetryPolicy
+    from repro.transport.faults import FaultPlan
+
+    sql = paper_query(radius_arcsec=900.0)
+
+    def build(mode: str, replicas: int = 1):
+        fed = fresh_federation(
+            n_bodies=n_bodies,
+            seed=18,
+            retry_policy=RetryPolicy(
+                max_attempts=3, timeout_s=5.0, base_backoff_s=0.2,
+                max_backoff_s=2.0, seed=18,
+            ),
+            replicas=replicas,
+            chain_mode=mode,
+        )
+        if mode == "pipelined":
+            # Several small batches under single-batch flow control: the
+            # stream acknowledges progress batch by batch, so a mid-pull
+            # crash has a meaningful high-water mark to resume from.
+            fed.portal.stream_batch_size = 8
+            fed.portal.stream_pull_window = 1
+        return fed
+
+    def chain_bytes(metrics) -> int:
+        return (
+            metrics.total_bytes(phase="crossmatch-chain")
+            + metrics.total_bytes(phase="batch-transfer")
+            + metrics.total_bytes(phase="chunk-transfer")
+        )
+
+    def run(fed, crash_host=None, crash_at=None):
+        if crash_host is not None:
+            fed.network.set_fault_plan(
+                FaultPlan().crash(crash_host, at_s=crash_at)
+            )
+        fed.network.metrics.reset()
+        start = fed.network.clock.now
+        result = fed.client().submit(sql)
+        pulls = [
+            m.sim_time for m in fed.network.metrics.messages
+            if m.phase == "batch-transfer"
+        ]
+        return {
+            "rows": list(result.rows),
+            "elapsed": fed.network.clock.now - start,
+            "bytes": chain_bytes(fed.network.metrics),
+            "failovers": result.failovers,
+            "degraded": result.degraded,
+            "victim": (
+                result.plan["steps"][0]["url"].split("/")[2]
+                if result.plan else None
+            ),
+            "start": start,
+            "pull_window": (min(pulls), max(pulls)) if pulls else None,
+        }
+
+    def late_crash_at(baseline):
+        """A crash instant that lands while completed work exists to save.
+
+        Store-forward: 60% into the submit window, while the portal
+        awaits the chain and downstream hops have checkpointed.
+        Pipelined: 70% into the batch-pull phase, after some batches are
+        acknowledged but before the stream drains.
+        """
+        if baseline["pull_window"] is not None:
+            lo, hi = baseline["pull_window"]
+            return lo + 0.7 * (hi - lo)
+        return baseline["start"] + 0.6 * baseline["elapsed"]
+
+    report = ExperimentReport(
+        exp_id="E18",
+        title="Replica failover: checkpoint/resume vs restart vs degrade",
+        source="Section 2 (autonomous archives) / Section 5.3 chain "
+        "execution; extension",
+        headers=[
+            "mode", "strategy", "completed", "rows", "identical",
+            "failovers", "chain B", "wasted B", "recovery s",
+        ],
+    )
+    for mode in ("store-forward", "pipelined"):
+        oracle = run(build(mode))
+        window = oracle["elapsed"]
+        victim = oracle["victim"]
+
+        def arm(label, fed, *, crash_at, baseline=oracle):
+            outcome = run(fed, crash_host=victim, crash_at=crash_at)
+            report.add_row(
+                mode,
+                label,
+                "degraded" if outcome["degraded"] else "yes",
+                len(outcome["rows"]),
+                ("n/a (partial)" if outcome["degraded"]
+                 else "yes" if outcome["rows"] == baseline["rows"] else "NO"),
+                outcome["failovers"],
+                outcome["bytes"],
+                outcome["bytes"] - baseline["bytes"],
+                round(outcome["elapsed"] - baseline["elapsed"], 3),
+            )
+            return outcome
+
+        report.add_row(
+            mode, "fault-free oracle", "yes", len(oracle["rows"]), "yes",
+            0, oracle["bytes"], 0, 0.0,
+        )
+        late = late_crash_at(oracle)
+        early = oracle["start"] + 0.15 * window
+        arm("resume (late crash)", build(mode), crash_at=late)
+        restart_fed = build(mode)
+        restart_fed.portal.checkpoint_resume = False
+        arm("full restart (late crash)", restart_fed, crash_at=late)
+        arm("resume (early crash)", build(mode), crash_at=early)
+        early_restart = build(mode)
+        early_restart.portal.checkpoint_resume = False
+        arm("full restart (early crash)", early_restart, crash_at=early)
+
+        # Degrade: no replicas at all. Its own oracle twin (a replica-free
+        # build has a different deterministic timeline, so the crash
+        # instant must be measured against it).
+        degrade_oracle = run(build(mode, replicas=0))
+        report.add_row(
+            mode, "degrade oracle (no replicas)", "yes",
+            len(degrade_oracle["rows"]), "yes", 0, degrade_oracle["bytes"],
+            0, 0.0,
+        )
+        fed = build(mode, replicas=0)
+        fed.network.set_fault_plan(
+            FaultPlan().crash(
+                degrade_oracle["victim"], at_s=late_crash_at(degrade_oracle)
+            )
+        )
+        fed.network.metrics.reset()
+        start = fed.network.clock.now
+        result = fed.client().submit(sql)
+        report.add_row(
+            mode, "degrade (late crash)",
+            "degraded" if result.degraded else "yes",
+            len(result.rows),
+            "n/a (partial)" if result.degraded else
+            ("yes" if list(result.rows) == degrade_oracle["rows"] else "NO"),
+            result.failovers,
+            chain_bytes(fed.network.metrics),
+            chain_bytes(fed.network.metrics) - degrade_oracle["bytes"],
+            round(
+                (fed.network.clock.now - start) - degrade_oracle["elapsed"], 3
+            ),
+        )
+    report.note(
+        "Resume's win is structural: the crashed hop sits at the head of "
+        "the chain, so every downstream hop had already checkpointed its "
+        "completed payload (store-forward) or acknowledged batches "
+        "(pipelined) when the crash fired. The failed-over chain re-spends "
+        "only the replacement hop's compute and its two adjacent "
+        "transfers; full restart re-spends the whole chain."
+    )
+    report.note(
+        "Losing regimes, honestly: a crash early in the chain (the "
+        "early-crash arms, 15% into the submit window) "
+        "leaves little or nothing checkpointed, so resume converges to "
+        "full restart (and when the crash lands before the chain starts, "
+        "plan-time failover makes the two byte-identical). A crash of the "
+        "chain's *last* hop similarly finds no completed downstream work "
+        "to reuse. Checkpoints also hold node memory for their TTL "
+        "(600 simulated seconds) — a cost the restart strategy never pays."
+    )
+    report.note(
+        "The pipelined arms run 8-tuple batches under single-batch flow "
+        "control (stream_pull_window=1): progress is acknowledged batch "
+        "by batch, so the high-water mark means something. With unbounded "
+        "overlap (the latency-optimal default) every batch is in flight "
+        "at the crash instant and they fail as one — another regime where "
+        "resume buys nothing over restart."
+    )
+    report.note(
+        "Degrade is the cheapest recovery on every axis except the one "
+        "that matters: with the crashed archive mandatory and no replica, "
+        "the answer is empty. Failover turns the same crash into a "
+        "complete result for the price of the re-spent hop."
+    )
+    return report

@@ -154,6 +154,8 @@ def fresh_federation(
     retry_policy: Optional[RetryPolicy] = None,
     health_probes: bool = True,
     fault_plan: Optional[FaultPlan] = None,
+    replicas: int = 0,
+    chain_mode: str = "store-forward",
 ) -> Federation:
     """An uncached federation with experiment-specific knobs."""
     from repro.skynode.node import DEFAULT_PARSER_MEMORY_LIMIT
@@ -173,5 +175,7 @@ def fresh_federation(
             retry_policy=retry_policy,
             health_probes=health_probes,
             fault_plan=fault_plan,
+            replicas=replicas,
+            chain_mode=chain_mode,
         )
     )

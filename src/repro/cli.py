@@ -111,6 +111,11 @@ def _federation_args(parser: argparse.ArgumentParser) -> None:
         help="encoding for streamed partial tuples: compact column-major "
              "colset (default) or the classic row-major rowset",
     )
+    parser.add_argument(
+        "--replicas", type=int, default=0, metavar="N",
+        help="replica SkyNodes provisioned per archive (2PC-replicated "
+             "mirrors the Portal fails over to; default 0)",
+    )
 
 
 def _retry_policy(args: argparse.Namespace):
@@ -136,6 +141,7 @@ def _make_federation(args: argparse.Namespace):
             chain_mode=args.chain_mode,
             stream_batch_size=args.batch_size,
             stream_wire_format=args.wire_format,
+            replicas=args.replicas,
         )
     )
 
@@ -202,6 +208,11 @@ def _cmd_query(args: argparse.Namespace) -> int:
         print(format_table(result.columns, result.rows))
     if result.degraded:
         print("\nwarning: degraded result", file=sys.stderr)
+        for warning in result.warnings:
+            print(f"  - {warning}", file=sys.stderr)
+    elif result.failovers:
+        print(f"\nnote: {result.failovers} endpoint failover(s); "
+              "result is complete", file=sys.stderr)
         for warning in result.warnings:
             print(f"  - {warning}", file=sys.stderr)
     if args.stats:

@@ -32,6 +32,9 @@ class ClientResult:
     #: docs/RESILIENCE.md for the degraded-result contract).
     warnings: List[str] = field(default_factory=list)
     degraded: bool = False
+    #: Endpoint substitutions the Portal made (plan-time or mid-chain).
+    #: A failed-over answer is complete — every archive contributed.
+    failovers: int = 0
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -95,4 +98,5 @@ class SkyQueryClient:
             plan=response.get("plan"),
             warnings=[str(w) for w in (response.get("warnings") or [])],
             degraded=bool(response.get("degraded")),
+            failovers=int(response.get("failovers") or 0),
         )

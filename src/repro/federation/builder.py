@@ -8,11 +8,13 @@ from typing import Dict, List, Optional, Sequence
 from repro.client.client import SkyQueryClient
 from repro.db.engine import Database
 from repro.db.table import SpatialSpec
+from repro.errors import RegistrationError
 from repro.federation.surveys import default_surveys
 from repro.portal.portal import Portal
 from repro.services.retry import RetryPolicy
 from repro.skynode.node import DEFAULT_PARSER_MEMORY_LIMIT, SkyNode
 from repro.skynode.wrapper import ArchiveInfo
+from repro.sql.ast import AreaClause
 from repro.transport.faults import FaultPlan
 from repro.transport.network import SimulatedNetwork
 from repro.workloads.skysim import (
@@ -65,6 +67,11 @@ class FederationConfig:
     #: Wire encoding for streamed partial tuples: ``columnar`` (compact
     #: column-major colset) or ``rows`` (classic rowset).
     stream_wire_format: str = "columnar"
+    #: Replica SkyNodes provisioned per archive (0 = none). Each replica is
+    #: a full mirror: its own database is populated from the primary over
+    #: the transactional region-replication exchange (2PC), and its
+    #: endpoints are advertised to the Portal as failover candidates.
+    replicas: int = 0
 
 
 @dataclass
@@ -77,6 +84,8 @@ class Federation:
     nodes: Dict[str, SkyNode]
     bodies: List[TrueBody]
     truth: Dict[str, Dict[int, int]]  # archive -> object_id -> body_id
+    #: Replica SkyNodes keyed by archive (empty unless config.replicas > 0).
+    replicas: Dict[str, List[SkyNode]] = field(default_factory=dict)
 
     def client(self, hostname: str = "client.skyquery.net") -> SkyQueryClient:
         """A client wired to this federation's Portal."""
@@ -162,6 +171,13 @@ def build_federation(config: Optional[FederationConfig] = None) -> Federation:
         node.register_with_portal(portal.service_url("registration"))
         nodes[survey.archive] = node
 
+    replicas: Dict[str, List[SkyNode]] = {}
+    if config.replicas > 0:
+        for survey in config.surveys:
+            replicas[survey.archive] = _provision_replicas(
+                config, network, nodes[survey.archive], survey, portal
+            )
+
     if config.fault_plan is not None:
         network.set_fault_plan(config.fault_plan)
 
@@ -172,4 +188,86 @@ def build_federation(config: Optional[FederationConfig] = None) -> Federation:
         nodes=nodes,
         bodies=bodies,
         truth=truth,
+        replicas=replicas,
     )
+
+
+def _provision_replicas(
+    config: FederationConfig,
+    network: SimulatedNetwork,
+    primary: SkyNode,
+    survey: SurveySpec,
+    portal: Portal,
+) -> List[SkyNode]:
+    """Stand up ``config.replicas`` mirror SkyNodes for one archive.
+
+    Each replica starts with an *empty* copy of the primary table (same
+    spatial indexing) and is filled over the wire: the transactional
+    region-replication exchange pulls the primary's rows through its Query
+    service and commits them at the replica under 2PC — so a replica is
+    provisioned exactly the way two real archives would exchange data,
+    never by reaching into the primary's database object. The primary then
+    re-registers, advertising the replicas' endpoints as failover
+    candidates.
+    """
+    from repro.transactions.exchange import DataExchange
+
+    info = primary.info
+    field_ = config.sky_field
+    # Generous circle: every observed position (field radius + positional
+    # scatter) falls inside it, so the replica is a complete mirror.
+    everything = AreaClause(
+        field_.center_ra_deg,
+        field_.center_dec_deg,
+        field_.radius_arcsec * 4.0,
+    )
+    column_names = [column.name for column in survey.columns()]
+    replica_nodes: List[SkyNode] = []
+    for index in range(1, config.replicas + 1):
+        replica_db = Database(
+            f"{survey.archive.lower()}_r{index}",
+            dialect=survey.dialect,
+            page_size=config.page_size,
+            buffer_pages=config.buffer_pages,
+        )
+        replica_db.create_table(
+            survey.primary_table,
+            survey.columns(),
+            spatial=SpatialSpec(
+                survey.ra_column, survey.dec_column, htm_depth=config.htm_depth
+            ),
+        )
+        replica = SkyNode(
+            replica_db,
+            info,
+            hostname=f"{survey.archive.lower()}-r{index}.skyquery.net",
+            parser_memory_limit=config.parser_memory_limit,
+            parser_overhead_factor=config.parser_overhead_factor,
+            chunk_budget_bytes=config.chunk_budget_bytes,
+            processing_seconds_per_row=config.processing_seconds_per_row,
+            retry_policy=config.retry_policy,
+            xmatch_kernel=config.xmatch_kernel,
+        )
+        replica.attach(network)
+        replica_key = f"{survey.archive}-r{index}"
+        exchange = DataExchange(
+            portal, {replica_key: replica.enable_transactions()}
+        )
+        result = exchange.replicate_region(
+            survey.archive,
+            [replica_key],
+            everything,
+            columns=column_names,
+            target_table=survey.primary_table,
+        )
+        if not result.committed:
+            raise RegistrationError(
+                f"replica provisioning for {survey.archive!r} aborted: "
+                f"{result.abort_reason}"
+            )
+        replica_nodes.append(replica)
+    primary.register_with_portal(
+        portal.service_url("registration"),
+        replicas=[replica.service_urls() for replica in replica_nodes],
+    )
+    return replica_nodes

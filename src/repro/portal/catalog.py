@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import RegistrationError, ValidationError
 from repro.skynode.wrapper import ArchiveInfo
@@ -15,6 +15,11 @@ class NodeRecord:
 
     ``schema`` maps lowercased table name -> (original name, column map),
     where the column map is lowercased column name -> (original, typecode).
+
+    ``replica_services`` lists additional complete endpoint sets (one dict
+    per replica SkyNode, same keys as ``services``) that serve identical
+    content — the failover candidates the planner and executor prefer over
+    degrading the answer when the primary endpoint dies.
     """
 
     archive: str
@@ -26,6 +31,7 @@ class NodeRecord:
         default_factory=dict
     )
     registered_at: float = 0.0
+    replica_services: List[Dict[str, str]] = field(default_factory=list)
 
     @classmethod
     def from_wire(
@@ -35,6 +41,7 @@ class NodeRecord:
         info_wire: Dict[str, Any],
         schema_wire: Dict[str, Any],
         registered_at: float = 0.0,
+        replica_services: Optional[List[Dict[str, str]]] = None,
     ) -> "NodeRecord":
         """Build a record from the Information + Meta-data service replies."""
         info = ArchiveInfo.from_wire(info_wire)
@@ -54,7 +61,14 @@ class NodeRecord:
             dialect=str(info_wire.get("dialect") or "ansi"),
             schema=schema,
             registered_at=registered_at,
+            replica_services=[
+                dict(endpoint) for endpoint in replica_services or []
+            ],
         )
+
+    def endpoint_candidates(self) -> List[Dict[str, str]]:
+        """Every complete endpoint set for this archive, primary first."""
+        return [self.services, *self.replica_services]
 
     def resolve_table(self, table: str) -> str:
         """Canonical table name, raising :class:`ValidationError` if unknown."""

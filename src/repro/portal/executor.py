@@ -24,6 +24,7 @@ identical order.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
@@ -59,6 +60,10 @@ class FederatedResult:
     matched_tuples: int = 0
     warnings: List[str] = field(default_factory=list)
     degraded: bool = False
+    #: Endpoint substitutions made while answering (plan-time or
+    #: mid-chain). A failed-over answer is complete, NOT degraded: every
+    #: archive contributed, just not always through its primary endpoint.
+    failovers: int = 0
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -86,6 +91,7 @@ class ChainExecutor:
 
     def __init__(self, portal: "Portal") -> None:
         self._portal = portal
+        self._xid_counter = itertools.count(1)
 
     def execute(
         self,
@@ -94,14 +100,18 @@ class ChainExecutor:
         *,
         warnings: Optional[List[str]] = None,
         degraded: bool = False,
+        failovers: int = 0,
     ) -> FederatedResult:
         """Start the chain at the first plan step and post-process.
 
-        On chain failure the executor consults the Portal's health probe:
-        transient faults retry the chain, dead drop-out archives are pruned
-        from the plan (and the chain restarted from the surviving nodes),
-        and a dead mandatory archive yields a degraded empty result whose
-        warnings name the lost node.
+        On chain failure the executor probes each step's *current*
+        endpoint: a dead hop with a live replica is re-routed in place
+        (recorded in ``failovers``, NOT as degradation — the answer stays
+        complete), transient faults retry the chain, dead drop-out archives
+        with no replica left are pruned, and a mandatory archive with no
+        live endpoint at all yields a degraded empty result whose warnings
+        name the lost node. Failing over resets the transient-retry budget:
+        a re-routed plan is a fresh chain.
         """
         network = self._portal.require_network()
         mode = getattr(self._portal, "chain_mode", "store-forward")
@@ -110,23 +120,51 @@ class ChainExecutor:
                 f"unknown chain mode {mode!r}; expected one of {CHAIN_MODES}"
             )
         warnings = list(warnings or [])
+        counters = {"failovers": failovers, "degraded": degraded}
+        #: crossmatch endpoints seen dead this query, per archive — never
+        #: failed back onto within the same execution.
+        tried_dead: Dict[str, set] = {}
+        #: Pipelined-mode resume state: completed batch responses survive
+        #: a chain failure so the retry pulls only what is still missing.
+        #: With ``checkpoint_resume`` off every attempt starts from scratch
+        #: (the full-restart comparison arm of benchmarks/E18).
+        resume = getattr(self._portal, "checkpoint_resume", True)
+        stream_state: Optional[Dict[str, Any]] = (
+            {"fingerprint": None, "responses": None} if resume else None
+        )
+        #: One execution id for every attempt of this query: retries hit
+        #: the nodes' checkpoints; a fresh identical query never does.
+        #: An empty xid disables checkpointing at the nodes entirely.
+        xid = (
+            f"{self._portal.hostname}-x{next(self._xid_counter)}"
+            if resume else ""
+        )
         attempts = 0
         current = plan
         while True:
             try:
                 with network.phase("crossmatch-chain"):
                     if mode == "pipelined":
-                        rowset, stats = self._stream_chain(current, network)
+                        rowset, stats = self._stream_chain(
+                            current, network, stream_state
+                        )
                     else:
-                        rowset, stats = self._store_forward_chain(current)
+                        rowset, stats = self._store_forward_chain(
+                            current, xid
+                        )
                 break
             except (TransportError, SoapFaultError) as exc:
                 attempts += 1
-                current, fallback = self._recover(
-                    current, decomposed, warnings, exc, attempts
+                next_plan, fallback = self._recover(
+                    current, decomposed, warnings, exc, attempts,
+                    counters, tried_dead,
                 )
                 if fallback is not None:
+                    fallback.failovers = counters["failovers"]
                     return fallback
+                if next_plan is not current:
+                    attempts = 0
+                current = next_plan
         tuples = rowset_to_tuples(
             rowset,
             current.member_aliases_after(0),
@@ -134,16 +172,17 @@ class ChainExecutor:
         )
         result = self._finish(current, decomposed, tuples, stats)
         result.warnings = warnings
-        result.degraded = degraded or bool(warnings)
+        result.degraded = bool(counters["degraded"])
+        result.failovers = counters["failovers"]
         return result
 
     def _store_forward_chain(
-        self, plan: ExecutionPlan
+        self, plan: ExecutionPlan, xid: str = ""
     ) -> Tuple[Any, List[Dict[str, Any]]]:
         """One ``PerformXMatch`` round trip (the reference oracle path)."""
         proxy = self._portal.proxy(plan.step(0).url)
         response = proxy.call(
-            "PerformXMatch", plan=plan.to_wire(), position=0
+            "PerformXMatch", plan=plan.to_wire(), position=0, xid=xid
         )
         if not isinstance(response, dict):
             raise ExecutionError(f"malformed chain response: {response!r}")
@@ -151,7 +190,10 @@ class ChainExecutor:
         return rowset, list(response.get("stats") or [])
 
     def _stream_chain(
-        self, plan: ExecutionPlan, network: Any
+        self,
+        plan: ExecutionPlan,
+        network: Any,
+        state: Optional[Dict[str, Any]] = None,
     ) -> Tuple[Any, List[Dict[str, Any]]]:
         """Open a stream down the chain, then pull every batch concurrently.
 
@@ -164,9 +206,31 @@ class ChainExecutor:
         round trip. On failure the portal best-effort aborts the stream
         (server TTLs are the backstop) and lets the caller's recovery
         logic retry the whole chain.
+
+        ``state`` (shared across retries of one query) keeps every batch
+        response already acknowledged: a retried or failed-over chain opens
+        the stream at the high-water mark — the first unacknowledged batch
+        — instead of re-transferring from batch 0. The high-water mark is
+        keyed to the plan's content fingerprint, so it survives replica
+        substitution (same content, new endpoint) but resets if the plan's
+        content changes (a drop-out was pruned).
         """
         from repro.soap.encoding import WireRowSet
 
+        state = state if state is not None else {}
+        fingerprint = plan.fingerprint(0)
+        if state.get("fingerprint") != fingerprint:
+            state["fingerprint"] = fingerprint
+            state["responses"] = None
+        responses: Optional[List[Optional[Dict[str, Any]]]]
+        responses = state.get("responses")
+        high_water = 0
+        if responses is not None:
+            while (
+                high_water < len(responses)
+                and responses[high_water] is not None
+            ):
+                high_water += 1
         proxy = self._portal.proxy(plan.step(0).url)
         opened = proxy.call(
             "OpenStream",
@@ -174,18 +238,57 @@ class ChainExecutor:
             position=0,
             batch_size=getattr(self._portal, "stream_batch_size", 200),
             wire_format=getattr(self._portal, "stream_wire_format", "columnar"),
+            start_seq=high_water,
         )
         if not isinstance(opened, dict):
             raise ExecutionError(f"malformed OpenStream response: {opened!r}")
         stream_id = str(opened["stream_id"])
         batch_count = int(opened["batch_count"])
-        responses: List[Optional[Dict[str, Any]]] = [None] * batch_count
+        if responses is None or len(responses) != batch_count:
+            # Nothing usable to resume from (first attempt, or a stale
+            # partition that no longer matches): start over from batch 0.
+            if high_water:
+                try:
+                    proxy.call("AbortStream", stream_id=stream_id)
+                except (TransportError, SoapFaultError):
+                    pass
+                opened = proxy.call(
+                    "OpenStream",
+                    plan=plan.to_wire(),
+                    position=0,
+                    batch_size=getattr(self._portal, "stream_batch_size", 200),
+                    wire_format=getattr(
+                        self._portal, "stream_wire_format", "columnar"
+                    ),
+                    start_seq=0,
+                )
+                stream_id = str(opened["stream_id"])
+                batch_count = int(opened["batch_count"])
+            responses = [None] * batch_count
+            high_water = 0
+            state["responses"] = responses
+        #: Flow control: at most ``stream_pull_window`` batches in flight
+        #: at once (0 = unbounded, every batch dispatched together). A
+        #: bounded window acknowledges batches wave by wave, so a crash
+        #: mid-stream loses only the wave in flight — the completed waves
+        #: stay below the high-water mark and are never re-pulled.
+        window = int(getattr(self._portal, "stream_pull_window", 0) or 0)
+        pending = list(range(high_water, batch_count))
+        waves = (
+            [pending]
+            if window <= 0
+            else [
+                pending[i:i + window]
+                for i in range(0, len(pending), window)
+            ]
+        )
         try:
-            with network.phase(BATCH_TRANSFER_PHASE), network.parallel():
-                for seq in range(batch_count):
-                    responses[seq] = proxy.call(
-                        "PullBatch", stream_id=stream_id, seq=seq
-                    )
+            for wave in waves:
+                with network.phase(BATCH_TRANSFER_PHASE), network.parallel():
+                    for seq in wave:
+                        responses[seq] = proxy.call(
+                            "PullBatch", stream_id=stream_id, seq=seq
+                        )
         except Exception:
             try:
                 proxy.call("AbortStream", stream_id=stream_id)
@@ -207,6 +310,29 @@ class ChainExecutor:
                 stats = list(response["stats"])
         return WireRowSet.concat(parts), stats
 
+    def _probe_plan_endpoints(self, plan: ExecutionPlan) -> List[bool]:
+        """Ping each step's CURRENT endpoint (not just the archive primary).
+
+        A step already failed over probes its replica, so a second failure
+        of the same archive is still diagnosed correctly. Probes run
+        concurrently like the Portal's plan-time health checks.
+        """
+        from repro.errors import SoapFaultError as _Fault
+
+        network = self._portal.require_network()
+        alive: List[bool] = [False] * len(plan.steps)
+        with network.phase("health-probe"), network.parallel():
+            for index, step in enumerate(plan.steps):
+                info_url = self._portal.information_url_for(
+                    step.archive, step.url
+                )
+                proxy = self._portal.proxy(info_url)
+                try:
+                    alive[index] = bool(proxy.call("IsAlive"))
+                except (TransportError, _Fault):
+                    alive[index] = False
+        return alive
+
     def _recover(
         self,
         plan: ExecutionPlan,
@@ -214,29 +340,59 @@ class ChainExecutor:
         warnings: List[str],
         exc: Exception,
         attempts: int,
+        counters: Dict[str, Any],
+        tried_dead: Dict[str, set],
     ) -> Tuple[ExecutionPlan, Optional[FederatedResult]]:
-        """Decide how a failed chain continues: retry, re-plan, or degrade."""
-        health = self._portal.probe_health(
-            sorted({step.archive for step in plan.steps})
-        )
-        dead = {archive for archive, alive in health.items() if not alive}
-        if not dead:
+        """Decide how a failed chain continues: fail over, retry, or degrade.
+
+        Order of preference per dead hop: substitute a live replica
+        endpoint in place (same plan content, so checkpoints and stream
+        positions stay valid — counted in ``failovers``, not degradation);
+        else prune if the hop is a drop-out (degraded); else give up with
+        a degraded empty result (mandatory archive wholly lost).
+        """
+        alive = self._probe_plan_endpoints(plan)
+        dead_positions = [
+            index for index, ok in enumerate(alive) if not ok
+        ]
+        if not dead_positions:
             if attempts >= self.MAX_CHAIN_ATTEMPTS:
                 raise ExecutionError(
                     f"cross-match chain failed after {attempts} attempt(s): "
                     f"{exc}"
                 ) from exc
             return plan, None  # transient: retry the same plan
-        dead_mandatory = [
-            step
-            for step in plan.steps
-            if not step.dropout and step.archive in dead
-        ]
-        if dead_mandatory:
-            for step in dead_mandatory:
+        network = self._portal.require_network()
+        new_plan = plan
+        lost_mandatory: List[int] = []
+        lost_dropout: List[int] = []
+        for index in dead_positions:
+            step = plan.step(index)
+            tried = tried_dead.setdefault(step.archive, set())
+            tried.add(step.url)
+            replacement = self._portal.live_endpoints(
+                step.archive, exclude=tried
+            )
+            if replacement is not None:
+                new_url = replacement["crossmatch"]
+                new_plan = new_plan.replace_url(index, new_url)
+                warnings.append(
+                    f"archive {step.archive!r} endpoint {step.url} failed "
+                    f"mid-chain; failing over to replica {new_url}"
+                )
+                counters["failovers"] += 1
+                network.metrics.failovers += 1
+            elif step.dropout:
+                lost_dropout.append(index)
+            else:
+                lost_mandatory.append(index)
+        if lost_mandatory:
+            for index in lost_mandatory:
+                step = plan.step(index)
                 warnings.append(
                     f"mandatory archive {step.archive!r} (alias "
-                    f"{step.alias!r}) is unreachable; cross-match aborted"
+                    f"{step.alias!r}) is unreachable with no live replica; "
+                    "cross-match aborted"
                 )
             return plan, FederatedResult(
                 columns=self._output_columns(decomposed.query.items),
@@ -245,25 +401,30 @@ class ChainExecutor:
                 warnings=list(warnings),
                 degraded=True,
             )
-        # Only drop-out archives died: prune them and restart the chain
-        # from the surviving nodes (the paper's !X semantics are advisory
-        # filters, so the query can still answer — degraded).
-        for step in plan.steps:
-            if step.dropout and step.archive in dead:
+        if lost_dropout:
+            # Drop-out archives with no replica left: prune them and
+            # restart the chain from the surviving nodes (the paper's !X
+            # semantics are advisory filters, so the query can still
+            # answer — degraded).
+            for index in lost_dropout:
+                step = plan.step(index)
                 warnings.append(
                     f"drop-out archive {step.archive!r} (alias "
-                    f"{step.alias!r}) became unreachable mid-chain; skipped"
+                    f"{step.alias!r}) became unreachable mid-chain with no "
+                    "live replica; skipped"
                 )
-        pruned = ExecutionPlan(
-            steps=tuple(
-                step
-                for step in plan.steps
-                if not (step.dropout and step.archive in dead)
-            ),
-            threshold=plan.threshold,
-            area=plan.area,
-        )
-        return pruned, None
+            counters["degraded"] = True
+            pruned_out = {plan.step(index).alias for index in lost_dropout}
+            new_plan = ExecutionPlan(
+                steps=tuple(
+                    step
+                    for step in new_plan.steps
+                    if step.alias not in pruned_out
+                ),
+                threshold=new_plan.threshold,
+                area=new_plan.area,
+            )
+        return new_plan, None
 
     def _finish(
         self,

@@ -14,7 +14,8 @@ result — runs its query first and seeds the partial tuples.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import hashlib
+from dataclasses import dataclass, replace
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import PlanningError
@@ -46,6 +47,9 @@ class PlanStep:
     residual_sql: str  # "" when the archive has no local predicates
     attr_select: Tuple[Tuple[str, str, str], ...]  # (column, wire name, typecode)
     sql: str
+    #: Alternative Cross match endpoints (replica SkyNodes with identical
+    #: content) the executor may fail over to when ``url`` dies mid-chain.
+    replica_urls: Tuple[str, ...] = ()
 
     def to_wire(self) -> Dict[str, Any]:
         """Encode as a SOAP struct."""
@@ -63,6 +67,7 @@ class PlanStep:
             "residual_sql": self.residual_sql,
             "attr_select": [list(item) for item in self.attr_select],
             "sql": self.sql,
+            "replica_urls": list(self.replica_urls),
         }
 
     @classmethod
@@ -85,6 +90,28 @@ class PlanStep:
                 (str(c), str(w), str(t)) for c, w, t in data.get("attr_select", [])
             ),
             sql=str(data.get("sql") or ""),
+            replica_urls=tuple(
+                str(u) for u in data.get("replica_urls") or []
+            ),
+        )
+
+    def content_key(self) -> Tuple[Any, ...]:
+        """What this step *computes*, independent of where it runs.
+
+        Excludes ``url``/``replica_urls`` (a replica substitution must not
+        change the key) and ``count_star`` (an estimate, not an input).
+        """
+        return (
+            self.alias,
+            self.archive,
+            round(self.sigma_arcsec, 12),
+            self.dropout,
+            self.table,
+            self.id_column,
+            self.ra_column,
+            self.dec_column,
+            self.residual_sql,
+            self.attr_select,
         )
 
 
@@ -114,6 +141,41 @@ class ExecutionPlan:
                 f"plan position {position} out of range 0..{len(self.steps) - 1}"
             )
         return self.steps[position]
+
+    def fingerprint(self, position: int = 0) -> str:
+        """Content hash of the chain *suffix* starting at ``position``.
+
+        Keyed on what the suffix computes — node queries, ordering, sigma,
+        threshold, area — but NOT on endpoint URLs, so a node's cached
+        checkpoint stays valid when an upstream hop fails over to a
+        replica, and a stream resumed through a replica partitions
+        identically.
+        """
+        self.step(position)  # bounds check
+        payload = repr((
+            tuple(step.content_key() for step in self.steps[position:]),
+            round(self.threshold, 12),
+            area_to_wire(self.area),
+        ))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:24]
+
+    def replace_url(self, position: int, new_url: str) -> "ExecutionPlan":
+        """A new plan with the step at ``position`` re-routed to ``new_url``.
+
+        The step's previous endpoint joins its replica candidates (minus
+        the new one), so nothing is forgotten if further failovers are
+        needed; everything the step computes is unchanged, so checkpoint
+        fingerprints survive the substitution.
+        """
+        old = self.step(position)
+        candidates = tuple(
+            u for u in (old.url,) + old.replica_urls if u != new_url
+        )
+        steps = list(self.steps)
+        steps[position] = replace(old, url=new_url, replica_urls=candidates)
+        return ExecutionPlan(
+            steps=tuple(steps), threshold=self.threshold, area=self.area
+        )
 
     def member_aliases_after(self, position: int) -> List[str]:
         """Mandatory aliases joined once positions >= ``position`` have run.

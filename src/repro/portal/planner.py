@@ -76,6 +76,20 @@ class Planner:
                 counts[alias] = self._scalar_count(result, subquery)
         return counts
 
+    def count_for(self, subquery: NodeSubquery, query_url: str) -> int:
+        """One count-star probe against a specific Query endpoint.
+
+        The failover path: when a primary's performance query failed but a
+        replica answered the health probe, the Portal re-asks the replica
+        instead of degrading the whole query.
+        """
+        network = self._portal.require_network()
+        assert subquery.perf_sql is not None
+        proxy = self._portal.proxy(query_url)
+        with network.phase("performance-query"):
+            result = proxy.call("ExecuteQuery", sql=subquery.perf_sql)
+        return self._scalar_count(result, subquery)
+
     @staticmethod
     def _scalar_count(result: object, subquery: NodeSubquery) -> int:
         if not isinstance(result, WireRowSet) or len(result.rows) != 1:
@@ -102,12 +116,17 @@ class Planner:
         random_seed: int = 0,
         cost_models: Optional[Dict[str, "ArchiveCostModel"]] = None,
         skip_aliases: Collection[str] = (),
+        services_for: Optional[Dict[str, Dict[str, str]]] = None,
     ) -> ExecutionPlan:
         """Assemble the plan list: drop-outs first, then ordered mandatory.
 
         ``skip_aliases`` removes unreachable *drop-out* archives from the
         plan (graceful degradation); skipping a mandatory archive would
-        change the join semantics and is refused.
+        change the join semantics and is refused. ``services_for``
+        overrides the endpoint set per archive (plan-time failover: a dead
+        primary is substituted by its live replica before the chain ever
+        starts). Every step also carries the archive's remaining crossmatch
+        candidates as ``replica_urls`` for mid-chain failover.
         """
         assert decomposed.xmatch is not None
         mandatory = list(decomposed.mandatory_aliases)
@@ -131,7 +150,9 @@ class Planner:
         ]
         ordered_aliases = dropouts + mandatory
         steps = [
-            self._step_for(decomposed.subqueries[alias], counts.get(alias))
+            self._step_for(
+                decomposed.subqueries[alias], counts.get(alias), services_for
+            )
             for alias in ordered_aliases
         ]
         return ExecutionPlan(
@@ -171,14 +192,25 @@ class Planner:
         return list(aliases)
 
     def _step_for(
-        self, subquery: NodeSubquery, count_star: Optional[int]
+        self,
+        subquery: NodeSubquery,
+        count_star: Optional[int],
+        services_for: Optional[Dict[str, Dict[str, str]]] = None,
     ) -> PlanStep:
         record = self._portal.catalog.node(subquery.archive)
         info = record.info
+        chosen = (services_for or {}).get(record.archive, record.services)
+        url = chosen["crossmatch"]
+        replica_urls = tuple(
+            candidate["crossmatch"]
+            for candidate in record.endpoint_candidates()
+            if candidate["crossmatch"] != url
+        )
         return PlanStep(
             alias=subquery.alias,
             archive=record.archive,
-            url=record.services["crossmatch"],
+            url=url,
+            replica_urls=replica_urls,
             sigma_arcsec=info.sigma_arcsec,
             dropout=subquery.dropout,
             count_star=count_star,

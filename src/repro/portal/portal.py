@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Collection, Dict, List, Optional, Sequence
 
 from repro.errors import SoapFaultError, TransportError, ValidationError
 from repro.portal.catalog import FederationCatalog
@@ -56,6 +56,16 @@ class Portal:
         #: Encoding for streamed partial tuples: ``columnar`` (compact
         #: column-major colset) or ``rows`` (the classic rowset).
         self.stream_wire_format = stream_wire_format
+        #: Whether a retried/failed-over chain resumes from hop checkpoints
+        #: and stream high-water marks. Off, every recovery is a full
+        #: restart — the E18 comparison arm, not a recommended setting.
+        self.checkpoint_resume = True
+        #: Pipelined-mode flow control: how many batches may be in flight
+        #: at once (0 = unbounded, the full-overlap default). A bounded
+        #: window acknowledges batches progressively, which is what lets
+        #: a mid-stream failover resume at the high-water mark instead of
+        #: losing every in-flight batch together.
+        self.stream_pull_window = 0
         self.catalog = FederationCatalog()
         self.parser = XMLParser(
             memory_limit_bytes=parser_memory_limit,
@@ -136,6 +146,77 @@ class Portal:
                     health[archive] = False
         return health
 
+    def _probe_endpoint(self, services: Dict[str, str]) -> bool:
+        """One ``IsAlive`` ping against an endpoint set's Information URL."""
+        proxy = self.proxy(services["information"])
+        try:
+            return bool(proxy.call("IsAlive"))
+        except (TransportError, SoapFaultError):
+            return False
+
+    def probe_endpoints(
+        self, archives: Sequence[str]
+    ) -> Dict[str, Optional[Dict[str, str]]]:
+        """Replica-aware health probe: the first live endpoint set per archive.
+
+        Tries each archive's primary first, then its replicas in
+        registration order; an archive maps to ``None`` only when every
+        endpoint is dead. Archives probe concurrently; within one archive
+        the primary-then-replica sequence is a single branch (you only ask
+        a replica after the primary failed).
+        """
+        unique = sorted(dict.fromkeys(archives))
+        if not self.health_probes:
+            return {
+                archive: self.catalog.node(archive).services
+                for archive in unique
+            }
+        network = self.require_network()
+        chosen: Dict[str, Optional[Dict[str, str]]] = {}
+        with network.phase("health-probe"), network.parallel():
+            for archive in unique:
+                record = self.catalog.node(archive)
+                with network.branch():
+                    chosen[archive] = None
+                    for services in record.endpoint_candidates():
+                        if self._probe_endpoint(services):
+                            chosen[archive] = services
+                            break
+        return chosen
+
+    def live_endpoints(
+        self, archive: str, *, exclude: Collection[str] = ()
+    ) -> Optional[Dict[str, str]]:
+        """First live endpoint set for one archive, primary first.
+
+        ``exclude`` lists crossmatch URLs already known dead (the executor's
+        per-query blacklist), so recovery never fails back onto an endpoint
+        it just watched die. Probes run sequentially: a replica is only
+        asked once everything before it was excluded or found dead.
+        """
+        record = self.catalog.node(archive)
+        network = self.require_network()
+        with network.phase("health-probe"):
+            for services in record.endpoint_candidates():
+                if services["crossmatch"] in exclude:
+                    continue
+                if self._probe_endpoint(services):
+                    return services
+        return None
+
+    def information_url_for(self, archive: str, crossmatch_url: str) -> str:
+        """Information URL of the endpoint set owning a crossmatch URL.
+
+        Lets the executor probe the health of the *specific* endpoint a
+        plan step currently targets (which, after a failover, is a replica,
+        not the primary). Unknown URLs fall back to the primary set.
+        """
+        record = self.catalog.node(archive)
+        for services in record.endpoint_candidates():
+            if services["crossmatch"] == crossmatch_url:
+                return services["information"]
+        return record.services["information"]
+
     # -- the full query path ------------------------------------------------------
 
     def submit(
@@ -162,6 +243,11 @@ class Portal:
 
         warnings: List[str] = []
         skip_aliases: List[str] = []
+        degraded = False
+        failovers = 0
+        #: Archives whose primary is dead but a replica answered: the plan
+        #: is built against the replica's endpoints instead of degrading.
+        failover_services: Dict[str, Dict[str, str]] = {}
         # With probes disabled the Portal keeps the seed's strict behaviour:
         # a failed performance query raises instead of degrading.
         perf_failures: Optional[Dict[str, str]] = (
@@ -172,16 +258,28 @@ class Portal:
             # the same archives: dispatch both groups in one parallel block
             # so probing hides entirely under the count-star makespan.
             with self.require_network().parallel():
-                health = self.probe_health(
+                endpoints = self.probe_endpoints(
                     [sub.archive for sub in decomposed.subqueries.values()]
                 )
                 counts = self.planner.performance_counts(
                     decomposed, failures=perf_failures
                 )
+            for archive, chosen in sorted(endpoints.items()):
+                record = self.catalog.node(archive)
+                if chosen is None or chosen == record.services:
+                    continue
+                failover_services[archive] = chosen
+                failovers += 1
+                self.require_network().metrics.failovers += 1
+                warnings.append(
+                    f"archive {archive!r} primary endpoint "
+                    f"{record.services['crossmatch']} is unreachable; "
+                    f"failing over to replica {chosen['crossmatch']}"
+                )
             dead_mandatory = [
                 alias
                 for alias in decomposed.mandatory_aliases
-                if not health[decomposed.subqueries[alias].archive]
+                if endpoints[decomposed.subqueries[alias].archive] is None
             ]
             if dead_mandatory:
                 for alias in dead_mandatory:
@@ -190,11 +288,14 @@ class Portal:
                         f"mandatory archive {archive!r} (alias {alias!r}) "
                         "is unreachable; cross-match aborted"
                     )
-                return self._degraded_result(query, warnings)
+                result = self._degraded_result(query, warnings)
+                result.failovers = failovers
+                return result
             for alias in decomposed.dropout_aliases:
                 archive = decomposed.subqueries[alias].archive
-                if not health[archive]:
+                if endpoints[archive] is None:
                     skip_aliases.append(alias)
+                    degraded = True
                     warnings.append(
                         f"drop-out archive {archive!r} (alias {alias!r}) "
                         "is unreachable; skipped"
@@ -204,6 +305,22 @@ class Portal:
                 decomposed, failures=perf_failures
             )
         if perf_failures:
+            # A performance query that died against a dead primary gets a
+            # second chance at the replica the probe already found alive.
+            for alias in sorted(perf_failures):
+                subquery = decomposed.subqueries[alias]
+                chosen = failover_services.get(subquery.archive)
+                if chosen is None:
+                    continue
+                try:
+                    counts[alias] = self.planner.count_for(
+                        subquery, chosen["query"]
+                    )
+                except (TransportError, SoapFaultError) as exc:
+                    perf_failures[alias] = str(exc)
+                    continue
+                del perf_failures[alias]
+        if perf_failures:
             for alias in sorted(perf_failures):
                 archive = decomposed.subqueries[alias].archive
                 warnings.append(
@@ -212,6 +329,7 @@ class Portal:
                 )
             result = self._degraded_result(query, warnings)
             result.counts = counts
+            result.failovers = failovers
             return result
         if any(
             counts.get(alias) == 0 for alias in decomposed.mandatory_aliases
@@ -223,7 +341,8 @@ class Portal:
                 columns=self.executor._output_columns(query.items),
                 rows=[],
                 warnings=warnings,
-                degraded=bool(warnings),
+                degraded=degraded,
+                failovers=failovers,
             )
             result.counts = counts
             return result
@@ -239,9 +358,14 @@ class Portal:
             random_seed=random_seed,
             cost_models=cost_models,
             skip_aliases=skip_aliases,
+            services_for=failover_services,
         )
         result = self.executor.execute(
-            plan, decomposed, warnings=warnings, degraded=bool(warnings)
+            plan,
+            decomposed,
+            warnings=warnings,
+            degraded=degraded,
+            failovers=failovers,
         )
         result.counts = counts
         return result

@@ -9,7 +9,7 @@ is the node part of the federation.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Dict
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
 
 from repro.errors import RegistrationError
 from repro.portal.catalog import NodeRecord
@@ -31,10 +31,16 @@ class RegistrationService(WebService):
         self.register(
             "Register",
             self._register,
-            params=(("archive", "string"), ("services", "struct")),
+            params=(
+                ("archive", "string"),
+                ("services", "struct"),
+                ("replicas", "array"),
+            ),
             returns="struct",
             doc="Join the federation; the Portal calls back Metadata and "
-                "Information before accepting.",
+                "Information before accepting. ``replicas`` optionally "
+                "lists extra endpoint sets (mirror SkyNodes with identical "
+                "content) used for failover.",
         )
         self.register(
             "Unregister",
@@ -44,13 +50,31 @@ class RegistrationService(WebService):
             doc="Leave the federation.",
         )
 
-    def _register(self, archive: str, services: Dict[str, Any]) -> Dict[str, Any]:
+    def _register(
+        self,
+        archive: str,
+        services: Dict[str, Any],
+        replicas: Optional[List[Dict[str, Any]]] = None,
+    ) -> Dict[str, Any]:
         if not archive:
             raise RegistrationError("registration needs an archive name")
         missing = [name for name in REQUIRED_SERVICES if not services.get(name)]
         if missing:
             raise RegistrationError(
                 f"registration of {archive!r} missing service URL(s): {missing}"
+            )
+        replica_services: List[Dict[str, str]] = []
+        for endpoint in replicas or []:
+            gaps = [
+                name for name in REQUIRED_SERVICES if not endpoint.get(name)
+            ]
+            if gaps:
+                raise RegistrationError(
+                    f"replica endpoint for {archive!r} missing service "
+                    f"URL(s): {gaps}"
+                )
+            replica_services.append(
+                {name: str(endpoint[name]) for name in REQUIRED_SERVICES}
             )
         network = self._portal.require_network()
         with network.phase("registration"):
@@ -60,6 +84,18 @@ class RegistrationService(WebService):
             info_wire = self._portal.proxy(str(services["information"])).call(
                 "GetInfo"
             )
+            # Each replica must answer for the same archive before the
+            # Portal will ever route a failed-over query to it.
+            for endpoint in replica_services:
+                replica_info = self._portal.proxy(
+                    endpoint["information"]
+                ).call("GetInfo")
+                if str(replica_info.get("archive")) != archive:
+                    raise RegistrationError(
+                        f"replica at {endpoint['information']} reports "
+                        f"archive {replica_info.get('archive')!r}, "
+                        f"not {archive!r}"
+                    )
         if str(info_wire.get("archive")) != archive:
             raise RegistrationError(
                 f"Information service reports archive "
@@ -71,6 +107,7 @@ class RegistrationService(WebService):
             info_wire=info_wire,
             schema_wire=schema_wire,
             registered_at=network.clock.now,
+            replica_services=replica_services,
         )
         self._portal.catalog.register(record)
         return {

@@ -92,4 +92,5 @@ class SkyQueryService(WebService):
             "plan": result.plan.to_wire() if result.plan is not None else None,
             "warnings": list(result.warnings),
             "degraded": result.degraded,
+            "failovers": result.failovers,
         }

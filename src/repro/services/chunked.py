@@ -184,6 +184,18 @@ class ChunkedSender:
             return True
         return False
 
+    def crash(self) -> None:
+        """Drop all transfer state silently, as a process crash would.
+
+        Unlike :meth:`abort`, nothing is counted as reclaimed: the process
+        died, it did not tidy up. Callers mid-drain will hit "unknown
+        transfer" after the host recovers — exactly the failure a resumable
+        protocol has to survive.
+        """
+        self._transfers.clear()
+        self._deadlines.clear()
+        self._completed.clear()
+
     @property
     def pending_transfers(self) -> int:
         """Number of transfers awaiting pickup (0 after clean runs)."""

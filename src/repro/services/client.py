@@ -62,11 +62,21 @@ class ServiceProxy:
             )
         envelope = build_rpc_request(operation, params)
         request = soap_request(self.url, f"urn:skyquery#{operation}", envelope)
+        return self._transact(
+            request, operation, lambda resp: self._decode(operation, resp)
+        )
+
+    def _transact(
+        self,
+        request: HttpRequest,
+        operation: str,
+        decode: Any,
+    ) -> Any:
+        """One request through the breaker + retry/backoff/deadline loop."""
         clock = self.network.clock
         if self.breaker is not None:
             self.breaker.check(clock.now)
         policy = self.retry_policy
-        timeout_s = policy.timeout_s if policy is not None else None
         deadline = (
             clock.now + policy.deadline_s
             if policy is not None and policy.deadline_s is not None
@@ -75,6 +85,17 @@ class ServiceProxy:
         attempt = 0
         with self.network.branch():
             while True:
+                timeout_s = policy.timeout_s if policy is not None else None
+                if deadline is not None:
+                    # Clamp the attempt's timeout to the remaining deadline
+                    # budget: the last attempt must not overrun the caller's
+                    # deadline by up to one whole per-attempt timeout.
+                    remaining = max(deadline - clock.now, 0.0)
+                    timeout_s = (
+                        remaining
+                        if timeout_s is None
+                        else min(timeout_s, remaining)
+                    )
                 try:
                     response = self.network.request(
                         self.src_host,
@@ -82,7 +103,7 @@ class ServiceProxy:
                         operation=operation,
                         timeout_s=timeout_s,
                     )
-                    result = self._decode(operation, response)
+                    result = decode(response)
                 except TransportError:
                     attempt += 1
                     retryable = (
@@ -122,12 +143,21 @@ class ServiceProxy:
         return parse_rpc_response(response.body, self.parser)
 
     def fetch_wsdl(self) -> ServiceDescription:
-        """GET the endpoint's WSDL and remember the parsed description."""
+        """GET the endpoint's WSDL and remember the parsed description.
+
+        Goes through the same retry/breaker path as :meth:`call`: with a
+        :class:`~repro.services.retry.RetryPolicy` configured, a single
+        dropped WSDL GET no longer fails the whole federation build.
+        """
         request = HttpRequest("GET", f"{self.url}?wsdl")
-        response = self.network.request(self.src_host, request, operation="wsdl")
-        if not response.ok:
-            raise TransportError(
-                f"WSDL fetch from {self.url} failed with {response.status}"
-            )
-        self.description = parse_wsdl(response.body.decode("utf-8"))
+
+        def decode(response: HttpResponse) -> ServiceDescription:
+            if not response.ok:
+                raise TransportError(
+                    f"WSDL fetch from {self.url} failed with "
+                    f"{response.status}"
+                )
+            return parse_wsdl(response.body.decode("utf-8"))
+
+        self.description = self._transact(request, "wsdl", decode)
         return self.description

@@ -11,7 +11,7 @@ service in the first place.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import ServiceError
 from repro.services.framework import WebService
@@ -19,12 +19,22 @@ from repro.services.framework import WebService
 
 @dataclass(frozen=True)
 class RegistryEntry:
-    """One published service."""
+    """One published service: a primary endpoint plus optional replicas.
+
+    ``replica_urls`` lists mirror endpoints serving identical content —
+    a client that finds the primary dead may try them in order (GAVO-style
+    multi-endpoint mirror records).
+    """
 
     name: str
     category: str
     url: str
     description: str = ""
+    replica_urls: Tuple[str, ...] = ()
+
+    def endpoints(self) -> List[str]:
+        """Every endpoint for this service, primary first."""
+        return [self.url, *self.replica_urls]
 
     def to_wire(self) -> Dict[str, Any]:
         """Encode as a SOAP struct."""
@@ -33,6 +43,7 @@ class RegistryEntry:
             "category": self.category,
             "url": self.url,
             "description": self.description,
+            "replica_urls": list(self.replica_urls),
         }
 
     @classmethod
@@ -43,6 +54,9 @@ class RegistryEntry:
             category=str(data["category"]),
             url=str(data["url"]),
             description=str(data.get("description") or ""),
+            replica_urls=tuple(
+                str(u) for u in data.get("replica_urls") or []
+            ),
         )
 
 
@@ -60,9 +74,11 @@ class UDDIRegistry(WebService):
                 ("category", "string"),
                 ("url", "string"),
                 ("description", "string"),
+                ("replica_urls", "array"),
             ),
             returns="boolean",
-            doc="Register a service endpoint under a category.",
+            doc="Register a service endpoint (plus any replica mirrors) "
+                "under a category.",
         )
         self.register(
             "Find",
@@ -80,11 +96,23 @@ class UDDIRegistry(WebService):
         )
 
     def _publish(
-        self, name: str, category: str, url: str, description: str = ""
+        self,
+        name: str,
+        category: str,
+        url: str,
+        description: str = "",
+        replica_urls: Optional[List[str]] = None,
     ) -> bool:
         if not name or not url:
             raise ServiceError("Publish requires a name and a url")
-        self._entries[name] = RegistryEntry(name, category, url, description)
+        replicas = tuple(str(u) for u in replica_urls or [] if u)
+        if url in replicas:
+            raise ServiceError(
+                "a replica endpoint must differ from the primary url"
+            )
+        self._entries[name] = RegistryEntry(
+            name, category, url, description, replicas
+        )
         return True
 
     def _find(self, category: str = "", name: str = "") -> List[Dict[str, Any]]:

@@ -61,6 +61,25 @@ if TYPE_CHECKING:
 #: How long (simulated seconds) an open stream survives between touches.
 STREAM_TTL_S = 600.0
 
+#: How long (simulated seconds) a store-and-forward checkpoint — one hop's
+#: completed partial-tuple payload — stays servable for a chain retry.
+CHECKPOINT_TTL_S = 600.0
+
+
+@dataclass
+class _Checkpoint:
+    """One hop's completed store-and-forward result, kept for resume.
+
+    Keyed by (execution id, chain-suffix fingerprint): when an upstream
+    hop dies after this node already finished its step, the retried chain
+    — possibly re-routed through a replica — is answered from here, so
+    only the failed hop's bytes travel again.
+    """
+
+    rowset: WireRowSet
+    stats: List[Dict[str, Any]]
+    deadline: Optional[float] = None
+
 
 @dataclass
 class _Stream:
@@ -112,9 +131,16 @@ class CrossMatchService(WebService):
         self.register(
             "PerformXMatch",
             self._perform,
-            params=(("plan", "struct"), ("position", "int")),
+            params=(
+                ("plan", "struct"),
+                ("position", "int"),
+                ("xid", "string"),
+            ),
             returns="struct",
-            doc="Run this node's step of the federated cross match.",
+            doc="Run this node's step of the federated cross match. "
+                "``xid`` identifies one chain execution so a retried chain "
+                "is served from this node's checkpoint instead of "
+                "recomputed.",
         )
         self.register(
             "FetchChunk",
@@ -138,9 +164,12 @@ class CrossMatchService(WebService):
                 ("position", "int"),
                 ("batch_size", "int"),
                 ("wire_format", "string"),
+                ("start_seq", "int"),
             ),
             returns="struct",
-            doc="Open a pipelined tuple stream for this node's chain step.",
+            doc="Open a pipelined tuple stream for this node's chain step. "
+                "``start_seq`` resumes at the first unacknowledged batch "
+                "(a failed-over chain re-transfers nothing it already has).",
         )
         self.register(
             "PullBatch",
@@ -158,6 +187,7 @@ class CrossMatchService(WebService):
         )
         self._streams: Dict[str, _Stream] = {}
         self._stream_ids = itertools.count(1)
+        self._checkpoints: Dict[str, _Checkpoint] = {}
         self._clock_fn: Optional[Callable[[], float]] = None
         self._on_reclaim: Optional[Callable[[int], None]] = None
 
@@ -172,15 +202,35 @@ class CrossMatchService(WebService):
 
     # -- operations ------------------------------------------------------------
 
-    def _perform(self, plan: Dict[str, Any], position: int) -> Dict[str, Any]:
+    def _perform(
+        self, plan: Dict[str, Any], position: int, xid: str = ""
+    ) -> Dict[str, Any]:
         plan_obj = ExecutionPlan.from_wire(plan)
         position = int(position)
         me = self._validate_step(plan_obj, position)
+        self._reap_checkpoints()
+        checkpoint_key = (
+            f"{xid}:{plan_obj.fingerprint(position)}" if xid else None
+        )
+        if checkpoint_key is not None:
+            checkpoint = self._checkpoints.get(checkpoint_key)
+            if checkpoint is not None:
+                # A retried chain (upstream hop died after this node already
+                # finished): serve the completed payload as-is. No downstream
+                # call, no recompute — only the failed hop's bytes travel
+                # again. The fingerprint is URL-independent, so the hit
+                # survives replica substitution anywhere in the suffix.
+                self._touch_checkpoint(checkpoint)
+                return self._respond(
+                    checkpoint.rowset, [dict(s) for s in checkpoint.stats]
+                )
         stats_chain: List[Dict[str, Any]] = []
         if position == len(plan_obj.steps) - 1:
             tuples, my_stats = self._seed_step(plan_obj, me)
         else:
-            incoming, stats_chain = self._call_next(plan, plan_obj, position)
+            incoming, stats_chain = self._call_next(
+                plan, plan_obj, position, xid
+            )
             tuples, my_stats = self._local_step(plan_obj, me, incoming)
         out_rowset = tuples_to_rowset(
             tuples,
@@ -189,6 +239,12 @@ class CrossMatchService(WebService):
         )
         my_stats["tuples_out"] = len(tuples)
         stats_chain.append(my_stats)
+        if checkpoint_key is not None:
+            checkpoint = _Checkpoint(
+                rowset=out_rowset, stats=[dict(s) for s in stats_chain]
+            )
+            self._touch_checkpoint(checkpoint)
+            self._checkpoints[checkpoint_key] = checkpoint
         return self._respond(out_rowset, stats_chain)
 
     def _fetch_chunk(self, transfer_id: str, seq: int) -> WireRowSet:
@@ -232,12 +288,43 @@ class CrossMatchService(WebService):
         if now is not None:
             stream.deadline = now + STREAM_TTL_S
 
+    def _reap_checkpoints(self) -> None:
+        now = self._stream_now()
+        if now is None:
+            return
+        for key in [
+            key
+            for key, checkpoint in self._checkpoints.items()
+            if checkpoint.deadline is not None and checkpoint.deadline <= now
+        ]:
+            del self._checkpoints[key]
+
+    def _touch_checkpoint(self, checkpoint: _Checkpoint) -> None:
+        now = self._stream_now()
+        if now is not None:
+            checkpoint.deadline = now + CHECKPOINT_TTL_S
+
+    @property
+    def open_checkpoints(self) -> int:
+        """Checkpoints currently held (bounded by the TTL reaper)."""
+        return len(self._checkpoints)
+
+    def crash(self) -> None:
+        """Drop all volatile stream/checkpoint state, as a crash would.
+
+        Nothing is counted as reclaimed — the process died, it did not
+        tidy up. Callers mid-stream get "unknown stream" after recovery.
+        """
+        self._streams.clear()
+        self._checkpoints.clear()
+
     def _open_stream(
         self,
         plan: Dict[str, Any],
         position: int,
         batch_size: int,
         wire_format: str,
+        start_seq: int = 0,
     ) -> Dict[str, Any]:
         self._reap_streams()
         plan_obj = ExecutionPlan.from_wire(plan)
@@ -251,6 +338,9 @@ class CrossMatchService(WebService):
                 f"unknown wire format {wire_format!r}; expected one of "
                 f"{WIRE_FORMATS}"
             )
+        start_seq = int(start_seq)
+        if start_seq < 0:
+            raise ExecutionError(f"start_seq must be >= 0, got {start_seq}")
         stream = _Stream(
             plan_wire=plan,
             plan=plan_obj,
@@ -262,7 +352,9 @@ class CrossMatchService(WebService):
         if position == len(plan_obj.steps) - 1:
             # Last node on the list: seed once, partition into batches. The
             # per-batch payloads then stream out on demand while upstream
-            # nodes are still chewing on earlier batches.
+            # nodes are still chewing on earlier batches. The partition is
+            # deterministic, so a resumed stream (start_seq > 0) slices the
+            # batches identically and serves exactly the missing suffix.
             tuples, stats = self._seed_step(plan_obj, me)
             stats["tuples_out"] = len(tuples)
             stream.tuples = tuples
@@ -278,6 +370,7 @@ class CrossMatchService(WebService):
                 position=position + 1,
                 batch_size=batch_size,
                 wire_format=wire_format,
+                start_seq=start_seq,
             )
             if not isinstance(opened, dict):
                 raise ExecutionError(
@@ -291,6 +384,13 @@ class CrossMatchService(WebService):
                 role="dropout" if me.dropout else "match",
                 tuples_in=0,
             )
+        if start_seq > stream.batch_count:
+            raise ExecutionError(
+                f"start_seq {start_seq} beyond the stream's "
+                f"{stream.batch_count} batches"
+            )
+        stream.next_seq = start_seq
+        stream.done = start_seq >= stream.batch_count
         stream.stats["batches"] = stream.batch_count
         stream_id = f"{self._node.info.archive}-s{next(self._stream_ids)}"
         self._streams[stream_id] = stream
@@ -409,11 +509,17 @@ class CrossMatchService(WebService):
     # -- chain plumbing -----------------------------------------------------------
 
     def _call_next(
-        self, plan_wire: Dict[str, Any], plan: ExecutionPlan, position: int
+        self,
+        plan_wire: Dict[str, Any],
+        plan: ExecutionPlan,
+        position: int,
+        xid: str = "",
     ) -> Tuple[List[PartialTuple], List[Dict[str, Any]]]:
         next_step = plan.step(position + 1)
         proxy = self._node.proxy(next_step.url)
-        response = proxy.call("PerformXMatch", plan=plan_wire, position=position + 1)
+        response = proxy.call(
+            "PerformXMatch", plan=plan_wire, position=position + 1, xid=xid
+        )
         stats_chain = list(response.get("stats") or [])
         rowset = receive_rowset(response, proxy)
         incoming = rowset_to_tuples(

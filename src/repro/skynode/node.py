@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.db.engine import Database
 from repro.errors import RegistrationError
@@ -149,6 +149,15 @@ class SkyNode:
         self.query.sender.bind_clock(clock_fn, on_reclaim)
         self.crossmatch.sender.bind_clock(clock_fn, on_reclaim)
         self.crossmatch.bind_clock(clock_fn, on_reclaim)
+        # A crash wipes everything volatile: open chunked transfers,
+        # streams, and checkpoint caches all die with the process.
+        network.on_crash(self.hostname, self.crash_volatile_state)
+
+    def crash_volatile_state(self) -> None:
+        """Drop all in-memory service state, as a process crash would."""
+        self.query.sender.crash()
+        self.crossmatch.sender.crash()
+        self.crossmatch.crash()
 
     def service_url(self, service: str) -> str:
         """Endpoint URL of one of the four services."""
@@ -177,23 +186,34 @@ class SkyNode:
             ),
         )
 
-    def register_with_portal(self, registration_url: str) -> Dict[str, Any]:
+    def register_with_portal(
+        self,
+        registration_url: str,
+        *,
+        replicas: Optional[List[Dict[str, str]]] = None,
+    ) -> Dict[str, Any]:
         """Join the federation: call the Portal's Registration service.
 
         "When a SkyNode wishes to join the SkyQuery federation; it calls
         the Registration service of the Portal. The registration request
         includes information about services available on the SkyNode."
+
+        ``replicas`` optionally advertises mirror SkyNodes (their full
+        ``service_urls()`` dicts) that serve identical content and can
+        take over if this node dies.
         """
         if self.network is None:
             raise RegistrationError(
                 f"SkyNode {self.info.archive!r} is not attached to a network"
             )
+        params: Dict[str, Any] = {
+            "archive": self.info.archive,
+            "services": self.service_urls(),
+        }
+        if replicas:
+            params["replicas"] = [dict(endpoint) for endpoint in replicas]
         with self.network.phase("registration"):
-            result = self.proxy(registration_url).call(
-                "Register",
-                archive=self.info.archive,
-                services=self.service_urls(),
-            )
+            result = self.proxy(registration_url).call("Register", **params)
         if not isinstance(result, dict) or not result.get("accepted"):
             raise RegistrationError(
                 f"Portal rejected registration of {self.info.archive!r}: "

@@ -70,13 +70,19 @@ class DataExchange:
         area: AreaLike,
         *,
         columns: Optional[List[str]] = None,
+        target_table: Optional[str] = None,
     ) -> ExchangeResult:
-        """Copy the source's in-AREA objects into each target, atomically."""
+        """Copy the source's in-AREA objects into each target, atomically.
+
+        ``target_table`` overrides the default ``{source}_replica`` name —
+        the full-replica provisioning path uses the source's own primary
+        table name so a replica SkyNode answers the same node queries.
+        """
         if not target_archives:
             raise TransactionError("replicate_region needs at least one target")
         source = self.portal.catalog.node(source_archive)
         rowset = self._pull_source_rows(source, area, columns)
-        replica_table = f"{source_archive.lower()}_replica"
+        replica_table = target_table or f"{source_archive.lower()}_replica"
         txn_id = f"xchg-{source_archive.lower()}-{next(_txn_counter)}"
 
         participants = []

@@ -18,6 +18,7 @@ injected fault is counted in
 
 from __future__ import annotations
 
+import math
 import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
@@ -30,6 +31,23 @@ class FaultDecision:
     drop: bool = False
     extra_latency_s: float = 0.0
     label: str = ""
+
+
+@dataclass
+class CrashEvent:
+    """A scheduled process crash: the host dies at ``at_s`` and loses all
+    volatile state (open streams, pending transfers, checkpoints); it stays
+    unreachable until ``recover_s`` (forever by default)."""
+
+    host: str
+    at_s: float
+    recover_s: float = math.inf
+    #: Whether the network has already delivered the state-wipe side effect.
+    fired: bool = False
+
+    def covers(self, now: float) -> bool:
+        """True while the host is down because of this crash."""
+        return self.at_s <= now < self.recover_s
 
 
 @dataclass
@@ -91,6 +109,7 @@ class FaultPlan:
         self.seed = seed
         self._rules: List[_Rule] = []
         self._outages: List[OutageWindow] = []
+        self._crashes: List[CrashEvent] = []
 
     # -- scripting ------------------------------------------------------------
 
@@ -173,6 +192,39 @@ class FaultPlan:
         self._outages.append(OutageWindow(host, start_s, end_s))
         return self
 
+    def crash(self, host: str, at_s: float) -> "FaultPlan":
+        """Schedule a process crash for ``host`` at ``at_s`` (sim seconds).
+
+        Unlike :meth:`outage`, a crash also *kills in-flight work*: the
+        response of any request the host is serving when the clock passes
+        ``at_s`` is lost (the caller times out), and the host's volatile
+        server state — open streams, pending chunked transfers, cached
+        checkpoints — is wiped via the network's crash callbacks. The host
+        stays unreachable until a matching :meth:`recover`.
+        """
+        if at_s < 0.0:
+            raise ValueError(f"crash time {at_s!r} must be >= 0")
+        self._crashes.append(CrashEvent(host, at_s))
+        return self
+
+    def recover(self, host: str, at_s: float) -> "FaultPlan":
+        """Schedule the crashed ``host`` to come back at ``at_s``.
+
+        Recovery restores reachability only: the volatile state lost at
+        crash time stays lost (durable tables survive, as a restarted
+        process would find them on disk).
+        """
+        for event in reversed(self._crashes):
+            if event.host == host and math.isinf(event.recover_s):
+                if at_s <= event.at_s:
+                    raise ValueError(
+                        f"recover time {at_s!r} must be after the crash "
+                        f"at {event.at_s!r}"
+                    )
+                event.recover_s = at_s
+                return self
+        raise ValueError(f"no unrecovered crash scheduled for {host!r}")
+
     # -- consultation (called by the network) --------------------------------------
 
     def host_in_outage(self, host: str, now: float) -> bool:
@@ -180,6 +232,23 @@ class FaultPlan:
         return any(
             w.host == host and w.covers(now) for w in self._outages
         )
+
+    def host_crashed(self, host: str, now: float) -> bool:
+        """True if the host is down because of a crash right now."""
+        return any(
+            event.host == host and event.covers(now)
+            for event in self._crashes
+        )
+
+    def due_crashes(self, now: float) -> List[str]:
+        """Hosts whose crash time has passed but whose state-wipe side
+        effect has not fired yet; marks them fired (each crash wipes once)."""
+        due = []
+        for event in self._crashes:
+            if not event.fired and event.at_s <= now:
+                event.fired = True
+                due.append(event.host)
+        return due
 
     def on_message(
         self, direction: str, src: str, dst: str, now: float
@@ -209,4 +278,8 @@ class FaultPlan:
         summary: Dict[str, int] = {}
         for rule in self._rules:
             summary[rule.label] = summary.get(rule.label, 0) + rule.injected
+        for event in self._crashes:
+            if event.fired:
+                label = f"crash:{event.host}"
+                summary[label] = summary.get(label, 0) + 1
         return summary

@@ -35,11 +35,15 @@ class NetworkMetrics:
     simulated_seconds: float = 0.0
     processing_seconds: float = 0.0
     #: Injected faults by kind ("request-drop", "response-drop",
-    #: "latency-spike", "outage"); what the resilience benchmarks report.
+    #: "latency-spike", "outage", "crash", "crash-drop"); what the
+    #: resilience benchmarks report.
     faults: Dict[str, int] = field(default_factory=dict)
     timeouts: int = 0
     retries: int = 0
     backoff_seconds: float = 0.0
+    #: Endpoint substitutions: a dead primary (or mid-chain hop) replaced
+    #: by a live replica instead of degrading the answer.
+    failovers: int = 0
     #: Circuit-breaker state transitions: (endpoint, old state, new state,
     #: sim time).
     breaker_events: List[Tuple[str, str, str, float]] = field(
@@ -123,5 +127,6 @@ class NetworkMetrics:
         self.timeouts = 0
         self.retries = 0
         self.backoff_seconds = 0.0
+        self.failovers = 0
         self.breaker_events.clear()
         self.reclaimed_transfers = 0

@@ -75,6 +75,9 @@ class SimulatedNetwork:
         self._hosts: Dict[str, Handler] = {}
         self._phase_stack: list[str] = []
         self._failed_hosts: set[str] = set()
+        #: Per-host callbacks fired once when a scheduled crash's time
+        #: passes: servers register these to wipe their volatile state.
+        self._crash_callbacks: Dict[str, list[Callable[[], None]]] = {}
         #: (entry request-depth, pooled branch durations) per open block.
         self._parallel_stack: list[Tuple[int, list[float]]] = []
         self._request_depth = 0
@@ -144,14 +147,33 @@ class SimulatedNetwork:
         """Install (or clear, with None) the scripted fault plan."""
         self.fault_plan = plan
 
+    def on_crash(self, hostname: str, callback: Callable[[], None]) -> None:
+        """Register a volatile-state wipe to run when ``hostname`` crashes.
+
+        A :meth:`FaultPlan.crash <repro.transport.faults.FaultPlan.crash>`
+        event fires each host's callbacks exactly once, lazily, the first
+        time the network moves a message after the crash instant.
+        """
+        self._crash_callbacks.setdefault(hostname, []).append(callback)
+
+    def _fire_due_crashes(self) -> None:
+        """Deliver the state-wipe side effect of crashes whose time passed."""
+        if self.fault_plan is None:
+            return
+        for host in self.fault_plan.due_crashes(self.clock.now):
+            self.metrics.record_fault("crash")
+            for callback in self._crash_callbacks.get(host, []):
+                callback()
+
     def _host_down(self, hostname: str) -> Optional[str]:
         """Why the host is unreachable right now, or None if it is fine."""
         if hostname in self._failed_hosts:
             return "host is down"
-        if self.fault_plan is not None and self.fault_plan.host_in_outage(
-            hostname, self.clock.now
-        ):
-            return "scheduled outage"
+        if self.fault_plan is not None:
+            if self.fault_plan.host_crashed(hostname, self.clock.now):
+                return "crashed"
+            if self.fault_plan.host_in_outage(hostname, self.clock.now):
+                return "scheduled outage"
         return None
 
     # -- phase tagging ----------------------------------------------------------
@@ -256,8 +278,15 @@ class SimulatedNetwork:
         a :class:`~repro.errors.RequestTimeoutError`.
         """
         dst_host = request.host
+        self._fire_due_crashes()
         if src_host in self._failed_hosts:
             raise TransportError(f"host {src_host!r} is down")
+        if self.fault_plan is not None and self.fault_plan.host_crashed(
+            src_host, self.clock.now
+        ):
+            # The caller's own process died (e.g. mid-cascade): whatever it
+            # was about to send never leaves the host.
+            raise TransportError(f"host {src_host!r} crashed")
         down = self._host_down(dst_host)
         if down is not None:
             if down == "scheduled outage":
@@ -275,6 +304,14 @@ class SimulatedNetwork:
                 src_host, dst_host, request.wire_bytes, "request", operation,
                 timeout_s,
             )
+            if self.fault_plan is not None and self.fault_plan.host_crashed(
+                dst_host, self.clock.now
+            ):
+                # The destination crashed while the request was on the wire.
+                self._fire_due_crashes()
+                self.metrics.record_fault("crash-drop")
+                self._time_out(timeout_s, "request", src_host, dst_host,
+                               operation)
             response = handler(request)
             self._deliver(
                 dst_host, src_host, response.wire_bytes, "response", operation,
@@ -297,6 +334,17 @@ class SimulatedNetwork:
         timeout_s: Optional[float] = None,
     ) -> None:
         extra_latency = 0.0
+        if kind == "response":
+            # The handler may have advanced the clock past a scheduled
+            # crash of the responding host: its process died before the
+            # response hit the wire, so the in-flight request is killed
+            # (the caller waits out its timeout), not merely future ones.
+            self._fire_due_crashes()
+            if self.fault_plan is not None and self.fault_plan.host_crashed(
+                src, self.clock.now
+            ):
+                self.metrics.record_fault("crash-drop")
+                self._time_out(timeout_s, kind, src, dst, operation)
         if self.fault_plan is not None:
             decision = self.fault_plan.on_message(
                 kind, src, dst, self.clock.now

@@ -1,0 +1,304 @@
+"""Replica failover + mid-chain checkpoint/resume (docs/RESILIENCE.md).
+
+The failover contract: a federation built with ``replicas=N`` keeps
+answering *complete* queries — never degraded — as long as every archive
+has one live endpoint. An injected crash costs failovers and simulated
+seconds, never rows: both chain modes must return rows byte-identical to
+the fault-free oracle, with ``failovers >= 1`` and zero degradation.
+
+``SKYQUERY_CHAOS_SEED`` (CI's chaos-smoke matrix) shifts the crash
+schedule so different recovery paths are exercised on every run.
+"""
+
+import functools
+import os
+
+import pytest
+
+from repro.errors import SoapFaultError
+from repro.federation.builder import FederationConfig, build_federation
+from repro.services.client import ServiceProxy
+from repro.services.retry import RetryPolicy
+from repro.skynode.crossmatch import CHECKPOINT_TTL_S
+from repro.transport.faults import FaultPlan
+from repro.workloads.skysim import SkyField
+
+CHAOS_SEED = int(os.environ.get("SKYQUERY_CHAOS_SEED", "0"))
+
+XMATCH_SQL = (
+    "SELECT O.object_id, O.ra, T.obj_id "
+    "FROM SDSS:Photo_Object O, TWOMASS:Photo_Primary T, "
+    "FIRST:Primary_Object P "
+    "WHERE AREA(185.0, -0.5, 900.0) AND XMATCH(O, T, P) < 3.5"
+)
+
+
+def _config(*, replicas=1, chain_mode="store-forward"):
+    return FederationConfig(
+        n_bodies=500,
+        seed=11,
+        sky_field=SkyField(185.0, -0.5, 1800.0),
+        retry_policy=RetryPolicy(
+            max_attempts=3, timeout_s=5.0, base_backoff_s=0.2,
+            max_backoff_s=2.0, seed=11 + CHAOS_SEED,
+        ),
+        replicas=replicas,
+        chain_mode=chain_mode,
+    )
+
+
+def _build(**kwargs):
+    return build_federation(_config(**kwargs))
+
+
+def _table_rows(node, table_name):
+    table = node.db.table(table_name)
+    return sorted(tuple(table.row(pos)) for pos in table.iter_positions())
+
+
+@functools.lru_cache(maxsize=4)
+def _oracle(chain_mode):
+    """Fault-free run: (rows, columns, chain window, first-hop hostname).
+
+    The simulation is deterministic, so an identically-built twin
+    federation reaches ``t0`` at the same instant — a crash scheduled
+    inside ``(t0, t1)`` is guaranteed to land while the twin's chain is
+    executing.
+    """
+    fed = _build(chain_mode=chain_mode)
+    t0 = fed.network.clock.now
+    result = fed.client().submit(XMATCH_SQL)
+    t1 = fed.network.clock.now
+    assert result.failovers == 0 and not result.degraded
+    victim = result.plan["steps"][0]["url"].split("/")[2]
+    return tuple(result.rows), tuple(result.columns), (t0, t1), victim
+
+
+class TestReplicaProvisioning:
+    def test_replicas_mirror_primary_content(self):
+        fed = _build()
+        for archive, replica_nodes in fed.replicas.items():
+            assert len(replica_nodes) == 1
+            primary = fed.node(archive)
+            table = primary.info.primary_table
+            want = _table_rows(primary, table)
+            assert want
+            for replica in replica_nodes:
+                assert _table_rows(replica, table) == want
+
+    def test_catalog_lists_replica_endpoints(self):
+        fed = _build()
+        for archive in fed.portal.catalog.archives():
+            record = fed.portal.catalog.node(archive)
+            candidates = record.endpoint_candidates()
+            assert len(candidates) == 2  # primary + one replica
+            assert candidates[0] == record.services
+            assert candidates[1]["crossmatch"] != record.services["crossmatch"]
+
+    def test_replica_hostnames_are_distinct(self):
+        fed = _build()
+        hostnames = {node.hostname for node in fed.nodes.values()}
+        for replicas in fed.replicas.values():
+            for node in replicas:
+                assert node.hostname not in hostnames
+
+    def test_no_replicas_by_default(self):
+        fed = _build(replicas=0)
+        assert fed.replicas == {}
+        for archive in fed.portal.catalog.archives():
+            record = fed.portal.catalog.node(archive)
+            assert record.endpoint_candidates() == [record.services]
+
+
+class TestPlanTimeFailover:
+    def test_dead_primary_substituted_at_plan_time(self):
+        rows, columns, _, _ = _oracle("store-forward")
+        fed = _build()
+        fed.network.set_fault_plan(
+            FaultPlan().crash(
+                fed.node("SDSS").hostname, at_s=fed.network.clock.now
+            )
+        )
+        result = fed.client().submit(XMATCH_SQL)
+        assert tuple(result.rows) == rows
+        assert tuple(result.columns) == columns
+        assert result.failovers >= 1
+        assert not result.degraded
+        assert any(
+            "unreachable; failing over to replica" in w
+            for w in result.warnings
+        )
+
+    def test_mandatory_archive_with_no_live_endpoint_degrades(self):
+        fed = _build()
+        fed.network.fail_host(fed.node("SDSS").hostname)
+        for replica in fed.replicas["SDSS"]:
+            fed.network.fail_host(replica.hostname)
+        result = fed.client().submit(XMATCH_SQL)
+        assert result.degraded
+        assert result.rows == []
+
+    def test_failover_without_replicas_degrades_as_before(self):
+        fed = _build(replicas=0)
+        fed.network.fail_host(fed.node("SDSS").hostname)
+        result = fed.client().submit(XMATCH_SQL)
+        assert result.degraded
+        assert result.failovers == 0
+
+
+class TestMidChainFailover:
+    """The tentpole acceptance criterion, both chain modes."""
+
+    @pytest.mark.parametrize("chain_mode", ["store-forward", "pipelined"])
+    def test_crash_mid_chain_is_byte_identical_to_oracle(self, chain_mode):
+        rows, columns, (t0, t1), victim = _oracle(chain_mode)
+        fed = _build(chain_mode=chain_mode)
+        crash_at = t0 + 0.6 * (t1 - t0)
+        fed.network.set_fault_plan(FaultPlan().crash(victim, at_s=crash_at))
+        result = fed.client().submit(XMATCH_SQL)
+        assert tuple(result.rows) == rows
+        assert tuple(result.columns) == columns
+        assert result.failovers >= 1
+        assert not result.degraded
+        assert any(
+            "failed mid-chain; failing over to replica" in w
+            for w in result.warnings
+        )
+        assert fed.network.metrics.failovers >= 1
+        assert fed.network.metrics.fault_count("crash") >= 1
+
+    @pytest.mark.parametrize("chain_mode", ["store-forward", "pipelined"])
+    @pytest.mark.parametrize("slot", [0, 1, 2])
+    def test_chaos_crash_schedule_never_loses_rows(self, chain_mode, slot):
+        """Seeded sweep: wherever the crash lands, the answer is complete."""
+        rows, _, (t0, t1), victim = _oracle(chain_mode)
+        fraction = 0.2 + 0.25 * ((CHAOS_SEED + slot) % 3)
+        fed = _build(chain_mode=chain_mode)
+        fed.network.set_fault_plan(
+            FaultPlan().crash(victim, at_s=t0 + fraction * (t1 - t0))
+        )
+        result = fed.client().submit(XMATCH_SQL)
+        assert tuple(result.rows) == rows
+        assert result.failovers >= 1
+        assert not result.degraded
+
+
+class TestCheckpoints:
+    def test_chain_records_one_checkpoint_per_hop(self):
+        fed = _build(replicas=0)
+        fed.client().submit(XMATCH_SQL)
+        for node in fed.nodes.values():
+            assert node.crossmatch.open_checkpoints == 1
+
+    def test_fresh_query_never_reuses_checkpoints(self):
+        fed = _build(replicas=0)
+        first = fed.client().submit(XMATCH_SQL)
+        second = fed.client().submit(XMATCH_SQL)
+        assert first.rows == second.rows
+        # A new execution id per submit: the second query computed its
+        # own checkpoints instead of being served stale ones.
+        for node in fed.nodes.values():
+            assert node.crossmatch.open_checkpoints == 2
+
+    def test_checkpoint_hit_skips_downstream_recompute(self):
+        fed = _build(replicas=0)
+        submitted = fed.client().submit(XMATCH_SQL)
+        url = submitted.plan["steps"][0]["url"]
+        proxy = ServiceProxy(fed.network, "tester.skyquery.net", url)
+
+        def downstream_requests():
+            return [
+                m for m in fed.network.metrics.messages
+                if m.operation == "PerformXMatch" and m.kind == "request"
+                and not m.src.startswith("tester")
+            ]
+
+        fed.network.metrics.reset()
+        first = proxy.call(
+            "PerformXMatch", plan=submitted.plan, position=0, xid="probe-x1"
+        )
+        assert len(downstream_requests()) >= 1  # full chain ran
+        fed.network.metrics.reset()
+        replay = proxy.call(
+            "PerformXMatch", plan=submitted.plan, position=0, xid="probe-x1"
+        )
+        # Same xid: answered from the hop's checkpoint, no downstream call.
+        assert downstream_requests() == []
+        assert replay["rows"].rows == first["rows"].rows
+        assert replay["stats"] == first["stats"]
+
+    def test_checkpoints_reaped_after_ttl(self):
+        fed = _build(replicas=0)
+        fed.client().submit(XMATCH_SQL)
+        fed.network.clock.advance(CHECKPOINT_TTL_S + 1.0)
+        fed.client().submit(XMATCH_SQL)  # any chain call triggers the reap
+        for node in fed.nodes.values():
+            assert node.crossmatch.open_checkpoints == 1  # just the new one
+
+    def test_crash_wipes_checkpoints(self):
+        fed = _build(replicas=0)
+        fed.client().submit(XMATCH_SQL)
+        node = fed.node("SDSS")
+        assert node.crossmatch.open_checkpoints == 1
+        node.crash_volatile_state()
+        assert node.crossmatch.open_checkpoints == 0
+
+
+class TestStreamResume:
+    def _open(self, proxy, plan, start_seq, batch_size=25):
+        return proxy.call(
+            "OpenStream", plan=plan, position=0, batch_size=batch_size,
+            wire_format="columnar", start_seq=start_seq,
+        )
+
+    def test_open_stream_validates_start_seq(self):
+        fed = _build(replicas=0, chain_mode="pipelined")
+        submitted = fed.client().submit(XMATCH_SQL)
+        proxy = ServiceProxy(
+            fed.network, "tester.skyquery.net",
+            submitted.plan["steps"][0]["url"],
+        )
+        with pytest.raises(SoapFaultError):
+            self._open(proxy, submitted.plan, -1)
+        opened = self._open(proxy, submitted.plan, 0)
+        with pytest.raises(SoapFaultError):
+            self._open(proxy, submitted.plan, opened["batch_count"] + 1)
+
+    @pytest.mark.parametrize("window", [1, 2])
+    def test_pull_window_flow_control_preserves_rows(self, window):
+        """Bounded pull waves change pacing, never the answer."""
+        rows, columns, _, _ = _oracle("pipelined")
+        fed = _build(chain_mode="pipelined")
+        fed.portal.stream_batch_size = 8
+        fed.portal.stream_pull_window = window
+        result = fed.client().submit(XMATCH_SQL)
+        assert tuple(result.rows) == rows
+        assert tuple(result.columns) == columns
+        assert not result.degraded
+
+    def test_resumed_stream_serves_only_the_tail(self):
+        fed = _build(replicas=0, chain_mode="pipelined")
+        submitted = fed.client().submit(XMATCH_SQL)
+        proxy = ServiceProxy(
+            fed.network, "tester.skyquery.net",
+            submitted.plan["steps"][0]["url"],
+        )
+        full = self._open(proxy, submitted.plan, 0)
+        count = full["batch_count"]
+        assert count >= 2, "need a multi-batch stream to test resume"
+        batches = [
+            proxy.call("PullBatch", stream_id=full["stream_id"], seq=seq)
+            for seq in range(count)
+        ]
+        resume_at = count // 2
+        resumed = self._open(proxy, submitted.plan, resume_at)
+        assert resumed["batch_count"] == count
+        # Already-acknowledged batches are gone: the stream starts at the
+        # high-water mark and pulling before it is a protocol error.
+        with pytest.raises(SoapFaultError):
+            proxy.call("PullBatch", stream_id=resumed["stream_id"], seq=0)
+        for seq in range(resume_at, count):
+            tail = proxy.call(
+                "PullBatch", stream_id=resumed["stream_id"], seq=seq
+            )
+            assert tail["rows"].rows == batches[seq]["rows"].rows

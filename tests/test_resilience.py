@@ -490,3 +490,79 @@ class TestFederationResilience:
         assert result.degraded
         assert result.rows == []
         assert any("TWOMASS" in warning for warning in result.warnings)
+
+
+# -- deadline clamping (regression) ---------------------------------------------
+
+
+class TestDeadlineClamp:
+    def test_last_attempt_timeout_is_clamped_to_deadline(self):
+        # Regression: the final attempt used to run with the full
+        # per-attempt timeout even when the deadline budget had less left,
+        # overrunning the caller's deadline by up to one whole timeout.
+        net, url = echo_service_net()
+        net.set_fault_plan(FaultPlan().drop_requests(dst="svc"))
+        policy = quick_policy(max_attempts=10, timeout_s=1.0, deadline_s=2.5)
+        proxy = ServiceProxy(net, "cli", url, retry_policy=policy)
+        before = net.clock.now
+        with pytest.raises(RequestTimeoutError):
+            proxy.call("Add", a=1, b=2)
+        elapsed = net.clock.now - before
+        # attempt(1.0) + backoff(0.1) + attempt(1.0) + backoff(0.2) +
+        # clamped final attempt(0.2) = 2.5 exactly; never a full extra 1.0.
+        assert elapsed <= policy.deadline_s + 1e-9
+        assert net.metrics.timeouts == 3
+
+    def test_deadline_without_timeout_bounds_each_attempt(self):
+        # With no per-attempt timeout at all, the deadline alone must bound
+        # every attempt instead of falling back to the network default.
+        net, url = echo_service_net()
+        net.set_fault_plan(FaultPlan().drop_requests(dst="svc"))
+        policy = quick_policy(
+            max_attempts=10, timeout_s=None, deadline_s=1.5
+        )
+        proxy = ServiceProxy(net, "cli", url, retry_policy=policy)
+        before = net.clock.now
+        with pytest.raises(RequestTimeoutError):
+            proxy.call("Add", a=1, b=2)
+        assert net.clock.now - before <= 1.5 + 1e-9
+
+
+# -- WSDL fetch resilience ------------------------------------------------------
+
+
+class TestWsdlFetchResilience:
+    def test_fetch_wsdl_retries_transient_drops(self):
+        net, url = echo_service_net()
+        net.set_fault_plan(
+            FaultPlan().drop_requests(dst="svc", first_n=2, label="warmup")
+        )
+        proxy = ServiceProxy(net, "cli", url, retry_policy=quick_policy())
+        description = proxy.fetch_wsdl()
+        assert description.operation("Add") is not None
+        assert net.metrics.retries == 2
+        assert net.metrics.fault_count("request-drop") == 2
+
+    def test_fetch_wsdl_counts_against_the_breaker(self):
+        net, url = echo_service_net()
+        breaker = CircuitBreaker(url, failure_threshold=2, cooldown_s=10.0)
+        proxy = ServiceProxy(
+            net, "cli", url,
+            retry_policy=quick_policy(max_attempts=1),
+            breaker=breaker,
+        )
+        net.fail_host("svc")
+        for _ in range(2):
+            with pytest.raises(TransportError):
+                proxy.fetch_wsdl()
+        assert breaker.state == CircuitBreaker.OPEN
+        with pytest.raises(CircuitOpenError):
+            proxy.fetch_wsdl()
+
+    def test_fetch_wsdl_without_policy_stays_single_shot(self):
+        net, url = echo_service_net()
+        net.set_fault_plan(FaultPlan().drop_requests(dst="svc", first_n=1))
+        proxy = ServiceProxy(net, "cli", url)
+        with pytest.raises(TransportError):
+            proxy.fetch_wsdl()
+        assert net.metrics.retries == 0

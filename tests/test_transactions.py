@@ -258,3 +258,114 @@ class TestCoordinatorRecovery:
         )
         exchange.replicate_region("SDSS", ["TWOMASS"], AREA)
         assert coordinator.recover() == []
+
+
+class TestFaultInjectedTwoPhase:
+    """Scripted crash injection against the 2PC exchange (FaultPlan)."""
+
+    def test_participant_lost_before_prepare_aborts_cleanly(self, fed):
+        from repro.transport.faults import FaultPlan
+
+        target = fed.node("TWOMASS")
+        network = fed.network
+
+        class LosesContact(TwoPhaseCoordinator):
+            """Crashes the target after staging, before its Prepare."""
+
+            def complete(self, txn_id, participants):
+                network.set_fault_plan(
+                    FaultPlan().crash(target.hostname, at_s=network.clock.now)
+                )
+                return super().complete(txn_id, participants)
+
+        coordinator = LosesContact(fed.network, fed.portal.hostname)
+        exchange = DataExchange(
+            fed.portal, txn_urls(fed), coordinator=coordinator
+        )
+        result = exchange.replicate_region("SDSS", ["TWOMASS", "FIRST"], AREA)
+
+        # One unreachable participant forces a global abort...
+        assert not result.committed
+        assert "unreachable" in result.votes.values()
+        assert result.rows_copied == 0
+        # ...and the abort path leaves no partial replica table anywhere:
+        # the table may exist (EnsureTable ran while staging) but holds
+        # zero rows on every target, crashed or not.
+        for archive in ("TWOMASS", "FIRST"):
+            db = fed.node(archive).db
+            if db.has_table(result.replica_table):
+                assert db.count_rows(result.replica_table) == 0
+        assert proxy(fed, "FIRST").call(
+            "GetStatus", txn_id=result.txn_id
+        ) == "aborted"
+
+    def test_retried_exchange_after_abort_is_idempotent(self, fed):
+        from repro.transport.faults import FaultPlan
+
+        target = fed.node("TWOMASS")
+        network = fed.network
+
+        class LosesContact(TwoPhaseCoordinator):
+            def complete(self, txn_id, participants):
+                network.set_fault_plan(
+                    FaultPlan().crash(target.hostname, at_s=network.clock.now)
+                )
+                return super().complete(txn_id, participants)
+
+        failed = DataExchange(
+            fed.portal, txn_urls(fed),
+            coordinator=LosesContact(fed.network, fed.portal.hostname),
+        ).replicate_region("SDSS", ["TWOMASS", "FIRST"], AREA)
+        assert not failed.committed
+
+        # The host is repaired; the retried exchange must converge to
+        # exactly one copy of the region — the aborted attempt left no
+        # residue that a retry could double-apply.
+        network.set_fault_plan(None)
+        retry = DataExchange(fed.portal, txn_urls(fed))
+        second = retry.replicate_region("SDSS", ["TWOMASS", "FIRST"], AREA)
+        assert second.committed
+        source_count = fed.node("SDSS").db.execute(
+            "SELECT count(*) FROM Photo_Object o WHERE AREA(185.0, -0.5, 600.0)"
+        ).scalar()
+        assert second.rows_copied == source_count
+        for archive in ("TWOMASS", "FIRST"):
+            assert fed.node(archive).db.count_rows(
+                second.replica_table
+            ) == source_count
+
+    def test_participant_lost_between_prepare_and_commit_recovers(self, fed):
+        from repro.transport.faults import FaultPlan
+
+        target = fed.node("TWOMASS")
+        network = fed.network
+        log = CoordinatorLog()
+        coordinator = TwoPhaseCoordinator(fed.network, fed.portal.hostname, log)
+
+        def crash_target_before_delivery(url):
+            if target.hostname in url and network.fault_plan is None:
+                network.set_fault_plan(
+                    FaultPlan().crash(target.hostname, at_s=network.clock.now)
+                )
+
+        coordinator.fault_hook = crash_target_before_delivery
+        exchange = DataExchange(
+            fed.portal, txn_urls(fed), coordinator=coordinator
+        )
+        result = exchange.replicate_region("FIRST", ["TWOMASS"], AREA)
+        # Every vote was commit, so the decision is commit — but the
+        # delivery never reached the crashed participant: in doubt.
+        assert result.committed
+        assert log.in_doubt()
+
+        network.set_fault_plan(None)
+        coordinator.fault_hook = None
+        assert proxy(fed, "TWOMASS").call(
+            "GetStatus", txn_id=result.txn_id
+        ) == "prepared"
+        outcomes = coordinator.recover()
+        assert len(outcomes) == 1 and outcomes[0].committed
+        assert target.db.count_rows(result.replica_table) == result.rows_copied
+        # Replaying recovery again redelivers Commit; idempotent.
+        assert coordinator.recover() == []
+        assert target.db.count_rows(result.replica_table) == result.rows_copied
