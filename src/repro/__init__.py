@@ -39,6 +39,14 @@ from repro.portal import Portal
 from repro.portal.planner import OrderingStrategy
 from repro.skynode import ArchiveInfo, SkyNode
 from repro.sql import parse_query, to_sql
+from repro.tracing import (
+    Span,
+    Trace,
+    Tracer,
+    render_flamegraph,
+    to_chrome_trace,
+    to_chrome_trace_json,
+)
 from repro.transport import SimulatedNetwork
 from repro.workloads import SkyField, SurveySpec
 
@@ -62,6 +70,12 @@ __all__ = [
     "SkyNode",
     "parse_query",
     "to_sql",
+    "Span",
+    "Trace",
+    "Tracer",
+    "render_flamegraph",
+    "to_chrome_trace",
+    "to_chrome_trace_json",
     "SimulatedNetwork",
     "SkyField",
     "SurveySpec",

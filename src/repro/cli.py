@@ -59,6 +59,32 @@ def _build_parser() -> argparse.ArgumentParser:
         help="show the decomposition and plan without executing the chain",
     )
 
+    trace = sub.add_parser(
+        "trace",
+        help="run a query and print its distributed trace as a flamegraph",
+    )
+    trace.add_argument(
+        "sql", nargs="?", default=None,
+        help="the SkyQuery SQL text (default: the demo query)",
+    )
+    _federation_args(trace)
+    trace.add_argument(
+        "--strategy",
+        default="count_desc",
+        choices=["count_desc", "count_asc", "random", "as_written",
+                 "bytes_desc"],
+        help="plan ordering strategy (default: the paper's count_desc)",
+    )
+    trace.add_argument(
+        "--chrome", default="", metavar="FILE",
+        help="also write Chrome trace_event JSON (open in about:tracing "
+             "or Perfetto)",
+    )
+    trace.add_argument(
+        "--width", type=int, default=72, metavar="COLS",
+        help="flamegraph timeline width in columns (default 72)",
+    )
+
     experiments = sub.add_parser(
         "experiments", help="run the paper-reproduction experiments"
     )
@@ -233,6 +259,32 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.tracing import render_flamegraph, to_chrome_trace_json
+
+    federation = _make_federation(args)
+    tracer = federation.tracer
+    if tracer is None:
+        print("error: the federation was built without tracing",
+              file=sys.stderr)
+        return 2
+    sql = args.sql or DEMO_SQL
+    # Drop registration-time traces so the query's trace stands alone.
+    tracer.reset()
+    result = federation.client().submit(sql, strategy=args.strategy)
+    trace = tracer.trace()
+    print(render_flamegraph(trace, width=args.width))
+    if result.degraded:
+        print("\nwarning: degraded result", file=sys.stderr)
+        for warning in result.warnings:
+            print(f"  - {warning}", file=sys.stderr)
+    if args.chrome:
+        with open(args.chrome, "w", encoding="utf-8") as handle:
+            handle.write(to_chrome_trace_json(trace, indent=2))
+        print(f"wrote {args.chrome}")
+    return 0
+
+
 def _cmd_experiments(args: argparse.Namespace) -> int:
     from repro.bench import ALL_EXPERIMENTS
 
@@ -273,6 +325,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_demo(args)
         if args.command == "query":
             return _cmd_query(args)
+        if args.command == "trace":
+            return _cmd_trace(args)
         if args.command == "experiments":
             return _cmd_experiments(args)
     except SkyQueryError as exc:

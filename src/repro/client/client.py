@@ -9,13 +9,16 @@ network.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
 from repro.errors import ExecutionError
 from repro.services.client import ServiceProxy
 from repro.services.retry import RetryPolicy
 from repro.soap.encoding import WireRowSet
 from repro.transport.network import SimulatedNetwork
+
+if TYPE_CHECKING:
+    from repro.tracing.tracer import Trace
 
 
 @dataclass
@@ -35,6 +38,9 @@ class ClientResult:
     #: Endpoint substitutions the Portal made (plan-time or mid-chain).
     #: A failed-over answer is complete — every archive contributed.
     failovers: int = 0
+    #: The query's span tree, rooted at this client's SubmitQuery call
+    #: (None when the federation was built with ``tracing=False``).
+    trace: Optional["Trace"] = field(default=None, repr=False, compare=False)
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -80,8 +86,14 @@ class SkyQueryClient:
 
     def submit(self, sql: str, *, strategy: str = "") -> ClientResult:
         """Run a query; ``strategy`` overrides the plan ordering (benchmarks)."""
+        tracer = self.network.tracer
+        before = len(tracer.trace_ids()) if tracer is not None else 0
         with self.network.phase("client"):
             response = self._proxy.call("SubmitQuery", sql=sql, strategy=strategy)
+        # This call's client span rooted a fresh trace; hand its tree over.
+        trace = None
+        if tracer is not None and len(tracer.trace_ids()) > before:
+            trace = tracer.trace(tracer.trace_ids()[-1])
         if not isinstance(response, dict):
             raise ExecutionError(f"malformed Portal response: {response!r}")
         rowset = response.get("rows")
@@ -99,4 +111,5 @@ class SkyQueryClient:
             warnings=[str(w) for w in (response.get("warnings") or [])],
             degraded=bool(response.get("degraded")),
             failovers=int(response.get("failovers") or 0),
+            trace=trace,
         )

@@ -72,6 +72,10 @@ class FederationConfig:
     #: the transactional region-replication exchange (2PC), and its
     #: endpoints are advertised to the Portal as failover candidates.
     replicas: int = 0
+    #: Install a distributed :class:`~repro.tracing.Tracer` on the network.
+    #: Off, no trace headers ride in any envelope — the wire traffic is
+    #: byte-identical to the pre-tracing federation.
+    tracing: bool = True
 
 
 @dataclass
@@ -100,6 +104,11 @@ class Federation:
         """A SkyNode by archive name."""
         return self.nodes[archive]
 
+    @property
+    def tracer(self):
+        """The network's tracer (None when built with ``tracing=False``)."""
+        return self.network.tracer
+
 
 def build_federation(config: Optional[FederationConfig] = None) -> Federation:
     """Generate the sky, load the archives, register everyone.
@@ -113,6 +122,10 @@ def build_federation(config: Optional[FederationConfig] = None) -> Federation:
         default_latency_s=config.default_latency_s,
         default_bandwidth_bps=config.default_bandwidth_bps,
     )
+    if config.tracing:
+        from repro.tracing.tracer import Tracer
+
+        network.install_tracer(Tracer())
     portal = Portal(
         retry_policy=config.retry_policy,
         health_probes=config.health_probes,

@@ -40,6 +40,7 @@ from repro.xmatch.wire import rowset_to_tuples
 
 if TYPE_CHECKING:
     from repro.portal.portal import Portal
+    from repro.tracing.tracer import Trace
 
 
 @dataclass
@@ -64,6 +65,9 @@ class FederatedResult:
     #: mid-chain). A failed-over answer is complete, NOT degraded: every
     #: archive contributed, just not always through its primary endpoint.
     failovers: int = 0
+    #: The assembled distributed trace of this submission, when the
+    #: federation's network has a tracer installed (see repro.tracing).
+    trace: Optional["Trace"] = field(default=None, repr=False, compare=False)
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -382,6 +386,13 @@ class ChainExecutor:
                 )
                 counters["failovers"] += 1
                 network.metrics.failovers += 1
+                if network.tracer is not None:
+                    network.tracer.annotate(
+                        "failover",
+                        archive=step.archive,
+                        from_url=step.url,
+                        to_url=new_url,
+                    )
             elif step.dropout:
                 lost_dropout.append(index)
             else:

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from typing import Collection, Dict, List, Optional, Sequence
 
 from repro.errors import SoapFaultError, TransportError, ValidationError
@@ -233,14 +234,36 @@ class Portal:
         time (with a warning); a dead *mandatory* archive — or one whose
         performance query fails after retries — yields a degraded empty
         result whose warnings name the node, instead of an exception.
+
+        With a tracer on the network, the whole submission runs under one
+        ``SubmitQuery`` root span and the returned result carries the
+        assembled :class:`~repro.tracing.Trace` as ``result.trace``.
         """
         self.queries_served += 1
         query = parse_query(sql) if isinstance(sql, str) else sql
         analysis = validate_query(query)
-        if analysis.xmatch is None:
-            return self._submit_single_archive(query)
-        decomposed = decompose(query, self.catalog)
+        tracer = self.network.tracer if self.network is not None else None
+        if tracer is None:
+            if analysis.xmatch is None:
+                return self._submit_single_archive(query)
+            return self._submit_federated(query, strategy, random_seed)
+        with tracer.span("SubmitQuery", host=self.hostname) as root:
+            if analysis.xmatch is None:
+                result = self._submit_single_archive(query)
+            else:
+                result = self._submit_federated(query, strategy, random_seed)
+            trace_id = root.trace_id
+        result.trace = tracer.trace(trace_id)
+        return result
 
+    def _submit_federated(
+        self,
+        query: Query,
+        strategy: OrderingStrategy,
+        random_seed: int,
+    ) -> FederatedResult:
+        """The cross-match path of :meth:`submit`: probe, plan, chain."""
+        tracer = self.network.tracer if self.network is not None else None
         warnings: List[str] = []
         skip_aliases: List[str] = []
         degraded = False
@@ -248,118 +271,139 @@ class Portal:
         #: Archives whose primary is dead but a replica answered: the plan
         #: is built against the replica's endpoints instead of degrading.
         failover_services: Dict[str, Dict[str, str]] = {}
-        # With probes disabled the Portal keeps the seed's strict behaviour:
-        # a failed performance query raises instead of degrading.
-        perf_failures: Optional[Dict[str, str]] = (
-            {} if self.health_probes else None
+        plan_scope = (
+            tracer.span("plan", host=self.hostname)
+            if tracer is not None
+            else nullcontext(None)
         )
-        if self.health_probes:
-            # Probes and performance queries are independent round trips to
-            # the same archives: dispatch both groups in one parallel block
-            # so probing hides entirely under the count-star makespan.
-            with self.require_network().parallel():
-                endpoints = self.probe_endpoints(
-                    [sub.archive for sub in decomposed.subqueries.values()]
-                )
+        with plan_scope:
+            decomposed = decompose(query, self.catalog)
+            # With probes disabled the Portal keeps the seed's strict
+            # behaviour: a failed performance query raises, not degrades.
+            perf_failures: Optional[Dict[str, str]] = (
+                {} if self.health_probes else None
+            )
+            if self.health_probes:
+                # Probes and performance queries are independent round
+                # trips to the same archives: dispatch both groups in one
+                # parallel block so probing hides entirely under the
+                # count-star makespan.
+                with self.require_network().parallel():
+                    endpoints = self.probe_endpoints(
+                        [
+                            sub.archive
+                            for sub in decomposed.subqueries.values()
+                        ]
+                    )
+                    counts = self.planner.performance_counts(
+                        decomposed, failures=perf_failures
+                    )
+                for archive, chosen in sorted(endpoints.items()):
+                    record = self.catalog.node(archive)
+                    if chosen is None or chosen == record.services:
+                        continue
+                    failover_services[archive] = chosen
+                    failovers += 1
+                    self.require_network().metrics.failovers += 1
+                    if tracer is not None:
+                        tracer.annotate(
+                            "failover",
+                            archive=archive,
+                            from_url=record.services["crossmatch"],
+                            to_url=chosen["crossmatch"],
+                        )
+                    warnings.append(
+                        f"archive {archive!r} primary endpoint "
+                        f"{record.services['crossmatch']} is unreachable; "
+                        f"failing over to replica {chosen['crossmatch']}"
+                    )
+                dead_mandatory = [
+                    alias
+                    for alias in decomposed.mandatory_aliases
+                    if endpoints[decomposed.subqueries[alias].archive]
+                    is None
+                ]
+                if dead_mandatory:
+                    for alias in dead_mandatory:
+                        archive = decomposed.subqueries[alias].archive
+                        warnings.append(
+                            f"mandatory archive {archive!r} (alias "
+                            f"{alias!r}) is unreachable; cross-match aborted"
+                        )
+                    result = self._degraded_result(query, warnings)
+                    result.failovers = failovers
+                    return result
+                for alias in decomposed.dropout_aliases:
+                    archive = decomposed.subqueries[alias].archive
+                    if endpoints[archive] is None:
+                        skip_aliases.append(alias)
+                        degraded = True
+                        warnings.append(
+                            f"drop-out archive {archive!r} (alias "
+                            f"{alias!r}) is unreachable; skipped"
+                        )
+            else:
                 counts = self.planner.performance_counts(
                     decomposed, failures=perf_failures
                 )
-            for archive, chosen in sorted(endpoints.items()):
-                record = self.catalog.node(archive)
-                if chosen is None or chosen == record.services:
-                    continue
-                failover_services[archive] = chosen
-                failovers += 1
-                self.require_network().metrics.failovers += 1
-                warnings.append(
-                    f"archive {archive!r} primary endpoint "
-                    f"{record.services['crossmatch']} is unreachable; "
-                    f"failing over to replica {chosen['crossmatch']}"
-                )
-            dead_mandatory = [
-                alias
-                for alias in decomposed.mandatory_aliases
-                if endpoints[decomposed.subqueries[alias].archive] is None
-            ]
-            if dead_mandatory:
-                for alias in dead_mandatory:
+            if perf_failures:
+                # A performance query that died against a dead primary gets
+                # a second chance at the replica the probe found alive.
+                for alias in sorted(perf_failures):
+                    subquery = decomposed.subqueries[alias]
+                    chosen = failover_services.get(subquery.archive)
+                    if chosen is None:
+                        continue
+                    try:
+                        counts[alias] = self.planner.count_for(
+                            subquery, chosen["query"]
+                        )
+                    except (TransportError, SoapFaultError) as exc:
+                        perf_failures[alias] = str(exc)
+                        continue
+                    del perf_failures[alias]
+            if perf_failures:
+                for alias in sorted(perf_failures):
                     archive = decomposed.subqueries[alias].archive
                     warnings.append(
                         f"mandatory archive {archive!r} (alias {alias!r}) "
-                        "is unreachable; cross-match aborted"
+                        f"failed its performance query: "
+                        f"{perf_failures[alias]}"
                     )
                 result = self._degraded_result(query, warnings)
+                result.counts = counts
                 result.failovers = failovers
                 return result
-            for alias in decomposed.dropout_aliases:
-                archive = decomposed.subqueries[alias].archive
-                if endpoints[archive] is None:
-                    skip_aliases.append(alias)
-                    degraded = True
-                    warnings.append(
-                        f"drop-out archive {archive!r} (alias {alias!r}) "
-                        "is unreachable; skipped"
-                    )
-        else:
-            counts = self.planner.performance_counts(
-                decomposed, failures=perf_failures
-            )
-        if perf_failures:
-            # A performance query that died against a dead primary gets a
-            # second chance at the replica the probe already found alive.
-            for alias in sorted(perf_failures):
-                subquery = decomposed.subqueries[alias]
-                chosen = failover_services.get(subquery.archive)
-                if chosen is None:
-                    continue
-                try:
-                    counts[alias] = self.planner.count_for(
-                        subquery, chosen["query"]
-                    )
-                except (TransportError, SoapFaultError) as exc:
-                    perf_failures[alias] = str(exc)
-                    continue
-                del perf_failures[alias]
-        if perf_failures:
-            for alias in sorted(perf_failures):
-                archive = decomposed.subqueries[alias].archive
-                warnings.append(
-                    f"mandatory archive {archive!r} (alias {alias!r}) failed "
-                    f"its performance query: {perf_failures[alias]}"
+            if any(
+                counts.get(alias) == 0
+                for alias in decomposed.mandatory_aliases
+            ):
+                # A mandatory archive has nothing in the AREA: no tuple can
+                # survive the inner join, so skip the whole chain. The
+                # count-star probes pay for themselves here.
+                result = FederatedResult(
+                    columns=self.executor._output_columns(query.items),
+                    rows=[],
+                    warnings=warnings,
+                    degraded=degraded,
+                    failovers=failovers,
                 )
-            result = self._degraded_result(query, warnings)
-            result.counts = counts
-            result.failovers = failovers
-            return result
-        if any(
-            counts.get(alias) == 0 for alias in decomposed.mandatory_aliases
-        ):
-            # A mandatory archive has nothing in the AREA: no tuple can
-            # survive the inner join, so skip the whole chain. The
-            # count-star probes pay for themselves here.
-            result = FederatedResult(
-                columns=self.executor._output_columns(query.items),
-                rows=[],
-                warnings=warnings,
-                degraded=degraded,
-                failovers=failovers,
-            )
-            result.counts = counts
-            return result
-        cost_models = None
-        if strategy is OrderingStrategy.BYTES_DESC:
-            from repro.portal.calibration import CostCalibrator
+                result.counts = counts
+                return result
+            cost_models = None
+            if strategy is OrderingStrategy.BYTES_DESC:
+                from repro.portal.calibration import CostCalibrator
 
-            cost_models = CostCalibrator(self).calibrate(decomposed)
-        plan = self.planner.build_plan(
-            decomposed,
-            counts,
-            strategy=strategy,
-            random_seed=random_seed,
-            cost_models=cost_models,
-            skip_aliases=skip_aliases,
-            services_for=failover_services,
-        )
+                cost_models = CostCalibrator(self).calibrate(decomposed)
+            plan = self.planner.build_plan(
+                decomposed,
+                counts,
+                strategy=strategy,
+                random_seed=random_seed,
+                cost_models=cost_models,
+                skip_aliases=skip_aliases,
+                services_for=failover_services,
+            )
         result = self.executor.execute(
             plan,
             decomposed,

@@ -2,13 +2,15 @@
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from contextlib import nullcontext
+from typing import Any, Callable, Optional
 
 from repro.errors import SoapFaultError, TransportError
 from repro.services.retry import CircuitBreaker, RetryPolicy
 from repro.soap.envelope import build_rpc_request, parse_rpc_response
 from repro.soap.wsdl import ServiceDescription, parse_wsdl
 from repro.soap.xmlparser import XMLParser
+from repro.tracing.tracer import TraceContext
 from repro.transport.http import HttpRequest, HttpResponse, soap_request
 from repro.transport.network import SimulatedNetwork
 
@@ -54,21 +56,34 @@ class ServiceProxy:
         )
 
     def call(self, operation: str, **params: Any) -> Any:
-        """Invoke one operation; raises SoapFaultError on remote faults."""
+        """Invoke one operation; raises SoapFaultError on remote faults.
+
+        With a tracer on the network, the call opens a *client* span and
+        stamps its trace context into the envelope's SOAP Header, so the
+        callee's server span threads under it; without a tracer the
+        envelope is byte-identical to the untraced wire format.
+        """
         if self.description is not None and self.description.operation(operation) is None:
             raise TransportError(
                 f"service {self.description.name!r} does not describe "
                 f"operation {operation!r}"
             )
-        envelope = build_rpc_request(operation, params)
-        request = soap_request(self.url, f"urn:skyquery#{operation}", envelope)
+
+        def build(context: Optional[TraceContext]) -> HttpRequest:
+            envelope = build_rpc_request(
+                operation, params, trace_context=context
+            )
+            return soap_request(
+                self.url, f"urn:skyquery#{operation}", envelope
+            )
+
         return self._transact(
-            request, operation, lambda resp: self._decode(operation, resp)
+            build, operation, lambda resp: self._decode(operation, resp)
         )
 
     def _transact(
         self,
-        request: HttpRequest,
+        build_request: Callable[[Optional[TraceContext]], HttpRequest],
         operation: str,
         decode: Any,
     ) -> Any:
@@ -82,55 +97,86 @@ class ServiceProxy:
             if policy is not None and policy.deadline_s is not None
             else None
         )
-        attempt = 0
+        tracer = self.network.tracer
+        # The span opens INSIDE the branch block: a branch rewinds the
+        # clock on exit (parallel siblings overlap), so the span must
+        # close while the branch's own time is still on the clock.
         with self.network.branch():
-            while True:
-                timeout_s = policy.timeout_s if policy is not None else None
-                if deadline is not None:
-                    # Clamp the attempt's timeout to the remaining deadline
-                    # budget: the last attempt must not overrun the caller's
-                    # deadline by up to one whole per-attempt timeout.
-                    remaining = max(deadline - clock.now, 0.0)
-                    timeout_s = (
-                        remaining
-                        if timeout_s is None
-                        else min(timeout_s, remaining)
-                    )
-                try:
-                    response = self.network.request(
-                        self.src_host,
-                        request,
-                        operation=operation,
-                        timeout_s=timeout_s,
-                    )
-                    result = decode(response)
-                except TransportError:
-                    attempt += 1
+            span_scope = (
+                tracer.span(operation, host=self.src_host, kind="client")
+                if tracer is not None
+                else nullcontext(None)
+            )
+            with span_scope as span:
+                request = build_request(
+                    tracer.context() if tracer is not None else None
+                )
+                result = self._attempt_loop(
+                    request, operation, decode, policy, deadline, span
+                )
+        return result
+
+    def _attempt_loop(
+        self,
+        request: HttpRequest,
+        operation: str,
+        decode: Any,
+        policy: Optional[RetryPolicy],
+        deadline: Optional[float],
+        span: Any,
+    ) -> Any:
+        clock = self.network.clock
+        attempt = 0
+        while True:
+            timeout_s = policy.timeout_s if policy is not None else None
+            if deadline is not None:
+                # Clamp the attempt's timeout to the remaining deadline
+                # budget: the last attempt must not overrun the caller's
+                # deadline by up to one whole per-attempt timeout.
+                remaining = max(deadline - clock.now, 0.0)
+                timeout_s = (
+                    remaining
+                    if timeout_s is None
+                    else min(timeout_s, remaining)
+                )
+            try:
+                response = self.network.request(
+                    self.src_host,
+                    request,
+                    operation=operation,
+                    timeout_s=timeout_s,
+                )
+                result = decode(response)
+            except TransportError:
+                attempt += 1
+                retryable = (
+                    policy is not None and attempt < policy.max_attempts
+                )
+                if retryable:
+                    backoff = policy.backoff_s(attempt, self._rng)
                     retryable = (
-                        policy is not None and attempt < policy.max_attempts
+                        deadline is None
+                        or clock.now + backoff <= deadline
                     )
-                    if retryable:
-                        backoff = policy.backoff_s(attempt, self._rng)
-                        retryable = (
-                            deadline is None
-                            or clock.now + backoff <= deadline
-                        )
-                    if not retryable:
-                        if self.breaker is not None:
-                            self.breaker.record_failure(clock.now)
-                        raise
-                    self.network.sleep(backoff)
-                    self.network.metrics.retries += 1
-                    continue
-                except SoapFaultError:
-                    # The endpoint answered (with an application fault):
-                    # it is alive as far as the breaker is concerned.
+                if not retryable:
                     if self.breaker is not None:
-                        self.breaker.record_success(clock.now)
+                        self.breaker.record_failure(clock.now)
                     raise
+                if span is not None:
+                    span.retries += 1
+                    span.annotate("retry", t=clock.now, attempt=attempt)
+                self.network.sleep(backoff)
+                self.network.metrics.retries += 1
+                continue
+            except SoapFaultError:
+                # The endpoint answered (with an application fault):
+                # it is alive as far as the breaker is concerned.
                 if self.breaker is not None:
                     self.breaker.record_success(clock.now)
-                return result
+                raise
+            if self.breaker is not None:
+                self.breaker.record_success(clock.now)
+            return result
 
     def _decode(self, operation: str, response: HttpResponse) -> Any:
         """Deserialize one response, surfacing non-SOAP HTTP errors clearly."""
@@ -149,7 +195,11 @@ class ServiceProxy:
         :class:`~repro.services.retry.RetryPolicy` configured, a single
         dropped WSDL GET no longer fails the whole federation build.
         """
-        request = HttpRequest("GET", f"{self.url}?wsdl")
+        def build(context: Optional[TraceContext]) -> HttpRequest:
+            # Plain GET: no envelope, so the trace context (if any) rides
+            # only on the recording side as the client span.
+            del context
+            return HttpRequest("GET", f"{self.url}?wsdl")
 
         def decode(response: HttpResponse) -> ServiceDescription:
             if not response.ok:
@@ -159,5 +209,5 @@ class ServiceProxy:
                 )
             return parse_wsdl(response.body.decode("utf-8"))
 
-        self.description = self._transact(request, "wsdl", decode)
+        self.description = self._transact(build, "wsdl", decode)
         return self.description

@@ -3,16 +3,32 @@
 from __future__ import annotations
 
 import traceback
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional, Sequence, Tuple
 
 from repro.errors import ServiceError, SkyQueryError, SoapError, XMLMemoryError
-from repro.soap.envelope import build_fault, build_rpc_response, parse_rpc_request
+from repro.soap.envelope import build_fault, build_rpc_response, parse_rpc_call
 from repro.soap.wsdl import OperationSpec, ServiceDescription, generate_wsdl
 from repro.soap.xmlparser import XMLParser
+from repro.tracing.tracer import active_tracer
 from repro.transport.http import HttpRequest, HttpResponse
 
 OperationFn = Callable[..., Any]
+
+#: Small scalar request parameters worth stamping onto server spans:
+#: enough to tell batches, streams, and transactions apart in a trace
+#: without copying query text or row payloads into annotations.
+_TRACED_PARAMS = (
+    "seq",
+    "position",
+    "xid",
+    "stream_id",
+    "transfer_id",
+    "txn_id",
+    "start_seq",
+    "batch_size",
+)
 
 
 @dataclass
@@ -45,6 +61,7 @@ class WebService:
         self._operations: Dict[str, _Operation] = {}
         self.calls_handled = 0
         self.faults_returned = 0
+        self._last_fault = ""
 
     def register(
         self,
@@ -78,15 +95,46 @@ class WebService:
         """The service's WSDL document."""
         return generate_wsdl(self.describe(url))
 
-    def handle_soap(self, body: bytes) -> Tuple[int, str]:
-        """Dispatch one SOAP request; returns (http status, response xml)."""
+    def handle_soap(
+        self, body: bytes, *, hostname: Optional[str] = None
+    ) -> Tuple[int, str]:
+        """Dispatch one SOAP request; returns (http status, response xml).
+
+        When the network delivering the request has a tracer installed, a
+        *server* span wraps the dispatch, parented under the caller's span
+        via the envelope's ``<sq:TraceContext>`` header; SOAP faults mark
+        the span as errored.
+        """
         self.calls_handled += 1
         try:
-            operation, params = parse_rpc_request(body, self.parser)
+            operation, params, context = parse_rpc_call(body, self.parser)
         except XMLMemoryError as exc:
             return self._fault("soap:Server.OutOfMemory", str(exc))
         except (SoapError, SkyQueryError) as exc:
             return self._fault("soap:Client", f"malformed request: {exc}")
+        tracer = active_tracer()
+        scope = (
+            tracer.span(
+                operation,
+                host=hostname or self.name,
+                kind="server",
+                context=context,
+            )
+            if tracer is not None
+            else nullcontext(None)
+        )
+        with scope as span:
+            if span is not None:
+                marks = {k: params[k] for k in _TRACED_PARAMS if k in params}
+                if marks:
+                    span.annotate("request", t=span.start_s, **marks)
+            status, xml = self._dispatch(operation, params)
+            if span is not None and status != 200:
+                span.status = "error"
+                span.error = self._last_fault
+        return status, xml
+
+    def _dispatch(self, operation: str, params: Dict[str, Any]) -> Tuple[int, str]:
         entry = self._operations.get(operation)
         if entry is None:
             return self._fault(
@@ -117,6 +165,7 @@ class WebService:
 
     def _fault(self, code: str, message: str, detail: str = "") -> Tuple[int, str]:
         self.faults_returned += 1
+        self._last_fault = f"{code}: {message}"
         return 500, build_fault(code, message, detail)
 
 
@@ -171,7 +220,9 @@ class ServiceHost:
                 headers={"Content-Type": "text/xml; charset=utf-8"},
                 body=wsdl_text.encode("utf-8"),
             )
-        status, xml = service.handle_soap(request.body)
+        status, xml = service.handle_soap(
+            request.body, hostname=self.hostname
+        )
         return HttpResponse(
             status,
             "OK" if status == 200 else "Internal Server Error",

@@ -1,4 +1,10 @@
-"""SOAP 1.1 envelopes: RPC requests, responses, and faults."""
+"""SOAP 1.1 envelopes: RPC requests, responses, and faults.
+
+Requests may carry a SOAP Header block with the distributed-tracing
+context (``<sq:TraceContext traceId=".." parentSpanId=".."/>``); without
+a tracer the Header is omitted entirely, so untraced envelopes are
+byte-identical to the pre-tracing wire format.
+"""
 
 from __future__ import annotations
 
@@ -8,13 +14,17 @@ from repro.errors import SoapError, SoapFaultError
 from repro.soap.encoding import decode_value, encode_value
 from repro.soap.xmlparser import XMLParser
 from repro.soap.xmlwriter import Element, render
+from repro.tracing.tracer import TraceContext
 
 SOAP_ENV_NS = "http://schemas.xmlsoap.org/soap/envelope/"
 XSI_NS = "http://www.w3.org/2001/XMLSchema-instance"
 SKYQUERY_NS = "urn:skyquery:services"
+TRACING_NS = "urn:skyquery:tracing"
 
 
-def _envelope(body_child: Element) -> Element:
+def _envelope(
+    body_child: Element, header_children: Tuple[Element, ...] = ()
+) -> Element:
     root = Element(
         "soap:Envelope",
         {
@@ -23,17 +33,42 @@ def _envelope(body_child: Element) -> Element:
             "xmlns:sky": SKYQUERY_NS,
         },
     )
+    if header_children:
+        header = root.child("soap:Header")
+        header.children.extend(header_children)
     body = root.child("soap:Body")
     body.children.append(body_child)
     return root
 
 
-def build_rpc_request(operation: str, params: Dict[str, Any]) -> str:
-    """Serialize an RPC call: operation element wrapping encoded parameters."""
+def _trace_header(context: TraceContext) -> Element:
+    return Element(
+        "sq:TraceContext",
+        {
+            "xmlns:sq": TRACING_NS,
+            "traceId": context.trace_id,
+            "parentSpanId": context.parent_span_id,
+        },
+    )
+
+
+def build_rpc_request(
+    operation: str,
+    params: Dict[str, Any],
+    *,
+    trace_context: Optional[TraceContext] = None,
+) -> str:
+    """Serialize an RPC call: operation element wrapping encoded parameters.
+
+    With ``trace_context``, a ``<sq:TraceContext>`` Header block precedes
+    the Body so the callee can parent its server span under the caller's
+    span; without it the envelope has no Header at all.
+    """
     call = Element(f"sky:{operation}")
     for name, value in params.items():
         call.children.append(encode_value(name, value))
-    return render(_envelope(call))
+    headers = (_trace_header(trace_context),) if trace_context else ()
+    return render(_envelope(call, headers))
 
 
 def build_rpc_response(operation: str, result: Any) -> str:
@@ -62,15 +97,39 @@ def _body_of(document: Element) -> Element:
     return body.children[0]
 
 
+def parse_trace_context(document: Element) -> Optional[TraceContext]:
+    """The envelope's ``<sq:TraceContext>`` Header block, if present."""
+    header = document.find("Header")
+    if header is None:
+        return None
+    block = header.find("TraceContext")
+    if block is None:
+        return None
+    trace_id = block.get("traceId")
+    parent = block.get("parentSpanId")
+    if not trace_id or not parent:
+        return None
+    return TraceContext(trace_id, parent)
+
+
 def parse_rpc_request(
     text: str | bytes, parser: Optional[XMLParser] = None
 ) -> Tuple[str, Dict[str, Any]]:
     """Parse a request envelope into (operation, decoded params)."""
+    operation, params, _ = parse_rpc_call(text, parser)
+    return operation, params
+
+
+def parse_rpc_call(
+    text: str | bytes, parser: Optional[XMLParser] = None
+) -> Tuple[str, Dict[str, Any], Optional[TraceContext]]:
+    """Parse a request envelope into (operation, params, trace context)."""
     parser = parser or XMLParser()
-    content = _body_of(parser.parse(text))
+    document = parser.parse(text)
+    content = _body_of(document)
     operation = content.local_name()
     params = {kid.local_name(): decode_value(kid) for kid in content.children}
-    return operation, params
+    return operation, params, parse_trace_context(document)
 
 
 def parse_rpc_response(

@@ -1,0 +1,225 @@
+"""Span-tree assertions: structural test oracles over recorded traces.
+
+"Rows match" is a weak oracle — two executions can return identical rows
+through wildly different (and wrong) paths. These helpers let tests assert
+the *shape* of an execution instead: which operations ran, on which hosts,
+nested under what, serial or overlapping in simulated time.
+
+* :func:`span_invariants` checks the properties every well-formed trace
+  must satisfy (single root, children inside their parent's interval,
+  closed spans, id uniqueness) and returns violations as strings.
+* :func:`assert_span_tree` matches a trace against a declarative shape:
+  nested ``(name_pattern, [child shapes...])`` tuples, ``fnmatch``-style
+  patterns, children matched as an ordered subsequence (extra children
+  are allowed — a shape pins what MUST be there, not everything).
+* :func:`chain_hop_spans` / :func:`assert_serial` /
+  :func:`assert_overlapping` are the chain-specific oracles: hop order,
+  store-and-forward serialization, pipelined overlap.
+"""
+
+from __future__ import annotations
+
+from fnmatch import fnmatchcase
+from typing import Any, List, Optional, Sequence, Tuple, Union
+
+from repro.tracing.tracer import Span, Trace
+
+#: Sim-clock slack for interval containment checks. The simulated clock is
+#: exact floating-point arithmetic, but parallel-block bookkeeping adds and
+#: subtracts the same floats in different orders.
+TOLERANCE_S = 1e-9
+
+ShapeLike = Union[str, Tuple[Any, ...]]
+
+
+def span_invariants(trace: Trace, *, tolerance: float = TOLERANCE_S) -> List[str]:
+    """Every violation of the well-formedness invariants (empty == good).
+
+    Checked: exactly one root; unique span ids; every span closed with
+    ``end >= start``; every child's interval inside its parent's (within
+    ``tolerance``); server spans only ever child to client spans.
+    """
+    problems: List[str] = []
+    if not trace.spans:
+        return [f"trace {trace.trace_id!r} has no spans"]
+    roots = trace.roots
+    if len(roots) != 1:
+        problems.append(
+            f"expected exactly one root span, found {len(roots)}: "
+            f"{[s.name for s in roots]}"
+        )
+    seen_ids = set()
+    for span in trace.spans:
+        if span.span_id in seen_ids:
+            problems.append(f"duplicate span id {span.span_id!r}")
+        seen_ids.add(span.span_id)
+        if span.trace_id != trace.trace_id:
+            problems.append(
+                f"span {span.span_id} carries foreign trace id "
+                f"{span.trace_id!r}"
+            )
+        if span.end_s is None:
+            problems.append(f"span {span.span_id} ({span.name}) never closed")
+            continue
+        if span.end_s < span.start_s - tolerance:
+            problems.append(
+                f"span {span.span_id} ({span.name}) ends before it starts: "
+                f"[{span.start_s}, {span.end_s}]"
+            )
+        parent = trace.parent(span)
+        if parent is None:
+            continue
+        if parent.end_s is None:
+            continue  # already reported above
+        if (
+            span.start_s < parent.start_s - tolerance
+            or span.end_s > parent.end_s + tolerance
+        ):
+            problems.append(
+                f"span {span.span_id} ({span.name}, "
+                f"[{span.start_s:.6f}, {span.end_s:.6f}]) escapes its "
+                f"parent {parent.span_id} ({parent.name}, "
+                f"[{parent.start_s:.6f}, {parent.end_s:.6f}])"
+            )
+        if span.kind == "server" and parent.kind != "client":
+            problems.append(
+                f"server span {span.span_id} ({span.name}) hangs off "
+                f"{parent.kind!r} span {parent.span_id} ({parent.name}); "
+                "server spans must continue a client span"
+            )
+    return problems
+
+
+def check_span_invariants(trace: Trace, *, tolerance: float = TOLERANCE_S) -> None:
+    """Raise ``AssertionError`` listing every invariant violation."""
+    problems = span_invariants(trace, tolerance=tolerance)
+    if problems:
+        raise AssertionError(
+            f"trace {trace.trace_id!r} violates span invariants:\n  "
+            + "\n  ".join(problems)
+        )
+
+
+def _shape_parts(shape: ShapeLike) -> Tuple[str, Sequence[ShapeLike]]:
+    if isinstance(shape, str):
+        return shape, ()
+    if len(shape) == 1:
+        return shape[0], ()
+    name, children = shape
+    return name, list(children)
+
+
+def _matches(span: Span, pattern: str) -> bool:
+    """Match ``name`` or ``name@host`` with fnmatch wildcards."""
+    if "@" in pattern:
+        name_pat, host_pat = pattern.split("@", 1)
+        return fnmatchcase(span.name, name_pat) and fnmatchcase(
+            span.host, host_pat
+        )
+    return fnmatchcase(span.name, pattern)
+
+
+def _match_tree(trace: Trace, span: Span, shape: ShapeLike, path: str) -> Optional[str]:
+    """None when the subtree matches, else a description of the mismatch."""
+    pattern, child_shapes = _shape_parts(shape)
+    here = f"{path}/{pattern}"
+    if not _matches(span, pattern):
+        return (
+            f"{here}: span {span.name!r}@{span.host} does not match "
+            f"pattern {pattern!r}"
+        )
+    children = trace.children(span)
+    index = 0
+    for child_shape in child_shapes:
+        child_pattern, _ = _shape_parts(child_shape)
+        error: Optional[str] = None
+        while index < len(children):
+            candidate = children[index]
+            index += 1
+            if _matches(candidate, child_pattern):
+                error = _match_tree(trace, candidate, child_shape, here)
+                if error is None:
+                    break
+        else:
+            if error is not None:
+                return error  # a candidate matched but its subtree failed
+            available = [f"{c.name}@{c.host}" for c in children]
+            return (
+                f"{here}: no child matching {child_pattern!r} "
+                f"(children in start order: {available})"
+            )
+    return None
+
+
+def assert_span_tree(trace: Trace, shape: ShapeLike) -> None:
+    """Assert the trace's root subtree matches a declarative shape.
+
+    ``shape`` is a name pattern (``"SubmitQuery"``, ``"Pull*"``,
+    ``"IsAlive@sdss.*"``) or a ``(pattern, [child shapes...])`` tuple.
+    Child shapes must match *distinct* children in start-time order
+    (an ordered subsequence); unmatched extra children are fine.
+    """
+    error = _match_tree(trace, trace.root, shape, "")
+    if error is not None:
+        raise AssertionError(f"span tree mismatch at {error}")
+
+
+def find_spans(trace: Trace, pattern: str, *, kind: Optional[str] = None) -> List[Span]:
+    """All spans matching a ``name`` / ``name@host`` pattern, start-ordered."""
+    spans = [
+        s
+        for s in trace.spans
+        if _matches(s, pattern) and (kind is None or s.kind == kind)
+    ]
+    return sorted(spans, key=lambda s: s.start_s)
+
+
+def chain_hop_spans(trace: Trace) -> List[Span]:
+    """The chain's per-hop ``PerformXMatch`` server spans, outermost first.
+
+    In store-and-forward mode hop *k* calls hop *k+1* inside its own
+    handler, so the spans strictly nest: walking parent links from any
+    hop reaches every earlier hop. The returned order is therefore the
+    plan order (first plan step = outermost span).
+    """
+    hops = find_spans(trace, "PerformXMatch", kind="server")
+
+    def depth(span: Span) -> int:
+        count = 0
+        node: Optional[Span] = span
+        while node is not None:
+            node = trace.parent(node)
+            count += 1
+        return count
+
+    return sorted(hops, key=depth)
+
+
+def assert_serial(spans: Sequence[Span], *, tolerance: float = TOLERANCE_S) -> None:
+    """Assert the spans' intervals do NOT overlap (store-and-forward)."""
+    ordered = sorted(spans, key=lambda s: s.start_s)
+    for left, right in zip(ordered, ordered[1:]):
+        left_end = left.end_s if left.end_s is not None else left.start_s
+        if right.start_s < left_end - tolerance:
+            raise AssertionError(
+                f"spans overlap but must be serial: {left.name} "
+                f"[{left.start_s:.6f}, {left_end:.6f}] vs {right.name} "
+                f"starting at {right.start_s:.6f}"
+            )
+
+
+def assert_overlapping(spans: Sequence[Span]) -> None:
+    """Assert at least one pair of the spans' intervals overlaps (pipelining)."""
+    items = list(spans)
+    for i, left in enumerate(items):
+        for right in items[i + 1:]:
+            if left.overlaps(right):
+                return
+    raise AssertionError(
+        "expected overlapping spans, but every pair is disjoint: "
+        + ", ".join(
+            f"{s.name}[{s.start_s:.6f},"
+            f"{(s.end_s if s.end_s is not None else s.start_s):.6f}]"
+            for s in items
+        )
+    )

@@ -1,0 +1,126 @@
+"""Trace exporters: Chrome ``trace_event`` JSON and an ASCII flamegraph.
+
+The Chrome export follows the Trace Event Format's JSON-object form
+(``{"traceEvents": [...]}``) with complete ("X") events in microseconds,
+so a dump loads directly in ``about:tracing`` / Perfetto. The ASCII
+flamegraph is the terminal-native view the ``trace`` CLI subcommand and
+CI job summaries print.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Union
+
+from repro.tracing.tracer import Span, Trace
+
+TraceLike = Union[Trace, List[Span]]
+
+
+def _spans_of(trace: TraceLike) -> List[Span]:
+    return trace.spans if isinstance(trace, Trace) else list(trace)
+
+
+def to_chrome_trace(trace: TraceLike) -> Dict[str, Any]:
+    """Render a trace as a Chrome trace_event JSON object.
+
+    One "X" (complete) event per span — timestamps and durations in
+    microseconds of *simulated* time — plus "M" metadata events naming
+    each federation host as a thread, so ``about:tracing`` groups spans
+    by host exactly like it groups real threads.
+    """
+    spans = _spans_of(trace)
+    tids: Dict[str, int] = {}
+    events: List[Dict[str, Any]] = []
+    for span in spans:
+        if span.host not in tids:
+            tids[span.host] = len(tids) + 1
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "thread_name",
+                    "pid": 1,
+                    "tid": tids[span.host],
+                    "args": {"name": span.host},
+                }
+            )
+    for span in spans:
+        end_s = span.end_s if span.end_s is not None else span.start_s
+        args: Dict[str, Any] = {
+            "span_id": span.span_id,
+            "parent_id": span.parent_id,
+            "phase": span.phase,
+            "wire_bytes": span.wire_bytes,
+            "retries": span.retries,
+            "status": span.status,
+        }
+        if span.annotations:
+            args["annotations"] = [dict(a) for a in span.annotations]
+        events.append(
+            {
+                "ph": "X",
+                "name": span.name,
+                "cat": span.kind,
+                "ts": round(span.start_s * 1e6, 3),
+                "dur": round((end_s - span.start_s) * 1e6, 3),
+                "pid": 1,
+                "tid": tids[span.host],
+                "args": args,
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def to_chrome_trace_json(trace: TraceLike, *, indent: Optional[int] = None) -> str:
+    """:func:`to_chrome_trace` serialized to a JSON string."""
+    return json.dumps(to_chrome_trace(trace), indent=indent, sort_keys=False)
+
+
+def render_flamegraph(
+    trace: Trace,
+    *,
+    width: int = 72,
+    label_width: int = 44,
+) -> str:
+    """An ASCII flamegraph: one line per span, bars on a shared timeline.
+
+    Depth-first from the root; each bar is the span's sim-time interval
+    scaled onto ``width`` columns, so nesting, serialization, and overlap
+    (pipelined batches!) are visible at a glance in a terminal or a CI
+    job summary.
+    """
+    root = trace.root
+    t0 = root.start_s
+    t1 = max(
+        (s.end_s if s.end_s is not None else s.start_s) for s in trace.spans
+    )
+    window = max(t1 - t0, 1e-12)
+    lines: List[str] = [
+        f"trace {trace.trace_id}: {root.name} "
+        f"({window:.3f}s sim, {len(trace)} spans, "
+        f"{trace.total_wire_bytes()} B on the wire)"
+    ]
+    walked = [
+        pair for root_span in trace.roots for pair in trace.walk(root_span)
+    ]
+    for span, depth in walked:
+        end_s = span.end_s if span.end_s is not None else span.start_s
+        lo = int(round((span.start_s - t0) / window * width))
+        hi = int(round((end_s - t0) / window * width))
+        hi = max(hi, lo + 1)  # zero-length spans still get one cell
+        bar = " " * lo + "█" * (hi - lo) + " " * (width - hi)
+        marker = {"client": "→", "server": "◆", "internal": "·"}.get(
+            span.kind, "?"
+        )
+        label = f"{'  ' * depth}{marker} {span.name}@{span.host}"
+        if len(label) > label_width:
+            label = label[: label_width - 1] + "…"
+        extra = f" {span.duration_s * 1000.0:9.2f}ms"
+        if span.wire_bytes:
+            extra += f" {span.wire_bytes:>7}B"
+        if span.retries:
+            extra += f" retries={span.retries}"
+        if span.status != "ok":
+            extra += " !" + span.status
+        lines.append(f"{label:<{label_width}}|{bar}|{extra}")
+    return "\n".join(lines)

@@ -12,8 +12,9 @@ via the :class:`CoordinatorCrash` fault hook.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, ContextManager, Dict, List, Optional
 
 from repro.errors import TransactionError, TransportError
 from repro.services.client import ServiceProxy
@@ -91,9 +92,16 @@ class TwoPhaseCoordinator:
     def _proxy(self, url: str) -> ServiceProxy:
         return ServiceProxy(self.network, self.hostname, url)
 
+    def _span(self, name: str) -> ContextManager:
+        """An internal span for one 2PC exchange (no-op when untraced)."""
+        tracer = self.network.tracer
+        if tracer is None:
+            return nullcontext(None)
+        return tracer.span(name, host=self.hostname)
+
     def complete(self, txn_id: str, participants: List[str]) -> TxnOutcome:
         """Run prepare + decision + delivery for an already-staged txn."""
-        with self.network.phase(PHASE):
+        with self.network.phase(PHASE), self._span("2pc-complete"):
             self.log.append(
                 LogRecord(txn_id, "begin", participants=list(participants))
             )
@@ -117,6 +125,10 @@ class TwoPhaseCoordinator:
                 LogRecord(txn_id, "decision", decision=decision,
                           participants=list(participants))
             )
+            if self.network.tracer is not None:
+                self.network.tracer.annotate(
+                    "decision", txn_id=txn_id, decision=decision
+                )
             if self._deliver_decision(txn_id, decision, participants):
                 self.log.append(LogRecord(txn_id, "complete"))
             # else: the txn stays in doubt in the log; recover() replays it.
@@ -147,7 +159,7 @@ class TwoPhaseCoordinator:
     def recover(self) -> List[TxnOutcome]:
         """Replay logged decisions that never completed (after a crash)."""
         outcomes: List[TxnOutcome] = []
-        with self.network.phase(PHASE):
+        with self.network.phase(PHASE), self._span("2pc-recover"):
             for txn_id, record in self.log.in_doubt().items():
                 if self._deliver_decision(
                     txn_id, record.decision, record.participants

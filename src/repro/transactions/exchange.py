@@ -10,6 +10,7 @@ copy. The rows travel over the Query service (chunk-aware), staging and
 from __future__ import annotations
 
 import itertools
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -78,6 +79,38 @@ class DataExchange:
         the full-replica provisioning path uses the source's own primary
         table name so a replica SkyNode answers the same node queries.
         """
+        tracer = self.portal.require_network().tracer
+        scope = (
+            tracer.span("replicate-region", host=self.portal.hostname)
+            if tracer is not None
+            else nullcontext(None)
+        )
+        with scope:
+            result = self._replicate_region(
+                source_archive,
+                target_archives,
+                area,
+                columns=columns,
+                target_table=target_table,
+            )
+            if tracer is not None:
+                tracer.annotate(
+                    "exchange",
+                    txn_id=result.txn_id,
+                    committed=result.committed,
+                    rows_copied=result.rows_copied,
+                )
+        return result
+
+    def _replicate_region(
+        self,
+        source_archive: str,
+        target_archives: List[str],
+        area: AreaLike,
+        *,
+        columns: Optional[List[str]] = None,
+        target_table: Optional[str] = None,
+    ) -> ExchangeResult:
         if not target_archives:
             raise TransactionError("replicate_region needs at least one target")
         source = self.portal.catalog.node(source_archive)

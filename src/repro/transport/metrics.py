@@ -20,6 +20,16 @@ class MessageRecord:
     sim_time: float
 
 
+@dataclass(frozen=True)
+class BreakerEvent:
+    """One circuit-breaker state transition."""
+
+    endpoint: str
+    old_state: str
+    new_state: str
+    sim_time: float
+
+
 @dataclass
 class NetworkMetrics:
     """Accumulates message records plus simulated elapsed time.
@@ -44,11 +54,8 @@ class NetworkMetrics:
     #: Endpoint substitutions: a dead primary (or mid-chain hop) replaced
     #: by a live replica instead of degrading the answer.
     failovers: int = 0
-    #: Circuit-breaker state transitions: (endpoint, old state, new state,
-    #: sim time).
-    breaker_events: List[Tuple[str, str, str, float]] = field(
-        default_factory=list
-    )
+    #: Circuit-breaker state transitions, in recording order.
+    breaker_events: List[BreakerEvent] = field(default_factory=list)
     #: Server-side transfers/streams freed without a full drain — an
     #: explicit abort or a sim-clock TTL expiry reclaiming state a crashed
     #: or circuit-opened caller abandoned mid-fetch.
@@ -72,16 +79,18 @@ class NetworkMetrics:
         self, endpoint: str, old_state: str, new_state: str, sim_time: float
     ) -> None:
         """Record one circuit-breaker state transition."""
-        self.breaker_events.append((endpoint, old_state, new_state, sim_time))
+        self.breaker_events.append(
+            BreakerEvent(endpoint, old_state, new_state, sim_time)
+        )
 
     def breaker_transitions(
         self, endpoint: Optional[str] = None
-    ) -> List[Tuple[str, str, str, float]]:
+    ) -> List[BreakerEvent]:
         """Breaker transitions, optionally for one endpoint."""
         return [
             event
             for event in self.breaker_events
-            if endpoint is None or event[0] == endpoint
+            if endpoint is None or event.endpoint == endpoint
         ]
 
     def total_bytes(

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Iterator, Optional, Tuple
 
 from repro.errors import RequestTimeoutError, TransportError
+from repro.tracing.tracer import Tracer, use_tracer
 from repro.transport.faults import FaultPlan
 from repro.transport.http import HttpRequest, HttpResponse
 from repro.transport.metrics import MessageRecord, NetworkMetrics
@@ -82,6 +83,24 @@ class SimulatedNetwork:
         self._parallel_stack: list[Tuple[int, list[float]]] = []
         self._request_depth = 0
         self.fault_plan: Optional[FaultPlan] = None
+        #: Distributed tracer (None = tracing off, zero wire/behaviour
+        #: difference). Install via :meth:`install_tracer`.
+        self.tracer: Optional[Tracer] = None
+
+    # -- tracing --------------------------------------------------------------
+
+    def install_tracer(self, tracer: Optional[Tracer]) -> None:
+        """Attach a tracer, binding it to the sim clock and phase labels."""
+        self.tracer = tracer
+        if tracer is not None:
+            tracer.clock_fn = lambda: self.clock.now
+            tracer.phase_fn = lambda: self.current_phase
+
+    def _trace_fault(self, kind: str) -> None:
+        """Count an injected fault AND annotate the active span with it."""
+        self.metrics.record_fault(kind)
+        if self.tracer is not None:
+            self.tracer.annotate("fault", kind=kind)
 
     # -- topology -------------------------------------------------------------
 
@@ -161,7 +180,7 @@ class SimulatedNetwork:
         if self.fault_plan is None:
             return
         for host in self.fault_plan.due_crashes(self.clock.now):
-            self.metrics.record_fault("crash")
+            self._trace_fault("crash")
             for callback in self._crash_callbacks.get(host, []):
                 callback()
 
@@ -208,6 +227,16 @@ class SimulatedNetwork:
         branch of any enclosing block at the same depth.
         """
         start = self.clock.now
+        span = None
+        if self.tracer is not None:
+            # One internal span for the whole fan-out: every request issued
+            # in the block (count-star probes, batch pulls, ...) becomes a
+            # child, and the span's interval is the block's makespan.
+            enclosing = self.tracer.current_span()
+            span = self.tracer.begin(
+                "parallel",
+                host=enclosing.host if enclosing is not None else "",
+            )
         self._parallel_stack.append((self._request_depth, []))
         try:
             yield
@@ -215,6 +244,10 @@ class SimulatedNetwork:
             _, durations = self._parallel_stack.pop()
             if durations:
                 self.clock.now = start + max(durations)
+            if span is not None:
+                # Close at the makespan instant, before any rewind for an
+                # enclosing block (which re-pools this block as one branch).
+                self.tracer.finish(span)
             if self._in_parallel_block():
                 self._parallel_stack[-1][1].append(self.clock.now - start)
                 self.clock.now = start  # enclosing block advances by the max
@@ -290,7 +323,7 @@ class SimulatedNetwork:
         down = self._host_down(dst_host)
         if down is not None:
             if down == "scheduled outage":
-                self.metrics.record_fault("outage")
+                self._trace_fault("outage")
             raise TransportError(f"no route to host {dst_host!r}: {down}")
         handler = self._hosts.get(dst_host)
         if handler is None:
@@ -309,10 +342,11 @@ class SimulatedNetwork:
             ):
                 # The destination crashed while the request was on the wire.
                 self._fire_due_crashes()
-                self.metrics.record_fault("crash-drop")
+                self._trace_fault("crash-drop")
                 self._time_out(timeout_s, "request", src_host, dst_host,
                                operation)
-            response = handler(request)
+            with use_tracer(self.tracer):
+                response = handler(request)
             self._deliver(
                 dst_host, src_host, response.wire_bytes, "response", operation,
                 timeout_s,
@@ -343,7 +377,7 @@ class SimulatedNetwork:
             if self.fault_plan is not None and self.fault_plan.host_crashed(
                 src, self.clock.now
             ):
-                self.metrics.record_fault("crash-drop")
+                self._trace_fault("crash-drop")
                 self._time_out(timeout_s, kind, src, dst, operation)
         if self.fault_plan is not None:
             decision = self.fault_plan.on_message(
@@ -351,10 +385,10 @@ class SimulatedNetwork:
             )
             if decision is not None:
                 if decision.drop:
-                    self.metrics.record_fault(f"{kind}-drop")
+                    self._trace_fault(f"{kind}-drop")
                     self._time_out(timeout_s, kind, src, dst, operation)
                 if decision.extra_latency_s > 0.0:
-                    self.metrics.record_fault("latency-spike")
+                    self._trace_fault("latency-spike")
                     extra_latency = decision.extra_latency_s
         link = self.link(src, dst)
         elapsed = link.transfer_time(wire_bytes) + extra_latency
@@ -373,6 +407,10 @@ class SimulatedNetwork:
                 sim_time=self.clock.now,
             )
         )
+        if self.tracer is not None:
+            # Mirror the flat byte counters onto the span active on the
+            # caller's side of the wire, so the two views reconcile.
+            self.tracer.add_wire_bytes(wire_bytes)
 
     def _time_out(
         self,
@@ -386,6 +424,10 @@ class SimulatedNetwork:
         wait = timeout_s if timeout_s is not None else self.default_timeout_s
         self.clock.advance(wait)
         self.metrics.timeouts += 1
+        if self.tracer is not None:
+            self.tracer.annotate(
+                "timeout", kind=kind, operation=operation, waited_s=wait
+            )
         label = f" ({operation})" if operation else ""
         raise RequestTimeoutError(
             f"{kind} from {src!r} to {dst!r}{label} timed out "

@@ -96,6 +96,33 @@ def test_module_invocation():
     assert "skyquery-repro" in proc.stdout
 
 
+def test_trace_default_query(capsys):
+    assert main(["trace", "--bodies", "300", "--width", "48"]) == 0
+    out = capsys.readouterr().out
+    assert "trace " in out.splitlines()[0]
+    assert "SubmitQuery" in out
+    assert "PerformXMatch" in out
+
+
+def test_trace_writes_chrome_json(capsys, tmp_path):
+    import json
+
+    chrome = tmp_path / "trace.json"
+    code = main([
+        "trace",
+        "SELECT O.object_id, T.obj_id FROM SDSS:Photo_Object O, "
+        "TWOMASS:Photo_Primary T "
+        "WHERE AREA(185.0, -0.5, 600.0) AND XMATCH(O, T) < 3.5",
+        "--bodies", "300", "--chrome", str(chrome),
+    ])
+    assert code == 0
+    document = json.loads(chrome.read_text())
+    assert any(
+        event.get("ph") == "X" for event in document["traceEvents"]
+    )
+    assert f"wrote {chrome}" in capsys.readouterr().out
+
+
 def test_query_explain(capsys):
     code = main([
         "query",

@@ -28,6 +28,7 @@ def run_example(name):
         "polygon_search.py",
         "archive_replication.py",
         "pipelined_chain.py",
+        "trace_chain.py",
     ],
 )
 def test_example_runs(script):

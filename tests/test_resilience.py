@@ -373,7 +373,8 @@ class TestCircuitBreaker:
         net.sleep(10.0)
         assert proxy.call("Add", a=20, b=22) == 42
         states = [
-            (old, new) for _, old, new, _ in net.metrics.breaker_transitions()
+            (event.old_state, event.new_state)
+            for event in net.metrics.breaker_transitions()
         ]
         assert states == [
             ("closed", "open"), ("open", "half-open"), ("half-open", "closed")
