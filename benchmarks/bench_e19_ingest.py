@@ -1,0 +1,89 @@
+"""E19 — extension: live ingest under load, snapshot reads, replica lag.
+
+``SKYQUERY_BENCH_QUICK=1`` shrinks the federation to smoke-test size.
+"""
+
+import os
+
+from repro.bench import run_e19_ingest_under_load
+
+QUICK = bool(os.environ.get("SKYQUERY_BENCH_QUICK"))
+
+
+def test_e19_ingest_under_load(benchmark, report_sink):
+    report = report_sink(
+        run_e19_ingest_under_load(
+            n_bodies=400 if QUICK else 800,
+            rows_per_epoch=30 if QUICK else 60,
+        )
+    )
+    rows = {(row[0], row[1]): row for row in report.rows}
+
+    quiescent = rows[("quiescent", 0)]
+    load0 = rows[("under load", 0)]
+    # Epoch 0 under load IS the quiescent run (identical build, no ingest
+    # yet): same matches, same simulated latency.
+    assert load0[2] == quiescent[2]
+    assert abs(load0[3] - quiescent[3]) < 1e-6
+
+    # Each committed epoch grows the answer (both surveys saw the same
+    # fresh bodies) and carries real fan-out: a positive commit makespan,
+    # a positive replica catch-up lag, and staged bytes on the wire.
+    epochs = sorted(e for arm, e in rows if arm == "under load" and e > 0)
+    assert epochs, "no ingest epochs measured"
+    last_matches = load0[2]
+    for epoch in epochs:
+        arm = rows[("under load", epoch)]
+        assert arm[2] >= last_matches, f"epoch {epoch} shrank the answer"
+        last_matches = arm[2]
+        assert arm[5] > 0, f"epoch {epoch}: zero ingest makespan"
+        assert arm[6] > 0, f"epoch {epoch}: mirror committed instantly?"
+        assert arm[7] > 0, f"epoch {epoch}: no ingest bytes on the wire"
+    assert rows[("under load", epochs[-1])][2] > load0[2], (
+        "ingest never grew the match set — the epochs measured nothing"
+    )
+
+    # The repeatable read: pinned at the epoch-0 snapshot, the replay
+    # stays at (or near) quiescent latency even after every ingest.
+    pinned = rows[("pinned replay @0", 0)]
+    assert pinned[2] == quiescent[2]
+    loaded = rows[("under load", epochs[-1])]
+    assert pinned[3] <= loaded[3], (
+        "a pinned snapshot read should not pay the grown-table price"
+    )
+
+    # The losing regime is honest: replica fan-out costs real bytes —
+    # the replicated commit stages strictly more than the no-replica arm
+    # (every batch travels once per participant).
+    bare = rows[("no-replica ingest", 1)]
+    replicated = rows[("under load", epochs[0])]
+    assert replicated[7] > bare[7] * 1.5, (
+        f"fan-out cost missing: replicated {replicated[7]} B vs "
+        f"bare {bare[7]} B"
+    )
+    assert bare[6] == 0.0  # and with no mirror there is nothing to lag
+
+    # Hot path: one epoch commit (upload -> stage -> 2PC) on a
+    # replica-backed federation.
+    from repro.bench.scenarios import fresh_federation
+    from repro.workloads.skysim import generate_bodies, observe_survey
+
+    fed = fresh_federation(
+        n_bodies=400 if QUICK else 800, seed=19, replicas=1, ingest=True,
+        keep_epochs=None,
+    )
+    survey = next(s for s in fed.config.surveys if s.archive == "SDSS")
+    obs = observe_survey(
+        survey,
+        generate_bodies(fed.config.sky_field, 30, fed.config.seed + 500),
+        fed.config.seed + 500,
+    )
+    columns = list(obs.rows[0].keys())
+    batch = [tuple(row[c] for c in columns) for row in obs.rows]
+    client = fed.ingest_client("SDSS")
+
+    def commit_one_epoch():
+        result = client.ingest_rows(survey.primary_table, columns, batch)
+        assert result.committed
+
+    benchmark(commit_one_epoch)

@@ -32,6 +32,7 @@ from repro.bench.experiments import (
     run_e16_kernel_speedup,
     run_e17_pipelined_chain,
     run_e18_failover_recovery,
+    run_e19_ingest_under_load,
 )
 
 ALL_EXPERIMENTS = (
@@ -53,6 +54,7 @@ ALL_EXPERIMENTS = (
     run_e16_kernel_speedup,
     run_e17_pipelined_chain,
     run_e18_failover_recovery,
+    run_e19_ingest_under_load,
 )
 
 __all__ = [
@@ -80,4 +82,5 @@ __all__ = [
     "run_e16_kernel_speedup",
     "run_e17_pipelined_chain",
     "run_e18_failover_recovery",
+    "run_e19_ingest_under_load",
 ]

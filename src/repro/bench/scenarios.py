@@ -156,6 +156,8 @@ def fresh_federation(
     fault_plan: Optional[FaultPlan] = None,
     replicas: int = 0,
     chain_mode: str = "store-forward",
+    ingest: bool = False,
+    keep_epochs: Optional[int] = 8,
 ) -> Federation:
     """An uncached federation with experiment-specific knobs."""
     from repro.skynode.node import DEFAULT_PARSER_MEMORY_LIMIT
@@ -177,5 +179,7 @@ def fresh_federation(
             fault_plan=fault_plan,
             replicas=replicas,
             chain_mode=chain_mode,
+            ingest=ingest,
+            keep_epochs=keep_epochs,
         )
     )

@@ -6,6 +6,7 @@ Usage::
     python -m repro demo [--bodies N]
     python -m repro query "SELECT ..." [--bodies N] [--strategy S]
                           [--format table|votable|csv]
+    python -m repro ingest [--archive A] [--rows N] [--replicas R]
     python -m repro experiments [--ids E1,E4,...] [--out FILE]
 """
 
@@ -85,6 +86,21 @@ def _build_parser() -> argparse.ArgumentParser:
         help="flamegraph timeline width in columns (default 72)",
     )
 
+    ingest = sub.add_parser(
+        "ingest",
+        help="live-ingest demo: upload new observations, commit them as a "
+             "snapshot epoch, and show pinned (repeatable) reads",
+    )
+    _federation_args(ingest)
+    ingest.add_argument(
+        "--archive", default="SDSS",
+        help="archive to ingest into (default SDSS)",
+    )
+    ingest.add_argument(
+        "--rows", type=int, default=120, metavar="N",
+        help="new synthetic bodies to observe and upload (default 120)",
+    )
+
     experiments = sub.add_parser(
         "experiments", help="run the paper-reproduction experiments"
     )
@@ -156,7 +172,7 @@ def _retry_policy(args: argparse.Namespace):
     )
 
 
-def _make_federation(args: argparse.Namespace):
+def _make_federation(args: argparse.Namespace, *, ingest: bool = False):
     return build_federation(
         FederationConfig(
             n_bodies=args.bodies,
@@ -168,6 +184,7 @@ def _make_federation(args: argparse.Namespace):
             stream_batch_size=args.batch_size,
             stream_wire_format=args.wire_format,
             replicas=args.replicas,
+            ingest=ingest,
         )
     )
 
@@ -285,6 +302,53 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    from repro.workloads.skysim import generate_bodies, observe_survey
+
+    federation = _make_federation(args, ingest=True)
+    config = federation.config
+    surveys = {spec.archive: spec for spec in config.surveys}
+    if args.archive not in surveys:
+        print(f"error: unknown archive {args.archive!r}; "
+              f"choose from {sorted(surveys)}", file=sys.stderr)
+        return 2
+    survey = surveys[args.archive]
+    client = federation.client()
+
+    before = client.submit(DEMO_SQL)
+    print(f"before ingest: {len(before)} matches, epochs {before.epochs}")
+
+    observation = observe_survey(
+        survey,
+        generate_bodies(config.sky_field, args.rows, config.seed + 1),
+        config.seed + 1,
+    )
+    columns = list(observation.rows[0].keys())
+    rows = [tuple(row[c] for c in columns) for row in observation.rows]
+    result = federation.ingest_client(args.archive).ingest_rows(
+        survey.primary_table, columns, rows
+    )
+    if not result.committed:
+        print(f"error: ingest aborted: {result.abort_reason}",
+              file=sys.stderr)
+        return 2
+    print(f"ingested {result.rows_sent} rows into {args.archive} as epoch "
+          f"{result.epoch} (txn {result.txn_id}, "
+          f"{len(result.votes)} participant(s) voted commit)")
+    for replica in federation.replicas.get(args.archive, []):
+        print(f"  replica {replica.hostname}: epoch "
+              f"{replica.db.committed_epoch}, "
+              f"{replica.db.count_rows(survey.primary_table)} rows")
+
+    after = client.submit(DEMO_SQL)
+    print(f"after ingest:  {len(after)} matches, epochs {after.epochs}")
+    pinned = federation.portal.submit(DEMO_SQL, pin_epochs=before.epochs)
+    repeatable = sorted(pinned.rows) == sorted(before.rows)
+    print(f"pinned re-read at {before.epochs}: {len(pinned.rows)} matches, "
+          f"identical to pre-ingest: {repeatable}")
+    return 0 if repeatable else 1
+
+
 def _cmd_experiments(args: argparse.Namespace) -> int:
     from repro.bench import ALL_EXPERIMENTS
 
@@ -327,6 +391,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_query(args)
         if args.command == "trace":
             return _cmd_trace(args)
+        if args.command == "ingest":
+            return _cmd_ingest(args)
         if args.command == "experiments":
             return _cmd_experiments(args)
     except SkyQueryError as exc:

@@ -29,6 +29,9 @@ class ClientResult:
     rows: List[Tuple[Any, ...]]
     node_stats: List[Dict[str, Any]] = field(default_factory=list)
     counts: Dict[str, int] = field(default_factory=dict)
+    #: Snapshot epoch each archive alias was pinned at while planning —
+    #: re-submitting against the same epochs repeats the read exactly.
+    epochs: Dict[str, int] = field(default_factory=dict)
     matched_tuples: int = 0
     plan: Optional[Dict[str, Any]] = None
     #: Per-node degradation events relayed from the Portal (see
@@ -105,6 +108,9 @@ class SkyQueryClient:
             node_stats=list(response.get("stats") or []),
             counts={
                 str(k): int(v) for k, v in (response.get("counts") or {}).items()
+            },
+            epochs={
+                str(k): int(v) for k, v in (response.get("epochs") or {}).items()
             },
             matched_tuples=int(response.get("matched_tuples") or 0),
             plan=response.get("plan"),

@@ -19,7 +19,7 @@ from repro.db.expr import RowContext, evaluate, is_true
 from repro.db.indexes import spatial_probe
 from repro.db.schema import Column, TableSchema
 from repro.db.table import SpatialSpec, Table
-from repro.errors import QueryError, SchemaError
+from repro.errors import QueryError, SchemaError, StaleEpochError
 from repro.sphere.coords import radec_to_vector
 from repro.sphere.regions import Region
 from repro.sql.area import is_area, region_for
@@ -158,6 +158,11 @@ class Database:
         self._temp_counter = itertools.count(1)
         #: Benchmarks flip this off to measure full scans against HTM scans.
         self.use_spatial_index = True
+        #: Snapshot bookkeeping: seed data belongs to epoch 0; every live
+        #: ingest commit advances ``committed_epoch`` by one, and epoch GC
+        #: raises ``oldest_epoch`` (the oldest still-pinnable snapshot).
+        self.committed_epoch = 0
+        self.oldest_epoch = 0
 
     # -- DDL -----------------------------------------------------------------
 
@@ -231,10 +236,86 @@ class Database:
         table = self.table(table_name)
         return table.insert_many(list(rows))
 
+    # -- snapshot epochs -------------------------------------------------------
+
+    def resolve_epoch(self, epoch: Optional[int]) -> Optional[int]:
+        """Validate a pinned epoch against this archive's snapshot window.
+
+        ``None`` (unversioned: read everything) passes through. Otherwise
+        the epoch must be committed here (a replica lagging behind an
+        in-doubt 2PC decision cannot serve the future) and not yet
+        garbage-collected.
+        """
+        if epoch is None:
+            return None
+        if epoch > self.committed_epoch:
+            raise StaleEpochError(
+                f"epoch {epoch} is not committed at {self.name!r} "
+                f"(committed: {self.committed_epoch})"
+            )
+        if epoch < self.oldest_epoch:
+            raise StaleEpochError(
+                f"epoch {epoch} was garbage-collected at {self.name!r} "
+                f"(oldest pinnable: {self.oldest_epoch})"
+            )
+        return epoch
+
+    def apply_epoch(
+        self,
+        staged: Sequence[Tuple[str, Sequence[Dict[str, Any] | Sequence[Any]]]],
+    ) -> int:
+        """Apply staged ingest batches as one new epoch; returns its number.
+
+        Every batch is coerced against its table schema *before* any table
+        is touched, so a bad row leaves the whole database at the old
+        epoch. Then each affected table is stamped with the new epoch
+        first and filled second: readers pinned at or below the old epoch
+        keep their exact row prefix while the new rows become visible only
+        from the new epoch onward.
+        """
+        new_epoch = self.committed_epoch + 1
+        coerced: List[Tuple[Table, List[List[Any]]]] = []
+        for table_name, rows in staged:
+            table = self.table(table_name)
+            coerced.append(
+                (table, [table.schema.coerce_row(row) for row in rows])
+            )
+        stamped = set()
+        for table, rows in coerced:
+            if table.name not in stamped:
+                table.stamp_epoch(new_epoch)
+                stamped.add(table.name)
+            table.insert_many(rows)
+        self.committed_epoch = new_epoch
+        return new_epoch
+
+    def gc_epochs(self, keep: int) -> int:
+        """Garbage-collect snapshots, keeping the newest ``keep`` epochs.
+
+        Raises the pinnable floor to ``committed_epoch - keep`` (never
+        below zero, never backwards) and drops each table's unpinnable
+        watermarks. Returns the new oldest pinnable epoch.
+        """
+        if keep < 0:
+            raise QueryError(f"gc_epochs needs keep >= 0, got {keep}")
+        floor = max(0, self.committed_epoch - keep)
+        if floor > self.oldest_epoch:
+            self.oldest_epoch = floor
+            for table in self._tables.values():
+                table.drop_epochs_before(floor)
+        return self.oldest_epoch
+
     # -- query execution -------------------------------------------------------
 
-    def execute(self, query: Query | str) -> ResultSet:
-        """Execute a single-table SELECT (text or AST)."""
+    def execute(
+        self, query: Query | str, *, epoch: Optional[int] = None
+    ) -> ResultSet:
+        """Execute a single-table SELECT (text or AST).
+
+        ``epoch`` pins the read to a committed snapshot: only rows visible
+        at that epoch are scanned, matched, and returned. ``None`` reads
+        the live table (everything), preserving pre-ingest behaviour.
+        """
         if isinstance(query, str):
             query = parse_query(query)
         if len(query.tables) != 1:
@@ -242,6 +323,7 @@ class Database:
                 "the archive engine executes single-table queries; "
                 "multi-archive joins are the federation's job"
             )
+        epoch = self.resolve_epoch(epoch)
         table_ref = query.tables[0]
         table = self.table(table_ref.table)
         alias = table_ref.effective_alias
@@ -256,13 +338,15 @@ class Database:
 
         if self._is_count_star(query.items):
             count = sum(
-                1 for _ in self._matching_positions(table, alias, region, residual, stats)
+                1 for _ in self._matching_positions(
+                    table, alias, region, residual, stats, epoch=epoch
+                )
             )
             columns = [query.items[0].alias or "count"]
             rows: List[Tuple[Any, ...]] = [(count,)]
         elif is_aggregate_query(query):
             columns, rows = self._execute_grouped(
-                query, table, alias, region, residual, stats
+                query, table, alias, region, residual, stats, epoch=epoch
             )
         else:
             columns = self._output_columns(query.items, table)
@@ -273,7 +357,9 @@ class Database:
                 and not query.order_by
                 and not query.distinct
             )
-            for pos in self._matching_positions(table, alias, region, residual, stats):
+            for pos in self._matching_positions(
+                table, alias, region, residual, stats, epoch=epoch
+            ):
                 ctx = self._context_for(table, alias, pos)
                 rows.append(self._project(query.items, table, ctx))
                 if query.order_by:
@@ -304,6 +390,8 @@ class Database:
         region: Optional[Region],
         residual: Optional[Expr],
         stats: QueryStats,
+        *,
+        epoch: Optional[int] = None,
     ) -> Tuple[List[str], List[Tuple[Any, ...]]]:
         """The aggregate / GROUP BY / HAVING execution path."""
         from repro.db.aggregates import GroupedAccumulator, evaluate_grouped
@@ -311,7 +399,9 @@ class Database:
         from repro.sql.printer import to_sql
 
         accumulator = GroupedAccumulator(query)
-        for pos in self._matching_positions(table, alias, region, residual, stats):
+        for pos in self._matching_positions(
+            table, alias, region, residual, stats, epoch=epoch
+        ):
             accumulator.feed(self._context_for(table, alias, pos))
 
         groups = accumulator.finished_groups()
@@ -369,9 +459,11 @@ class Database:
             rows = rows[: query.limit]
         return columns, rows
 
-    def count_rows(self, table_name: str) -> int:
+    def count_rows(
+        self, table_name: str, *, epoch: Optional[int] = None
+    ) -> int:
         """Row count without touching the buffer pool (catalog metadata)."""
-        return len(self.table(table_name))
+        return self.table(table_name).visible_count(self.resolve_epoch(epoch))
 
     # -- stored procedures -----------------------------------------------------
 
@@ -433,11 +525,18 @@ class Database:
         region: Optional[Region],
         residual: Optional[Expr],
         stats: QueryStats,
+        *,
+        epoch: Optional[int] = None,
     ) -> Iterable[int]:
-        """Yield row positions passing the spatial and residual predicates."""
+        """Yield row positions passing the spatial and residual predicates.
+
+        With an ``epoch`` pinned, rows past its visibility watermark are
+        excluded from both the spatial-index and full-scan paths.
+        """
+        limit = None if epoch is None else table.visible_count(epoch)
         if region is not None and table.spatial is not None and self.use_spatial_index:
             stats.used_spatial_index = True
-            probe = spatial_probe(table, region)
+            probe = spatial_probe(table, region, limit=limit)
             stats.rows_tested_geometrically = len(probe.candidates)
             for pos in probe.exact:
                 self._touch(table, pos, stats)
@@ -458,7 +557,7 @@ class Database:
         # Full scan (optionally with a geometric test when the table has
         # positions but no region/index shortcut applies).
         spec = table.spatial
-        for pos in table.iter_positions():
+        for pos in table.iter_positions(epoch):
             self._touch(table, pos, stats)
             if region is not None:
                 assert spec is not None

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass, field
-from typing import Iterator, List, Sequence, Tuple
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -45,8 +45,16 @@ class SpatialCandidates:
     stats: RangeScanStats = field(default_factory=RangeScanStats)
 
 
-def spatial_probe(table: Table, region: Region) -> SpatialCandidates:
-    """Probe a table's HTM entries with a region cover."""
+def spatial_probe(
+    table: Table, region: Region, *, limit: Optional[int] = None
+) -> SpatialCandidates:
+    """Probe a table's HTM entries with a region cover.
+
+    ``limit`` is an epoch visibility watermark: row positions at or past
+    it are invisible to the probing snapshot and are skipped. Storage is
+    append-only, so the sorted HTM entries stay valid for every epoch —
+    filtering by position is exact.
+    """
     if table.spatial is None:
         raise ValueError(f"table {table.name!r} is not spatially indexed")
     reg_cover = cover(region, table.spatial.htm_depth)
@@ -56,10 +64,12 @@ def spatial_probe(table: Table, region: Region) -> SpatialCandidates:
     result.stats.partial_ranges = len(reg_cover.partial)
     for lo, hi in reg_cover.full:
         for pos in _rows_in_id_range(entries, lo, hi):
-            result.exact.append(pos)
+            if limit is None or pos < limit:
+                result.exact.append(pos)
     for lo, hi in reg_cover.partial:
         for pos in _rows_in_id_range(entries, lo, hi):
-            result.candidates.append(pos)
+            if limit is None or pos < limit:
+                result.candidates.append(pos)
     result.stats.exact_rows = len(result.exact)
     result.stats.candidate_rows = len(result.exact) + len(result.candidates)
     result.stats.tested_rows = len(result.candidates)
@@ -67,7 +77,7 @@ def spatial_probe(table: Table, region: Region) -> SpatialCandidates:
 
 
 def batch_spatial_probe(
-    table: Table, regions: Sequence[Region]
+    table: Table, regions: Sequence[Region], *, limit: Optional[int] = None
 ) -> List[SpatialCandidates]:
     """Probe a table's HTM entries with many region covers at once.
 
@@ -78,7 +88,8 @@ def batch_spatial_probe(
     :meth:`Table.spatial_arrays`), and every cover range becomes a
     ``searchsorted`` slice instead of a Python bisect walk. For each
     region the returned row positions, their order, and the scan stats
-    are identical to what ``spatial_probe`` produces.
+    are identical to what ``spatial_probe`` produces — including under
+    the same epoch-visibility ``limit``.
     """
     if table.spatial is None:
         raise ValueError(f"table {table.name!r} is not spatially indexed")
@@ -101,7 +112,10 @@ def batch_spatial_probe(
                 start = int(np.searchsorted(htm_ids, lo, side="left"))
                 stop = int(np.searchsorted(htm_ids, hi, side="right"))
                 if stop > start:
-                    out.extend(row_positions[start:stop].tolist())
+                    seg = row_positions[start:stop]
+                    if limit is not None:
+                        seg = seg[seg < limit]
+                    out.extend(seg.tolist())
         result.stats.exact_rows = len(result.exact)
         result.stats.candidate_rows = len(result.exact) + len(result.candidates)
         result.stats.tested_rows = len(result.candidates)

@@ -9,8 +9,9 @@ self-describing JSON document.
 from __future__ import annotations
 
 import json
+import os
 import pathlib
-from typing import Any, Dict
+from typing import Any, Callable, Dict, Optional
 
 from repro.db.engine import Database
 from repro.db.schema import Column
@@ -46,6 +47,7 @@ def database_to_dict(db: Database) -> Dict[str, Any]:
                 ],
                 "spatial": spatial,
                 "rows": [list(table.row(pos)) for pos in table.iter_positions()],
+                "epoch_marks": [list(mark) for mark in table._epoch_marks],
             }
         )
     return {
@@ -54,6 +56,8 @@ def database_to_dict(db: Database) -> Dict[str, Any]:
         "dialect": db.dialect,
         "page_size": db.page_size,
         "buffer_pages": db.buffer.capacity_pages,
+        "committed_epoch": db.committed_epoch,
+        "oldest_epoch": db.oldest_epoch,
         "tables": tables,
     }
 
@@ -90,20 +94,53 @@ def database_from_dict(data: Dict[str, Any]) -> Database:
             if spatial_data
             else None
         )
-        db.create_table(str(table_data["name"]), columns, spatial=spatial)
-        db.insert(
-            str(table_data["name"]),
-            [tuple(row) for row in table_data.get("rows", [])],
-        )
+        name = str(table_data["name"])
+        db.create_table(name, columns, spatial=spatial)
+        rows = [tuple(row) for row in table_data.get("rows", [])]
+        marks = table_data.get("epoch_marks")
+        if marks:
+            # Replay the visibility watermarks so pinned reads against the
+            # reloaded archive see exactly the prefixes they saw before.
+            done = 0
+            for mark_epoch, count in marks:
+                db.table(name).stamp_epoch(int(mark_epoch))
+                if int(count) > done:
+                    db.insert(name, rows[done:int(count)])
+                    done = int(count)
+        else:
+            db.insert(name, rows)  # pre-epoch dump: everything at epoch 0
+    db.committed_epoch = int(data.get("committed_epoch") or 0)
+    db.oldest_epoch = int(data.get("oldest_epoch") or 0)
     return db
 
 
-def save_database(db: Database, path: str | pathlib.Path) -> None:
-    """Write a database dump to a JSON file."""
+def save_database(
+    db: Database,
+    path: str | pathlib.Path,
+    *,
+    crash_hook: Optional[Callable[[pathlib.Path], None]] = None,
+) -> None:
+    """Write a database dump to a JSON file, crash-atomically.
+
+    The dump is written to a temporary sibling and renamed into place
+    (``os.replace``), so a crash mid-write can never leave a truncated or
+    half-serialized file where a good dump used to be: the path holds
+    either the old complete dump or the new one. ``crash_hook`` is a test
+    hook called with the temp path after the write but before the rename —
+    raising from it simulates dying at the most dangerous moment.
+    """
+    target = pathlib.Path(path)
     payload = database_to_dict(db)
-    pathlib.Path(path).write_text(
-        json.dumps(payload, separators=(",", ":")), encoding="utf-8"
-    )
+    tmp = target.with_name(target.name + ".tmp")
+    try:
+        tmp.write_text(
+            json.dumps(payload, separators=(",", ":")), encoding="utf-8"
+        )
+        if crash_hook is not None:
+            crash_hook(tmp)
+        os.replace(tmp, target)
+    finally:
+        tmp.unlink(missing_ok=True)
 
 
 def load_database(path: str | pathlib.Path) -> Database:

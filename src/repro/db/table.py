@@ -37,6 +37,18 @@ class Table:
     float64 unit-vector matrix) and :meth:`spatial_arrays` (the sorted HTM
     entries as parallel numpy arrays). Both are built lazily and
     invalidated on insert/truncate, exactly like the sorted entry list.
+
+    Versioned snapshots: storage is append-only, so an *epoch* is just a
+    visible row-count watermark. ``_epoch_marks`` holds ``[epoch, count]``
+    pairs in ascending epoch order; a query pinned at epoch ``e`` sees the
+    row prefix of the newest mark whose epoch is ``<= e``. Plain inserts
+    extend the latest mark (rows become visible at the current epoch —
+    the pre-ingest behaviour); the live-ingest commit path calls
+    :meth:`stamp_epoch` first so the new rows are visible only from the
+    freshly committed epoch onward. Since row values never change and
+    visibility is a prefix, every derived structure (sorted HTM entries,
+    columnar arrays, the position matrix) stays valid for pinned reads —
+    readers just ignore row positions at or past their watermark.
     """
 
     def __init__(
@@ -63,6 +75,8 @@ class Table:
         self._rows: List[List[Any]] = []
         self._htm_ids: List[int] = []
         self._positions: List[Tuple[float, float, float]] = []
+        #: Epoch visibility watermarks: [epoch, visible_count], ascending.
+        self._epoch_marks: List[List[int]] = [[0, 0]]
         self._htm = HTMIndex(spatial.htm_depth) if spatial else None
         self._spatial_sorted: Optional[List[Tuple[int, int]]] = None
         self._spatial_arrays: Optional[Tuple[np.ndarray, np.ndarray]] = None
@@ -115,6 +129,7 @@ class Table:
             self._positions.append(vector)
             self._invalidate_derived()
         self._rows.append(values)
+        self._epoch_marks[-1][1] = len(self._rows)
         return pos
 
     def insert_many(self, rows: Sequence[Dict[str, Any] | Sequence[Any]]) -> int:
@@ -134,7 +149,53 @@ class Table:
             self._positions.extend(vector for _, vector in spatial_data)
             self._invalidate_derived()
         self._rows.extend(coerced)
+        self._epoch_marks[-1][1] = len(self._rows)
         return len(coerced)
+
+    # -- epoch visibility --------------------------------------------------------
+
+    @property
+    def latest_epoch(self) -> int:
+        """The newest epoch this table has a visibility mark for."""
+        return self._epoch_marks[-1][0]
+
+    def stamp_epoch(self, epoch: int) -> None:
+        """Freeze visibility: rows inserted after this call are visible
+        only from ``epoch`` onward (earlier epochs keep the current count).
+        """
+        last = self._epoch_marks[-1]
+        if epoch < last[0]:
+            raise SchemaError(
+                f"cannot stamp epoch {epoch} on table {self.name!r}; "
+                f"already at epoch {last[0]}"
+            )
+        if epoch == last[0]:
+            last[1] = len(self._rows)
+        else:
+            self._epoch_marks.append([epoch, len(self._rows)])
+
+    def visible_count(self, epoch: Optional[int]) -> int:
+        """Rows visible at an epoch (``None`` = everything, unversioned)."""
+        if epoch is None:
+            return len(self._rows)
+        for mark_epoch, count in reversed(self._epoch_marks):
+            if mark_epoch <= epoch:
+                return count
+        return 0
+
+    def drop_epochs_before(self, oldest: int) -> None:
+        """Forget watermarks older than ``oldest`` (epoch GC).
+
+        The newest mark at or before ``oldest`` is retained so reads
+        pinned exactly at the floor still resolve; everything earlier is
+        unpinnable and its memory is released.
+        """
+        keep_from = 0
+        for i, (mark_epoch, _) in enumerate(self._epoch_marks):
+            if mark_epoch <= oldest:
+                keep_from = i
+        if keep_from:
+            self._epoch_marks = self._epoch_marks[keep_from:]
 
     def row(self, row_pos: int) -> List[Any]:
         """The raw row values at a position."""
@@ -146,9 +207,13 @@ class Table:
             raise SchemaError(f"table {self.name!r} has no spatial column")
         return self._htm_ids[row_pos]
 
-    def iter_positions(self) -> Iterator[int]:
-        """All row positions in storage order (a full scan)."""
-        return iter(range(len(self._rows)))
+    def iter_positions(self, epoch: Optional[int] = None) -> Iterator[int]:
+        """Row positions in storage order (a full scan).
+
+        With ``epoch`` given, only positions visible at that epoch — the
+        stored prefix up to its watermark.
+        """
+        return iter(range(self.visible_count(epoch)))
 
     def spatial_entries(self) -> List[Tuple[int, int]]:
         """Sorted (htm_id, row_pos) pairs; rebuilt lazily after inserts."""
@@ -212,4 +277,5 @@ class Table:
         self._rows.clear()
         self._htm_ids.clear()
         self._positions.clear()
+        self._epoch_marks = [[self._epoch_marks[-1][0], 0]]
         self._invalidate_derived()

@@ -32,6 +32,15 @@ class QueryError(DatabaseError):
     """A query could not be evaluated against the engine."""
 
 
+class StaleEpochError(QueryError):
+    """A query pinned an epoch the engine cannot serve.
+
+    Either the epoch has been garbage-collected (older than the oldest
+    pinnable snapshot) or it has not been committed at this archive yet
+    (a replica lagging behind an in-doubt 2PC decision).
+    """
+
+
 class SQLSyntaxError(SkyQueryError):
     """The SkyQuery SQL dialect parser rejected the query text."""
 
@@ -121,3 +130,7 @@ class ExecutionError(SkyQueryError):
 
 class TransactionError(SkyQueryError):
     """An inter-archive transaction protocol violation or failure."""
+
+
+class IngestError(SkyQueryError):
+    """A live-ingest session protocol violation or failure."""

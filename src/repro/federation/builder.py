@@ -76,6 +76,12 @@ class FederationConfig:
     #: Off, no trace headers ride in any envelope — the wire traffic is
     #: byte-identical to the pre-tracing federation.
     tracing: bool = True
+    #: Mount the live-ingest extension on every primary: batched uploads
+    #: commit as snapshot epochs, fanned out to all replicas under 2PC.
+    ingest: bool = False
+    #: How many past epochs stay pinnable after each ingest commit before
+    #: epoch GC reclaims them (``None`` retains every epoch forever).
+    keep_epochs: Optional[int] = 8
 
 
 @dataclass
@@ -103,6 +109,25 @@ class Federation:
     def node(self, archive: str) -> SkyNode:
         """A SkyNode by archive name."""
         return self.nodes[archive]
+
+    def ingest_client(
+        self, archive: str, hostname: str = "ingest.skyquery.net"
+    ):
+        """A live-ingest client wired to one archive's Ingest service."""
+        from repro.ingest.client import IngestClient
+
+        node = self.nodes[archive]
+        if node.ingest is None:
+            raise RegistrationError(
+                f"archive {archive!r} has no Ingest service "
+                "(build the federation with ingest=True)"
+            )
+        return IngestClient(
+            self.network,
+            node.host.url_for("/ingest"),
+            hostname=hostname,
+            retry_policy=self.config.retry_policy,
+        )
 
     @property
     def tracer(self):
@@ -189,6 +214,23 @@ def build_federation(config: Optional[FederationConfig] = None) -> Federation:
         for survey in config.surveys:
             replicas[survey.archive] = _provision_replicas(
                 config, network, nodes[survey.archive], survey, portal
+            )
+
+    if config.ingest:
+        for archive, node in nodes.items():
+            replica_urls = []
+            for replica in replicas.get(archive, []):
+                # Mirrors participate in every epoch commit, so they need
+                # the same retention policy + stale-pin reaping wiring —
+                # epoch counters and GC floors advance in lockstep.
+                replica_urls.append(replica.enable_transactions())
+                replica.transaction.keep_epochs = config.keep_epochs
+                replica.transaction.on_epoch_commit = (
+                    lambda _epoch, r=replica: r.crossmatch.reap_stale_epochs()
+                )
+            node.enable_ingest(
+                keep_epochs=config.keep_epochs,
+                replica_transaction_urls=replica_urls,
             )
 
     if config.fault_plan is not None:

@@ -1,0 +1,6 @@
+"""Live ingest: batched uploads committed as federation-wide snapshot epochs."""
+
+from repro.ingest.client import IngestClient, IngestResult
+from repro.ingest.service import IngestService
+
+__all__ = ["IngestClient", "IngestResult", "IngestService"]

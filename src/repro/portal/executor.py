@@ -58,6 +58,11 @@ class FederatedResult:
     node_stats: List[Dict[str, Any]] = field(default_factory=list)
     plan: Optional[ExecutionPlan] = None
     counts: Dict[str, int] = field(default_factory=dict)
+    #: Snapshot epoch each archive (by alias) was pinned at during
+    #: planning — the version every chain hop read. Clients re-submitting
+    #: with ``pin_epochs=result.epochs`` get byte-identical rows even
+    #: after later ingest commits (until the epochs are GC'd).
+    epochs: Dict[str, int] = field(default_factory=dict)
     matched_tuples: int = 0
     warnings: List[str] = field(default_factory=list)
     degraded: bool = False

@@ -50,6 +50,11 @@ class PlanStep:
     #: Alternative Cross match endpoints (replica SkyNodes with identical
     #: content) the executor may fail over to when ``url`` dies mid-chain.
     replica_urls: Tuple[str, ...] = ()
+    #: Snapshot epoch pinned at plan time: every hop of the chain reads
+    #: this archive at exactly this committed version, so an in-flight
+    #: query is immune to ingest commits (and failovers land on the same
+    #: snapshot at the replica). ``None`` reads the live table.
+    epoch: Optional[int] = None
 
     def to_wire(self) -> Dict[str, Any]:
         """Encode as a SOAP struct."""
@@ -68,12 +73,14 @@ class PlanStep:
             "attr_select": [list(item) for item in self.attr_select],
             "sql": self.sql,
             "replica_urls": list(self.replica_urls),
+            "epoch": self.epoch,
         }
 
     @classmethod
     def from_wire(cls, data: Dict[str, Any]) -> "PlanStep":
         """Decode from a SOAP struct."""
         count = data.get("count_star")
+        epoch = data.get("epoch")
         return cls(
             alias=str(data["alias"]),
             archive=str(data["archive"]),
@@ -93,6 +100,7 @@ class PlanStep:
             replica_urls=tuple(
                 str(u) for u in data.get("replica_urls") or []
             ),
+            epoch=int(epoch) if epoch is not None else None,
         )
 
     def content_key(self) -> Tuple[Any, ...]:
@@ -100,6 +108,9 @@ class PlanStep:
 
         Excludes ``url``/``replica_urls`` (a replica substitution must not
         change the key) and ``count_star`` (an estimate, not an input).
+        Includes ``epoch``: the same query at a different snapshot is a
+        different computation, so its checkpoints and streams never
+        answer a resume pinned elsewhere.
         """
         return (
             self.alias,
@@ -112,6 +123,7 @@ class PlanStep:
             self.dec_column,
             self.residual_sql,
             self.attr_select,
+            self.epoch,
         )
 
 

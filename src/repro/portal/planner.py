@@ -13,9 +13,14 @@ from __future__ import annotations
 import numbers
 import random
 from enum import Enum
-from typing import TYPE_CHECKING, Collection, Dict, List, Optional
+from typing import TYPE_CHECKING, Collection, Dict, List, Optional, Tuple
 
-from repro.errors import PlanningError, SoapFaultError, TransportError
+from repro.errors import (
+    PlanningError,
+    SoapFaultError,
+    StaleEpochError,
+    TransportError,
+)
 from repro.portal.calibration import ArchiveCostModel
 from repro.portal.decompose import DecomposedQuery, NodeSubquery
 from repro.portal.plan import ExecutionPlan, PlanStep
@@ -46,12 +51,22 @@ class Planner:
         decomposed: DecomposedQuery,
         *,
         failures: Optional[Dict[str, str]] = None,
+        epochs: Optional[Dict[str, int]] = None,
+        pin_epochs: Optional[Dict[str, int]] = None,
     ) -> Dict[str, int]:
         """Run the count-star queries at every mandatory archive.
 
         "These performance queries are passed as asynchronous SOAP
         messages": the probes are dispatched concurrently, so the elapsed
         simulated time is the slowest archive's round trip, not the sum.
+
+        Each probe runs pinned (``ExecuteQueryPinned``): the archive
+        atomically answers the count *and* the committed epoch it counted
+        at, recorded into ``epochs`` (keyed by alias) when given — so a
+        plan is sized and pinned against the very same snapshot.
+        ``pin_epochs`` forces specific epochs per alias instead of
+        "whatever is committed now" (time-travel reads; the repeatable-
+        reads oracle).
 
         When ``failures`` is a dict, an archive whose probe fails (after
         whatever retries its proxy is configured with) is recorded there
@@ -66,29 +81,66 @@ class Planner:
                 record = self._portal.catalog.node(subquery.archive)
                 proxy = self._portal.proxy(record.services["query"])
                 assert subquery.perf_sql is not None
+                pin = (pin_epochs or {}).get(alias, -1)
                 try:
-                    result = proxy.call("ExecuteQuery", sql=subquery.perf_sql)
+                    response = proxy.call(
+                        "ExecuteQueryPinned", sql=subquery.perf_sql, epoch=pin
+                    )
                 except (TransportError, SoapFaultError) as exc:
+                    if (
+                        isinstance(exc, SoapFaultError)
+                        and exc.detail == "StaleEpochError"
+                        and alias in (pin_epochs or {})
+                    ):
+                        # An explicitly pinned epoch the archive no longer
+                        # retains is a caller error, not a node outage —
+                        # degrading would silently break repeatable reads.
+                        raise StaleEpochError(exc.faultstring) from exc
                     if failures is None:
                         raise
                     failures[alias] = str(exc)
                     continue
-                counts[alias] = self._scalar_count(result, subquery)
+                count, epoch = self._pinned_count(response, subquery)
+                counts[alias] = count
+                if epochs is not None:
+                    epochs[alias] = epoch
         return counts
 
-    def count_for(self, subquery: NodeSubquery, query_url: str) -> int:
+    def count_for(
+        self,
+        subquery: NodeSubquery,
+        query_url: str,
+        *,
+        pin_epoch: Optional[int] = None,
+    ) -> Tuple[int, int]:
         """One count-star probe against a specific Query endpoint.
 
         The failover path: when a primary's performance query failed but a
         replica answered the health probe, the Portal re-asks the replica
-        instead of degrading the whole query.
+        instead of degrading the whole query. Returns ``(count, epoch)``
+        — the count and the snapshot it was taken at.
         """
         network = self._portal.require_network()
         assert subquery.perf_sql is not None
         proxy = self._portal.proxy(query_url)
         with network.phase("performance-query"):
-            result = proxy.call("ExecuteQuery", sql=subquery.perf_sql)
-        return self._scalar_count(result, subquery)
+            response = proxy.call(
+                "ExecuteQueryPinned",
+                sql=subquery.perf_sql,
+                epoch=-1 if pin_epoch is None else pin_epoch,
+            )
+        return self._pinned_count(response, subquery)
+
+    def _pinned_count(
+        self, response: object, subquery: NodeSubquery
+    ) -> Tuple[int, int]:
+        if not isinstance(response, dict) or "epoch" not in response:
+            raise PlanningError(
+                f"performance query at {subquery.archive!r} returned a "
+                "malformed pinned response"
+            )
+        count = self._scalar_count(response.get("rows"), subquery)
+        return count, int(response["epoch"])
 
     @staticmethod
     def _scalar_count(result: object, subquery: NodeSubquery) -> int:
@@ -117,6 +169,7 @@ class Planner:
         cost_models: Optional[Dict[str, "ArchiveCostModel"]] = None,
         skip_aliases: Collection[str] = (),
         services_for: Optional[Dict[str, Dict[str, str]]] = None,
+        epochs: Optional[Dict[str, int]] = None,
     ) -> ExecutionPlan:
         """Assemble the plan list: drop-outs first, then ordered mandatory.
 
@@ -126,7 +179,9 @@ class Planner:
         overrides the endpoint set per archive (plan-time failover: a dead
         primary is substituted by its live replica before the chain ever
         starts). Every step also carries the archive's remaining crossmatch
-        candidates as ``replica_urls`` for mid-chain failover.
+        candidates as ``replica_urls`` for mid-chain failover, and pins
+        the snapshot epoch its probe answered at (``epochs``, keyed by
+        alias) so the whole chain reads one consistent version.
         """
         assert decomposed.xmatch is not None
         mandatory = list(decomposed.mandatory_aliases)
@@ -151,7 +206,10 @@ class Planner:
         ordered_aliases = dropouts + mandatory
         steps = [
             self._step_for(
-                decomposed.subqueries[alias], counts.get(alias), services_for
+                decomposed.subqueries[alias],
+                counts.get(alias),
+                services_for,
+                epoch=(epochs or {}).get(alias),
             )
             for alias in ordered_aliases
         ]
@@ -196,6 +254,8 @@ class Planner:
         subquery: NodeSubquery,
         count_star: Optional[int],
         services_for: Optional[Dict[str, Dict[str, str]]] = None,
+        *,
+        epoch: Optional[int] = None,
     ) -> PlanStep:
         record = self._portal.catalog.node(subquery.archive)
         info = record.info
@@ -221,4 +281,5 @@ class Planner:
             residual_sql=subquery.residual_sql,
             attr_select=subquery.attr_select,
             sql=subquery.node_sql,
+            epoch=epoch,
         )

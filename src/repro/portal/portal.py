@@ -5,7 +5,12 @@ from __future__ import annotations
 from contextlib import nullcontext
 from typing import Collection, Dict, List, Optional, Sequence
 
-from repro.errors import SoapFaultError, TransportError, ValidationError
+from repro.errors import (
+    SoapFaultError,
+    StaleEpochError,
+    TransportError,
+    ValidationError,
+)
 from repro.portal.catalog import FederationCatalog
 from repro.portal.decompose import decompose
 from repro.portal.executor import ChainExecutor, FederatedResult
@@ -226,6 +231,7 @@ class Portal:
         *,
         strategy: OrderingStrategy = OrderingStrategy.COUNT_DESC,
         random_seed: int = 0,
+        pin_epochs: Optional[Dict[str, int]] = None,
     ) -> FederatedResult:
         """Figure 3 end to end: decompose, probe, plan, chain, project.
 
@@ -234,6 +240,13 @@ class Portal:
         time (with a warning); a dead *mandatory* archive — or one whose
         performance query fails after retries — yields a degraded empty
         result whose warnings name the node, instead of an exception.
+
+        Snapshot isolation: the planner pins each archive at the epoch its
+        count-star probe answered (returned as ``result.epochs``), so the
+        whole chain reads one consistent version even while live ingest
+        commits new epochs. ``pin_epochs`` (alias -> epoch) forces older
+        committed epochs instead — a repeatable read of a past snapshot,
+        valid until the epoch is garbage-collected.
 
         With a tracer on the network, the whole submission runs under one
         ``SubmitQuery`` root span and the returned result carries the
@@ -246,12 +259,16 @@ class Portal:
         if tracer is None:
             if analysis.xmatch is None:
                 return self._submit_single_archive(query)
-            return self._submit_federated(query, strategy, random_seed)
+            return self._submit_federated(
+                query, strategy, random_seed, pin_epochs
+            )
         with tracer.span("SubmitQuery", host=self.hostname) as root:
             if analysis.xmatch is None:
                 result = self._submit_single_archive(query)
             else:
-                result = self._submit_federated(query, strategy, random_seed)
+                result = self._submit_federated(
+                    query, strategy, random_seed, pin_epochs
+                )
             trace_id = root.trace_id
         result.trace = tracer.trace(trace_id)
         return result
@@ -261,6 +278,7 @@ class Portal:
         query: Query,
         strategy: OrderingStrategy,
         random_seed: int,
+        pin_epochs: Optional[Dict[str, int]] = None,
     ) -> FederatedResult:
         """The cross-match path of :meth:`submit`: probe, plan, chain."""
         tracer = self.network.tracer if self.network is not None else None
@@ -268,6 +286,8 @@ class Portal:
         skip_aliases: List[str] = []
         degraded = False
         failovers = 0
+        #: Alias -> snapshot epoch pinned by that archive's probe.
+        epochs: Dict[str, int] = {}
         #: Archives whose primary is dead but a replica answered: the plan
         #: is built against the replica's endpoints instead of degrading.
         failover_services: Dict[str, Dict[str, str]] = {}
@@ -296,7 +316,10 @@ class Portal:
                         ]
                     )
                     counts = self.planner.performance_counts(
-                        decomposed, failures=perf_failures
+                        decomposed,
+                        failures=perf_failures,
+                        epochs=epochs,
+                        pin_epochs=pin_epochs,
                     )
                 for archive, chosen in sorted(endpoints.items()):
                     record = self.catalog.node(archive)
@@ -344,7 +367,10 @@ class Portal:
                         )
             else:
                 counts = self.planner.performance_counts(
-                    decomposed, failures=perf_failures
+                    decomposed,
+                    failures=perf_failures,
+                    epochs=epochs,
+                    pin_epochs=pin_epochs,
                 )
             if perf_failures:
                 # A performance query that died against a dead primary gets
@@ -355,10 +381,18 @@ class Portal:
                     if chosen is None:
                         continue
                     try:
-                        counts[alias] = self.planner.count_for(
-                            subquery, chosen["query"]
+                        counts[alias], epochs[alias] = self.planner.count_for(
+                            subquery,
+                            chosen["query"],
+                            pin_epoch=(pin_epochs or {}).get(alias),
                         )
                     except (TransportError, SoapFaultError) as exc:
+                        if (
+                            isinstance(exc, SoapFaultError)
+                            and exc.detail == "StaleEpochError"
+                            and alias in (pin_epochs or {})
+                        ):
+                            raise StaleEpochError(exc.faultstring) from exc
                         perf_failures[alias] = str(exc)
                         continue
                     del perf_failures[alias]
@@ -372,6 +406,7 @@ class Portal:
                     )
                 result = self._degraded_result(query, warnings)
                 result.counts = counts
+                result.epochs = epochs
                 result.failovers = failovers
                 return result
             if any(
@@ -389,6 +424,7 @@ class Portal:
                     failovers=failovers,
                 )
                 result.counts = counts
+                result.epochs = epochs
                 return result
             cost_models = None
             if strategy is OrderingStrategy.BYTES_DESC:
@@ -403,6 +439,7 @@ class Portal:
                 cost_models=cost_models,
                 skip_aliases=skip_aliases,
                 services_for=failover_services,
+                epochs=epochs,
             )
         result = self.executor.execute(
             plan,
@@ -412,6 +449,7 @@ class Portal:
             failovers=failovers,
         )
         result.counts = counts
+        result.epochs = epochs
         return result
 
     def _degraded_result(
@@ -454,7 +492,8 @@ class Portal:
                 "sql": to_sql(query),
             }
         decomposed = decompose(query, self.catalog)
-        counts = self.planner.performance_counts(decomposed)
+        epochs: Dict[str, int] = {}
+        counts = self.planner.performance_counts(decomposed, epochs=epochs)
         cost_models = None
         calibration = None
         if strategy is OrderingStrategy.BYTES_DESC:
@@ -474,11 +513,13 @@ class Portal:
             strategy=strategy,
             random_seed=random_seed,
             cost_models=cost_models,
+            epochs=epochs,
         )
         return {
             "type": "chain",
             "strategy": strategy.value,
             "counts": dict(counts),
+            "epochs": dict(epochs),
             "would_execute": not any(
                 counts[a] == 0 for a in decomposed.mandatory_aliases
             ),

@@ -88,6 +88,7 @@ class SkyQueryService(WebService):
             "rows": infer_rowset(result.columns, result.rows),
             "stats": result.node_stats,
             "counts": dict(result.counts),
+            "epochs": dict(result.epochs),
             "matched_tuples": result.matched_tuples,
             "plan": result.plan.to_wire() if result.plan is not None else None,
             "warnings": list(result.warnings),

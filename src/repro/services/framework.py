@@ -144,7 +144,10 @@ class WebService:
         try:
             result = entry.fn(**params)
         except SkyQueryError as exc:
-            return self._fault("soap:Server", str(exc))
+            # The fault detail names the error class so callers can tell a
+            # caller mistake (e.g. pinning a garbage-collected epoch) from
+            # a genuine server failure without parsing the message text.
+            return self._fault("soap:Server", str(exc), type(exc).__name__)
         except TypeError as exc:
             return self._fault(
                 "soap:Client.BadArguments",

@@ -79,6 +79,9 @@ class _Checkpoint:
     rowset: WireRowSet
     stats: List[Dict[str, Any]]
     deadline: Optional[float] = None
+    #: The snapshot epoch the step ran at; a checkpoint whose epoch has
+    #: been garbage-collected is reaped rather than served to a resume.
+    epoch: Optional[int] = None
 
 
 @dataclass
@@ -92,6 +95,8 @@ class _Stream:
     wire_format: str
     batch_count: int
     deadline: Optional[float] = None
+    #: The snapshot epoch this stream's step is pinned at (see _Checkpoint).
+    epoch: Optional[int] = None
     next_seq: int = 0
     done: bool = False
     #: Cached response of the batch most recently served, so a caller's
@@ -190,15 +195,23 @@ class CrossMatchService(WebService):
         self._checkpoints: Dict[str, _Checkpoint] = {}
         self._clock_fn: Optional[Callable[[], float]] = None
         self._on_reclaim: Optional[Callable[[int], None]] = None
+        self._on_stale_reap: Optional[Callable[[int], None]] = None
 
     def bind_clock(
         self,
         clock_fn: Callable[[], float],
         on_reclaim: Optional[Callable[[int], None]] = None,
+        on_stale_reap: Optional[Callable[[int], None]] = None,
     ) -> None:
-        """Expire abandoned streams against a clock, reporting reclaims."""
+        """Expire abandoned streams against a clock, reporting reclaims.
+
+        ``on_stale_reap`` is called with a count whenever checkpoints or
+        streams are dropped because their pinned epoch was
+        garbage-collected (see :meth:`reap_stale_epochs`).
+        """
         self._clock_fn = clock_fn
         self._on_reclaim = on_reclaim
+        self._on_stale_reap = on_stale_reap
 
     # -- operations ------------------------------------------------------------
 
@@ -209,6 +222,7 @@ class CrossMatchService(WebService):
         position = int(position)
         me = self._validate_step(plan_obj, position)
         self._reap_checkpoints()
+        self.reap_stale_epochs()
         checkpoint_key = (
             f"{xid}:{plan_obj.fingerprint(position)}" if xid else None
         )
@@ -241,7 +255,9 @@ class CrossMatchService(WebService):
         stats_chain.append(my_stats)
         if checkpoint_key is not None:
             checkpoint = _Checkpoint(
-                rowset=out_rowset, stats=[dict(s) for s in stats_chain]
+                rowset=out_rowset,
+                stats=[dict(s) for s in stats_chain],
+                epoch=me.epoch,
             )
             self._touch_checkpoint(checkpoint)
             self._checkpoints[checkpoint_key] = checkpoint
@@ -304,6 +320,38 @@ class CrossMatchService(WebService):
         if now is not None:
             checkpoint.deadline = now + CHECKPOINT_TTL_S
 
+    def reap_stale_epochs(self) -> int:
+        """Drop checkpoints and streams whose pinned epoch has been GC'd.
+
+        Once a snapshot falls off the engine's pinnable window, a resume
+        against a checkpoint or stream pinned there could no longer be
+        recomputed consistently by any other hop — so rather than serve a
+        stale-epoch resume, the state is reaped and the caller gets
+        "unknown stream"/recompute semantics. Runs on every operation
+        entry and after each ingest commit's epoch GC. Returns the number
+        of entries reaped (also reported via ``on_stale_reap``).
+        """
+        oldest = self._node.wrapper.db.oldest_epoch
+        stale_keys = [
+            key
+            for key, checkpoint in self._checkpoints.items()
+            if checkpoint.epoch is not None and checkpoint.epoch < oldest
+        ]
+        for key in stale_keys:
+            del self._checkpoints[key]
+        stale_streams = [
+            sid
+            for sid, stream in self._streams.items()
+            if stream.epoch is not None and stream.epoch < oldest
+        ]
+        reaped = len(stale_keys)
+        for sid in stale_streams:
+            if not self._streams.pop(sid).done:
+                reaped += 1
+        if reaped and self._on_stale_reap is not None:
+            self._on_stale_reap(reaped)
+        return reaped
+
     @property
     def open_checkpoints(self) -> int:
         """Checkpoints currently held (bounded by the TTL reaper)."""
@@ -327,6 +375,7 @@ class CrossMatchService(WebService):
         start_seq: int = 0,
     ) -> Dict[str, Any]:
         self._reap_streams()
+        self.reap_stale_epochs()
         plan_obj = ExecutionPlan.from_wire(plan)
         position = int(position)
         me = self._validate_step(plan_obj, position)
@@ -348,6 +397,7 @@ class CrossMatchService(WebService):
             position=position,
             wire_format=wire_format,
             batch_count=0,
+            epoch=me.epoch,
         )
         if position == len(plan_obj.steps) - 1:
             # Last node on the list: seed once, partition into batches. The
@@ -399,6 +449,7 @@ class CrossMatchService(WebService):
 
     def _pull_batch(self, stream_id: str, seq: int) -> Dict[str, Any]:
         self._reap_streams()
+        self.reap_stale_epochs()
         stream = self._streams.get(str(stream_id))
         if stream is None:
             raise ExecutionError(f"unknown stream {stream_id!r}")
@@ -544,7 +595,7 @@ class CrossMatchService(WebService):
         db = wrapper.db
         before = (db.buffer.stats.logical_reads, db.buffer.stats.physical_reads)
         query = self._node_query_ast(plan, me)
-        result = wrapper.execute_ast(query)
+        result = wrapper.execute_ast(query, epoch=me.epoch)
         attr_names = [column for column, _, _ in me.attr_select]
         objects = [
             LocalObject(
@@ -607,6 +658,7 @@ class CrossMatchService(WebService):
                 residual=residual,
                 attr_columns=[column for column, _, _ in me.attr_select],
                 kernel=self._node.xmatch_kernel,
+                epoch=me.epoch,
             )
         finally:
             db.drop_table(temp.name)  # "The temporary table is deleted."

@@ -86,6 +86,10 @@ class SkyNode:
         self.host.mount(SERVICE_PATHS["crossmatch"], self.crossmatch)
         self.network: Optional[SimulatedNetwork] = None
         self.transaction = None  # mounted on demand (extension service)
+        self.ingest = None  # mounted on demand (live-ingest extension)
+        #: Transaction-service URLs of this archive's mirrors; every
+        #: epoch-advancing ingest commit fans out to all of them under 2PC.
+        self.replica_transaction_urls: List[str] = []
         self._parser_memory_limit = parser_memory_limit
         #: Resilience for this node's outbound calls (chain hops, portal
         #: registration). None keeps the seed's single-shot behaviour.
@@ -114,6 +118,36 @@ class SkyNode:
             )
             self.host.mount("/transaction", self.transaction)
         return self.host.url_for("/transaction")
+
+    def enable_ingest(
+        self,
+        *,
+        keep_epochs: Optional[int] = 8,
+        replica_transaction_urls: Optional[List[str]] = None,
+    ) -> str:
+        """Mount the live-ingest extension service; returns its URL.
+
+        ``keep_epochs`` bounds how many past epochs stay pinnable after
+        each commit (``None`` retains forever); ``replica_transaction_urls``
+        lists the mirrors every epoch commit must reach atomically.
+        """
+        self.enable_transactions()
+        if replica_transaction_urls is not None:
+            self.replica_transaction_urls = list(replica_transaction_urls)
+        self.transaction.keep_epochs = keep_epochs
+        # After an epoch is GC'd, checkpoints and streams pinned to it can
+        # never be read again — reap them the moment the epoch commits.
+        self.transaction.on_epoch_commit = (
+            lambda _epoch: self.crossmatch.reap_stale_epochs()
+        )
+        if self.ingest is None:
+            from repro.ingest.service import IngestService
+
+            self.ingest = IngestService(
+                self, parser_memory_limit=self._parser_memory_limit
+            )
+            self.host.mount("/ingest", self.ingest)
+        return self.host.url_for("/ingest")
 
     @property
     def db(self) -> Database:
@@ -152,9 +186,12 @@ class SkyNode:
         def on_reclaim(count: int) -> None:
             network.metrics.reclaimed_transfers += count
 
+        def on_stale_reap(count: int) -> None:
+            network.metrics.stale_epoch_reaps += count
+
         self.query.sender.bind_clock(clock_fn, on_reclaim)
         self.crossmatch.sender.bind_clock(clock_fn, on_reclaim)
-        self.crossmatch.bind_clock(clock_fn, on_reclaim)
+        self.crossmatch.bind_clock(clock_fn, on_reclaim, on_stale_reap)
         # A crash wipes everything volatile: open chunked transfers,
         # streams, and checkpoint caches all die with the process.
         network.on_crash(self.hostname, self.crash_volatile_state)
@@ -164,6 +201,10 @@ class SkyNode:
         self.query.sender.crash()
         self.crossmatch.sender.crash()
         self.crossmatch.crash()
+        if self.transaction is not None:
+            self.transaction.simulate_crash()
+        if self.ingest is not None:
+            self.ingest.crash()
 
     def service_url(self, service: str) -> str:
         """Endpoint URL of one of the four services."""

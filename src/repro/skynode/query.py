@@ -48,6 +48,16 @@ class QueryService(WebService):
             doc="Run a single-table query in the SkyQuery SQL dialect.",
         )
         self.register(
+            "ExecuteQueryPinned",
+            self._execute_pinned,
+            params=(("sql", "string"), ("epoch", "int")),
+            returns="struct",
+            doc=(
+                "Run a query pinned to a snapshot epoch; -1 pins the "
+                "current committed epoch, which is echoed back."
+            ),
+        )
+        self.register(
             "ExecuteQueryChunked",
             self._execute_chunked,
             params=(("sql", "string"),),
@@ -69,15 +79,26 @@ class QueryService(WebService):
             doc="Free an abandoned chunked transfer before its TTL.",
         )
 
-    def _run(self, sql: str) -> WireRowSet:
+    def _run(self, sql: str, epoch: Optional[int] = None) -> WireRowSet:
         query = parse_query(sql)
-        result = self._wrapper.execute_ast(query)
+        result = self._wrapper.execute_ast(query, epoch=epoch)
         if self._processing_charge is not None:
             self._processing_charge(result.stats.rows_examined)
         return self._wrapper.resultset_to_wire(result, query)
 
     def _execute(self, sql: str) -> WireRowSet:
         return self._run(sql)
+
+    def _execute_pinned(self, sql: str, epoch: int = -1) -> Dict[str, Any]:
+        """Run a query at a pinned epoch, echoing the epoch served.
+
+        The Portal's count-star probes use ``epoch = -1`` ("whatever is
+        committed right now") and record the echoed epoch into the plan,
+        so every later hop of the chain reads the same snapshot the plan
+        was sized against.
+        """
+        pinned = self._wrapper.db.committed_epoch if epoch < 0 else int(epoch)
+        return {"rows": self._run(sql, epoch=pinned), "epoch": pinned}
 
     def _execute_chunked(self, sql: str) -> Dict[str, Any]:
         return self.sender.respond(self._run(sql))

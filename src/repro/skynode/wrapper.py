@@ -120,10 +120,16 @@ class ArchiveWrapper:
         query = parse_query(sql)
         return self.execute_ast(query)
 
-    def execute_ast(self, query: Query) -> ResultSet:
-        """Execute a parsed query, logging its dialect rendering."""
+    def execute_ast(
+        self, query: Query, *, epoch: Optional[int] = None
+    ) -> ResultSet:
+        """Execute a parsed query, logging its dialect rendering.
+
+        ``epoch`` pins the read to a committed snapshot (see
+        :meth:`repro.db.engine.Database.execute`).
+        """
         self.statement_log.append(to_sql(query, self.dialect))
-        return self.db.execute(query)
+        return self.db.execute(query, epoch=epoch)
 
     def schema_wire(self) -> Dict[str, Any]:
         """The full schema as the Meta-data service's wire struct."""
@@ -150,6 +156,8 @@ class ArchiveWrapper:
         wire = self.info.to_wire()
         wire["object_count"] = self.db.count_rows(self.info.primary_table)
         wire["dialect"] = self.dialect.name
+        wire["committed_epoch"] = self.db.committed_epoch
+        wire["oldest_epoch"] = self.db.oldest_epoch
         return wire
 
     def resultset_to_wire(self, result: ResultSet, query: Optional[Query] = None

@@ -88,8 +88,15 @@ def _sp_xmatch(
     residual: Optional[Expr] = None,
     attr_columns: Sequence[str] = (),
     kernel: str = KERNEL_VECTORIZED,
+    epoch: Optional[int] = None,
 ) -> XMatchProcResult:
-    """The stored procedure body (invoked via ``db.call_procedure``)."""
+    """The stored procedure body (invoked via ``db.call_procedure``).
+
+    ``epoch`` pins the primary-table scan to a committed snapshot: rows
+    ingested after that epoch are invisible to the probe, so a chain that
+    pinned its epochs at plan time matches against one consistent version
+    even while live ingest commits the next.
+    """
     if kernel not in KERNELS:
         raise QueryError(
             f"unknown xmatch kernel {kernel!r}; expected one of {KERNELS}"
@@ -98,6 +105,10 @@ def _sp_xmatch(
     primary = db.table(primary_table)
     if primary.spatial is None:
         raise QueryError(f"primary table {primary_table!r} has no spatial index")
+    limit = (
+        None if epoch is None
+        else primary.visible_count(db.resolve_epoch(epoch))
+    )
     run = _sp_xmatch_vectorized if kernel == KERNEL_VECTORIZED else _sp_xmatch_scalar
     return run(
         db,
@@ -112,6 +123,7 @@ def _sp_xmatch(
         area=area,
         residual=residual,
         attr_columns=attr_columns,
+        limit=limit,
     )
 
 
@@ -129,6 +141,7 @@ def _sp_xmatch_scalar(
     area: Optional[Region],
     residual: Optional[Expr],
     attr_columns: Sequence[str],
+    limit: Optional[int] = None,
 ) -> XMatchProcResult:
     """The reference per-tuple/per-candidate loop (the testing oracle)."""
     sigma_rad = arcsec_to_rad(sigma_arcsec)
@@ -151,7 +164,7 @@ def _sp_xmatch_scalar(
 
         center = acc.best_position()
         radius = acc.search_radius(sigma_rad, threshold)
-        probe = spatial_probe(primary, Cap(center, radius))
+        probe = spatial_probe(primary, Cap(center, radius), limit=limit)
         matched: List[LocalObject] = []
         for candidate_pos in probe.exact + probe.candidates:
             db.buffer.access(primary.name, primary.page_of(candidate_pos))
@@ -222,6 +235,7 @@ def _sp_xmatch_vectorized(
     area: Optional[Region],
     residual: Optional[Expr],
     attr_columns: Sequence[str],
+    limit: Optional[int] = None,
 ) -> XMatchProcResult:
     """Set-at-a-time body: batched probes + one broadcasted chi-squared pass.
 
@@ -267,7 +281,7 @@ def _sp_xmatch_vectorized(
         )
         for i in range(len(seqs))
     ]
-    probes = batch_spatial_probe(primary, caps)
+    probes = batch_spatial_probe(primary, caps, limit=limit)
 
     # Stage 3: flatten the (tuple, candidate) pairs, charging the scalar
     # loop's per-pair buffer access and filtering on AREA/residual per

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Set
 
 from repro.db.schema import Column
 from repro.db.types import ColumnType
@@ -42,6 +42,12 @@ class TxnState(Enum):
 class _Txn:
     state: TxnState
     staged: List[tuple[str, WireRowSet]] = field(default_factory=list)
+    #: When True, Commit applies the staged rows as one new snapshot epoch
+    #: (the live-ingest path) instead of folding them into the current one.
+    advance_epoch: bool = False
+    #: Staging sequence numbers already accepted — a retried StageRows
+    #: (response lost in flight) is recognized and not double-staged.
+    seqs: Set[int] = field(default_factory=set)
 
 
 class TransactionService(WebService):
@@ -61,10 +67,19 @@ class TransactionService(WebService):
         self._txns: Dict[str, _Txn] = {}
         #: Test hook: the next Prepare votes abort with this reason.
         self.fail_next_prepare: Optional[str] = None
+        #: Epoch retention: after an epoch-advancing commit, keep this many
+        #: past epochs pinnable and GC the rest. ``None`` retains forever.
+        self.keep_epochs: Optional[int] = None
+        #: Called with the new epoch after every epoch-advancing commit
+        #: (the SkyNode hooks stale-checkpoint reaping here).
+        self.on_epoch_commit: Optional[Callable[[int], None]] = None
         self.register(
-            "Begin", self._begin, params=(("txn_id", "string"),),
+            "Begin", self._begin,
+            params=(("txn_id", "string"), ("advance_epoch", "boolean")),
             returns="boolean",
-            doc="Open a transaction (idempotent while active).",
+            doc="Open a transaction (idempotent while active). With "
+                "advance_epoch, commit applies the rows as a new snapshot "
+                "epoch instead of extending the current one.",
         )
         self.register(
             "EnsureTable",
@@ -77,9 +92,11 @@ class TransactionService(WebService):
             "StageRows",
             self._stage_rows,
             params=(("txn_id", "string"), ("table", "string"),
-                    ("rows", "rowset")),
+                    ("rows", "rowset"), ("seq", "int")),
             returns="int",
-            doc="Stage rows under a transaction (not yet visible).",
+            doc="Stage rows under a transaction (not yet visible). "
+                "``seq`` >= 0 makes the call idempotent: a retried "
+                "sequence number is acknowledged without re-staging.",
         )
         self.register(
             "Prepare", self._prepare, params=(("txn_id", "string"),),
@@ -104,14 +121,21 @@ class TransactionService(WebService):
 
     # -- operations ------------------------------------------------------------
 
-    def _begin(self, txn_id: str) -> bool:
+    def _begin(self, txn_id: str, advance_epoch: bool = False) -> bool:
         if not txn_id:
             raise TransactionError("Begin requires a txn_id")
         existing = self._txns.get(txn_id)
         if existing is None:
-            self._txns[txn_id] = _Txn(TxnState.ACTIVE)
+            self._txns[txn_id] = _Txn(
+                TxnState.ACTIVE, advance_epoch=bool(advance_epoch)
+            )
             return True
         if existing.state is TxnState.ACTIVE:
+            if bool(advance_epoch) != existing.advance_epoch:
+                raise TransactionError(
+                    f"transaction {txn_id!r} re-begun with a different "
+                    "advance_epoch setting"
+                )
             return True  # idempotent re-begin
         raise TransactionError(
             f"transaction {txn_id!r} already {existing.state.value}"
@@ -131,7 +155,9 @@ class TransactionService(WebService):
         db.create_table(table, cols)
         return True
 
-    def _stage_rows(self, txn_id: str, table: str, rows: WireRowSet) -> int:
+    def _stage_rows(
+        self, txn_id: str, table: str, rows: WireRowSet, seq: int = -1
+    ) -> int:
         txn = self._require(txn_id)
         if txn.state is not TxnState.ACTIVE:
             raise TransactionError(
@@ -139,6 +165,11 @@ class TransactionService(WebService):
             )
         if not isinstance(rows, WireRowSet):
             raise TransactionError("StageRows needs a rowset payload")
+        seq = int(seq)
+        if seq >= 0:
+            if seq in txn.seqs:
+                return len(rows.rows)  # retried batch; already staged
+            txn.seqs.add(seq)
         txn.staged.append((table, rows))
         return len(rows.rows)
 
@@ -176,12 +207,39 @@ class TransactionService(WebService):
                 "violates two-phase commit"
             )
         db = self._wrapper.db
-        for table, rowset in txn.staged:
-            names = [name.split(".", 1)[-1] for name in rowset.column_names]
-            db.insert(
-                table,
-                [dict(zip(names, row)) for row in rowset.rows],
-            )
+        if txn.advance_epoch:
+            # The live-ingest path: all staged batches become ONE new
+            # epoch, applied atomically (crashes in the simulation land
+            # between messages, never inside a handler). Every 2PC
+            # participant computes the same committed_epoch + 1
+            # independently, so primaries and mirrors advance in lockstep.
+            staged = [
+                (
+                    table,
+                    [
+                        dict(zip(
+                            [n.split(".", 1)[-1] for n in rowset.column_names],
+                            row,
+                        ))
+                        for row in rowset.rows
+                    ],
+                )
+                for table, rowset in txn.staged
+            ]
+            epoch = db.apply_epoch(staged)
+            if self.keep_epochs is not None:
+                db.gc_epochs(self.keep_epochs)
+            if self.on_epoch_commit is not None:
+                self.on_epoch_commit(epoch)
+        else:
+            for table, rowset in txn.staged:
+                names = [
+                    name.split(".", 1)[-1] for name in rowset.column_names
+                ]
+                db.insert(
+                    table,
+                    [dict(zip(names, row)) for row in rowset.rows],
+                )
         txn.staged.clear()
         txn.state = TxnState.COMMITTED
         return True

@@ -60,6 +60,10 @@ class NetworkMetrics:
     #: explicit abort or a sim-clock TTL expiry reclaiming state a crashed
     #: or circuit-opened caller abandoned mid-fetch.
     reclaimed_transfers: int = 0
+    #: Checkpoints/streams dropped because the snapshot epoch they were
+    #: pinned to fell below the archive's GC floor (see docs/RESILIENCE.md,
+    #: epoch lifecycle) — their cached results can never be served again.
+    stale_epoch_reaps: int = 0
 
     def record(self, message: MessageRecord) -> None:
         """Append one message record."""
@@ -139,3 +143,4 @@ class NetworkMetrics:
         self.failovers = 0
         self.breaker_events.clear()
         self.reclaimed_transfers = 0
+        self.stale_epoch_reaps = 0

@@ -29,6 +29,7 @@ def run_example(name):
         "archive_replication.py",
         "pipelined_chain.py",
         "trace_chain.py",
+        "live_ingest.py",
     ],
 )
 def test_example_runs(script):
@@ -75,6 +76,14 @@ def test_pipelined_chain_identical_and_faster():
     speedup = float(out.split("Pipelined speedup: ")[1].split("x")[0])
     assert speedup > 1.0
     assert "role=seed" in out and "batches=" in out
+
+
+def test_live_ingest_snapshot_and_atomicity():
+    out = run_example("live_ingest.py").stdout
+    assert "as epoch 1" in out
+    assert "(lockstep)" in out
+    assert "byte-identical to the before answer: True" in out
+    assert "aborts cleanly: committed=False" in out
 
 
 def test_archive_replication_atomicity_and_recovery():

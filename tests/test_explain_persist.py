@@ -114,6 +114,56 @@ class TestPersistence:
         with pytest.raises(SchemaError):
             database_from_dict({"format_version": 99, "name": "x"})
 
+    def test_save_is_crash_atomic(self, tmp_path, small_federation):
+        """A crash mid-save never corrupts the previous good dump."""
+        db = small_federation.node("SDSS").db
+        path = tmp_path / "sdss.json"
+        save_database(db, path)
+        good = path.read_bytes()
+
+        class MidSaveCrash(RuntimeError):
+            pass
+
+        def die(tmp):
+            assert tmp.exists()  # the new dump was fully written...
+            raise MidSaveCrash("power cut before rename")
+
+        with pytest.raises(MidSaveCrash):
+            save_database(db, path, crash_hook=die)
+        # ...but the target still holds the old dump, bit for bit, and the
+        # temp file was cleaned up rather than left to confuse a reload.
+        assert path.read_bytes() == good
+        assert not (tmp_path / "sdss.json.tmp").exists()
+        assert load_database(path).table_names() == db.table_names()
+
+    def test_roundtrip_preserves_epoch_snapshots(self, tmp_path):
+        """Pinned visibility survives save/load: marks and counters."""
+        from repro.db.engine import Database
+        from repro.db.schema import Column
+        from repro.db.types import ColumnType
+
+        db = Database("epochal")
+        db.create_table(
+            "obs",
+            [
+                Column("object_id", ColumnType.INT, nullable=False),
+                Column("flux", ColumnType.FLOAT),
+            ],
+        )
+        db.insert("obs", [(1, 0.5), (2, 1.5)])
+        db.apply_epoch([("obs", [(3, 2.5)])])
+        db.apply_epoch([("obs", [(4, 3.5), (5, 4.5)])])
+        db.gc_epochs(1)
+        path = tmp_path / "epochal.json"
+        save_database(db, path)
+        restored = load_database(path)
+        assert restored.committed_epoch == db.committed_epoch == 2
+        assert restored.oldest_epoch == db.oldest_epoch == 1
+        for epoch in (1, 2):
+            want = db.table("obs").visible_count(epoch)
+            assert restored.table("obs").visible_count(epoch) == want
+        assert len(restored.table("obs")) == 5
+
     def test_restored_db_serves_a_skynode(self, tmp_path, small_federation):
         """A restored archive can stand in for the original in a federation."""
         from repro.skynode.node import SkyNode

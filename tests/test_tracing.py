@@ -247,7 +247,7 @@ class TestFederatedTrace:
         hops = len(result.plan.steps)
         # One server span per probed archive, per count-star query, per hop.
         assert len(find_spans(trace, "IsAlive", kind="server")) == archives
-        assert len(find_spans(trace, "ExecuteQuery", kind="server")) == archives
+        assert len(find_spans(trace, "ExecuteQueryPinned", kind="server")) == archives
         assert len(find_spans(trace, "PerformXMatch", kind="server")) == hops
         # Every server span continues a client span on the expected hosts.
         for span in trace.spans:
@@ -260,7 +260,7 @@ class TestFederatedTrace:
     def test_count_star_fanout_groups_under_parallel_span(self, traced):
         _, result = traced
         trace = result.trace
-        queries = find_spans(trace, "ExecuteQuery", kind="client")
+        queries = find_spans(trace, "ExecuteQueryPinned", kind="client")
         parents = {trace.parent(span).span_id for span in queries}
         assert len(parents) == 1
         (parent_id,) = parents
