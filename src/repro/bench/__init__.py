@@ -33,6 +33,7 @@ from repro.bench.experiments import (
     run_e17_pipelined_chain,
     run_e18_failover_recovery,
     run_e19_ingest_under_load,
+    run_e20_zone_engine,
 )
 
 ALL_EXPERIMENTS = (
@@ -55,6 +56,7 @@ ALL_EXPERIMENTS = (
     run_e17_pipelined_chain,
     run_e18_failover_recovery,
     run_e19_ingest_under_load,
+    run_e20_zone_engine,
 )
 
 __all__ = [
@@ -83,4 +85,5 @@ __all__ = [
     "run_e17_pipelined_chain",
     "run_e18_failover_recovery",
     "run_e19_ingest_under_load",
+    "run_e20_zone_engine",
 ]

@@ -137,6 +137,14 @@ def _federation_args(parser: argparse.ArgumentParser) -> None:
              "(default) or the per-tuple scalar reference loop",
     )
     parser.add_argument(
+        "--match-engine", default=None,
+        choices=["htm", "zone"],
+        help="spatial index for the cross-match at every node: HTM trixel "
+             "covers (the reference oracle) or declination zones with "
+             "sorted-merge windows — byte-identical results either way "
+             "(default: the SKYQUERY_MATCH_ENGINE env var, else htm)",
+    )
+    parser.add_argument(
         "--chain-mode", default="store-forward",
         choices=["store-forward", "pipelined"],
         help="chain execution mode: one PerformXMatch round trip "
@@ -173,20 +181,21 @@ def _retry_policy(args: argparse.Namespace):
 
 
 def _make_federation(args: argparse.Namespace, *, ingest: bool = False):
-    return build_federation(
-        FederationConfig(
-            n_bodies=args.bodies,
-            seed=args.seed,
-            sky_field=SkyField(185.0, -0.5, args.radius),
-            retry_policy=_retry_policy(args),
-            xmatch_kernel=args.kernel,
-            chain_mode=args.chain_mode,
-            stream_batch_size=args.batch_size,
-            stream_wire_format=args.wire_format,
-            replicas=args.replicas,
-            ingest=ingest,
-        )
+    config = FederationConfig(
+        n_bodies=args.bodies,
+        seed=args.seed,
+        sky_field=SkyField(185.0, -0.5, args.radius),
+        retry_policy=_retry_policy(args),
+        xmatch_kernel=args.kernel,
+        chain_mode=args.chain_mode,
+        stream_batch_size=args.batch_size,
+        stream_wire_format=args.wire_format,
+        replicas=args.replicas,
+        ingest=ingest,
     )
+    if args.match_engine is not None:
+        config.match_engine = args.match_engine
+    return build_federation(config)
 
 
 DEMO_SQL = """

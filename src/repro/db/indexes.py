@@ -1,9 +1,16 @@
-"""The HTM-backed spatial range scan.
+"""Spatial range scans over the two table indexes: HTM and zones.
 
-Implements the paper's range-search recipe (Section 5.4): compute the
-trixels entirely inside the region and the trixels that merely intersect
-it; rows in the former need no geometric test, rows in the latter are
-tested individually.
+The HTM half implements the paper's range-search recipe (Section 5.4):
+compute the trixels entirely inside the region and the trixels that merely
+intersect it; rows in the former need no geometric test, rows in the
+latter are tested individually.
+
+The zone half (:func:`zone_probe` / :func:`batch_zone_probe`) is the
+successor papers' replacement: the cap becomes a declination window over a
+few adjacent zones plus an RA interval per zone, each resolving to a
+``searchsorted`` slice of the table's sorted ``(zone, ra)`` arrays. Zone
+windows return a *superset* of the cap — callers always re-filter with an
+exact geometric test.
 """
 
 from __future__ import annotations
@@ -18,6 +25,8 @@ from repro.db.table import Table
 from repro.htm.batch import batch_cap_covers
 from repro.htm.cover import cover
 from repro.sphere.regions import Cap, Region
+from repro.sphere.vector import Vec3
+from repro.zone.index import cap_windows, unit_vectors_to_radec
 
 
 @dataclass
@@ -109,12 +118,10 @@ def batch_spatial_probe(
             (reg_cover.partial, result.candidates),
         ):
             for lo, hi in ranges:
-                start = int(np.searchsorted(htm_ids, lo, side="left"))
-                stop = int(np.searchsorted(htm_ids, hi, side="right"))
-                if stop > start:
-                    seg = row_positions[start:stop]
-                    if limit is not None:
-                        seg = seg[seg < limit]
+                seg = _array_rows_in_id_range(
+                    htm_ids, row_positions, lo, hi, limit
+                )
+                if seg.size:
                     out.extend(seg.tolist())
         result.stats.exact_rows = len(result.exact)
         result.stats.candidate_rows = len(result.exact) + len(result.candidates)
@@ -126,10 +133,101 @@ def batch_spatial_probe(
 def _rows_in_id_range(
     entries: List[Tuple[int, int]], lo: int, hi: int
 ) -> Iterator[int]:
-    """Row positions whose htm_id falls in the inclusive [lo, hi] range."""
-    start = bisect.bisect_left(entries, (lo, -1))
+    """Row positions whose htm_id falls in the inclusive [lo, hi] id range.
+
+    The bisect is seeded with the 1-tuple ``(lo,)``, which compares below
+    every ``(lo, pos)`` pair no matter what ``pos`` is — unlike the old
+    ``(lo, -1)`` sentinel, this makes no assumption about the range of row
+    positions. The inclusive-``hi`` semantics here and in
+    :func:`_array_rows_in_id_range` must stay in lockstep: both back the
+    same cover ranges, one over the entry list, one over the parallel
+    arrays of :meth:`Table.spatial_arrays`.
+    """
+    start = bisect.bisect_left(entries, (lo,))
     for i in range(start, len(entries)):
         hid, pos = entries[i]
         if hid > hi:
             break
         yield pos
+
+
+def _array_rows_in_id_range(
+    htm_ids: np.ndarray,
+    row_positions: np.ndarray,
+    lo: int,
+    hi: int,
+    limit: Optional[int],
+) -> np.ndarray:
+    """Array twin of :func:`_rows_in_id_range`, with epoch filtering.
+
+    Selects the positions whose htm_id lies in the inclusive [lo, hi]
+    range via two ``searchsorted`` probes, then drops rows at or past the
+    epoch-visibility watermark ``limit``.
+    """
+    start = int(np.searchsorted(htm_ids, lo, side="left"))
+    stop = int(np.searchsorted(htm_ids, hi, side="right"))
+    if stop <= start:
+        return _EMPTY_POSITIONS
+    seg = row_positions[start:stop]
+    if limit is not None:
+        seg = seg[seg < limit]
+    return seg
+
+
+_EMPTY_POSITIONS = np.empty(0, dtype=np.int64)
+
+
+def batch_zone_probe(
+    table: Table,
+    centers: np.ndarray,
+    radii_rad: np.ndarray,
+    *,
+    zone_height_deg: Optional[float] = None,
+    limit: Optional[int] = None,
+) -> List[np.ndarray]:
+    """Zone-window row candidates for a batch of caps, one array per cap.
+
+    ``centers`` is an ``(m, 3)`` unit-vector matrix, ``radii_rad`` the
+    per-cap search radii. Each returned array holds the row positions
+    (ascending) whose zone/RA bucket intersects the cap's dec/RA window —
+    a superset of the cap itself, epoch-filtered by ``limit`` exactly like
+    :func:`batch_spatial_probe`. Callers apply the exact geometric test.
+    """
+    if table.spatial is None:
+        raise ValueError(f"table {table.name!r} is not spatially indexed")
+    m = len(radii_rad)
+    if zone_height_deg is None:
+        za = table.zone_arrays()
+    else:
+        za = table.zone_arrays(zone_height_deg)
+    ra_c, dec_c = unit_vectors_to_radec(centers)
+    dec_lo, dec_hi, halfwidth = cap_windows(ra_c, dec_c, radii_rad)
+    pair_t, pair_i = za.window_pairs(dec_lo, dec_hi, ra_c, halfwidth)
+    if limit is not None:
+        keep = pair_i < limit
+        pair_t = pair_t[keep]
+        pair_i = pair_i[keep]
+    if pair_t.size == 0:
+        return [_EMPTY_POSITIONS for _ in range(m)]
+    order = np.lexsort((pair_i, pair_t))
+    pair_t = pair_t[order]
+    pair_i = pair_i[order]
+    bounds = np.searchsorted(pair_t, np.arange(m + 1, dtype=np.int64))
+    return [pair_i[bounds[i]:bounds[i + 1]] for i in range(m)]
+
+
+def zone_probe(
+    table: Table,
+    center: Vec3,
+    radius_rad: float,
+    *,
+    zone_height_deg: Optional[float] = None,
+    limit: Optional[int] = None,
+) -> List[int]:
+    """Single-cap :func:`batch_zone_probe`: ascending row positions."""
+    centers = np.asarray([center], dtype=np.float64)
+    radii = np.asarray([radius_rad], dtype=np.float64)
+    (rows,) = batch_zone_probe(
+        table, centers, radii, zone_height_deg=zone_height_deg, limit=limit
+    )
+    return rows.tolist()

@@ -11,6 +11,8 @@ from repro.db.schema import TableSchema
 from repro.errors import SchemaError
 from repro.htm.index import HTMIndex
 from repro.sphere.coords import radec_to_vector
+from repro.units import normalize_ra_deg
+from repro.zone.index import DEFAULT_ZONE_HEIGHT_DEG, ZoneArrays
 
 
 @dataclass(frozen=True)
@@ -81,6 +83,9 @@ class Table:
         self._spatial_sorted: Optional[List[Tuple[int, int]]] = None
         self._spatial_arrays: Optional[Tuple[np.ndarray, np.ndarray]] = None
         self._position_matrix: Optional[np.ndarray] = None
+        #: Zone index caches keyed by zone height (degrees); built lazily
+        #: like the HTM companions, invalidated together with them.
+        self._zone_arrays: Dict[float, ZoneArrays] = {}
 
     def __len__(self) -> int:
         return len(self._rows)
@@ -118,6 +123,7 @@ class Table:
         self._spatial_sorted = None
         self._spatial_arrays = None
         self._position_matrix = None
+        self._zone_arrays.clear()
 
     def insert(self, row: Dict[str, Any] | Sequence[Any]) -> int:
         """Insert one row (mapping or positional); returns its row position."""
@@ -265,6 +271,33 @@ class Table:
                 matrix[i, 2] = z
             self._position_matrix = matrix
         return self._position_matrix
+
+    def zone_arrays(
+        self, zone_height_deg: float = DEFAULT_ZONE_HEIGHT_DEG
+    ) -> ZoneArrays:
+        """The zone index over every stored row, sorted by ``(zone, ra)``.
+
+        Zone ids come from the raw spatial-column values (RA normalized to
+        [0, 360)); ``order`` maps back to row positions. Storage is
+        append-only, so — like :meth:`spatial_arrays` — one build stays
+        valid for every epoch: readers filter positions against their
+        visibility watermark. Cached per zone height, invalidated on
+        insert/truncate alongside the HTM companions.
+        """
+        if self.spatial is None:
+            raise SchemaError(f"table {self.name!r} has no spatial column")
+        cached = self._zone_arrays.get(zone_height_deg)
+        if cached is None:
+            ra = np.asarray(
+                [normalize_ra_deg(row[self._ra_idx]) for row in self._rows],
+                dtype=np.float64,
+            )
+            dec = np.asarray(
+                [row[self._dec_idx] for row in self._rows], dtype=np.float64
+            )
+            cached = ZoneArrays.build(ra, dec, zone_height_deg)
+            self._zone_arrays[zone_height_deg] = cached
+        return cached
 
     def position_of(self, row_pos: int) -> Tuple[float, float, float]:
         """The precomputed unit vector of a row (spatial tables only)."""

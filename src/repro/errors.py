@@ -55,6 +55,10 @@ class ValidationError(SkyQueryError):
     """The parsed query is syntactically valid but semantically inconsistent."""
 
 
+class ConfigurationError(SkyQueryError):
+    """A federation/node configuration knob has an unsupported value."""
+
+
 class SoapError(SkyQueryError):
     """Base class for SOAP / XML wire-format errors."""
 

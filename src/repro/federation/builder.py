@@ -2,13 +2,14 @@
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.client.client import SkyQueryClient
 from repro.db.engine import Database
 from repro.db.table import SpatialSpec
-from repro.errors import RegistrationError
+from repro.errors import ConfigurationError, RegistrationError
 from repro.federation.surveys import default_surveys
 from repro.portal.portal import Portal
 from repro.services.retry import RetryPolicy
@@ -54,6 +55,15 @@ class FederationConfig:
     #: Which sp_xmatch kernel every node runs: ``vectorized`` (the numpy
     #: batch kernel, default) or ``scalar`` (the per-tuple reference loop).
     xmatch_kernel: str = "vectorized"
+    #: Which spatial index every node's cross-match uses: ``htm`` (trixel
+    #: covers, the default and reference oracle) or ``zone`` (declination
+    #: zones with sorted-merge windows). Federated results, node stats,
+    #: and wire traffic are byte-identical either way. Defaults to the
+    #: ``SKYQUERY_MATCH_ENGINE`` environment variable when set, so test
+    #: suites can run under both engines without code changes.
+    match_engine: str = field(
+        default_factory=lambda: os.environ.get("SKYQUERY_MATCH_ENGINE", "htm")
+    )
     #: Scripted transient faults, installed only AFTER registration
     #: completes so federation construction is never fault-injected.
     fault_plan: Optional[FaultPlan] = None
@@ -135,6 +145,29 @@ class Federation:
         return self.network.tracer
 
 
+#: Legal values of the enumerated FederationConfig knobs, checked up front
+#: by :func:`build_federation` — an unknown value would otherwise fall
+#: through silently into node config and only blow up (or worse, be
+#: ignored) deep inside the first query.
+_CONFIG_CHOICES = {
+    "xmatch_kernel": ("vectorized", "scalar"),
+    "match_engine": ("htm", "zone"),
+    "chain_mode": ("store-forward", "pipelined"),
+    "stream_wire_format": ("columnar", "rows"),
+}
+
+
+def _validate_config(config: FederationConfig) -> None:
+    """Reject unsupported enumerated knob values with an actionable error."""
+    for knob, choices in _CONFIG_CHOICES.items():
+        value = getattr(config, knob)
+        if value not in choices:
+            raise ConfigurationError(
+                f"FederationConfig.{knob}={value!r} is not supported; "
+                f"expected one of {choices}"
+            )
+
+
 def build_federation(config: Optional[FederationConfig] = None) -> Federation:
     """Generate the sky, load the archives, register everyone.
 
@@ -143,6 +176,7 @@ def build_federation(config: Optional[FederationConfig] = None) -> Federation:
     "registration"-phase traffic in its metrics.
     """
     config = config or FederationConfig()
+    _validate_config(config)
     network = SimulatedNetwork(
         default_latency_s=config.default_latency_s,
         default_bandwidth_bps=config.default_bandwidth_bps,
@@ -204,6 +238,7 @@ def build_federation(config: Optional[FederationConfig] = None) -> Federation:
             processing_seconds_per_row=config.processing_seconds_per_row,
             retry_policy=config.retry_policy,
             xmatch_kernel=config.xmatch_kernel,
+            match_engine=config.match_engine,
         )
         node.attach(network)
         node.register_with_portal(portal.service_url("registration"))
@@ -302,6 +337,7 @@ def _provision_replicas(
             processing_seconds_per_row=config.processing_seconds_per_row,
             retry_policy=config.retry_policy,
             xmatch_kernel=config.xmatch_kernel,
+            match_engine=config.match_engine,
         )
         replica.attach(network)
         replica_key = f"{survey.archive}-r{index}"

@@ -658,6 +658,7 @@ class CrossMatchService(WebService):
                 residual=residual,
                 attr_columns=[column for column, _, _ in me.attr_select],
                 kernel=self._node.xmatch_kernel,
+                engine=self._node.match_engine,
                 epoch=me.epoch,
             )
         finally:

@@ -45,6 +45,7 @@ class SkyNode:
         processing_seconds_per_row: float = 0.0,
         retry_policy: Optional[RetryPolicy] = None,
         xmatch_kernel: str = "vectorized",
+        match_engine: str = "htm",
     ) -> None:
         self.wrapper = ArchiveWrapper(db, info)
         self.info = info
@@ -53,6 +54,10 @@ class SkyNode:
         #: ``vectorized`` (numpy batch, the default) or ``scalar`` (the
         #: reference loop). Identical results either way.
         self.xmatch_kernel = xmatch_kernel
+        #: Which spatial index narrows the cross-match search: ``htm``
+        #: (trixel covers, the reference oracle) or ``zone`` (declination
+        #: zones). Byte-identical results and stats either way.
+        self.match_engine = match_engine
         if not db.has_procedure(PROCEDURE_NAME):
             register_xmatch_procedure(db)
         #: Parser for everything this node receives from its chain neighbour

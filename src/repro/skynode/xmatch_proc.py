@@ -7,40 +7,56 @@ join."
 
 The procedure reads the incoming partial tuples from a temp table (seq +
 cumulative values), range-searches the primary table around each tuple's
-best position via the HTM index, applies the archive's local predicates
+best position via a spatial index, applies the archive's local predicates
 and the query's AREA clause to every candidate, runs the chi-squared test,
 and returns — per incoming tuple — the candidates that keep the tuple
 alive. All row touches go through the engine's buffer pool so processing
 costs (and cache warming) are observable.
 
-Two interchangeable kernels implement the body. ``vectorized`` (the
-default) evaluates the chi-squared recurrence set-at-a-time with numpy —
-batched HTM probes against the table's columnar arrays, one broadcasted
-pass over all (tuple, candidate) pairs. ``scalar`` is the original
-per-tuple/per-candidate Python loop, kept verbatim as the reference
-oracle. Both charge identical buffer-pool accesses in identical order and
-produce identical matches and stats, so the simulated cost model and the
-wire traffic are unchanged by the kernel choice.
+Two orthogonal choices select the body:
+
+* ``engine`` picks the *spatial index* that narrows each tuple's search:
+  ``htm`` (trixel cover ranges, the reference oracle) or ``zone``
+  (declination-zone sorted-merge windows).
+* ``kernel`` picks the *arithmetic style*: ``vectorized`` (set-at-a-time
+  numpy, the default) or ``scalar`` (the per-tuple/per-candidate Python
+  loop kept as the testing oracle).
+
+All four combinations are interchangeable by construction: whatever the
+index returns is only a superset hint — every engine then keeps exactly
+the rows inside the tuple's search cap (one cosine test per row against
+the index-stored unit vectors, identical float64 operations everywhere)
+and visits them in ascending row-position order. The examined row set,
+the buffer-pool charges, the cost stats, and the matches — and therefore
+the node stats and wire traffic of a federated query — are byte-identical
+across engines and kernels.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.db.engine import Database
 from repro.db.expr import RowContext, evaluate, is_true
-from repro.db.indexes import batch_spatial_probe, spatial_probe
+from repro.db.indexes import (
+    batch_spatial_probe,
+    batch_zone_probe,
+    spatial_probe,
+    zone_probe,
+)
 from repro.db.table import Table
-from repro.errors import QueryError
+from repro.errors import GeometryError, QueryError
 from repro.sphere.coords import radec_to_vector
 from repro.sphere.regions import Cap, Region
 from repro.sql.ast import Expr
 from repro.units import arcsec_to_rad
 from repro.xmatch import kernel as xkernel
 from repro.xmatch.chi2 import Accumulator
+from repro.xmatch.kernel import _COS_SLACK
 from repro.xmatch.tuples import LocalObject
 
 PROCEDURE_NAME = "sp_xmatch"
@@ -48,6 +64,26 @@ PROCEDURE_NAME = "sp_xmatch"
 KERNEL_VECTORIZED = "vectorized"
 KERNEL_SCALAR = "scalar"
 KERNELS = (KERNEL_VECTORIZED, KERNEL_SCALAR)
+
+MATCH_ENGINE_HTM = "htm"
+MATCH_ENGINE_ZONE = "zone"
+MATCH_ENGINES = (MATCH_ENGINE_HTM, MATCH_ENGINE_ZONE)
+
+
+def _cap_bounds(radius: float) -> Tuple[float, float]:
+    """The exact-filter cosine threshold and effective probe radius.
+
+    ``cos_r`` is the broadcast kernel's boundary-slackened cosine of the
+    search radius: a candidate row is *in the cap* iff its index-stored
+    unit vector dots with the tuple's center at or above it. ``r_eff``
+    (``acos`` of that threshold) is the radius whose ball contains every
+    such row — the index is probed with it so no engine's superset can
+    miss a row another engine would keep. Evaluated per tuple with the
+    same scalar ``math`` calls in every kernel, so the admitted set is
+    bitwise engine- and kernel-independent.
+    """
+    cos_r = math.cos(min(radius, math.pi)) - _COS_SLACK
+    return cos_r, math.acos(max(-1.0, cos_r))
 
 
 @dataclass
@@ -88,18 +124,25 @@ def _sp_xmatch(
     residual: Optional[Expr] = None,
     attr_columns: Sequence[str] = (),
     kernel: str = KERNEL_VECTORIZED,
+    engine: str = MATCH_ENGINE_HTM,
     epoch: Optional[int] = None,
 ) -> XMatchProcResult:
     """The stored procedure body (invoked via ``db.call_procedure``).
 
-    ``epoch`` pins the primary-table scan to a committed snapshot: rows
-    ingested after that epoch are invisible to the probe, so a chain that
-    pinned its epochs at plan time matches against one consistent version
-    even while live ingest commits the next.
+    ``engine`` picks the spatial index (``htm`` or ``zone``); results,
+    stats, and buffer traffic are byte-identical either way. ``epoch``
+    pins the primary-table scan to a committed snapshot: rows ingested
+    after that epoch are invisible to the probe, so a chain that pinned
+    its epochs at plan time matches against one consistent version even
+    while live ingest commits the next.
     """
     if kernel not in KERNELS:
         raise QueryError(
             f"unknown xmatch kernel {kernel!r}; expected one of {KERNELS}"
+        )
+    if engine not in MATCH_ENGINES:
+        raise QueryError(
+            f"unknown match engine {engine!r}; expected one of {MATCH_ENGINES}"
         )
     temp = db.table(temp_table)
     primary = db.table(primary_table)
@@ -123,6 +166,7 @@ def _sp_xmatch(
         area=area,
         residual=residual,
         attr_columns=attr_columns,
+        engine=engine,
         limit=limit,
     )
 
@@ -141,6 +185,7 @@ def _sp_xmatch_scalar(
     area: Optional[Region],
     residual: Optional[Expr],
     attr_columns: Sequence[str],
+    engine: str = MATCH_ENGINE_HTM,
     limit: Optional[int] = None,
 ) -> XMatchProcResult:
     """The reference per-tuple/per-candidate loop (the testing oracle)."""
@@ -164,9 +209,24 @@ def _sp_xmatch_scalar(
 
         center = acc.best_position()
         radius = acc.search_radius(sigma_rad, threshold)
-        probe = spatial_probe(primary, Cap(center, radius), limit=limit)
+        cos_r, r_eff = _cap_bounds(radius)
+        cx, cy, cz = center
+        if engine == MATCH_ENGINE_ZONE:
+            window_rows = zone_probe(primary, center, r_eff, limit=limit)
+        else:
+            probe = spatial_probe(primary, Cap(center, r_eff), limit=limit)
+            window_rows = probe.exact + probe.candidates
+        # The index window is only a superset hint; the examined set is
+        # the rows inside the cap, visited in row-position order — the
+        # engine-independent contract every kernel shares.
+        candidate_rows = []
+        for window_pos in window_rows:
+            px, py, pz = primary.position_of(window_pos)
+            if px * cx + py * cy + pz * cz >= cos_r:
+                candidate_rows.append(window_pos)
+        candidate_rows.sort()
         matched: List[LocalObject] = []
-        for candidate_pos in probe.exact + probe.candidates:
+        for candidate_pos in candidate_rows:
             db.buffer.access(primary.name, primary.page_of(candidate_pos))
             result.stats.rows_examined += 1
             crow = primary.row(candidate_pos)
@@ -235,6 +295,7 @@ def _sp_xmatch_vectorized(
     area: Optional[Region],
     residual: Optional[Expr],
     attr_columns: Sequence[str],
+    engine: str = MATCH_ENGINE_HTM,
     limit: Optional[int] = None,
 ) -> XMatchProcResult:
     """Set-at-a-time body: batched probes + one broadcasted chi-squared pass.
@@ -270,18 +331,48 @@ def _sp_xmatch_vectorized(
     stacked = np.asarray(acc_rows, dtype=np.float64)
     a = np.ascontiguousarray(stacked[:, 0])
     avec = np.ascontiguousarray(stacked[:, 1:])
-    centers = xkernel.best_positions(a, avec)
+    try:
+        centers = xkernel.best_positions(a, avec)
+    except GeometryError as exc:
+        raise GeometryError(f"{exc} [temp table {temp.name!r}]") from exc
     radii = xkernel.search_radii(a, sigma_rad, threshold)
+    # Per-tuple cap bounds via the same scalar math calls the scalar
+    # kernel makes, so the admitted candidate sets agree bitwise.
+    cap_bounds = [_cap_bounds(r) for r in radii.tolist()]
 
-    # Stage 2: one batched HTM probe over every tuple's cap.
-    caps = [
-        Cap(
-            (float(centers[i, 0]), float(centers[i, 1]), float(centers[i, 2])),
-            float(radii[i]),
-        )
-        for i in range(len(seqs))
-    ]
-    probes = batch_spatial_probe(primary, caps, limit=limit)
+    # Stage 2: one batched index probe over every tuple's effective cap,
+    # then the exact cosine filter that defines the examined row set.
+    if engine == MATCH_ENGINE_ZONE:
+        r_eff_arr = np.asarray([r_eff for _, r_eff in cap_bounds])
+        windows = batch_zone_probe(primary, centers, r_eff_arr, limit=limit)
+    else:
+        caps = [
+            Cap(
+                (float(centers[i, 0]), float(centers[i, 1]), float(centers[i, 2])),
+                cap_bounds[i][1],
+            )
+            for i in range(len(seqs))
+        ]
+        probes = batch_spatial_probe(primary, caps, limit=limit)
+        windows = [
+            np.asarray(probe.exact + probe.candidates, dtype=np.int64)
+            for probe in probes
+        ]
+    index_positions = primary.position_matrix()
+    tuple_rows: List[np.ndarray] = []
+    for i, window in enumerate(windows):
+        if window.size:
+            cx = float(centers[i, 0])
+            cy = float(centers[i, 1])
+            cz = float(centers[i, 2])
+            dots = (
+                index_positions[window, 0] * cx
+                + index_positions[window, 1] * cy
+                + index_positions[window, 2] * cz
+            )
+            tuple_rows.append(np.sort(window[dots >= cap_bounds[i][0]]))
+        else:
+            tuple_rows.append(window)
 
     # Stage 3: flatten the (tuple, candidate) pairs, charging the scalar
     # loop's per-pair buffer access and filtering on AREA/residual per
@@ -315,8 +406,8 @@ def _sp_xmatch_vectorized(
     page_size = primary.page_size
     pair_tuple: List[int] = []
     pair_row: List[int] = []
-    for i, probe in enumerate(probes):
-        candidate_rows = probe.exact + probe.candidates
+    for i, rows in enumerate(tuple_rows):
+        candidate_rows = rows.tolist()
         for candidate_pos in candidate_rows:
             access(primary_name, candidate_pos // page_size)
         result.stats.rows_examined += len(candidate_rows)

@@ -20,7 +20,7 @@ Only numpy is required; the scipy k-d-tree matcher is an optional extra.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Sequence, Tuple, Union
+from typing import Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -85,21 +85,53 @@ def stack_accumulators(
     return a, avec
 
 
-def best_positions(a: np.ndarray, avec: np.ndarray) -> np.ndarray:
+def _offending_tuple(
+    bad: np.ndarray, tuples: Optional[Sequence[PartialTuple]]
+) -> str:
+    """Identify the first offending batch row for a GeometryError message.
+
+    The scalar path fails per tuple, so its errors name the culprit for
+    free; the batch path validates whole arrays and would otherwise
+    condemn the batch anonymously. Includes the tuple's members when the
+    caller can supply them.
+    """
+    i = int(np.argmax(bad))
+    detail = f" (tuple {i} of {bad.size} in the batch"
+    if tuples is not None and i < len(tuples):
+        detail += f", members {tuples[i].members!r}"
+    return detail + ")"
+
+
+def best_positions(
+    a: np.ndarray,
+    avec: np.ndarray,
+    *,
+    tuples: Optional[Sequence[PartialTuple]] = None,
+) -> np.ndarray:
     """Row-wise maximum-likelihood positions (unit vectors), ``(m, 3)``.
 
     Same operations as :meth:`Accumulator.best_position` — component
     squares summed left to right, one sqrt, component-wise division — so
-    the centers are bitwise equal to the scalar path's.
+    the centers are bitwise equal to the scalar path's. ``tuples``
+    optionally supplies the batch's partial tuples so a degenerate row is
+    identified by index and members instead of failing anonymously.
     """
-    if np.any(a <= 0.0):
-        raise GeometryError("accumulator has no observations")
+    nonpositive = a <= 0.0
+    if np.any(nonpositive):
+        raise GeometryError(
+            "accumulator has no observations"
+            + _offending_tuple(nonpositive, tuples)
+        )
     norms = np.sqrt(
         avec[:, 0] * avec[:, 0] + avec[:, 1] * avec[:, 1]
         + avec[:, 2] * avec[:, 2]
     )
-    if np.any(norms < 1e-300):
-        raise GeometryError("cannot normalize a zero vector")
+    degenerate = norms < 1e-300
+    if np.any(degenerate):
+        raise GeometryError(
+            "cannot normalize a zero vector"
+            + _offending_tuple(degenerate, tuples)
+        )
     return avec / norms[:, None]
 
 
@@ -165,7 +197,7 @@ def _candidate_blocks(
     if sigma_rad <= 0.0:
         raise GeometryError(f"sigma must be positive, got {sigma_rad!r}")
     a_all, avec_all = stack_accumulators(incoming)
-    centers_all = best_positions(a_all, avec_all)
+    centers_all = best_positions(a_all, avec_all, tuples=incoming)
     radii = search_radii(a_all, sigma_rad, threshold)
     cos_radii = np.cos(np.minimum(radii, np.pi)) - _COS_SLACK
     threshold_sq = threshold * threshold

@@ -21,10 +21,11 @@ from repro.sphere.vector import Vec3
 from repro.xmatch.tuples import LocalObject, PartialTuple
 
 #: Engines :func:`run_chain` can match with. ``vectorized`` (the default)
-#: is the numpy batch kernel and needs only numpy; ``scalar`` is the
-#: per-tuple brute-force reference; ``kdtree`` is the per-tuple scipy
-#: cKDTree search (optional ``[kdtree]`` extra).
-ENGINES = ("vectorized", "scalar", "kdtree")
+#: is the numpy broadcast batch kernel and needs only numpy; ``zone`` is
+#: the declination-zone sorted-merge batch kernel (also numpy-only);
+#: ``scalar`` is the per-tuple brute-force reference; ``kdtree`` is the
+#: per-tuple scipy cKDTree search (optional ``[kdtree]`` extra).
+ENGINES = ("vectorized", "zone", "scalar", "kdtree")
 
 
 class CandidateSearch(Protocol):
@@ -129,12 +130,13 @@ def run_chain(
 
     Used as the oracle the distributed implementation is checked against
     and as the pull-to-portal baseline's matcher. ``engine`` selects the
-    matcher: the numpy batch kernel (``vectorized``, the default — no
-    scipy required), the per-tuple brute-force scan (``scalar``, the
-    reference oracle), or the per-tuple scipy cKDTree search (``kdtree``,
-    the optional extra). All three return identical match sets; the tests
-    verify it. ``use_kdtree`` is the legacy toggle between the two
-    per-tuple engines and overrides ``engine`` when given.
+    matcher: the numpy broadcast batch kernel (``vectorized``, the
+    default — no scipy required), the declination-zone sorted-merge batch
+    kernel (``zone``, also numpy-only), the per-tuple brute-force scan
+    (``scalar``, the reference oracle), or the per-tuple scipy cKDTree
+    search (``kdtree``, the optional extra). All four return identical
+    match sets; the tests verify it. ``use_kdtree`` is the legacy toggle
+    between the two per-tuple engines and overrides ``engine`` when given.
 
     ``batch_size`` mirrors the pipelined wire protocol in memory: the seed
     tuples are partitioned into batches and the rest of the chain runs per
@@ -187,6 +189,21 @@ def _chain_rest(
             else:
                 tuples = batch_match_step(
                     tuples, alias, columnar, sigma_rad, threshold
+                )
+            continue
+        if engine == "zone":
+            from repro.xmatch.zone import (
+                ZoneObjects,
+                zone_dropout_step,
+                zone_match_step,
+            )
+
+            zoned = ZoneObjects(objects)
+            if is_dropout:
+                tuples = zone_dropout_step(tuples, zoned, sigma_rad, threshold)
+            else:
+                tuples = zone_match_step(
+                    tuples, alias, zoned, sigma_rad, threshold
                 )
             continue
         if engine == "kdtree":

@@ -1,0 +1,30 @@
+"""The zone index: declination buckets for sorted-merge cross-matching.
+
+The successors of the CIDR 2003 system — Nieto-Santisteban et al.,
+*Large-Scale Query and XMatch, Entering the Parallel Zone* (MSR-TR-2005-169)
+and Dobos et al., *SkyQuery: A Parallel Probabilistic Join Engine*
+(arXiv:1206.5021) — replaced per-point HTM cap probing with the zone
+algorithm: bucket objects into fixed-height declination zones, sort each
+zone by right ascension, and turn every spatial range search into a handful
+of ``searchsorted`` slices over adjacent zones. This package provides the
+zone-id arithmetic, the sorted ``(zone, ra)`` arrays, and the batched
+window search the cross-match engines build on.
+"""
+
+from repro.zone.index import (
+    DEFAULT_ZONE_HEIGHT_DEG,
+    ZoneArrays,
+    cap_windows,
+    unit_vectors_to_radec,
+    zone_count,
+    zone_of,
+)
+
+__all__ = [
+    "DEFAULT_ZONE_HEIGHT_DEG",
+    "ZoneArrays",
+    "cap_windows",
+    "unit_vectors_to_radec",
+    "zone_count",
+    "zone_of",
+]

@@ -137,3 +137,38 @@ def test_query_explain(capsys):
     assert "performance queries:" in out
     assert "plan list" in out
     assert "portal-side predicates" in out
+
+
+def test_bad_enumerated_flags_rejected_with_choices(capsys):
+    """argparse rejects unsupported engine/kernel/mode values up front,
+    naming the legal choices instead of failing deep inside a query."""
+    for flag, bad in [
+        ("--match-engine", "quadtree"),
+        ("--kernel", "simd"),
+        ("--chain-mode", "broadcast"),
+        ("--wire-format", "json"),
+    ]:
+        with pytest.raises(SystemExit) as excinfo:
+            main(["demo", "--bodies", "300", flag, bad])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "invalid choice" in err
+        assert bad in err
+
+
+def test_query_zone_engine_output_identical_to_htm(capsys):
+    """The full CLI query path prints byte-identical rows and stats under
+    either match engine."""
+    outputs = {}
+    for engine in ("htm", "zone"):
+        code = main([
+            "query",
+            "SELECT O.object_id, T.obj_id FROM SDSS:Photo_Object O, "
+            "TWOMASS:Photo_Primary T "
+            "WHERE AREA(185.0, -0.5, 600.0) AND XMATCH(O, T) < 3.5",
+            "--bodies", "300", "--stats", "--match-engine", engine,
+        ])
+        assert code == 0
+        outputs[engine] = capsys.readouterr().out
+    assert outputs["zone"] == outputs["htm"]
+    assert "crossmatch-chain" in outputs["zone"]

@@ -132,3 +132,51 @@ def test_batch_probe_empty_table():
     table = make_table(n=0)
     probes = batch_spatial_probe(table, [Cap.from_radec(185.0, -0.5, 600.0)])
     assert probes[0].exact == [] and probes[0].candidates == []
+
+
+def test_rows_in_id_range_inclusive_bounds():
+    """Both range scanners honour the inclusive [lo, hi] contract, with
+    the bisect seeded by a 1-tuple rather than a position sentinel."""
+    import numpy as np
+    from repro.db.indexes import _array_rows_in_id_range, _rows_in_id_range
+
+    entries = [(5, 0), (5, 3), (7, 1), (9, 2), (12, 4)]
+    htm_ids = np.asarray([e[0] for e in entries])
+    positions = np.asarray([e[1] for e in entries])
+
+    cases = [
+        (5, 5),    # hits the lowest id exactly, including position 0
+        (5, 9),    # inclusive on both ends
+        (6, 8),    # interior range with no exact endpoints
+        (10, 11),  # empty gap between ids
+        (12, 99),  # open-ended top
+        (0, 4),    # everything below the table
+    ]
+    for lo, hi in cases:
+        expected = [pos for hid, pos in entries if lo <= hid <= hi]
+        assert list(_rows_in_id_range(entries, lo, hi)) == expected
+        got = _array_rows_in_id_range(htm_ids, positions, lo, hi, None)
+        assert got.tolist() == expected
+
+
+def test_array_rows_in_id_range_epoch_limit():
+    import numpy as np
+    from repro.db.indexes import _array_rows_in_id_range
+
+    htm_ids = np.asarray([5, 5, 7])
+    positions = np.asarray([0, 3, 1])
+    got = _array_rows_in_id_range(htm_ids, positions, 5, 7, 2)
+    assert got.tolist() == [0, 1]
+
+
+def test_batch_probe_equals_scalar_probe_with_limit():
+    """Epoch-limited scans agree between the scalar and array scanners."""
+    from repro.db.indexes import batch_spatial_probe
+
+    table = make_table(n=300)
+    cap = Cap.from_radec(185.0, -0.5, 1200.0)
+    single = spatial_probe(table, cap, limit=150)
+    (batched,) = batch_spatial_probe(table, [cap], limit=150)
+    assert batched.exact == single.exact
+    assert batched.candidates == single.candidates
+    assert all(pos < 150 for pos in batched.exact + batched.candidates)

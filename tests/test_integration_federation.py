@@ -220,3 +220,35 @@ def test_simulated_time_advances(fresh_metrics):
     before = fed.network.clock.now
     fed.client().submit(PAPER_SQL)
     assert fed.network.clock.now > before
+
+
+def test_unsupported_config_knobs_rejected():
+    """An unsupported enumerated knob fails at build time with an
+    actionable ConfigurationError, not deep inside the first query."""
+    from repro.errors import ConfigurationError
+    from repro.federation.builder import FederationConfig, build_federation
+
+    for knob, bad in [
+        ("match_engine", "quadtree"),
+        ("xmatch_kernel", "simd"),
+        ("chain_mode", "broadcast"),
+        ("stream_wire_format", "json"),
+    ]:
+        config = FederationConfig(n_bodies=10, **{knob: bad})
+        with pytest.raises(ConfigurationError) as excinfo:
+            build_federation(config)
+        message = str(excinfo.value)
+        assert knob in message
+        assert repr(bad) in message
+
+
+def test_match_engine_env_var_sets_default(monkeypatch):
+    from repro.federation.builder import FederationConfig
+
+    monkeypatch.setenv("SKYQUERY_MATCH_ENGINE", "zone")
+    assert FederationConfig().match_engine == "zone"
+    monkeypatch.delenv("SKYQUERY_MATCH_ENGINE")
+    assert FederationConfig().match_engine == "htm"
+    # An explicit argument always beats the environment.
+    monkeypatch.setenv("SKYQUERY_MATCH_ENGINE", "zone")
+    assert FederationConfig(match_engine="htm").match_engine == "htm"

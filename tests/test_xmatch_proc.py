@@ -257,6 +257,58 @@ def test_unknown_kernel_rejected(db):
         call_proc(db, temp, kernel="simd")
 
 
+@pytest.mark.parametrize("overrides", [
+    {},
+    {"area": Cap.from_radec(185.0, -0.5, 300.0)},
+    {"residual": parse_expression("X.flux > 10")},
+    {"attr_columns": ("flux",)},
+])
+def test_all_engine_kernel_combos_agree(overrides):
+    """htm/zone x scalar/vectorized: identical matches, stats, and
+    buffer-pool traffic across all four combinations."""
+    results = {}
+    for engine in ("htm", "zone"):
+        for kernel in ("scalar", "vectorized"):
+            database = Database("arch", page_size=16)
+            database.create_table(
+                "objects",
+                [
+                    Column("object_id", ColumnType.INT, nullable=False),
+                    Column("ra", ColumnType.FLOAT, nullable=False),
+                    Column("dec", ColumnType.FLOAT, nullable=False),
+                    Column("flux", ColumnType.FLOAT),
+                ],
+                spatial=SpatialSpec("ra", "dec", htm_depth=12),
+            )
+            register_xmatch_procedure(database)
+            incoming = make_crowded(database)
+            temp = make_temp(database, incoming)
+            result = call_proc(
+                database, temp, kernel=kernel, engine=engine, **overrides
+            )
+            stats = database.buffer.stats
+            results[(engine, kernel)] = (
+                snapshot(result), stats.logical_reads, stats.physical_reads
+            )
+    baseline = results[("htm", "scalar")]
+    for combo, outcome in results.items():
+        assert outcome == baseline, combo
+    (matches, _), _, _ = baseline
+    assert matches  # the scenario is non-trivial
+
+
+def test_zone_engine_empty_temp(db):
+    temp = make_temp(db, [])
+    result = call_proc(db, temp, engine="zone")
+    assert result.matches == {} and result.stats.tuples_in == 0
+
+
+def test_unknown_engine_rejected(db):
+    temp = make_temp(db, [])
+    with pytest.raises(QueryError, match="unknown match engine"):
+        call_proc(db, temp, engine="rtree")
+
+
 def test_vectorized_kernel_alternate_position_columns():
     """A caller naming non-spatial position columns takes the row-by-row
     fallback and still agrees with the scalar loop."""

@@ -1,0 +1,241 @@
+"""The zone-merge kernel against the scalar reference oracle.
+
+Numpy-only (no scipy, no hypothesis) so the clean-install CI job can run
+this suite after a bare ``pip install .`` — the zone engine is part of the
+core package, not an optional extra.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.sphere.coords import radec_to_vector
+from repro.sphere.random import perturb_gaussian, random_in_cap
+from repro.units import arcsec_to_rad
+from repro.xmatch.chi2 import Accumulator
+from repro.xmatch.kernel import batch_dropout_step, batch_match_step
+from repro.xmatch.stream import (
+    dropout_step,
+    in_memory_search,
+    match_step,
+    run_chain,
+    seed_tuples,
+)
+from repro.xmatch.tuples import LocalObject, PartialTuple
+from repro.xmatch.zone import ZoneObjects, zone_dropout_step, zone_match_step
+
+#: Sky fields that stress the zone window math: an ordinary mid-sky field,
+#: a field straddling RA 0/360, and fields hugging each celestial pole
+#: (where the RA window must fall back to the full circle).
+FIELDS = [
+    (185.0, -0.5),
+    (0.002, 0.0),
+    (359.998, 10.0),
+    (100.0, 89.995),
+    (200.0, -89.995),
+]
+
+
+def make_sky(
+    n_bodies=40,
+    seed=0,
+    sigmas=(0.1, 0.3, 1.0),
+    detection=(1.0, 1.0, 1.0),
+    center=(185.0, -0.5),
+):
+    rng = random.Random(seed)
+    c = radec_to_vector(*center)
+    bodies = [
+        random_in_cap(rng, c, arcsec_to_rad(600.0)) for _ in range(n_bodies)
+    ]
+    archives = []
+    for sigma_arcsec, rate in zip(sigmas, detection):
+        objects = []
+        for body_id, true in enumerate(bodies):
+            if rng.random() >= rate:
+                continue
+            objects.append(
+                LocalObject(
+                    object_id=body_id,
+                    position=perturb_gaussian(
+                        rng, true, arcsec_to_rad(sigma_arcsec)
+                    ),
+                    attributes={"flux": float(body_id)},
+                )
+            )
+        archives.append((objects, arcsec_to_rad(sigma_arcsec)))
+    return archives
+
+
+def assert_same_tuples(zone, scalar):
+    """Same survivors in the same order with bitwise-equal accumulators."""
+    assert [t.members for t in zone] == [t.members for t in scalar]
+    assert [t.attributes for t in zone] == [t.attributes for t in scalar]
+    for z, s in zip(zone, scalar):
+        assert (z.acc.a, z.acc.ax, z.acc.ay, z.acc.az) == (
+            s.acc.a, s.acc.ax, s.acc.ay, s.acc.az
+        )
+
+
+@pytest.mark.parametrize("center", FIELDS)
+def test_zone_match_step_equals_scalar(center):
+    (obj_a, sig_a), (obj_b, sig_b), _ = make_sky(
+        n_bodies=30, seed=1, center=center
+    )
+    tuples = seed_tuples("A", obj_a, sig_a)
+    scalar = match_step(tuples, "B", in_memory_search(obj_b), sig_b, 3.5)
+    zone = zone_match_step(tuples, "B", ZoneObjects(obj_b), sig_b, 3.5)
+    assert scalar  # the scenario actually matches something
+    assert_same_tuples(zone, scalar)
+
+
+def test_zone_match_step_equals_broadcast_kernel():
+    (obj_a, sig_a), (obj_b, sig_b), _ = make_sky(n_bodies=30, seed=2)
+    tuples = seed_tuples("A", obj_a, sig_a)
+    batch = batch_match_step(tuples, "B", obj_b, sig_b, 3.5)
+    zone = zone_match_step(tuples, "B", obj_b, sig_b, 3.5)
+    assert batch
+    assert_same_tuples(zone, batch)
+
+
+def test_zone_match_step_accepts_plain_object_list():
+    (obj_a, sig_a), (obj_b, sig_b), _ = make_sky(n_bodies=10, seed=3)
+    tuples = seed_tuples("A", obj_a, sig_a)
+    scalar = match_step(tuples, "B", in_memory_search(obj_b), sig_b, 3.5)
+    assert_same_tuples(
+        zone_match_step(tuples, "B", obj_b, sig_b, 3.5), scalar
+    )
+
+
+@pytest.mark.parametrize("center", FIELDS)
+def test_zone_dropout_step_equals_scalar(center):
+    archives = make_sky(
+        n_bodies=25, seed=4, detection=(1.0, 1.0, 0.5), center=center
+    )
+    (obj_a, sig_a), (obj_b, sig_b), (obj_c, sig_c) = archives
+    tuples = match_step(
+        seed_tuples("A", obj_a, sig_a), "B", in_memory_search(obj_b), sig_b, 3.5
+    )
+    scalar = dropout_step(tuples, in_memory_search(obj_c), sig_c, 3.5)
+    zone = zone_dropout_step(tuples, ZoneObjects(obj_c), sig_c, 3.5)
+    assert scalar
+    assert_same_tuples(zone, scalar)
+    batch = batch_dropout_step(tuples, obj_c, sig_c, 3.5)
+    assert_same_tuples(zone, batch)
+
+
+def test_zone_steps_with_empty_inputs():
+    (obj_a, sig_a), (obj_b, sig_b), _ = make_sky(n_bodies=5, seed=5)
+    tuples = seed_tuples("A", obj_a, sig_a)
+    assert zone_match_step([], "B", obj_b, sig_b, 3.5) == []
+    assert zone_match_step(tuples, "B", [], sig_b, 3.5) == []
+    assert zone_dropout_step([], obj_b, sig_b, 3.5) == []
+    # An empty drop-out archive excludes nothing.
+    assert zone_dropout_step(tuples, [], sig_b, 3.5) == tuples
+
+
+def test_zone_objects_reusable_across_steps():
+    """Prebuilt ZoneObjects give the same answer as rebuild-per-call."""
+    (obj_a, sig_a), (obj_b, sig_b), _ = make_sky(n_bodies=20, seed=6)
+    tuples = seed_tuples("A", obj_a, sig_a)
+    zoned = ZoneObjects(obj_b)
+    first = zone_match_step(tuples, "B", zoned, sig_b, 3.5)
+    second = zone_match_step(tuples, "B", zoned, sig_b, 3.5)
+    assert_same_tuples(first, second)
+    assert_same_tuples(first, zone_match_step(tuples, "B", obj_b, sig_b, 3.5))
+
+
+@pytest.mark.parametrize("center", FIELDS)
+def test_run_chain_zone_engine_equals_scalar(center):
+    archives = make_sky(
+        n_bodies=35, seed=7, detection=(1.0, 0.9, 0.6), center=center
+    )
+    (obj_a, sig_a), (obj_b, sig_b), (obj_c, sig_c) = archives
+    chain = [
+        ("A", obj_a, sig_a, False),
+        ("B", obj_b, sig_b, False),
+        ("C", obj_c, sig_c, True),
+    ]
+    scalar = run_chain(chain, 3.5, engine="scalar")
+    zone = run_chain(chain, 3.5, engine="zone")
+    assert scalar
+    assert_same_tuples(zone, scalar)
+
+
+def test_run_chain_zone_engine_batched_is_equivalent():
+    archives = make_sky(n_bodies=40, seed=8)
+    chain = [
+        (alias, objs, sigma, False)
+        for alias, (objs, sigma) in zip("ABC", archives)
+    ]
+    whole = run_chain(chain, 3.5, engine="zone")
+    batched = run_chain(chain, 3.5, engine="zone", batch_size=7)
+    assert whole
+    assert_same_tuples(batched, whole)
+
+
+def test_run_chain_rejects_unknown_engine():
+    (obj_a, sig_a), _, _ = make_sky(n_bodies=3, seed=9)
+    with pytest.raises(ValueError, match="unknown xmatch engine"):
+        run_chain([("A", obj_a, sig_a, False)], 3.5, engine="quadtree")
+
+
+# ------------------------- S1: batch errors identify the offending tuple
+
+
+def _bad_batch(obj, n_good=3):
+    """A batch whose last tuple has an empty (degenerate) accumulator."""
+    good = [
+        PartialTuple(
+            members=(("A", i),),
+            acc=Accumulator.of_observation(obj.position, arcsec_to_rad(0.1)),
+        )
+        for i in range(n_good)
+    ]
+    bad = PartialTuple(members=(("A", 99),), acc=Accumulator.empty())
+    return good + [bad]
+
+
+@pytest.mark.parametrize("step", [zone_match_step, batch_match_step])
+def test_batch_geometry_error_names_offending_tuple(step):
+    """A degenerate accumulator is reported by batch index and members,
+    not as an anonymous whole-batch failure."""
+    (obj_a, _), (obj_b, sig_b), _ = make_sky(n_bodies=5, seed=10)
+    tuples = _bad_batch(obj_a[0])
+    with pytest.raises(GeometryError) as excinfo:
+        step(tuples, "B", obj_b, sig_b, 3.5)
+    message = str(excinfo.value)
+    assert "tuple 3 of 4 in the batch" in message
+    assert "members (('A', 99),)" in message
+
+
+def test_batch_geometry_error_zero_vector_names_tuple():
+    from repro.xmatch.kernel import best_positions
+    import numpy as np
+
+    a = np.asarray([1.0, 1.0])
+    avec = np.asarray([[0.5, 0.5, 0.5], [0.0, 0.0, 0.0]])
+    tuples = [
+        PartialTuple(members=(("A", 7),), acc=Accumulator(a=1.0)),
+        PartialTuple(members=(("A", 8),), acc=Accumulator(a=1.0)),
+    ]
+    with pytest.raises(GeometryError) as excinfo:
+        best_positions(a, avec, tuples=tuples)
+    message = str(excinfo.value)
+    assert "cannot normalize a zero vector" in message
+    assert "tuple 1 of 2 in the batch" in message
+    assert "members (('A', 8),)" in message
+
+
+def test_batch_geometry_error_without_tuples_still_has_index():
+    from repro.xmatch.kernel import best_positions
+    import numpy as np
+
+    a = np.asarray([1.0, 0.0])
+    avec = np.asarray([[0.5, 0.5, 0.5], [0.5, 0.5, 0.5]])
+    with pytest.raises(GeometryError) as excinfo:
+        best_positions(a, avec)
+    message = str(excinfo.value)
+    assert "tuple 1 of 2 in the batch" in message
+    assert "members" not in message
