@@ -1,0 +1,67 @@
+"""E21 — the multi-tenant scheduler + epoch-aware semantic cache.
+
+``SKYQUERY_BENCH_QUICK=1`` shrinks the federation and workload to
+smoke-test sizes (the CI benchmark job). The assertions are the
+experiment's acceptance bars and hold at either scale: scheduling beats
+the serial portal's makespan, the warmed cache answers the whole zipf
+workload for zero simulated wire bytes, and every arm stays
+row-identical to the serial uncached oracle.
+"""
+
+import os
+
+from repro.bench import run_e21_scheduler_cache
+
+QUICK = bool(os.environ.get("SKYQUERY_BENCH_QUICK"))
+
+
+def test_e21_scheduler_cache(benchmark, report_sink):
+    if QUICK:
+        report = report_sink(
+            run_e21_scheduler_cache(
+                n_bodies=300, n_queries=8, pool_size=3, ingest_rows=40
+            )
+        )
+    else:
+        report = report_sink(run_e21_scheduler_cache())
+
+    rows = {row[0]: row for row in report.rows}
+    serial = rows["serial uncached"]
+    sched = rows["scheduler only"]
+    cold = rows["scheduler + cache (cold)"]
+    warm = rows["scheduler + cache (warm)"]
+    unique = rows["unique queries + cache"]
+
+    # Answers: every arm identical to the serial oracle.
+    for row in (sched, cold, warm, unique):
+        assert row[-1] == "yes", f"answers diverged from serial: {row}"
+
+    # Scheduling beats the serial portal's makespan on the same workload.
+    assert sched[4] < serial[4], (sched, serial)
+    # The cache stacks: cold already no worse, warm strictly better on
+    # p50/p99 and provably zero-wire.
+    assert cold[4] <= sched[4], (cold, sched)
+    assert warm[2] <= cold[2] and warm[3] <= cold[3], (warm, cold)
+    assert warm[5] == 0, f"warm cache still shipped bytes: {warm}"
+    assert warm[6] == warm[1], f"warm arm missed: {warm}"
+    # Losing regime honesty: an all-unique workload cannot hit.
+    assert unique[6] == 0, f"unique workload hit the cache: {unique}"
+
+    # The invalidation note proves an ingest commit dropped entries and
+    # the follow-up query re-executed at the new epoch.
+    invalidation = next(n for n in report.notes if "Ingest invalidation" in n)
+    assert "cache=None" in invalidation and "epoch 1" in invalidation
+
+    # Hot path: one warmed exact hit — the cache's O(1) lookup.
+    from repro.bench.scenarios import fresh_federation, paper_query
+
+    fed = fresh_federation(n_bodies=300 if QUICK else 800, cache=True)
+    sql = paper_query(900.0)
+    fed.portal.submit(sql)
+
+    def hit():
+        result = fed.portal.submit(sql)
+        assert result.cache == "exact"
+        return result
+
+    benchmark(hit)

@@ -34,6 +34,7 @@ from repro.bench.experiments import (
     run_e18_failover_recovery,
     run_e19_ingest_under_load,
     run_e20_zone_engine,
+    run_e21_scheduler_cache,
 )
 
 ALL_EXPERIMENTS = (
@@ -57,6 +58,7 @@ ALL_EXPERIMENTS = (
     run_e18_failover_recovery,
     run_e19_ingest_under_load,
     run_e20_zone_engine,
+    run_e21_scheduler_cache,
 )
 
 __all__ = [
@@ -86,4 +88,5 @@ __all__ = [
     "run_e18_failover_recovery",
     "run_e19_ingest_under_load",
     "run_e20_zone_engine",
+    "run_e21_scheduler_cache",
 ]

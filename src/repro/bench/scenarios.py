@@ -3,7 +3,8 @@
 from __future__ import annotations
 
 import functools
-from typing import Dict, Optional, Tuple
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.db.engine import Database
 from repro.db.table import SpatialSpec
@@ -41,6 +42,43 @@ def paper_query(radius_arcsec: float = 900.0, dropout: bool = False) -> str:
     """The Section 5.2 query with a configurable AREA radius."""
     template = PAPER_QUERY_DROPOUT if dropout else PAPER_QUERY
     return template.format(radius=radius_arcsec)
+
+
+def zipf_workload(
+    n_queries: int,
+    pool_size: int = 4,
+    *,
+    s: float = 1.1,
+    seed: int = 0,
+    tenants: Sequence[str] = ("default",),
+    base_radius: float = 1500.0,
+    step: float = 300.0,
+) -> List[Dict[str, object]]:
+    """A zipf-repeated multi-tenant workload over a pool of AREA queries.
+
+    Pool rank ``r`` is the Section 5.2 query at radius
+    ``base_radius - r * step`` (descending: the hottest query is the
+    *widest* circle, so colder, narrower queries are spatially contained
+    in it — the regime where the semantic cache's containment reuse
+    pays on top of exact repeats). Rank ``r`` is drawn with probability
+    proportional to ``1 / (r + 1) ** s``; job ``i`` belongs to
+    ``tenants[i % len(tenants)]``. Returns job dicts consumable by
+    :meth:`repro.portal.scheduler.QueryScheduler.run`.
+    """
+    if pool_size < 1:
+        raise ValueError("pool_size must be >= 1")
+    if base_radius - (pool_size - 1) * step <= 0:
+        raise ValueError("pool radii must stay positive; shrink pool/step")
+    rng = random.Random(seed)
+    pool = [
+        paper_query(base_radius - step * rank) for rank in range(pool_size)
+    ]
+    weights = [1.0 / (rank + 1) ** s for rank in range(pool_size)]
+    picks = rng.choices(range(pool_size), weights=weights, k=n_queries)
+    return [
+        {"sql": pool[pick], "tenant": tenants[i % len(tenants)]}
+        for i, pick in enumerate(picks)
+    ]
 
 
 @functools.lru_cache(maxsize=4)
@@ -158,12 +196,14 @@ def fresh_federation(
     chain_mode: str = "store-forward",
     ingest: bool = False,
     keep_epochs: Optional[int] = 8,
+    scheduler=None,
+    cache=None,
+    match_engine: Optional[str] = None,
 ) -> Federation:
     """An uncached federation with experiment-specific knobs."""
     from repro.skynode.node import DEFAULT_PARSER_MEMORY_LIMIT
 
-    return build_federation(
-        FederationConfig(
+    config = FederationConfig(
             n_bodies=n_bodies,
             seed=seed,
             sky_field=SkyField(185.0, -0.5, radius_arcsec),
@@ -181,5 +221,9 @@ def fresh_federation(
             chain_mode=chain_mode,
             ingest=ingest,
             keep_epochs=keep_epochs,
+            scheduler=scheduler,
+            cache=cache,
         )
-    )
+    if match_engine is not None:
+        config.match_engine = match_engine
+    return build_federation(config)

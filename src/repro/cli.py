@@ -7,6 +7,7 @@ Usage::
     python -m repro query "SELECT ..." [--bodies N] [--strategy S]
                           [--format table|votable|csv]
     python -m repro ingest [--archive A] [--rows N] [--replicas R]
+    python -m repro serve [--clients N] [--tenants T] [--cache on|off]
     python -m repro experiments [--ids E1,E4,...] [--out FILE]
 """
 
@@ -101,6 +102,50 @@ def _build_parser() -> argparse.ArgumentParser:
         help="new synthetic bodies to observe and upload (default 120)",
     )
 
+    serve = sub.add_parser(
+        "serve",
+        help="multi-tenant portal driver: run a zipf-repeated concurrent "
+             "workload through the query scheduler and semantic cache",
+    )
+    _federation_args(serve)
+    serve.add_argument(
+        "--clients", type=int, default=4, metavar="N",
+        help="concurrent clients submitting queries (default 4)",
+    )
+    serve.add_argument(
+        "--tenants", type=int, default=2, metavar="T",
+        help="tenants the clients are spread across (default 2)",
+    )
+    serve.add_argument(
+        "--queries", type=int, default=12, metavar="Q",
+        help="total queries in the workload (default 12)",
+    )
+    serve.add_argument(
+        "--pool", type=int, default=3, metavar="P",
+        help="distinct queries in the zipf pool (default 3)",
+    )
+    serve.add_argument(
+        "--zipf", type=float, default=1.1, metavar="S",
+        help="zipf skew exponent; higher = hotter head (default 1.1)",
+    )
+    serve.add_argument(
+        "--cache", default="on", choices=["on", "off"],
+        help="the Portal's semantic result cache (default on)",
+    )
+    serve.add_argument(
+        "--max-inflight", type=int, default=4, metavar="K",
+        help="queries executing concurrently per wave (default 4)",
+    )
+    serve.add_argument(
+        "--max-queue", type=int, default=64, metavar="M",
+        help="queued jobs before enqueue sheds load (default 64)",
+    )
+    serve.add_argument(
+        "--serial", default="on", choices=["on", "off"],
+        help="also run the serial uncached baseline on a twin federation "
+             "for comparison (default on)",
+    )
+
     experiments = sub.add_parser(
         "experiments", help="run the paper-reproduction experiments"
     )
@@ -180,7 +225,8 @@ def _retry_policy(args: argparse.Namespace):
     )
 
 
-def _make_federation(args: argparse.Namespace, *, ingest: bool = False):
+def _make_federation(args: argparse.Namespace, *, ingest: bool = False,
+                     **extra):
     config = FederationConfig(
         n_bodies=args.bodies,
         seed=args.seed,
@@ -192,6 +238,7 @@ def _make_federation(args: argparse.Namespace, *, ingest: bool = False):
         stream_wire_format=args.wire_format,
         replicas=args.replicas,
         ingest=ingest,
+        **extra,
     )
     if args.match_engine is not None:
         config.match_engine = args.match_engine
@@ -358,6 +405,105 @@ def _cmd_ingest(args: argparse.Namespace) -> int:
     return 0 if repeatable else 1
 
 
+def _percentile(values, q: float) -> float:
+    """Nearest-rank percentile of an unsorted sequence (q in [0, 100])."""
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    rank = max(0, min(len(ordered) - 1, int(round(q / 100.0 * (len(ordered) - 1)))))
+    return ordered[rank]
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from collections import defaultdict
+
+    from repro.bench.scenarios import zipf_workload
+    from repro.portal.scheduler import SchedulerConfig
+
+    for name in ("clients", "tenants", "queries", "pool"):
+        if getattr(args, name) < 1:
+            print(f"error: --{name} must be >= 1", file=sys.stderr)
+            return 2
+
+    print(f"Building a 3-archive federation ({args.bodies} bodies, "
+          f"scheduler max_inflight={args.max_inflight}, "
+          f"cache {args.cache})...")
+    federation = _make_federation(
+        args,
+        scheduler=SchedulerConfig(
+            max_inflight=args.max_inflight, max_queue=args.max_queue
+        ),
+        cache=(args.cache == "on"),
+    )
+    scheduler = federation.scheduler
+    assert scheduler is not None
+
+    # Client c acts for tenant c % T; job i is submitted by client i % N.
+    tenants = [
+        f"tenant-{client % args.tenants}" for client in range(args.clients)
+    ]
+    jobs = zipf_workload(
+        args.queries, args.pool, s=args.zipf, seed=args.seed, tenants=tenants
+    )
+    print(f"{args.queries} queries from {args.clients} client(s) across "
+          f"{args.tenants} tenant(s); zipf(s={args.zipf}) over a pool of "
+          f"{args.pool}\n")
+
+    start = federation.network.clock.now
+    outcomes = scheduler.run(jobs)
+    makespan = federation.network.clock.now - start
+
+    finished = [o for o in outcomes if o.result is not None]
+    failed = [o for o in outcomes if o.error is not None]
+    latencies = [o.latency_s for o in finished]
+    by_tenant: dict = defaultdict(list)
+    for outcome in finished:
+        by_tenant[outcome.job.tenant].append(outcome)
+    for tenant in sorted(by_tenant):
+        done = by_tenant[tenant]
+        hits = sum(1 for o in done if o.cache is not None)
+        mean = sum(o.latency_s for o in done) / len(done)
+        print(f"  {tenant:<12} completed={len(done)} cache_hits={hits} "
+              f"mean_latency={mean:.3f}s")
+    print(f"\nwaves={scheduler.stats.waves}  completed={len(finished)}  "
+          f"failed={len(failed)}  rejected={scheduler.stats.rejected}")
+    print(f"latency p50={_percentile(latencies, 50):.3f}s  "
+          f"p99={_percentile(latencies, 99):.3f}s  "
+          f"makespan={makespan:.3f}s")
+    if federation.cache is not None:
+        print(f"cache: {federation.cache.stats.as_dict()}")
+    for outcome in failed:
+        print(f"  failed seq={outcome.job.seq} ({outcome.job.tenant}): "
+              f"{outcome.error}", file=sys.stderr)
+
+    if args.serial == "off":
+        return 0 if not failed else 1
+
+    # Serial uncached baseline: a twin federation answers the identical
+    # workload one query at a time, no scheduler, no cache.
+    twin = _make_federation(args)
+    serial_latencies = []
+    answers: dict = {}
+    t0 = twin.network.clock.now
+    for job in jobs:
+        q0 = twin.network.clock.now
+        result = twin.portal.submit(job["sql"])
+        serial_latencies.append(twin.network.clock.now - q0)
+        answers[job["sql"]] = sorted(result.rows)
+    serial_makespan = twin.network.clock.now - t0
+    identical = all(
+        sorted(o.result.rows) == answers[o.job.sql] for o in finished
+    )
+    print(f"\nserial uncached baseline: "
+          f"p50={_percentile(serial_latencies, 50):.3f}s  "
+          f"p99={_percentile(serial_latencies, 99):.3f}s  "
+          f"makespan={serial_makespan:.3f}s")
+    if makespan > 0:
+        print(f"speedup: {serial_makespan / makespan:.2f}x makespan")
+    print(f"scheduled answers identical to serial: {identical}")
+    return 0 if identical and not failed else 1
+
+
 def _cmd_experiments(args: argparse.Namespace) -> int:
     from repro.bench import ALL_EXPERIMENTS
 
@@ -402,6 +548,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_trace(args)
         if args.command == "ingest":
             return _cmd_ingest(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
         if args.command == "experiments":
             return _cmd_experiments(args)
     except SkyQueryError as exc:

@@ -138,3 +138,16 @@ class TransactionError(SkyQueryError):
 
 class IngestError(SkyQueryError):
     """A live-ingest session protocol violation or failure."""
+
+
+class SchedulerOverloadError(SkyQueryError):
+    """The Portal's run queue is full: admission control shed this query.
+
+    Backpressure, not failure — the caller should retry later (a real
+    deployment would surface this as HTTP 503 + Retry-After).
+    """
+
+    def __init__(self, message: str, queued: int = 0, limit: int = 0) -> None:
+        self.queued = queued
+        self.limit = limit
+        super().__init__(message)

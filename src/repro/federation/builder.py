@@ -4,14 +4,16 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.client.client import SkyQueryClient
 from repro.db.engine import Database
 from repro.db.table import SpatialSpec
 from repro.errors import ConfigurationError, RegistrationError
 from repro.federation.surveys import default_surveys
+from repro.portal.cache import CacheConfig, SemanticCache
 from repro.portal.portal import Portal
+from repro.portal.scheduler import QueryScheduler, SchedulerConfig
 from repro.services.retry import RetryPolicy
 from repro.skynode.node import DEFAULT_PARSER_MEMORY_LIMIT, SkyNode
 from repro.skynode.wrapper import ArchiveInfo
@@ -92,6 +94,18 @@ class FederationConfig:
     #: How many past epochs stay pinnable after each ingest commit before
     #: epoch GC reclaims them (``None`` retains every epoch forever).
     keep_epochs: Optional[int] = 8
+    #: Install an admission-controlled multi-tenant run queue on the
+    #: Portal (``federation.scheduler``): ``True`` for the defaults, a
+    #: :class:`~repro.portal.scheduler.SchedulerConfig` for tuned knobs,
+    #: ``None``/``False`` for the seed's one-query-at-a-time behaviour.
+    scheduler: Union[None, bool, SchedulerConfig] = None
+    #: Install the epoch-aware semantic result cache on the Portal
+    #: (``portal.cache``): ``True`` for the defaults, a
+    #: :class:`~repro.portal.cache.CacheConfig` for tuned knobs,
+    #: ``None``/``False`` for no caching. With ``ingest=True`` every
+    #: primary's epoch commits are chained into the cache's invalidation
+    #: hook automatically.
+    cache: Union[None, bool, CacheConfig] = None
 
 
 @dataclass
@@ -144,6 +158,16 @@ class Federation:
         """The network's tracer (None when built with ``tracing=False``)."""
         return self.network.tracer
 
+    @property
+    def scheduler(self):
+        """The Portal's run queue (None unless built with ``scheduler=``)."""
+        return self.portal.scheduler
+
+    @property
+    def cache(self):
+        """The Portal's semantic cache (None unless built with ``cache=``)."""
+        return self.portal.cache
+
 
 #: Legal values of the enumerated FederationConfig knobs, checked up front
 #: by :func:`build_federation` — an unknown value would otherwise fall
@@ -166,6 +190,21 @@ def _validate_config(config: FederationConfig) -> None:
                 f"FederationConfig.{knob}={value!r} is not supported; "
                 f"expected one of {choices}"
             )
+    if not (
+        config.scheduler is None
+        or isinstance(config.scheduler, (bool, SchedulerConfig))
+    ):
+        raise ConfigurationError(
+            f"FederationConfig.scheduler={config.scheduler!r} is not "
+            "supported; expected None, a bool, or a SchedulerConfig"
+        )
+    if not (
+        config.cache is None or isinstance(config.cache, (bool, CacheConfig))
+    ):
+        raise ConfigurationError(
+            f"FederationConfig.cache={config.cache!r} is not supported; "
+            "expected None, a bool, or a CacheConfig"
+        )
 
 
 def build_federation(config: Optional[FederationConfig] = None) -> Federation:
@@ -191,7 +230,20 @@ def build_federation(config: Optional[FederationConfig] = None) -> Federation:
         chain_mode=config.chain_mode,
         stream_batch_size=config.stream_batch_size,
         stream_wire_format=config.stream_wire_format,
+        xmatch_kernel=config.xmatch_kernel,
+        match_engine=config.match_engine,
     )
+    if config.cache:
+        portal.cache = SemanticCache(
+            config.cache if isinstance(config.cache, CacheConfig) else None
+        )
+    if config.scheduler:
+        portal.scheduler = QueryScheduler(
+            portal,
+            config.scheduler
+            if isinstance(config.scheduler, SchedulerConfig)
+            else None,
+        )
     portal.attach(network)
 
     bodies = generate_bodies(config.sky_field, config.n_bodies, config.seed)
@@ -267,6 +319,23 @@ def build_federation(config: Optional[FederationConfig] = None) -> Federation:
                 keep_epochs=config.keep_epochs,
                 replica_transaction_urls=replica_urls,
             )
+            if portal.cache is not None:
+                # Chain cache invalidation onto the primary's commit hook
+                # (after stale-pin reaping): the instant an epoch lands,
+                # every cached answer pinned to this archive's previous
+                # epoch is dropped.
+                previous = node.transaction.on_epoch_commit
+
+                def _note_epoch(
+                    epoch: int,
+                    archive: str = archive,
+                    previous=previous,
+                ) -> None:
+                    if previous is not None:
+                        previous(epoch)
+                    portal.cache.note_epoch(archive, epoch)
+
+                node.transaction.on_epoch_commit = _note_epoch
 
     if config.fault_plan is not None:
         network.set_fault_plan(config.fault_plan)

@@ -73,6 +73,17 @@ class FederatedResult:
     #: The assembled distributed trace of this submission, when the
     #: federation's network has a tracer installed (see repro.tracing).
     trace: Optional["Trace"] = field(default=None, repr=False, compare=False)
+    #: How the Portal's semantic cache answered this submission: None for
+    #: a real federation run, else "exact", "fingerprint", or
+    #: "containment" (see repro.portal.cache). Excluded from equality so
+    #: a cache hit still compares equal to the fresh run it mirrors.
+    cache: Optional[str] = field(default=None, repr=False, compare=False)
+    #: Pre-cross-conjunct partial tuples, retained only when the Portal's
+    #: cache wants AREA-containment raw material. Never part of the wire
+    #: response or of result equality.
+    raw_tuples: Optional[List[PartialTuple]] = field(
+        default=None, repr=False, compare=False
+    )
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -439,6 +450,7 @@ class ChainExecutor:
                 ),
                 threshold=new_plan.threshold,
                 area=new_plan.area,
+                profile=new_plan.profile,
             )
         return new_plan, None
 
@@ -487,13 +499,19 @@ class ChainExecutor:
         limit = decomposed.query.limit
         if limit is not None:
             rows = rows[:limit]
-        return FederatedResult(
+        result = FederatedResult(
             columns=columns,
             rows=rows,
             node_stats=stats,
             plan=plan,
             matched_tuples=len(tuples),
         )
+        cache = getattr(self._portal, "cache", None)
+        if cache is not None and cache.config.containment:
+            # Keep the pre-projection tuples: they are the raw material a
+            # later contained-AREA query is served from.
+            result.raw_tuples = list(tuples)
+        return result
 
     def _passes_cross_conjuncts(
         self, decomposed: DecomposedQuery, partial: PartialTuple

@@ -134,6 +134,16 @@ class ExecutionPlan:
     steps: Tuple[PlanStep, ...]
     threshold: float
     area: Optional[AreaLike]
+    #: Portal-side execution profile: sorted ``(knob, value)`` pairs for
+    #: every setting that changes observable result bytes without changing
+    #: the node queries — chain mode, stream wire format and batch size,
+    #: cross-match kernel and match engine. Folded into ``fingerprint()``
+    #: so a semantic cache never serves a result produced under a
+    #: different profile, but deliberately NOT serialized to the wire:
+    #: nodes derive these from the call surface (PerformXMatch args,
+    #: OpenStream params), and keeping them off the plan struct preserves
+    #: the htm/zone wire-byte parity invariant.
+    profile: Tuple[Tuple[str, str], ...] = ()
 
     def __post_init__(self) -> None:
         if not self.steps:
@@ -168,6 +178,7 @@ class ExecutionPlan:
             tuple(step.content_key() for step in self.steps[position:]),
             round(self.threshold, 12),
             area_to_wire(self.area),
+            self.profile,
         ))
         return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:24]
 
@@ -186,7 +197,10 @@ class ExecutionPlan:
         steps = list(self.steps)
         steps[position] = replace(old, url=new_url, replica_urls=candidates)
         return ExecutionPlan(
-            steps=tuple(steps), threshold=self.threshold, area=self.area
+            steps=tuple(steps),
+            threshold=self.threshold,
+            area=self.area,
+            profile=self.profile,
         )
 
     def member_aliases_after(self, position: int) -> List[str]:

@@ -74,6 +74,8 @@ class Planner:
         degradation path. With the default ``None``, failures raise.
         """
         network = self._portal.require_network()
+        cache = getattr(self._portal, "cache", None)
+        tracer = network.tracer
         counts: Dict[str, int] = {}
         with network.phase("performance-query"), network.parallel():
             for alias in decomposed.mandatory_aliases:
@@ -82,6 +84,24 @@ class Planner:
                 proxy = self._portal.proxy(record.services["query"])
                 assert subquery.perf_sql is not None
                 pin = (pin_epochs or {}).get(alias, -1)
+                if cache is not None:
+                    memo = cache.probe_lookup(
+                        record.archive,
+                        subquery.perf_sql,
+                        None if pin == -1 else pin,
+                    )
+                    if memo is not None:
+                        # Served locally at the epoch the archive last
+                        # reported — zero wire bytes, zero sim time.
+                        counts[alias], memo_epoch = memo
+                        if epochs is not None:
+                            epochs[alias] = memo_epoch
+                        if tracer is not None:
+                            tracer.annotate(
+                                "cache", outcome="hit", kind="probe",
+                                alias=alias, epoch=memo_epoch,
+                            )
+                        continue
                 try:
                     response = proxy.call(
                         "ExecuteQueryPinned", sql=subquery.perf_sql, epoch=pin
@@ -104,6 +124,12 @@ class Planner:
                 counts[alias] = count
                 if epochs is not None:
                     epochs[alias] = epoch
+                if cache is not None and pin == -1:
+                    # Only live probes are memoized: a pinned probe
+                    # describes a snapshot, not the archive's present.
+                    cache.probe_store(
+                        record.archive, subquery.perf_sql, count, epoch
+                    )
         return counts
 
     def count_for(
@@ -129,7 +155,11 @@ class Planner:
                 sql=subquery.perf_sql,
                 epoch=-1 if pin_epoch is None else pin_epoch,
             )
-        return self._pinned_count(response, subquery)
+        count, epoch = self._pinned_count(response, subquery)
+        cache = getattr(self._portal, "cache", None)
+        if cache is not None and pin_epoch is None:
+            cache.probe_store(subquery.archive, subquery.perf_sql, count, epoch)
+        return count, epoch
 
     def _pinned_count(
         self, response: object, subquery: NodeSubquery
@@ -217,6 +247,7 @@ class Planner:
             steps=tuple(steps),
             threshold=decomposed.xmatch.threshold,
             area=decomposed.area,
+            profile=self._portal.execution_profile(),
         )
 
     @staticmethod
@@ -266,6 +297,27 @@ class Planner:
             for candidate in record.endpoint_candidates()
             if candidate["crossmatch"] != url
         )
+        attr_select = subquery.attr_select
+        cache = getattr(self._portal, "cache", None)
+        if (
+            cache is not None
+            and cache.config.containment
+            and not subquery.dropout
+        ):
+            # Widen the carried attributes with this member's position
+            # columns so the cached partial tuples can be re-filtered for
+            # a contained AREA. Changes wire bytes (two extra floats per
+            # tuple), never rows or node stats.
+            present = {column for column, _, _ in attr_select}
+            attr_select = attr_select + tuple(
+                (
+                    column,
+                    f"{subquery.alias}.{column}",
+                    record.column_type(subquery.table, column),
+                )
+                for column in (info.ra_column, info.dec_column)
+                if column not in present
+            )
         return PlanStep(
             alias=subquery.alias,
             archive=record.archive,
@@ -279,7 +331,7 @@ class Planner:
             ra_column=info.ra_column,
             dec_column=info.dec_column,
             residual_sql=subquery.residual_sql,
-            attr_select=subquery.attr_select,
+            attr_select=attr_select,
             sql=subquery.node_sql,
             epoch=epoch,
         )

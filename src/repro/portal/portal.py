@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
+import os
 from contextlib import nullcontext
-from typing import Collection, Dict, List, Optional, Sequence
+from typing import Collection, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import (
     SoapFaultError,
@@ -11,8 +12,9 @@ from repro.errors import (
     TransportError,
     ValidationError,
 )
+from repro.portal.cache import SemanticCache, _ResultEntry
 from repro.portal.catalog import FederationCatalog
-from repro.portal.decompose import decompose
+from repro.portal.decompose import DecomposedQuery, decompose
 from repro.portal.executor import ChainExecutor, FederatedResult
 from repro.portal.planner import OrderingStrategy, Planner
 from repro.portal.registration import RegistrationService
@@ -51,6 +53,8 @@ class Portal:
         chain_mode: str = "store-forward",
         stream_batch_size: int = 200,
         stream_wire_format: str = "columnar",
+        xmatch_kernel: str = "vectorized",
+        match_engine: Optional[str] = None,
     ) -> None:
         self.hostname = hostname
         #: How the executor drives the chain: ``store-forward`` (single
@@ -88,6 +92,24 @@ class Portal:
         self.queries_served = 0
         self.retry_policy = retry_policy
         self.health_probes = health_probes
+        #: The node-side execution knobs this Portal assumes for its
+        #: archives (what build_federation configured every SkyNode
+        #: with). They never change node queries or result rows, but the
+        #: pipelined stats and wire encodings they select DO change
+        #: observable bytes — so they fold into every plan's
+        #: ``profile`` and thereby its fingerprint.
+        self.xmatch_kernel = xmatch_kernel
+        self.match_engine = (
+            match_engine
+            if match_engine is not None
+            else os.environ.get("SKYQUERY_MATCH_ENGINE", "htm")
+        )
+        #: The semantic result cache (None = caching off, the seed's
+        #: behaviour; installed via ``FederationConfig(cache=...)``).
+        self.cache: Optional[SemanticCache] = None
+        #: The admission-controlled run queue (None until installed via
+        #: ``FederationConfig(scheduler=...)``).
+        self.scheduler = None
         self.breakers = (
             BreakerRegistry(metrics=self._current_metrics)
             if retry_policy is not None
@@ -96,6 +118,24 @@ class Portal:
 
     def _current_metrics(self):
         return self.network.metrics if self.network is not None else None
+
+    def execution_profile(self) -> Tuple[Tuple[str, str], ...]:
+        """Canonical ``(knob, value)`` pairs of every execution setting
+        that changes observable result bytes without changing node
+        queries. Folded into plan fingerprints (and hence cache keys) so
+        two federations differing in any one knob never share an entry.
+        """
+        return tuple(
+            sorted(
+                {
+                    "chain_mode": str(self.chain_mode),
+                    "stream_batch_size": str(self.stream_batch_size),
+                    "stream_wire_format": str(self.stream_wire_format),
+                    "xmatch_kernel": str(self.xmatch_kernel),
+                    "match_engine": str(self.match_engine),
+                }.items()
+            )
+        )
 
     def attach(self, network: SimulatedNetwork) -> None:
         """Put the Portal on the (simulated) Internet."""
@@ -280,8 +320,50 @@ class Portal:
         random_seed: int,
         pin_epochs: Optional[Dict[str, int]] = None,
     ) -> FederatedResult:
-        """The cross-match path of :meth:`submit`: probe, plan, chain."""
+        """The cross-match path of :meth:`submit`: probe, plan, chain.
+
+        With a :class:`SemanticCache` installed the Portal consults it at
+        three points, cheapest first: the exact key (canonical SQL +
+        planner knobs — a hit costs zero wire bytes), AREA containment (a
+        cached covering circle re-filtered locally — also zero wire), and
+        the plan fingerprint after planning (different SQL text, same
+        chain — skips the expensive chain but not the probes). Clean
+        results are admitted to the cache on the way out.
+        """
         tracer = self.network.tracer if self.network is not None else None
+        decomposed = decompose(query, self.catalog)
+        cache = self.cache
+        exact_key = None
+        containment_key = None
+        pins = tuple(sorted((pin_epochs or {}).items()))
+        if cache is not None:
+            profile = self.execution_profile()
+            exact_key = cache.exact_key(
+                to_sql(query), strategy.value, random_seed, pins, profile
+            )
+            served = cache.lookup_exact(exact_key)
+            if served is not None:
+                if tracer is not None:
+                    tracer.annotate("cache", outcome="hit", kind="exact")
+                return served
+            containment_key = cache.containment_key(decomposed, profile)
+            if not pins and query.limit is None:
+                # LIMIT without the containment path: the cut through a
+                # partially ordered row set is plan-order dependent.
+                entry = cache.covering_entry(containment_key, decomposed.area)
+                if entry is not None:
+                    served = self._serve_containment(entry, decomposed)
+                    if served is not None:
+                        if tracer is not None:
+                            tracer.annotate(
+                                "cache",
+                                outcome="hit",
+                                kind="containment",
+                                source_fingerprint=entry.fingerprint,
+                            )
+                        return served
+            if tracer is not None:
+                tracer.annotate("cache", outcome="miss")
         warnings: List[str] = []
         skip_aliases: List[str] = []
         degraded = False
@@ -291,13 +373,29 @@ class Portal:
         #: Archives whose primary is dead but a replica answered: the plan
         #: is built against the replica's endpoints instead of degrading.
         failover_services: Dict[str, Dict[str, str]] = {}
+
+        def admit(result: FederatedResult) -> FederatedResult:
+            if cache is not None and exact_key is not None:
+                cache.store_result(
+                    exact_key,
+                    result,
+                    archives_by_alias={
+                        alias: sub.archive
+                        for alias, sub in decomposed.subqueries.items()
+                    },
+                    containment_key=containment_key,
+                    area=decomposed.area
+                    if containment_key is not None
+                    else None,
+                )
+            return result
+
         plan_scope = (
             tracer.span("plan", host=self.hostname)
             if tracer is not None
             else nullcontext(None)
         )
         with plan_scope:
-            decomposed = decompose(query, self.catalog)
             # With probes disabled the Portal keeps the seed's strict
             # behaviour: a failed performance query raises, not degrades.
             perf_failures: Optional[Dict[str, str]] = (
@@ -425,7 +523,7 @@ class Portal:
                 )
                 result.counts = counts
                 result.epochs = epochs
-                return result
+                return admit(result)
             cost_models = None
             if strategy is OrderingStrategy.BYTES_DESC:
                 from repro.portal.calibration import CostCalibrator
@@ -441,6 +539,22 @@ class Portal:
                 services_for=failover_services,
                 epochs=epochs,
             )
+        if (
+            cache is not None
+            and not warnings
+            and not degraded
+            and not failovers
+        ):
+            # Same chain planned from different query text (or knobs that
+            # cancel out): the fingerprint embeds the pinned epochs, so a
+            # hit skips the chain — the probes were already paid for.
+            served = cache.lookup_fingerprint(plan.fingerprint(0))
+            if served is not None:
+                if tracer is not None:
+                    tracer.annotate(
+                        "cache", outcome="hit", kind="fingerprint"
+                    )
+                return served
         result = self.executor.execute(
             plan,
             decomposed,
@@ -450,6 +564,66 @@ class Portal:
         )
         result.counts = counts
         result.epochs = epochs
+        return admit(result)
+
+    def _serve_containment(
+        self, entry: _ResultEntry, decomposed: DecomposedQuery
+    ) -> Optional[FederatedResult]:
+        """Answer a contained-circle query from a cached covering entry.
+
+        Re-filters the entry's pre-projection partial tuples with the
+        *same* per-row predicate every node runs
+        (``region.contains(radec_to_vector(ra, dec))``, one test per
+        mandatory member), then re-finishes — cross-archive conjuncts,
+        projection, DISTINCT/ORDER BY/LIMIT — against the *new* query.
+        Zero wire bytes. Returns None (fall back to the federation) when
+        the entry is unusable after all; see the module docstring of
+        :mod:`repro.portal.cache` for the multiset row contract.
+        """
+        from repro.sphere.coords import radec_to_vector
+        from repro.sql.area import region_for
+
+        if entry.plan is None or entry.raw_tuples is None:
+            return None
+        assert decomposed.area is not None
+        region = region_for(decomposed.area)
+        members = [step for step in entry.plan.steps if not step.dropout]
+        position_keys = [
+            (f"{step.alias}.{step.ra_column}", f"{step.alias}.{step.dec_column}")
+            for step in members
+        ]
+        if entry.raw_tuples and not all(
+            ra_key in entry.raw_tuples[0].attributes
+            and dec_key in entry.raw_tuples[0].attributes
+            for ra_key, dec_key in position_keys
+        ):
+            # The entry predates position widening: unusable raw material.
+            return None
+        kept = [
+            partial
+            for partial in entry.raw_tuples
+            if all(
+                region.contains(
+                    radec_to_vector(
+                        partial.attributes[ra_key], partial.attributes[dec_key]
+                    )
+                )
+                for ra_key, dec_key in position_keys
+            )
+        ]
+        result = self.executor._finish(entry.plan, decomposed, kept, stats=[])
+        result.cache = "containment"
+        result.raw_tuples = None
+        result.counts = {}
+        result.epochs = dict(entry.result.epochs)
+        result.node_stats = [
+            {
+                "cache": "containment",
+                "source_fingerprint": entry.fingerprint,
+                "tuples_scanned": len(entry.raw_tuples),
+                "tuples_kept": len(kept),
+            }
+        ]
         return result
 
     def _degraded_result(

@@ -1,0 +1,324 @@
+"""The Portal's multi-tenant query scheduler.
+
+The paper's portal answers one federated query at a time; the production
+service it sketches is a job queue serving many concurrent callers. This
+module turns the Portal into that server on the simulated clock:
+
+* **Admission control** — at most ``max_inflight`` queries execute
+  concurrently; everything else waits in per-tenant FIFO queues.
+* **Fair share** — admission picks jobs by deficit round-robin over the
+  tenants (Shreedhar & Varghese): each visit grants a tenant
+  ``quantum * weight`` credit, and the tenant admits queued jobs while
+  its credit covers their cost. A tenant bursting a hundred queries
+  cannot starve a tenant submitting one.
+* **Backpressure** — when the total backlog reaches ``max_queue``,
+  :meth:`QueryScheduler.enqueue` sheds the query with
+  :class:`~repro.errors.SchedulerOverloadError` (the HTTP-503 analogue)
+  instead of letting the queue grow without bound.
+
+Execution happens in *waves*: each wave runs its admitted jobs inside one
+``network.parallel()`` block, one ``network.branch()`` per query, so the
+sim clock charges the true overlapped makespan — the slowest query of
+the wave, not the sum — exactly as concurrent chains through disjoint
+archives would behave. Every query still pins its plan-time epochs
+(PR 6), so interleaving queries with ingest commits never changes any
+individual answer; and queries of one wave that hit the Portal's
+semantic cache behind an identical in-flight query are effectively
+request-coalesced: the first submission fills the entry, the duplicates
+ride it for zero wire bytes.
+
+Latency accounting per job: ``wait`` (enqueue → wave start), ``service``
+(the job's own in-branch duration), ``latency = wait + service``; a
+job's completion instant is its wave's start plus its own service time,
+while the *next* wave starts at the wave barrier (the makespan).
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from contextlib import nullcontext
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Deque, Dict, List, Optional
+
+from repro.errors import SchedulerOverloadError, SkyQueryError
+from repro.portal.planner import OrderingStrategy
+
+if TYPE_CHECKING:
+    from repro.portal.executor import FederatedResult
+    from repro.portal.portal import Portal
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Knobs of the run queue (see docs/SCHEDULING.md)."""
+
+    #: Queries executing concurrently per wave (the admission cap).
+    max_inflight: int = 4
+    #: Credit granted per tenant per round-robin visit. Jobs cost 1.0 by
+    #: default, so the default quantum admits one job per tenant per
+    #: visit — classic round-robin; larger quanta admit bursts.
+    quantum: float = 1.0
+    #: Total queued jobs (across tenants) before enqueue sheds load.
+    max_queue: int = 64
+    #: Per-tenant fair-share weights (missing tenants weigh 1.0).
+    weights: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.max_inflight < 1:
+            raise ValueError("scheduler max_inflight must be >= 1")
+        if self.quantum <= 0:
+            raise ValueError("scheduler quantum must be > 0")
+        if self.max_queue < 1:
+            raise ValueError("scheduler max_queue must be >= 1")
+        for tenant, weight in self.weights.items():
+            if weight <= 0:
+                raise ValueError(
+                    f"scheduler weight for tenant {tenant!r} must be > 0"
+                )
+
+
+@dataclass
+class ScheduledQuery:
+    """One job in the run queue."""
+
+    seq: int
+    tenant: str
+    sql: str
+    strategy: OrderingStrategy = OrderingStrategy.COUNT_DESC
+    random_seed: int = 0
+    pin_epochs: Optional[Dict[str, int]] = None
+    #: Deficit-round-robin cost (1.0 = one quantum's worth of work).
+    cost: float = 1.0
+    #: Sim-clock instant the job entered the queue.
+    arrival_s: float = 0.0
+
+
+@dataclass
+class QueryOutcome:
+    """What happened to one scheduled job."""
+
+    job: ScheduledQuery
+    result: Optional["FederatedResult"] = None
+    error: Optional[Exception] = None
+    #: 1-based wave the job was admitted into.
+    wave: int = 0
+    wait_s: float = 0.0
+    service_s: float = 0.0
+    latency_s: float = 0.0
+    finished_s: float = 0.0
+    #: The cache path the answer took (None = executed the federation).
+    cache: Optional[str] = None
+
+
+@dataclass
+class SchedulerStats:
+    """Observable counters (reported by E21 and the serve driver)."""
+
+    enqueued: int = 0
+    admitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    rejected: int = 0
+    waves: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(vars(self))
+
+
+class QueryScheduler:
+    """Admission-controlled, fair-share run queue in front of a Portal."""
+
+    def __init__(
+        self, portal: "Portal", config: Optional[SchedulerConfig] = None
+    ) -> None:
+        self._portal = portal
+        self.config = config or SchedulerConfig()
+        self.stats = SchedulerStats()
+        self._seq = itertools.count(1)
+        self._queues: Dict[str, Deque[ScheduledQuery]] = {}
+        #: Tenants with queued work, in first-arrival order; the DRR
+        #: cursor walks this ring.
+        self._ring: List[str] = []
+        self._cursor = 0
+        self._deficits: Dict[str, float] = {}
+
+    # -- queue state ----------------------------------------------------------
+
+    def pending(self) -> int:
+        """Jobs waiting for admission."""
+        return sum(len(queue) for queue in self._queues.values())
+
+    def _weight(self, tenant: str) -> float:
+        return self.config.weights.get(tenant, 1.0)
+
+    # -- admission ------------------------------------------------------------
+
+    def enqueue(
+        self,
+        sql: str,
+        *,
+        tenant: str = "default",
+        strategy: OrderingStrategy = OrderingStrategy.COUNT_DESC,
+        random_seed: int = 0,
+        pin_epochs: Optional[Dict[str, int]] = None,
+        cost: float = 1.0,
+    ) -> ScheduledQuery:
+        """Queue a query for the next :meth:`drain`.
+
+        Raises :class:`SchedulerOverloadError` when the backlog is at
+        ``max_queue`` — backpressure the caller must absorb.
+        """
+        if cost <= 0:
+            raise ValueError("job cost must be > 0")
+        backlog = self.pending()
+        if backlog >= self.config.max_queue:
+            self.stats.rejected += 1
+            raise SchedulerOverloadError(
+                f"run queue is full ({backlog}/{self.config.max_queue} "
+                "jobs queued); retry later",
+                queued=backlog,
+                limit=self.config.max_queue,
+            )
+        network = self._portal.require_network()
+        job = ScheduledQuery(
+            seq=next(self._seq),
+            tenant=tenant,
+            sql=sql,
+            strategy=strategy,
+            random_seed=random_seed,
+            pin_epochs=dict(pin_epochs) if pin_epochs else None,
+            cost=cost,
+            arrival_s=network.clock.now,
+        )
+        if tenant not in self._queues:
+            self._queues[tenant] = deque()
+            self._ring.append(tenant)
+            self._deficits.setdefault(tenant, 0.0)
+        self._queues[tenant].append(job)
+        self.stats.enqueued += 1
+        return job
+
+    def _next_wave(self) -> List[ScheduledQuery]:
+        """Deficit round-robin: fill up to ``max_inflight`` slots."""
+        wave: List[ScheduledQuery] = []
+        while len(wave) < self.config.max_inflight and self._ring:
+            tenant = self._ring[self._cursor % len(self._ring)]
+            queue = self._queues[tenant]
+            self._deficits[tenant] += self.config.quantum * self._weight(
+                tenant
+            )
+            while (
+                queue
+                and len(wave) < self.config.max_inflight
+                and self._deficits[tenant] >= queue[0].cost
+            ):
+                job = queue.popleft()
+                self._deficits[tenant] -= job.cost
+                wave.append(job)
+            if not queue:
+                # Drained: a tenant leaving the ring forfeits its credit,
+                # so an idle tenant cannot hoard deficit for later bursts.
+                index = self._cursor % len(self._ring)
+                self._ring.pop(index)
+                del self._queues[tenant]
+                del self._deficits[tenant]
+                self._cursor = index % len(self._ring) if self._ring else 0
+            else:
+                self._cursor = (self._cursor + 1) % len(self._ring)
+        return wave
+
+    # -- execution ------------------------------------------------------------
+
+    def drain(self) -> List[QueryOutcome]:
+        """Run every queued job, wave by wave; outcomes in enqueue order.
+
+        Each wave is one ``parallel()`` block: the clock advances by the
+        wave's slowest job. Per-job errors (including degraded-path
+        exceptions) are captured on the outcome, never raised — one
+        tenant's bad query must not take down the wave.
+        """
+        portal = self._portal
+        network = portal.require_network()
+        tracer = network.tracer
+        outcomes: List[QueryOutcome] = []
+        while self._ring:
+            wave = self._next_wave()
+            if not wave:  # pragma: no cover - quantum > 0 guarantees progress
+                break
+            self.stats.waves += 1
+            self.stats.admitted += len(wave)
+            wave_no = self.stats.waves
+            wave_start = network.clock.now
+            span_scope = (
+                tracer.span("scheduler-wave", host=portal.hostname)
+                if tracer is not None
+                else nullcontext(None)
+            )
+            with span_scope:
+                if tracer is not None:
+                    tracer.annotate(
+                        "admission",
+                        wave=wave_no,
+                        admitted=len(wave),
+                        backlog=self.pending(),
+                        tenants=sorted({job.tenant for job in wave}),
+                    )
+                wave_outcomes: List[QueryOutcome] = []
+                with network.parallel():
+                    for job in wave:
+                        with network.branch():
+                            started = network.clock.now
+                            outcome = QueryOutcome(
+                                job=job, wave=wave_no,
+                                wait_s=wave_start - job.arrival_s,
+                            )
+                            try:
+                                outcome.result = portal.submit(
+                                    job.sql,
+                                    strategy=job.strategy,
+                                    random_seed=job.random_seed,
+                                    pin_epochs=job.pin_epochs,
+                                )
+                                outcome.cache = outcome.result.cache
+                                self.stats.completed += 1
+                            except SkyQueryError as exc:
+                                outcome.error = exc
+                                self.stats.failed += 1
+                            # Read the branch's own duration before the
+                            # parallel block rewinds to pool the makespan.
+                            outcome.service_s = network.clock.now - started
+                            wave_outcomes.append(outcome)
+            for outcome in wave_outcomes:
+                outcome.finished_s = wave_start + outcome.service_s
+                outcome.latency_s = outcome.wait_s + outcome.service_s
+            outcomes.extend(wave_outcomes)
+        outcomes.sort(key=lambda outcome: outcome.job.seq)
+        return outcomes
+
+    def run(
+        self, jobs: List[Dict[str, Any]]
+    ) -> List[QueryOutcome]:
+        """Enqueue a batch of job dicts (``sql`` plus enqueue kwargs) and
+        drain them — the multi-client driver's entry point. Shed jobs
+        surface as outcomes carrying the overload error."""
+        shed: List[QueryOutcome] = []
+        for spec in jobs:
+            spec = dict(spec)
+            sql = spec.pop("sql")
+            try:
+                self.enqueue(sql, **spec)
+            except SchedulerOverloadError as exc:
+                shed.append(
+                    QueryOutcome(
+                        job=ScheduledQuery(
+                            seq=next(self._seq),
+                            tenant=spec.get("tenant", "default"),
+                            sql=sql,
+                        ),
+                        error=exc,
+                    )
+                )
+        outcomes = self.drain() + shed
+        outcomes.sort(key=lambda outcome: outcome.job.seq)
+        return outcomes

@@ -172,3 +172,45 @@ def test_query_zone_engine_output_identical_to_htm(capsys):
         outputs[engine] = capsys.readouterr().out
     assert outputs["zone"] == outputs["htm"]
     assert "crossmatch-chain" in outputs["zone"]
+
+
+def test_serve_multi_client_driver(capsys):
+    code = main([
+        "serve", "--bodies", "300", "--queries", "6", "--clients", "3",
+        "--tenants", "2", "--max-inflight", "3",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "tenant-0" in out and "tenant-1" in out
+    assert "latency p50=" in out and "p99=" in out
+    assert "makespan=" in out
+    assert "cache: {" in out
+    assert "scheduled answers identical to serial: True" in out
+
+
+def test_serve_cache_off_skips_cache_report(capsys):
+    code = main([
+        "serve", "--bodies", "300", "--queries", "4", "--cache", "off",
+        "--serial", "off",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "cache: {" not in out
+    assert "serial uncached baseline" not in out
+
+
+def test_serve_enumerated_flags_rejected_with_choices(capsys):
+    for flag, bad in [("--cache", "maybe"), ("--serial", "later")]:
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve", flag, bad])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "invalid choice" in err
+        assert bad in err
+
+
+def test_serve_rejects_nonpositive_counts(capsys):
+    for flag in ("--clients", "--tenants", "--queries", "--pool"):
+        assert main(["serve", "--bodies", "100", flag, "0"]) == 2
+        err = capsys.readouterr().err
+        assert f"{flag} must be >= 1" in err

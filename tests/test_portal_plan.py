@@ -1,5 +1,7 @@
 """The execution-plan model."""
 
+import dataclasses
+
 import pytest
 
 from repro.errors import PlanningError
@@ -101,3 +103,88 @@ def test_all_dropout_rejected():
         ExecutionPlan(
             steps=(make_step("D", dropout=True),), threshold=1.0, area=None
         )
+
+
+# -- fingerprint coverage: every byte-changing knob, nothing else ---------------
+
+BASE_PROFILE = (
+    ("chain_mode", "store-forward"),
+    ("match_engine", "htm"),
+    ("stream_batch_size", "200"),
+    ("stream_wire_format", "columnar"),
+    ("xmatch_kernel", "vectorized"),
+)
+
+PROFILE_FLIPS = {
+    "chain_mode": "pipelined",
+    "match_engine": "zone",
+    "stream_batch_size": "64",
+    "stream_wire_format": "rows",
+    "xmatch_kernel": "scalar",
+}
+
+
+def make_profiled_plan(profile=BASE_PROFILE):
+    plan = make_plan()
+    return dataclasses.replace(plan, profile=profile)
+
+
+def test_fingerprint_covers_every_profile_knob():
+    """Two plans differing in exactly one execution knob never share a
+    cache key — the semantic cache's safety regression."""
+    base = make_profiled_plan()
+    for knob, flipped in PROFILE_FLIPS.items():
+        profile = tuple(
+            (k, flipped if k == knob else v) for k, v in BASE_PROFILE
+        )
+        other = make_profiled_plan(profile)
+        assert other.fingerprint(0) != base.fingerprint(0), knob
+        # The knob changes every suffix too (resume checkpoints).
+        assert other.fingerprint(1) != base.fingerprint(1), knob
+
+
+def test_fingerprint_covers_epoch_threshold_area():
+    base = make_profiled_plan()
+    pinned = dataclasses.replace(
+        base,
+        steps=base.steps[:-1]
+        + (dataclasses.replace(base.steps[-1], epoch=3),),
+    )
+    assert pinned.fingerprint(0) != base.fingerprint(0)
+    assert dataclasses.replace(base, threshold=3.6).fingerprint(0) != \
+        base.fingerprint(0)
+    assert dataclasses.replace(
+        base, area=AreaClause(185.0, -0.5, 901.0)
+    ).fingerprint(0) != base.fingerprint(0)
+
+
+def test_fingerprint_ignores_placement_and_estimates():
+    """URLs, replica candidates, and count-star estimates are placement,
+    not content: failover must not orphan cached state."""
+    base = make_profiled_plan()
+    moved = base.replace_url(1, "http://replica-b/crossmatch")
+    assert moved.fingerprint(0) == base.fingerprint(0)
+    assert moved.profile == base.profile
+    recounted = dataclasses.replace(
+        base,
+        steps=(
+            base.steps[0],
+            dataclasses.replace(
+                base.steps[1],
+                count_star=999,
+                replica_urls=("http://spare/crossmatch",),
+            ),
+            base.steps[2],
+        ),
+    )
+    assert recounted.fingerprint(0) == base.fingerprint(0)
+
+
+def test_profile_stays_off_the_wire():
+    """The profile keys the cache but never serializes: node-side plan
+    bytes stay identical across engines (the htm/zone parity invariant)."""
+    plain = make_plan()
+    profiled = make_profiled_plan()
+    assert profiled.to_wire() == plain.to_wire()
+    assert "profile" not in profiled.to_wire()
+    assert ExecutionPlan.from_wire(profiled.to_wire()).profile == ()

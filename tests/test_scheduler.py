@@ -1,0 +1,203 @@
+"""The multi-tenant query scheduler: admission, fairness, backpressure."""
+
+import pytest
+
+from repro.bench.scenarios import fresh_federation, paper_query, zipf_workload
+from repro.errors import SchedulerOverloadError
+from repro.portal.scheduler import QueryScheduler, SchedulerConfig
+
+SMALL = 140
+
+
+def _fed(**kwargs):
+    kwargs.setdefault("n_bodies", SMALL)
+    return fresh_federation(**kwargs)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        SchedulerConfig(max_inflight=0)
+    with pytest.raises(ValueError):
+        SchedulerConfig(quantum=0.0)
+    with pytest.raises(ValueError):
+        SchedulerConfig(max_queue=0)
+    with pytest.raises(ValueError):
+        SchedulerConfig(weights={"t": -1.0})
+
+
+def test_builder_wires_scheduler_and_rejects_junk():
+    from repro.errors import ConfigurationError
+    from repro.federation.builder import FederationConfig, build_federation
+    from repro.workloads.skysim import SkyField
+
+    fed = _fed(scheduler=True)
+    assert isinstance(fed.scheduler, QueryScheduler)
+    assert fed.scheduler is fed.portal.scheduler
+    with pytest.raises(ConfigurationError):
+        build_federation(
+            FederationConfig(
+                n_bodies=10, sky_field=SkyField(185.0, -0.5, 900.0),
+                scheduler="yes please",
+            )
+        )
+
+
+def test_admission_cap_bounds_every_wave():
+    fed = _fed(scheduler=SchedulerConfig(max_inflight=2))
+    scheduler = fed.scheduler
+    sql = paper_query(700.0)
+    for i in range(5):
+        scheduler.enqueue(sql, tenant=f"t{i}")
+    outcomes = scheduler.drain()
+    assert len(outcomes) == 5
+    assert scheduler.stats.waves == 3  # ceil(5 / 2)
+    by_wave = {}
+    for outcome in outcomes:
+        by_wave.setdefault(outcome.wave, []).append(outcome)
+    assert all(len(members) <= 2 for members in by_wave.values())
+    assert all(o.result is not None for o in outcomes)
+
+
+def test_drr_fairness_no_starvation():
+    """A bursting tenant cannot push a one-query tenant out of wave 1."""
+    fed = _fed(scheduler=SchedulerConfig(max_inflight=3))
+    scheduler = fed.scheduler
+    sql = paper_query(700.0)
+    for _ in range(8):
+        scheduler.enqueue(sql, tenant="whale")
+    scheduler.enqueue(sql, tenant="minnow")
+    outcomes = scheduler.drain()
+    minnow = next(o for o in outcomes if o.job.tenant == "minnow")
+    assert minnow.wave == 1
+    # Round-robin: the whale gets the remaining wave-1 slots, not all 3.
+    wave1 = [o for o in outcomes if o.wave == 1]
+    assert sum(1 for o in wave1 if o.job.tenant == "whale") == 2
+
+
+def test_weights_tilt_admission():
+    fed = _fed(
+        scheduler=SchedulerConfig(max_inflight=3, weights={"gold": 2.0})
+    )
+    scheduler = fed.scheduler
+    sql = paper_query(700.0)
+    for _ in range(4):
+        scheduler.enqueue(sql, tenant="gold")
+        scheduler.enqueue(sql, tenant="basic")
+    outcomes = scheduler.drain()
+    wave1 = [o.job.tenant for o in outcomes if o.wave == 1]
+    # One DRR visit grants gold 2 credits, basic 1: wave 1 is 2+1.
+    assert sorted(wave1) == ["basic", "gold", "gold"]
+
+
+def test_backpressure_sheds_with_structured_error():
+    fed = _fed(scheduler=SchedulerConfig(max_queue=2))
+    scheduler = fed.scheduler
+    sql = paper_query(700.0)
+    scheduler.enqueue(sql)
+    scheduler.enqueue(sql)
+    with pytest.raises(SchedulerOverloadError) as excinfo:
+        scheduler.enqueue(sql)
+    assert excinfo.value.queued == 2
+    assert excinfo.value.limit == 2
+    assert scheduler.stats.rejected == 1
+    assert len(scheduler.drain()) == 2
+    # run() surfaces shed jobs as outcomes instead of raising mid-batch.
+    outcomes = scheduler.run([{"sql": sql}, {"sql": sql}, {"sql": sql}])
+    shed = [o for o in outcomes if isinstance(o.error, SchedulerOverloadError)]
+    assert len(shed) == 1
+    assert sum(1 for o in outcomes if o.result is not None) == 2
+
+
+def test_bad_job_fails_alone_not_the_wave():
+    fed = _fed(scheduler=True)
+    scheduler = fed.scheduler
+    outcomes = scheduler.run([
+        {"sql": paper_query(700.0), "tenant": "a"},
+        {"sql": "SELECT nope FROM Nowhere:objects X WHERE XMATCH(X) < 1",
+         "tenant": "b"},
+        {"sql": paper_query(700.0), "tenant": "c"},
+    ])
+    assert [o.error is None for o in outcomes] == [True, False, True]
+    assert scheduler.stats.completed == 2
+    assert scheduler.stats.failed == 1
+    good = [o for o in outcomes if o.result is not None]
+    assert good[0].result.rows == good[1].result.rows
+
+
+def test_concurrent_waves_beat_serial_makespan():
+    jobs = zipf_workload(6, 3, seed=3, tenants=("a", "b"))
+    serial = _fed()
+    t0 = serial.network.clock.now
+    for job in jobs:
+        serial.portal.submit(job["sql"])
+    serial_makespan = serial.network.clock.now - t0
+
+    fed = _fed(scheduler=SchedulerConfig(max_inflight=3))
+    t0 = fed.network.clock.now
+    outcomes = fed.scheduler.run(jobs)
+    makespan = fed.network.clock.now - t0
+
+    assert all(o.result is not None for o in outcomes)
+    assert makespan < serial_makespan
+    # Latency accounting: service within the wave, wait before it.
+    for outcome in outcomes:
+        assert outcome.latency_s == pytest.approx(
+            outcome.wait_s + outcome.service_s
+        )
+        assert outcome.finished_s <= fed.network.clock.now + 1e-9
+    wave2 = [o for o in outcomes if o.wave == 2]
+    assert all(o.wait_s > 0 for o in wave2)
+
+
+def test_interleaving_never_changes_answers():
+    """Each scheduled job's result equals the same query run alone."""
+    jobs = zipf_workload(6, 3, seed=5, tenants=("a", "b", "c"))
+    fed = _fed(scheduler=SchedulerConfig(max_inflight=4))
+    outcomes = fed.scheduler.run(jobs)
+    alone = _fed(seed=1234)
+    for outcome in outcomes:
+        fresh = alone.portal.submit(outcome.job.sql)
+        assert outcome.result == fresh
+
+
+def test_determinism_across_twin_federations():
+    jobs = zipf_workload(6, 3, seed=9, tenants=("a", "b"))
+    runs = []
+    for _ in range(2):
+        fed = _fed(scheduler=SchedulerConfig(max_inflight=3))
+        outcomes = fed.scheduler.run([dict(job) for job in jobs])
+        runs.append([
+            (o.wave, o.latency_s, o.finished_s, o.job.tenant,
+             tuple(map(tuple, o.result.rows)))
+            for o in outcomes
+        ])
+    assert runs[0] == runs[1]
+
+
+def test_wave_spans_and_admission_annotations():
+    fed = _fed(scheduler=SchedulerConfig(max_inflight=2))
+    tracer = fed.tracer
+    assert tracer is not None
+    tracer.reset()
+    fed.scheduler.run([
+        {"sql": paper_query(700.0), "tenant": "a"},
+        {"sql": paper_query(800.0), "tenant": "b"},
+        {"sql": paper_query(900.0), "tenant": "c"},
+    ])
+    waves = [
+        span
+        for trace in tracer.traces()
+        for span in trace
+        if span.name == "scheduler-wave"
+    ]
+    assert len(waves) == 2
+    events = [e for span in waves for e in span.events("admission")]
+    assert [e["wave"] for e in events] == [1, 2]
+    assert events[0]["admitted"] == 2 and events[0]["backlog"] == 1
+    assert events[1]["admitted"] == 1 and events[1]["backlog"] == 0
+
+
+def test_enqueue_rejects_nonpositive_cost():
+    fed = _fed(scheduler=True)
+    with pytest.raises(ValueError):
+        fed.scheduler.enqueue(paper_query(700.0), cost=0.0)
