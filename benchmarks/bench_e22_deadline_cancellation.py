@@ -1,0 +1,64 @@
+"""E22 — end-to-end deadlines: eager cancellation vs TTL-only reaping.
+
+``SKYQUERY_BENCH_QUICK=1`` shrinks the federation to smoke-test sizes
+(the CI benchmark job). The assertions are the experiment's acceptance
+bars and hold at either scale: in BOTH chain modes the eager arm ends
+the query with zero residual custody and zero reclaim latency while the
+TTL-only twin holds the same state for the full reaper horizon, every
+degraded answer is empty-with-warning rather than silently partial, and
+a follow-up query on the cancelled federation still matches the oracle.
+"""
+
+import os
+
+from repro.bench import run_e22_deadline_cancellation
+
+QUICK = bool(os.environ.get("SKYQUERY_BENCH_QUICK"))
+
+
+def test_e22_deadline_cancellation(benchmark, report_sink):
+    if QUICK:
+        report = report_sink(
+            run_e22_deadline_cancellation(n_bodies=300, storm_queries=3)
+        )
+    else:
+        report = report_sink(run_e22_deadline_cancellation())
+
+    rows = {(row[0], row[1]): row for row in report.rows}
+    for mode in ("store-forward", "pipelined"):
+        eager = rows[("eager cancel", mode)]
+        ttl = rows[("TTL-only", mode)]
+        # Eager cancellation strictly reduces wasted downstream custody:
+        # zero leftovers at zero latency vs items parked until the TTL.
+        assert eager[4] == 0, f"eager arm left residual state: {eager}"
+        assert eager[6] == 0.0, f"eager arm had reclaim latency: {eager}"
+        assert ttl[4] > eager[4], (ttl, eager)
+        assert ttl[6] > 0.0, f"TTL arm claims instant reclaim: {ttl}"
+        # The eager arm actually cancelled; the TTL arm never did.
+        assert eager[2] > 0 and eager[3] > 0, eager
+        assert ttl[2] == 0 and ttl[3] == 0, ttl
+        # Cancellation costs wire bytes — nonzero, reported, and only
+        # on the arm that fans out.
+        assert eager[7] > 0.0 and ttl[7] == 0.0, (eager, ttl)
+        # Neither arm perturbs the federation for the next caller.
+        assert eager[8] == "oracle" and ttl[8] == "oracle", (eager, ttl)
+
+    # Losing regimes are documented, not hidden.
+    assert any("instant queries" in n for n in report.notes)
+    assert any("cancel storm" in n for n in report.notes)
+    assert any("LOWER bound" in n for n in report.notes)
+
+    # Hot path: minting, checking, and expiring a budget is O(1) and
+    # never touches the network.
+    from repro.budget import QueryBudget, active_budget, use_budget
+
+    def budget_lifecycle():
+        budget = QueryBudget(100.0, "bench-q1")
+        with use_budget(budget):
+            current = active_budget()
+            assert current is not None
+            alive = not current.expired(50.0)
+            dead = current.expired(200.0)
+        return alive and dead
+
+    assert benchmark(budget_lifecycle)

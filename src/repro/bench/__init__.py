@@ -35,6 +35,7 @@ from repro.bench.experiments import (
     run_e19_ingest_under_load,
     run_e20_zone_engine,
     run_e21_scheduler_cache,
+    run_e22_deadline_cancellation,
 )
 
 ALL_EXPERIMENTS = (
@@ -59,6 +60,7 @@ ALL_EXPERIMENTS = (
     run_e19_ingest_under_load,
     run_e20_zone_engine,
     run_e21_scheduler_cache,
+    run_e22_deadline_cancellation,
 )
 
 __all__ = [
@@ -89,4 +91,5 @@ __all__ = [
     "run_e19_ingest_under_load",
     "run_e20_zone_engine",
     "run_e21_scheduler_cache",
+    "run_e22_deadline_cancellation",
 ]

@@ -1,0 +1,91 @@
+"""Query-lifetime budgets: the deadline that travels with the query.
+
+A :class:`QueryBudget` is an *absolute* deadline on the simulated clock
+plus the portal-minted query id, propagated hop to hop in the
+``<sq:QueryBudget>`` SOAP header (a sibling of ``<sq:TraceContext>``).
+Every layer reads the budget through a scope stack rather than plumbing
+it as an extra parameter:
+
+* the caller side (:class:`~repro.services.client.ServiceProxy`) stamps
+  the active budget into outgoing envelopes and clamps its per-call
+  retry deadline to the remaining budget;
+* the server side (:meth:`~repro.services.framework.WebService.handle_soap`)
+  parses the header and re-scopes it for the handler, so chain
+  forwarding and batch pulls made *from inside* a handler inherit the
+  caller's budget automatically — exactly how the TraceContext header
+  threads one span tree through the federation.
+
+``use_budget(None)`` deliberately *masks* any outer budget: a handler
+dispatching an unbudgeted request models a separate process that never
+saw the header, and cleanup RPCs (CancelQuery/AbortStream/AbortTransfer)
+run unbudgeted so an expired deadline can never block its own cleanup.
+
+The server side also needs "now" without owning a clock; the network
+pushes a request-scoped clock provider around each handler invocation
+(:func:`use_request_clock` / :func:`request_now`), mirroring
+``use_tracer``.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class QueryBudget:
+    """One query's absolute sim-clock deadline and identity."""
+
+    deadline_s: float
+    query_id: str = ""
+
+    def remaining_s(self, now: float) -> float:
+        """Seconds of budget left at sim-time ``now`` (negative if spent)."""
+        return self.deadline_s - now
+
+    def expired(self, now: float) -> bool:
+        """True once the sim clock has reached the deadline."""
+        return now >= self.deadline_s
+
+
+#: Operations that free state for a dead query. Both the proxy and the
+#: dispatcher exempt them from budget enforcement: cancellation issued
+#: *because* a deadline expired must never be blocked by that same
+#: expired deadline, or cleanup could strand the very state it frees.
+CLEANUP_OPERATIONS = frozenset({"CancelQuery", "AbortStream", "AbortTransfer"})
+
+_ACTIVE_BUDGETS: List[Optional[QueryBudget]] = []
+
+
+def active_budget() -> Optional[QueryBudget]:
+    """The budget scoped around the current call, if any."""
+    return _ACTIVE_BUDGETS[-1] if _ACTIVE_BUDGETS else None
+
+
+@contextmanager
+def use_budget(budget: Optional[QueryBudget]) -> Iterator[None]:
+    """Scope a budget (or None, masking any outer one) for nested calls."""
+    _ACTIVE_BUDGETS.append(budget)
+    try:
+        yield
+    finally:
+        _ACTIVE_BUDGETS.pop()
+
+
+_ACTIVE_CLOCKS: List[Callable[[], float]] = []
+
+
+def request_now() -> Optional[float]:
+    """Sim-time of the network currently delivering a request, if any."""
+    return _ACTIVE_CLOCKS[-1]() if _ACTIVE_CLOCKS else None
+
+
+@contextmanager
+def use_request_clock(clock_fn: Callable[[], float]) -> Iterator[None]:
+    """Scope a clock provider as the active one for nested handlers."""
+    _ACTIVE_CLOCKS.append(clock_fn)
+    try:
+        yield
+    finally:
+        _ACTIVE_CLOCKS.pop()

@@ -19,7 +19,11 @@ from typing import Optional, Sequence
 
 from repro import __version__
 from repro.client.formatting import format_table, to_votable
-from repro.errors import SkyQueryError
+from repro.errors import (
+    DeadlineExceededError,
+    QueryCancelledError,
+    SkyQueryError,
+)
 from repro.federation.builder import FederationConfig, build_federation
 from repro.workloads.skysim import SkyField
 
@@ -144,6 +148,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "--serial", default="on", choices=["on", "off"],
         help="also run the serial uncached baseline on a twin federation "
              "for comparison (default on)",
+    )
+    serve.add_argument(
+        "--deadline", type=float, default=0.0, metavar="S",
+        help="end-to-end budget per query in simulated seconds, from "
+             "enqueue; jobs that overrun are cancelled and jobs whose "
+             "budget dies in the queue are shed undispatched "
+             "(default 0: unbounded)",
     )
 
     experiments = sub.add_parser(
@@ -445,28 +456,66 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     jobs = zipf_workload(
         args.queries, args.pool, s=args.zipf, seed=args.seed, tenants=tenants
     )
+    if args.deadline > 0:
+        budget_start = federation.network.clock.now
+        for job in jobs:
+            job["deadline_s"] = budget_start + args.deadline
     print(f"{args.queries} queries from {args.clients} client(s) across "
           f"{args.tenants} tenant(s); zipf(s={args.zipf}) over a pool of "
-          f"{args.pool}\n")
+          f"{args.pool}"
+          + (f"; per-query budget {args.deadline}s" if args.deadline > 0
+             else "") + "\n")
 
     start = federation.network.clock.now
-    outcomes = scheduler.run(jobs)
+    interrupted = False
+    try:
+        outcomes = scheduler.run(jobs)
+    except KeyboardInterrupt:
+        # Graceful shutdown: stop admission, cancel what is still queued
+        # (the nodes' state for dispatched queries was already freed by
+        # their own deadline/cancel path), report, and exit cleanly.
+        interrupted = True
+        outcomes = scheduler.drain(stop_admission=True, cancel_queued=True)
+        print(f"\ninterrupted — drained scheduler: "
+              f"{scheduler.stats.cancelled} queued job(s) cancelled, "
+              f"{scheduler.stats.completed} completed before shutdown")
     makespan = federation.network.clock.now - start
 
     finished = [o for o in outcomes if o.result is not None]
-    failed = [o for o in outcomes if o.error is not None]
+    shed = [o for o in outcomes
+            if isinstance(o.error, (DeadlineExceededError,
+                                    QueryCancelledError))]
+    failed = [o for o in outcomes if o.error is not None and o not in shed]
+    expired_results = [
+        o for o in finished
+        if o.result.degraded
+        and any("deadline exceeded" in w for w in o.result.warnings)
+    ]
     latencies = [o.latency_s for o in finished]
     by_tenant: dict = defaultdict(list)
-    for outcome in finished:
+    for outcome in outcomes:
         by_tenant[outcome.job.tenant].append(outcome)
     for tenant in sorted(by_tenant):
-        done = by_tenant[tenant]
+        mine = by_tenant[tenant]
+        done = [o for o in mine if o.result is not None]
         hits = sum(1 for o in done if o.cache is not None)
-        mean = sum(o.latency_s for o in done) / len(done)
-        print(f"  {tenant:<12} completed={len(done)} cache_hits={hits} "
-              f"mean_latency={mean:.3f}s")
+        mean = (sum(o.latency_s for o in done) / len(done)) if done else 0.0
+        line = (f"  {tenant:<12} completed={len(done)} cache_hits={hits} "
+                f"mean_latency={mean:.3f}s")
+        tenant_shed = sum(1 for o in mine if o in shed)
+        if tenant_shed:
+            line += f" shed={tenant_shed}"
+        print(line)
     print(f"\nwaves={scheduler.stats.waves}  completed={len(finished)}  "
-          f"failed={len(failed)}  rejected={scheduler.stats.rejected}")
+          f"failed={len(failed)}  shed={len(shed)}  "
+          f"rejected={scheduler.stats.rejected}")
+    if scheduler.stats.rejected or shed:
+        print(f"backpressure: retry_after~{scheduler.retry_after_s():.3f}s "
+              f"(expired={scheduler.stats.expired} "
+              f"cancelled={scheduler.stats.cancelled})")
+    if expired_results:
+        print(f"deadline-degraded answers: {len(expired_results)} "
+              f"(budget died mid-chain; state cancelled eagerly)")
     print(f"latency p50={_percentile(latencies, 50):.3f}s  "
           f"p99={_percentile(latencies, 99):.3f}s  "
           f"makespan={makespan:.3f}s")
@@ -476,6 +525,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"  failed seq={outcome.job.seq} ({outcome.job.tenant}): "
               f"{outcome.error}", file=sys.stderr)
 
+    if interrupted:
+        return 0
     if args.serial == "off":
         return 0 if not failed else 1
 
@@ -491,8 +542,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         serial_latencies.append(twin.network.clock.now - q0)
         answers[job["sql"]] = sorted(result.rows)
     serial_makespan = twin.network.clock.now - t0
+    # Deadline-degraded answers are empty by design; only budget-clean
+    # completions must match the unbounded serial baseline byte for byte.
+    clean = [o for o in finished if o not in expired_results]
     identical = all(
-        sorted(o.result.rows) == answers[o.job.sql] for o in finished
+        sorted(o.result.rows) == answers[o.job.sql] for o in clean
     )
     print(f"\nserial uncached baseline: "
           f"p50={_percentile(serial_latencies, 50):.3f}s  "

@@ -144,10 +144,35 @@ class SchedulerOverloadError(SkyQueryError):
     """The Portal's run queue is full: admission control shed this query.
 
     Backpressure, not failure — the caller should retry later (a real
-    deployment would surface this as HTTP 503 + Retry-After).
+    deployment would surface this as HTTP 503 + Retry-After, which is
+    what ``retry_after_s`` models: queue depth ahead of the caller times
+    the scheduler's recent per-job service time).
     """
 
-    def __init__(self, message: str, queued: int = 0, limit: int = 0) -> None:
+    def __init__(
+        self,
+        message: str,
+        queued: int = 0,
+        limit: int = 0,
+        retry_after_s: float = 0.0,
+    ) -> None:
         self.queued = queued
         self.limit = limit
+        self.retry_after_s = retry_after_s
         super().__init__(message)
+
+
+class DeadlineExceededError(SkyQueryError):
+    """A query's end-to-end budget ran out before the work completed.
+
+    Deliberately *not* a :class:`TransportError`: retrying cannot help —
+    the budget is spent — so the chain executor's recovery loop must let
+    it propagate (and trigger cancellation) instead of re-routing. The
+    message names the hop (operation + endpoint, or the dispatching
+    service) where the budget expired; crossing a SOAP boundary it rides
+    the fault ``detail`` and is re-raised typed on the caller side.
+    """
+
+
+class QueryCancelledError(SkyQueryError):
+    """A query was cancelled (drain, explicit cancel) before dispatch."""

@@ -28,9 +28,15 @@ import itertools
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 
+from repro.budget import use_budget
 from repro.db.expr import RowContext, evaluate, is_true
 from repro.db.engine import ASTRO_CONSTANTS
-from repro.errors import ExecutionError, SoapFaultError, TransportError
+from repro.errors import (
+    DeadlineExceededError,
+    ExecutionError,
+    SoapFaultError,
+    TransportError,
+)
 from repro.portal.decompose import DecomposedQuery
 from repro.portal.plan import ExecutionPlan
 from repro.services.chunked import receive_rowset
@@ -121,6 +127,7 @@ class ChainExecutor:
         warnings: Optional[List[str]] = None,
         degraded: bool = False,
         failovers: int = 0,
+        qid: str = "",
     ) -> FederatedResult:
         """Start the chain at the first plan step and post-process.
 
@@ -132,6 +139,15 @@ class ChainExecutor:
         live endpoint at all yields a degraded empty result whose warnings
         name the lost node. Failing over resets the transient-retry budget:
         a re-routed plan is a fresh chain.
+
+        ``qid`` is the Portal-minted query id of a budgeted submission: it
+        doubles as the execution id (so the nodes' checkpoints are keyed to
+        it) and tags streams and chunked transfers, which is what lets a
+        ``CancelQuery`` fan-down free every piece of the query's server
+        state eagerly. When the chain dies on a
+        :class:`~repro.errors.DeadlineExceededError`, the executor issues
+        that fan-down and returns a degraded result whose warning names
+        the hop that ran out of budget — the query never hangs.
         """
         network = self._portal.require_network()
         mode = getattr(self._portal, "chain_mode", "store-forward")
@@ -155,8 +171,10 @@ class ChainExecutor:
         #: One execution id for every attempt of this query: retries hit
         #: the nodes' checkpoints; a fresh identical query never does.
         #: An empty xid disables checkpointing at the nodes entirely.
+        #: A budgeted query's Portal-minted qid doubles as the xid, so
+        #: a later CancelQuery frees its checkpoints by prefix.
         xid = (
-            f"{self._portal.hostname}-x{next(self._xid_counter)}"
+            (qid or f"{self._portal.hostname}-x{next(self._xid_counter)}")
             if resume else ""
         )
         attempts = 0
@@ -166,13 +184,29 @@ class ChainExecutor:
                 with network.phase("crossmatch-chain"):
                     if mode == "pipelined":
                         rowset, stats = self._stream_chain(
-                            current, network, stream_state
+                            current, network, stream_state, qid=qid
                         )
                     else:
                         rowset, stats = self._store_forward_chain(
                             current, xid
                         )
                 break
+            except DeadlineExceededError as exc:
+                # The budget ran out somewhere down the chain (the message
+                # names the hop). Don't wait out server TTLs: fan a
+                # CancelQuery down the chain and at any replicas holding
+                # checkpoints, then degrade instead of hanging or raising.
+                warnings.append(f"query deadline exceeded: {exc}")
+                if getattr(self._portal, "eager_cancel", True):
+                    self._cancel_chain(current, qid or xid)
+                return FederatedResult(
+                    columns=self._output_columns(decomposed.query.items),
+                    rows=[],
+                    plan=current,
+                    warnings=list(warnings),
+                    degraded=True,
+                    failovers=counters["failovers"],
+                )
             except (TransportError, SoapFaultError) as exc:
                 attempts += 1
                 next_plan, fallback = self._recover(
@@ -214,6 +248,7 @@ class ChainExecutor:
         plan: ExecutionPlan,
         network: Any,
         state: Optional[Dict[str, Any]] = None,
+        qid: str = "",
     ) -> Tuple[Any, List[Dict[str, Any]]]:
         """Open a stream down the chain, then pull every batch concurrently.
 
@@ -259,6 +294,7 @@ class ChainExecutor:
             batch_size=getattr(self._portal, "stream_batch_size", 200),
             wire_format=getattr(self._portal, "stream_wire_format", "columnar"),
             start_seq=high_water,
+            qid=qid,
         )
         if not isinstance(opened, dict):
             raise ExecutionError(f"malformed OpenStream response: {opened!r}")
@@ -281,6 +317,7 @@ class ChainExecutor:
                         self._portal, "stream_wire_format", "columnar"
                     ),
                     start_seq=0,
+                    qid=qid,
                 )
                 stream_id = str(opened["stream_id"])
                 batch_count = int(opened["batch_count"])
@@ -309,6 +346,13 @@ class ChainExecutor:
                         responses[seq] = proxy.call(
                             "PullBatch", stream_id=stream_id, seq=seq
                         )
+        except DeadlineExceededError:
+            # Budget expiry is a cancellation-subsystem event, not a
+            # retry-path failure: the caller's ``CancelQuery`` sweep (or,
+            # with eager cancellation off, the TTL reapers) owns the
+            # cleanup of every hop's stream — a lone head abort here
+            # would fragment the accounting between the two paths.
+            raise
         except Exception:
             try:
                 proxy.call("AbortStream", stream_id=stream_id)
@@ -329,6 +373,43 @@ class ChainExecutor:
             if response.get("stats"):
                 stats = list(response["stats"])
         return WireRowSet.concat(parts), stats
+
+    def _cancel_chain(self, plan: ExecutionPlan, qid: str) -> None:
+        """Eagerly free every hop's state for a dead query (best effort).
+
+        One ``CancelQuery`` to the chain head fans hop-to-hop down the
+        current plan; replica endpoints *not* on the plan (which may hold
+        checkpoints from attempts that failed over away from them) are
+        cancelled directly. Every call is fire-and-forget — a lost cancel
+        leaves that hop to its TTL reaper, never blocks the degraded
+        answer — and runs under a masked budget: cleanup must not be
+        refused because the deadline that triggered it has passed.
+        """
+        if not qid:
+            return
+        network = self._portal.require_network()
+        wire = plan.to_wire()
+        with network.phase("cancel"), use_budget(None):
+            try:
+                self._portal.proxy(plan.step(0).url).call(
+                    "CancelQuery", query_id=qid, plan=wire, position=0
+                )
+            except Exception:
+                pass
+            seen = {step.url for step in plan.steps}
+            for step in plan.steps:
+                record = self._portal.catalog.node(step.archive)
+                for services in record.endpoint_candidates():
+                    url = services["crossmatch"]
+                    if url in seen:
+                        continue
+                    seen.add(url)
+                    try:
+                        self._portal.proxy(url).call(
+                            "CancelQuery", query_id=qid
+                        )
+                    except Exception:
+                        pass
 
     def _probe_plan_endpoints(self, plan: ExecutionPlan) -> List[bool]:
         """Ping each step's CURRENT endpoint (not just the archive primary).

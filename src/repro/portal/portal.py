@@ -6,7 +6,9 @@ import os
 from contextlib import nullcontext
 from typing import Collection, Dict, List, Optional, Sequence, Tuple
 
+from repro.budget import QueryBudget, use_budget
 from repro.errors import (
+    DeadlineExceededError,
     SoapFaultError,
     StaleEpochError,
     TransportError,
@@ -104,6 +106,12 @@ class Portal:
             if match_engine is not None
             else os.environ.get("SKYQUERY_MATCH_ENGINE", "htm")
         )
+        #: Whether a deadline-dead chain is cancelled eagerly with a
+        #: ``CancelQuery`` fan-down (the default) or left to the nodes'
+        #: TTL reapers — the E22 comparison arm, not a recommended
+        #: setting: leftover streams, checkpoints, and transfers then sit
+        #: in server memory for the whole TTL.
+        self.eager_cancel = True
         #: The semantic result cache (None = caching off, the seed's
         #: behaviour; installed via ``FederationConfig(cache=...)``).
         self.cache: Optional[SemanticCache] = None
@@ -272,6 +280,7 @@ class Portal:
         strategy: OrderingStrategy = OrderingStrategy.COUNT_DESC,
         random_seed: int = 0,
         pin_epochs: Optional[Dict[str, int]] = None,
+        deadline_s: Optional[float] = None,
     ) -> FederatedResult:
         """Figure 3 end to end: decompose, probe, plan, chain, project.
 
@@ -280,6 +289,16 @@ class Portal:
         time (with a warning); a dead *mandatory* archive — or one whose
         performance query fails after retries — yields a degraded empty
         result whose warnings name the node, instead of an exception.
+
+        Deadlines: ``deadline_s`` (an *absolute* time on the simulated
+        clock) arms an end-to-end :class:`~repro.budget.QueryBudget` that
+        rides a ``<sq:QueryBudget>`` SOAP Header on every hop of the
+        submission — probes, performance queries, the chain, batch pulls.
+        Each hop clamps its retries to the remaining budget and refuses
+        budget-expired work with a typed fault; when the budget runs out
+        anywhere, the Portal eagerly cancels the chain's server state and
+        returns a degraded empty result whose warning names the hop that
+        ran dry. A submission never hangs past its deadline.
 
         Snapshot isolation: the planner pins each archive at the epoch its
         count-star probe answered (returned as ``result.epochs``), so the
@@ -295,23 +314,37 @@ class Portal:
         self.queries_served += 1
         query = parse_query(sql) if isinstance(sql, str) else sql
         analysis = validate_query(query)
+        qid = ""
+        budget_scope = nullcontext()
+        if deadline_s is not None:
+            qid = f"{self.hostname}-q{self.queries_served}"
+            budget_scope = use_budget(QueryBudget(float(deadline_s), qid))
         tracer = self.network.tracer if self.network is not None else None
-        if tracer is None:
-            if analysis.xmatch is None:
-                return self._submit_single_archive(query)
-            return self._submit_federated(
-                query, strategy, random_seed, pin_epochs
-            )
-        with tracer.span("SubmitQuery", host=self.hostname) as root:
-            if analysis.xmatch is None:
-                result = self._submit_single_archive(query)
-            else:
-                result = self._submit_federated(
-                    query, strategy, random_seed, pin_epochs
+
+        def run() -> FederatedResult:
+            try:
+                if analysis.xmatch is None:
+                    return self._submit_single_archive(query)
+                return self._submit_federated(
+                    query, strategy, random_seed, pin_epochs, qid=qid
                 )
-            trace_id = root.trace_id
-        result.trace = tracer.trace(trace_id)
-        return result
+            except DeadlineExceededError as exc:
+                # The budget died before (or outside) the chain — a probe,
+                # a performance query, a direct query. No tagged chain
+                # state exists yet, so there is nothing to cancel: the
+                # TTL reaper covers any untagged leftovers. Degrade.
+                return self._degraded_result(
+                    query, [f"query deadline exceeded: {exc}"]
+                )
+
+        with budget_scope:
+            if tracer is None:
+                return run()
+            with tracer.span("SubmitQuery", host=self.hostname) as root:
+                result = run()
+                trace_id = root.trace_id
+            result.trace = tracer.trace(trace_id)
+            return result
 
     def _submit_federated(
         self,
@@ -319,6 +352,7 @@ class Portal:
         strategy: OrderingStrategy,
         random_seed: int,
         pin_epochs: Optional[Dict[str, int]] = None,
+        qid: str = "",
     ) -> FederatedResult:
         """The cross-match path of :meth:`submit`: probe, plan, chain.
 
@@ -561,6 +595,7 @@ class Portal:
             warnings=warnings,
             degraded=degraded,
             failovers=failovers,
+            qid=qid,
         )
         result.counts = counts
         result.epochs = epochs

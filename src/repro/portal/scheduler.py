@@ -41,8 +41,17 @@ from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Deque, Dict, List, Optional
 
-from repro.errors import SchedulerOverloadError, SkyQueryError
+from repro.errors import (
+    DeadlineExceededError,
+    QueryCancelledError,
+    SchedulerOverloadError,
+    SkyQueryError,
+)
 from repro.portal.planner import OrderingStrategy
+
+#: How many recent per-job service times feed the ``retry_after_s``
+#: estimate handed back with every overload rejection.
+SERVICE_SAMPLE_WINDOW = 32
 
 if TYPE_CHECKING:
     from repro.portal.executor import FederatedResult
@@ -92,6 +101,10 @@ class ScheduledQuery:
     cost: float = 1.0
     #: Sim-clock instant the job entered the queue.
     arrival_s: float = 0.0
+    #: Absolute sim-clock deadline for the whole job (None = unbounded).
+    #: Queued past it, the job is shed at admission without dispatch; the
+    #: remaining budget rides the submission as its ``QueryBudget``.
+    deadline_s: Optional[float] = None
 
 
 @dataclass
@@ -121,6 +134,11 @@ class SchedulerStats:
     failed: int = 0
     rejected: int = 0
     waves: int = 0
+    #: Jobs whose deadline died in the queue: shed at admission, never
+    #: dispatched (their outcome carries a DeadlineExceededError).
+    expired: int = 0
+    #: Queued jobs dropped by a cancelling drain (QueryCancelledError).
+    cancelled: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return dict(vars(self))
@@ -142,6 +160,14 @@ class QueryScheduler:
         self._ring: List[str] = []
         self._cursor = 0
         self._deficits: Dict[str, float] = {}
+        #: Recent per-job service times (seconds); the basis of the
+        #: ``retry_after_s`` hint and of admission-time deadline triage.
+        self._service_samples: Deque[float] = deque(
+            maxlen=SERVICE_SAMPLE_WINDOW
+        )
+        #: Set by a stopping :meth:`drain`: a draining scheduler sheds
+        #: every new enqueue so a graceful shutdown converges.
+        self._draining = False
 
     # -- queue state ----------------------------------------------------------
 
@@ -149,8 +175,34 @@ class QueryScheduler:
         """Jobs waiting for admission."""
         return sum(len(queue) for queue in self._queues.values())
 
+    @property
+    def draining(self) -> bool:
+        """True once admission has been stopped for shutdown."""
+        return self._draining
+
     def _weight(self, tenant: str) -> float:
         return self.config.weights.get(tenant, 1.0)
+
+    def avg_service_s(self) -> float:
+        """Mean of the recent per-job service times (0.0 with no history)."""
+        if not self._service_samples:
+            return 0.0
+        return sum(self._service_samples) / len(self._service_samples)
+
+    def retry_after_s(self, backlog: Optional[int] = None) -> float:
+        """How long a shed caller should wait before retrying.
+
+        Queue-depth-aware: the backlog drains ``max_inflight`` jobs per
+        wave and a wave lasts about one recent average service time, so
+        the estimate is (waves ahead of the caller) x (average service).
+        Zero until at least one job has actually run.
+        """
+        avg = self.avg_service_s()
+        if avg <= 0.0:
+            return 0.0
+        backlog = self.pending() if backlog is None else backlog
+        waves_ahead = backlog // self.config.max_inflight + 1
+        return waves_ahead * avg
 
     # -- admission ------------------------------------------------------------
 
@@ -163,15 +215,27 @@ class QueryScheduler:
         random_seed: int = 0,
         pin_epochs: Optional[Dict[str, int]] = None,
         cost: float = 1.0,
+        deadline_s: Optional[float] = None,
     ) -> ScheduledQuery:
         """Queue a query for the next :meth:`drain`.
 
         Raises :class:`SchedulerOverloadError` when the backlog is at
-        ``max_queue`` — backpressure the caller must absorb.
+        ``max_queue`` (or the scheduler is draining for shutdown) —
+        backpressure the caller must absorb. The error's
+        ``retry_after_s`` scales with the backlog and the recent average
+        service time, so a polite client backs off just long enough.
         """
         if cost <= 0:
             raise ValueError("job cost must be > 0")
         backlog = self.pending()
+        if self._draining:
+            self.stats.rejected += 1
+            raise SchedulerOverloadError(
+                "scheduler is draining for shutdown; not accepting work",
+                queued=backlog,
+                limit=self.config.max_queue,
+                retry_after_s=self.retry_after_s(backlog),
+            )
         if backlog >= self.config.max_queue:
             self.stats.rejected += 1
             raise SchedulerOverloadError(
@@ -179,6 +243,7 @@ class QueryScheduler:
                 "jobs queued); retry later",
                 queued=backlog,
                 limit=self.config.max_queue,
+                retry_after_s=self.retry_after_s(backlog),
             )
         network = self._portal.require_network()
         job = ScheduledQuery(
@@ -190,6 +255,7 @@ class QueryScheduler:
             pin_epochs=dict(pin_epochs) if pin_epochs else None,
             cost=cost,
             arrival_s=network.clock.now,
+            deadline_s=deadline_s,
         )
         if tenant not in self._queues:
             self._queues[tenant] = deque()
@@ -230,22 +296,108 @@ class QueryScheduler:
 
     # -- execution ------------------------------------------------------------
 
-    def drain(self) -> List[QueryOutcome]:
+    def _shed_reason(
+        self, job: ScheduledQuery, now: float
+    ) -> Optional[SkyQueryError]:
+        """Why a job must not be dispatched at admission time (or None).
+
+        A job whose deadline already passed in the queue is certainly
+        dead; one whose remaining budget cannot cover even the recent
+        average service time would only waste a wave slot to produce the
+        same deadline-degraded answer — both shed here, undispatched.
+        """
+        if job.deadline_s is None:
+            return None
+        remaining = job.deadline_s - now
+        if remaining <= 0.0:
+            return DeadlineExceededError(
+                f"job {job.seq} (tenant {job.tenant!r}) spent its whole "
+                f"budget queued ({-remaining:.3f}s past the deadline); "
+                "shed without dispatch"
+            )
+        avg = self.avg_service_s()
+        if avg > 0.0 and remaining < avg:
+            return DeadlineExceededError(
+                f"job {job.seq} (tenant {job.tenant!r}) has {remaining:.3f}s "
+                f"of budget left but recent queries averaged {avg:.3f}s; "
+                "shed at admission"
+            )
+        return None
+
+    def drain(
+        self, *, stop_admission: bool = False, cancel_queued: bool = False
+    ) -> List[QueryOutcome]:
         """Run every queued job, wave by wave; outcomes in enqueue order.
 
         Each wave is one ``parallel()`` block: the clock advances by the
         wave's slowest job. Per-job errors (including degraded-path
         exceptions) are captured on the outcome, never raised — one
-        tenant's bad query must not take down the wave.
+        tenant's bad query must not take down the wave. Jobs whose
+        deadline died in the queue are shed before dispatch (outcome
+        carries a :class:`DeadlineExceededError`, counted in
+        ``stats.expired``).
+
+        Shutdown: ``stop_admission`` permanently closes the queue (every
+        later enqueue sheds with an overload error), and ``cancel_queued``
+        drops the still-queued jobs as :class:`QueryCancelledError`
+        outcomes instead of running them — together they are the graceful
+        Ctrl-C path of ``python -m repro serve``: stop taking work, then
+        either finish or cancel what is queued, never strand server state.
         """
         portal = self._portal
         network = portal.require_network()
         tracer = network.tracer
+        if stop_admission:
+            self._draining = True
         outcomes: List[QueryOutcome] = []
+        if cancel_queued:
+            now = network.clock.now
+            for tenant in list(self._ring):
+                for job in self._queues[tenant]:
+                    outcome = QueryOutcome(
+                        job=job, wait_s=now - job.arrival_s,
+                        finished_s=now, latency_s=now - job.arrival_s,
+                    )
+                    outcome.error = QueryCancelledError(
+                        f"job {job.seq} (tenant {job.tenant!r}) cancelled "
+                        "by scheduler drain before dispatch"
+                    )
+                    outcomes.append(outcome)
+                    self.stats.cancelled += 1
+            self._queues.clear()
+            self._ring.clear()
+            self._deficits.clear()
+            self._cursor = 0
+            outcomes.sort(key=lambda outcome: outcome.job.seq)
+            return outcomes
         while self._ring:
             wave = self._next_wave()
             if not wave:  # pragma: no cover - quantum > 0 guarantees progress
                 break
+            now = network.clock.now
+            runnable: List[ScheduledQuery] = []
+            for job in wave:
+                reason = self._shed_reason(job, now)
+                if reason is None:
+                    runnable.append(job)
+                    continue
+                outcome = QueryOutcome(
+                    job=job, wait_s=now - job.arrival_s,
+                    finished_s=now, latency_s=now - job.arrival_s,
+                )
+                outcome.error = reason
+                outcomes.append(outcome)
+                self.stats.expired += 1
+                if tracer is not None:
+                    tracer.annotate(
+                        "shed",
+                        job=job.seq,
+                        tenant=job.tenant,
+                        reason="deadline",
+                    )
+            wave = runnable
+            if not wave:
+                continue
             self.stats.waves += 1
             self.stats.admitted += len(wave)
             wave_no = self.stats.waves
@@ -279,6 +431,7 @@ class QueryScheduler:
                                     strategy=job.strategy,
                                     random_seed=job.random_seed,
                                     pin_epochs=job.pin_epochs,
+                                    deadline_s=job.deadline_s,
                                 )
                                 outcome.cache = outcome.result.cache
                                 self.stats.completed += 1
@@ -292,6 +445,7 @@ class QueryScheduler:
             for outcome in wave_outcomes:
                 outcome.finished_s = wave_start + outcome.service_s
                 outcome.latency_s = outcome.wait_s + outcome.service_s
+                self._service_samples.append(outcome.service_s)
             outcomes.extend(wave_outcomes)
         outcomes.sort(key=lambda outcome: outcome.job.seq)
         return outcomes

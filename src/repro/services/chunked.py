@@ -50,6 +50,9 @@ class ChunkedSender:
         self.ttl_s = ttl_s
         self._transfers: Dict[str, List[WireRowSet]] = {}
         self._deadlines: Dict[str, float] = {}
+        #: transfer_id -> owning query id (only for tagged transfers);
+        #: what :meth:`cancel_query` fans over.
+        self._owners: Dict[str, str] = {}
         #: Fully drained transfers: transfer_id -> (final seq, final chunk,
         #: expiry). Lets a lost final-fetch response be retried.
         self._completed: Dict[str, Tuple[int, WireRowSet, float]] = {}
@@ -92,6 +95,7 @@ class ChunkedSender:
         for tid in expired:
             del self._transfers[tid]
             del self._deadlines[tid]
+            self._owners.pop(tid, None)
         self._reclaimed(len(expired))
         for tid in [
             tid
@@ -102,9 +106,17 @@ class ChunkedSender:
         return len(expired)
 
     def respond(
-        self, rowset: WireRowSet, extra: Optional[Dict[str, Any]] = None
+        self,
+        rowset: WireRowSet,
+        extra: Optional[Dict[str, Any]] = None,
+        *,
+        query_id: str = "",
     ) -> Dict[str, Any]:
-        """Wrap a rowset for the wire, chunking when over budget."""
+        """Wrap a rowset for the wire, chunking when over budget.
+
+        ``query_id`` tags the transfer with the query it belongs to, so a
+        later :meth:`cancel_query` can free it without knowing its id.
+        """
         self.reap()
         response: Dict[str, Any] = dict(extra or {})
         budget = self.chunk_budget_bytes
@@ -112,6 +124,8 @@ class ChunkedSender:
             chunks = split_for_budget(rowset, budget)
             transfer_id = f"{self.owner_name}-{next(self._transfer_ids)}"
             self._transfers[transfer_id] = chunks
+            if query_id:
+                self._owners[transfer_id] = query_id
             now = self._now()
             if now is not None:
                 self._deadlines[transfer_id] = now + self.ttl_s
@@ -160,6 +174,7 @@ class ChunkedSender:
         if seq == len(chunks) - 1:
             del self._transfers[transfer_id]
             self._deadlines.pop(transfer_id, None)
+            self._owners.pop(transfer_id, None)
             if now is not None:
                 self._completed[transfer_id] = (seq, chunk, now + self.ttl_s)
         elif now is not None:
@@ -177,12 +192,35 @@ class ChunkedSender:
         if transfer_id in self._transfers:
             del self._transfers[transfer_id]
             self._deadlines.pop(transfer_id, None)
+            self._owners.pop(transfer_id, None)
             self._reclaimed(1)
             return True
         if transfer_id in self._completed:
             del self._completed[transfer_id]
             return True
         return False
+
+    def cancel_query(self, query_id: str) -> int:
+        """Free every pending transfer tagged with ``query_id``.
+
+        Returns the number of *pending* transfers freed (what eager
+        cancellation saved from the TTL reaper); completed-cache entries
+        for the query are dropped silently — their payload was delivered.
+        The caller, not this method, accounts the reclaims: cancellation
+        is an ``eager_reclaims`` event, not a ``reclaimed_transfers`` one.
+        Idempotent — a repeat (or a cancel racing the reaper) frees 0.
+        """
+        self.reap()
+        if not query_id:
+            return 0
+        mine = [
+            tid for tid, owner in self._owners.items() if owner == query_id
+        ]
+        for tid in mine:
+            self._transfers.pop(tid, None)
+            self._deadlines.pop(tid, None)
+            del self._owners[tid]
+        return len(mine)
 
     def crash(self) -> None:
         """Drop all transfer state silently, as a process crash would.
@@ -194,6 +232,7 @@ class ChunkedSender:
         """
         self._transfers.clear()
         self._deadlines.clear()
+        self._owners.clear()
         self._completed.clear()
 
     @property

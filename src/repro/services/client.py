@@ -5,7 +5,8 @@ from __future__ import annotations
 from contextlib import nullcontext
 from typing import Any, Callable, Optional
 
-from repro.errors import SoapFaultError, TransportError
+from repro.budget import CLEANUP_OPERATIONS, QueryBudget, active_budget
+from repro.errors import DeadlineExceededError, SoapFaultError, TransportError
 from repro.services.retry import CircuitBreaker, RetryPolicy
 from repro.soap.envelope import build_rpc_request, parse_rpc_response
 from repro.soap.wsdl import ServiceDescription, parse_wsdl
@@ -61,24 +62,34 @@ class ServiceProxy:
         With a tracer on the network, the call opens a *client* span and
         stamps its trace context into the envelope's SOAP Header, so the
         callee's server span threads under it; without a tracer the
-        envelope is byte-identical to the untraced wire format.
+        envelope is byte-identical to the untraced wire format. An
+        active :class:`~repro.budget.QueryBudget` rides the same Header
+        path and clamps the whole retry loop to the remaining budget —
+        except for cleanup operations, which must outlive the deadline
+        that killed their query.
         """
         if self.description is not None and self.description.operation(operation) is None:
             raise TransportError(
                 f"service {self.description.name!r} does not describe "
                 f"operation {operation!r}"
             )
+        budget = (
+            active_budget() if operation not in CLEANUP_OPERATIONS else None
+        )
 
         def build(context: Optional[TraceContext]) -> HttpRequest:
             envelope = build_rpc_request(
-                operation, params, trace_context=context
+                operation, params, trace_context=context, budget=budget
             )
             return soap_request(
                 self.url, f"urn:skyquery#{operation}", envelope
             )
 
         return self._transact(
-            build, operation, lambda resp: self._decode(operation, resp)
+            build,
+            operation,
+            lambda resp: self._decode(operation, resp),
+            budget=budget,
         )
 
     def _transact(
@@ -86,9 +97,18 @@ class ServiceProxy:
         build_request: Callable[[Optional[TraceContext]], HttpRequest],
         operation: str,
         decode: Any,
+        budget: Optional[QueryBudget] = None,
     ) -> Any:
         """One request through the breaker + retry/backoff/deadline loop."""
         clock = self.network.clock
+        if budget is not None and budget.expired(clock.now):
+            # Spent before the request even left the host: fail without
+            # touching the wire (or the breaker — the endpoint is fine).
+            raise DeadlineExceededError(
+                f"query budget exhausted at {self.src_host} "
+                f"({clock.now - budget.deadline_s:.3f}s past the deadline) "
+                f"before calling {operation!r} on {self.url}"
+            )
         if self.breaker is not None:
             self.breaker.check(clock.now)
         policy = self.retry_policy
@@ -97,6 +117,12 @@ class ServiceProxy:
             if policy is not None and policy.deadline_s is not None
             else None
         )
+        if budget is not None:
+            deadline = (
+                budget.deadline_s
+                if deadline is None
+                else min(deadline, budget.deadline_s)
+            )
         tracer = self.network.tracer
         # The span opens INSIDE the branch block: a branch rewinds the
         # clock on exit (parallel siblings overlap), so the span must
@@ -112,7 +138,8 @@ class ServiceProxy:
                     tracer.context() if tracer is not None else None
                 )
                 result = self._attempt_loop(
-                    request, operation, decode, policy, deadline, span
+                    request, operation, decode, policy, deadline, span,
+                    budget=budget,
                 )
         return result
 
@@ -124,6 +151,7 @@ class ServiceProxy:
         policy: Optional[RetryPolicy],
         deadline: Optional[float],
         span: Any,
+        budget: Optional[QueryBudget] = None,
     ) -> Any:
         clock = self.network.clock
         attempt = 0
@@ -147,7 +175,7 @@ class ServiceProxy:
                     timeout_s=timeout_s,
                 )
                 result = decode(response)
-            except TransportError:
+            except TransportError as exc:
                 attempt += 1
                 retryable = (
                     policy is not None and attempt < policy.max_attempts
@@ -161,6 +189,17 @@ class ServiceProxy:
                 if not retryable:
                     if self.breaker is not None:
                         self.breaker.record_failure(clock.now)
+                    if budget is not None and budget.expired(clock.now):
+                        # The budget ran out while this attempt waited:
+                        # retrying (or failing over) cannot help, so the
+                        # typed deadline error supersedes the transport
+                        # failure and propagates to cancellation instead
+                        # of the chain executor's recovery loop.
+                        raise DeadlineExceededError(
+                            f"query budget exhausted during {operation!r} "
+                            f"from {self.src_host} to {self.url} "
+                            f"(attempt {attempt}: {exc})"
+                        ) from exc
                     raise
                 if span is not None:
                     span.retries += 1
@@ -168,11 +207,15 @@ class ServiceProxy:
                 self.network.sleep(backoff)
                 self.network.metrics.retries += 1
                 continue
-            except SoapFaultError:
+            except SoapFaultError as exc:
                 # The endpoint answered (with an application fault):
                 # it is alive as far as the breaker is concerned.
                 if self.breaker is not None:
                     self.breaker.record_success(clock.now)
+                if exc.detail == "DeadlineExceededError":
+                    # A downstream hop refused budget-expired work; the
+                    # faultstring already names that hop.
+                    raise DeadlineExceededError(exc.faultstring) from exc
                 raise
             if self.breaker is not None:
                 self.breaker.record_success(clock.now)

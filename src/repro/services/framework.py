@@ -7,7 +7,19 @@ from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional, Sequence, Tuple
 
-from repro.errors import ServiceError, SkyQueryError, SoapError, XMLMemoryError
+from repro.budget import (
+    CLEANUP_OPERATIONS,
+    active_budget,
+    request_now,
+    use_budget,
+)
+from repro.errors import (
+    DeadlineExceededError,
+    ServiceError,
+    SkyQueryError,
+    SoapError,
+    XMLMemoryError,
+)
 from repro.soap.envelope import build_fault, build_rpc_response, parse_rpc_call
 from repro.soap.wsdl import OperationSpec, ServiceDescription, generate_wsdl
 from repro.soap.xmlparser import XMLParser
@@ -103,11 +115,16 @@ class WebService:
         When the network delivering the request has a tracer installed, a
         *server* span wraps the dispatch, parented under the caller's span
         via the envelope's ``<sq:TraceContext>`` header; SOAP faults mark
-        the span as errored.
+        the span as errored. The ``<sq:QueryBudget>`` header (or None —
+        a request without one models a caller that never saw a budget)
+        is scoped around the dispatch, so nested RPCs this handler makes
+        inherit the query's remaining budget.
         """
         self.calls_handled += 1
         try:
-            operation, params, context = parse_rpc_call(body, self.parser)
+            operation, params, context, budget = parse_rpc_call(
+                body, self.parser
+            )
         except XMLMemoryError as exc:
             return self._fault("soap:Server.OutOfMemory", str(exc))
         except (SoapError, SkyQueryError) as exc:
@@ -128,13 +145,22 @@ class WebService:
                 marks = {k: params[k] for k in _TRACED_PARAMS if k in params}
                 if marks:
                     span.annotate("request", t=span.start_s, **marks)
-            status, xml = self._dispatch(operation, params)
+            with use_budget(budget):
+                status, xml = self._dispatch(
+                    operation, params, hostname=hostname
+                )
             if span is not None and status != 200:
                 span.status = "error"
                 span.error = self._last_fault
         return status, xml
 
-    def _dispatch(self, operation: str, params: Dict[str, Any]) -> Tuple[int, str]:
+    def _dispatch(
+        self,
+        operation: str,
+        params: Dict[str, Any],
+        *,
+        hostname: Optional[str] = None,
+    ) -> Tuple[int, str]:
         entry = self._operations.get(operation)
         if entry is None:
             return self._fault(
@@ -142,6 +168,7 @@ class WebService:
                 f"service {self.name!r} has no operation {operation!r}",
             )
         try:
+            self._check_budget(operation, hostname)
             result = entry.fn(**params)
         except SkyQueryError as exc:
             # The fault detail names the error class so callers can tell a
@@ -164,6 +191,27 @@ class WebService:
             return self._fault(
                 "soap:Server.Serialization",
                 f"could not serialize result of {operation!r}: {exc}",
+            )
+
+    def _check_budget(self, operation: str, hostname: Optional[str]) -> None:
+        """Refuse work whose query budget is already spent.
+
+        A hop that receives a request after the deadline faults instead
+        of computing a doomed result — that fault propagates upstream as
+        a typed ``DeadlineExceededError`` naming this hop. Cleanup
+        operations are exempt: they free the dead query's state.
+        """
+        if operation in CLEANUP_OPERATIONS:
+            return
+        budget = active_budget()
+        if budget is None:
+            return
+        now = request_now()
+        if now is not None and budget.expired(now):
+            raise DeadlineExceededError(
+                f"query budget exhausted at {hostname or self.name} "
+                f"({now - budget.deadline_s:.3f}s past the deadline) "
+                f"before {operation!r} could run"
             )
 
     def _fault(self, code: str, message: str, detail: str = "") -> Tuple[int, str]:

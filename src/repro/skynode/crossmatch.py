@@ -32,6 +32,7 @@ from repro.errors import ExecutionError
 from repro.portal.plan import ExecutionPlan, PlanStep
 from repro.services.chunked import ChunkedSender, receive_rowset
 from repro.services.framework import WebService
+from repro.tracing.tracer import active_tracer
 from repro.soap.encoding import WireRowSet
 from repro.sphere.coords import radec_to_vector
 from repro.sql.area import region_for
@@ -94,6 +95,9 @@ class _Stream:
     position: int
     wire_format: str
     batch_count: int
+    #: The owning query's id (empty for unbudgeted streams); what
+    #: ``CancelQuery`` matches on when freeing a query's streams.
+    qid: str = ""
     deadline: Optional[float] = None
     #: The snapshot epoch this stream's step is pinned at (see _Checkpoint).
     epoch: Optional[int] = None
@@ -170,6 +174,7 @@ class CrossMatchService(WebService):
                 ("batch_size", "int"),
                 ("wire_format", "string"),
                 ("start_seq", "int"),
+                ("qid", "string"),
             ),
             returns="struct",
             doc="Open a pipelined tuple stream for this node's chain step. "
@@ -190,12 +195,28 @@ class CrossMatchService(WebService):
             returns="struct",
             doc="Tear down an open stream (cascades downstream).",
         )
+        self.register(
+            "CancelQuery",
+            self._cancel_query,
+            params=(
+                ("query_id", "string"),
+                ("plan", "struct"),
+                ("position", "int"),
+            ),
+            returns="struct",
+            doc="Eagerly free every stream, checkpoint, and chunked "
+                "transfer this node holds for a query, then fan the "
+                "cancel down the chain (best effort — TTL reaping "
+                "remains the backstop for a lost cancel). Idempotent.",
+        )
         self._streams: Dict[str, _Stream] = {}
         self._stream_ids = itertools.count(1)
         self._checkpoints: Dict[str, _Checkpoint] = {}
         self._clock_fn: Optional[Callable[[], float]] = None
         self._on_reclaim: Optional[Callable[[int], None]] = None
         self._on_stale_reap: Optional[Callable[[int], None]] = None
+        self._on_cancel: Optional[Callable[[], None]] = None
+        self._on_eager: Optional[Callable[[int], None]] = None
 
     def bind_clock(
         self,
@@ -212,6 +233,20 @@ class CrossMatchService(WebService):
         self._clock_fn = clock_fn
         self._on_reclaim = on_reclaim
         self._on_stale_reap = on_stale_reap
+
+    def bind_cancel(
+        self,
+        on_cancel: Optional[Callable[[], None]] = None,
+        on_eager: Optional[Callable[[int], None]] = None,
+    ) -> None:
+        """Report cancellation activity to the node's metrics.
+
+        ``on_cancel`` fires once per ``CancelQuery`` handled (idempotent
+        repeats included); ``on_eager`` receives the count of streams,
+        checkpoints, and transfers a cancel freed ahead of their TTLs.
+        """
+        self._on_cancel = on_cancel
+        self._on_eager = on_eager
 
     # -- operations ------------------------------------------------------------
 
@@ -236,7 +271,9 @@ class CrossMatchService(WebService):
                 # survives replica substitution anywhere in the suffix.
                 self._touch_checkpoint(checkpoint)
                 return self._respond(
-                    checkpoint.rowset, [dict(s) for s in checkpoint.stats]
+                    checkpoint.rowset,
+                    [dict(s) for s in checkpoint.stats],
+                    qid=xid,
                 )
         stats_chain: List[Dict[str, Any]] = []
         if position == len(plan_obj.steps) - 1:
@@ -261,7 +298,7 @@ class CrossMatchService(WebService):
             )
             self._touch_checkpoint(checkpoint)
             self._checkpoints[checkpoint_key] = checkpoint
-        return self._respond(out_rowset, stats_chain)
+        return self._respond(out_rowset, stats_chain, qid=xid)
 
     def _fetch_chunk(self, transfer_id: str, seq: int) -> WireRowSet:
         return self.sender.fetch_chunk(transfer_id, seq)
@@ -373,6 +410,7 @@ class CrossMatchService(WebService):
         batch_size: int,
         wire_format: str,
         start_seq: int = 0,
+        qid: str = "",
     ) -> Dict[str, Any]:
         self._reap_streams()
         self.reap_stale_epochs()
@@ -397,6 +435,7 @@ class CrossMatchService(WebService):
             position=position,
             wire_format=wire_format,
             batch_count=0,
+            qid=str(qid),
             epoch=me.epoch,
         )
         if position == len(plan_obj.steps) - 1:
@@ -421,6 +460,7 @@ class CrossMatchService(WebService):
                 batch_size=batch_size,
                 wire_format=wire_format,
                 start_seq=start_seq,
+                qid=qid,
             )
             if not isinstance(opened, dict):
                 raise ExecutionError(
@@ -552,6 +592,74 @@ class CrossMatchService(WebService):
                 pass  # best effort; the downstream TTL is the backstop
         return {"aborted": True}
 
+    def _cancel_query(
+        self,
+        query_id: str,
+        plan: Optional[Dict[str, Any]] = None,
+        position: int = -1,
+    ) -> Dict[str, Any]:
+        """The ``CancelQuery`` operation body.
+
+        Frees this node's state for the query *first* (the local reclaim
+        must not depend on downstream reachability), then forwards the
+        cancel to the next chain hop when a plan is supplied. The
+        forward is best effort: a lost or delayed cancel leaves the TTL
+        reaper as the backstop, exactly as an abandoned drain does.
+        """
+        query_id = str(query_id)
+        freed = self.release_query(query_id)
+        if self._on_cancel is not None:
+            self._on_cancel()
+        tracer = active_tracer()
+        if tracer is not None:
+            tracer.annotate("cancel", query_id=query_id, freed=freed)
+        forwarded = False
+        if plan:
+            plan_obj = ExecutionPlan.from_wire(plan)
+            position = int(position)
+            if 0 <= position < len(plan_obj.steps) - 1:
+                next_step = plan_obj.step(position + 1)
+                try:
+                    self._node.proxy(next_step.url).call(
+                        "CancelQuery",
+                        query_id=query_id,
+                        plan=plan,
+                        position=position + 1,
+                    )
+                    forwarded = True
+                except Exception:
+                    pass  # best effort; the downstream TTL is the backstop
+        return {"cancelled": True, "freed": freed, "forwarded": forwarded}
+
+    def release_query(self, query_id: str) -> int:
+        """Free every stream, checkpoint, and transfer owned by a query.
+
+        Returns how many pieces of state were freed eagerly (reported
+        through ``on_eager`` — kept disjoint from the TTL reaper's
+        ``reclaimed_transfers`` so the metrics can prove what eager
+        cancellation actually saved). Idempotent: a repeat frees 0.
+        """
+        self._reap_streams()
+        self._reap_checkpoints()
+        if not query_id:
+            return 0
+        freed = 0
+        for sid in [
+            sid
+            for sid, stream in self._streams.items()
+            if stream.qid == query_id
+        ]:
+            if not self._streams.pop(sid).done:
+                freed += 1
+        prefix = f"{query_id}:"
+        for key in [k for k in self._checkpoints if k.startswith(prefix)]:
+            del self._checkpoints[key]
+            freed += 1
+        freed += self.sender.cancel_query(query_id)
+        if freed and self._on_eager is not None:
+            self._on_eager(freed)
+        return freed
+
     @property
     def open_streams(self) -> int:
         """Streams still holding server-side state (0 after clean runs)."""
@@ -581,9 +689,12 @@ class CrossMatchService(WebService):
         return incoming, stats_chain
 
     def _respond(
-        self, rowset: WireRowSet, stats: List[Dict[str, Any]]
+        self,
+        rowset: WireRowSet,
+        stats: List[Dict[str, Any]],
+        qid: str = "",
     ) -> Dict[str, Any]:
-        return self.sender.respond(rowset, {"stats": stats})
+        return self.sender.respond(rowset, {"stats": stats}, query_id=qid)
 
     # -- the two step kinds ---------------------------------------------------------
 

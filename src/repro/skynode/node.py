@@ -194,9 +194,16 @@ class SkyNode:
         def on_stale_reap(count: int) -> None:
             network.metrics.stale_epoch_reaps += count
 
+        def on_cancel() -> None:
+            network.metrics.cancels += 1
+
+        def on_eager(count: int) -> None:
+            network.metrics.eager_reclaims += count
+
         self.query.sender.bind_clock(clock_fn, on_reclaim)
         self.crossmatch.sender.bind_clock(clock_fn, on_reclaim)
         self.crossmatch.bind_clock(clock_fn, on_reclaim, on_stale_reap)
+        self.crossmatch.bind_cancel(on_cancel, on_eager)
         # A crash wipes everything volatile: open chunked transfers,
         # streams, and checkpoint caches all die with the process.
         network.on_crash(self.hostname, self.crash_volatile_state)

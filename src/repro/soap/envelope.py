@@ -1,15 +1,18 @@
 """SOAP 1.1 envelopes: RPC requests, responses, and faults.
 
-Requests may carry a SOAP Header block with the distributed-tracing
-context (``<sq:TraceContext traceId=".." parentSpanId=".."/>``); without
-a tracer the Header is omitted entirely, so untraced envelopes are
-byte-identical to the pre-tracing wire format.
+Requests may carry SOAP Header blocks: the distributed-tracing context
+(``<sq:TraceContext traceId=".." parentSpanId=".."/>``) and the
+query-lifetime budget (``<sq:QueryBudget deadlineS=".." queryId=".."/>``,
+the absolute deadline on the sim clock). Without a tracer or budget the
+Header is omitted entirely, so plain envelopes stay byte-identical to
+the original wire format.
 """
 
 from __future__ import annotations
 
 from typing import Any, Dict, Optional, Tuple
 
+from repro.budget import QueryBudget
 from repro.errors import SoapError, SoapFaultError
 from repro.soap.encoding import decode_value, encode_value
 from repro.soap.xmlparser import XMLParser
@@ -20,6 +23,7 @@ SOAP_ENV_NS = "http://schemas.xmlsoap.org/soap/envelope/"
 XSI_NS = "http://www.w3.org/2001/XMLSchema-instance"
 SKYQUERY_NS = "urn:skyquery:services"
 TRACING_NS = "urn:skyquery:tracing"
+BUDGET_NS = "urn:skyquery:budget"
 
 
 def _envelope(
@@ -52,22 +56,39 @@ def _trace_header(context: TraceContext) -> Element:
     )
 
 
+def _budget_header(budget: QueryBudget) -> Element:
+    attrs = {
+        "xmlns:sq": BUDGET_NS,
+        "deadlineS": repr(budget.deadline_s),
+    }
+    if budget.query_id:
+        attrs["queryId"] = budget.query_id
+    return Element("sq:QueryBudget", attrs)
+
+
 def build_rpc_request(
     operation: str,
     params: Dict[str, Any],
     *,
     trace_context: Optional[TraceContext] = None,
+    budget: Optional[QueryBudget] = None,
 ) -> str:
     """Serialize an RPC call: operation element wrapping encoded parameters.
 
     With ``trace_context``, a ``<sq:TraceContext>`` Header block precedes
     the Body so the callee can parent its server span under the caller's
-    span; without it the envelope has no Header at all.
+    span; with ``budget``, a ``<sq:QueryBudget>`` block carries the
+    query's absolute deadline to the callee. Without either, the
+    envelope has no Header at all.
     """
     call = Element(f"sky:{operation}")
     for name, value in params.items():
         call.children.append(encode_value(name, value))
-    headers = (_trace_header(trace_context),) if trace_context else ()
+    headers: Tuple[Element, ...] = ()
+    if trace_context:
+        headers += (_trace_header(trace_context),)
+    if budget is not None:
+        headers += (_budget_header(budget),)
     return render(_envelope(call, headers))
 
 
@@ -112,24 +133,47 @@ def parse_trace_context(document: Element) -> Optional[TraceContext]:
     return TraceContext(trace_id, parent)
 
 
+def parse_query_budget(document: Element) -> Optional[QueryBudget]:
+    """The envelope's ``<sq:QueryBudget>`` Header block, if present."""
+    header = document.find("Header")
+    if header is None:
+        return None
+    block = header.find("QueryBudget")
+    if block is None:
+        return None
+    deadline = block.get("deadlineS")
+    if not deadline:
+        return None
+    try:
+        deadline_s = float(deadline)
+    except ValueError:
+        return None
+    return QueryBudget(deadline_s, block.get("queryId") or "")
+
+
 def parse_rpc_request(
     text: str | bytes, parser: Optional[XMLParser] = None
 ) -> Tuple[str, Dict[str, Any]]:
     """Parse a request envelope into (operation, decoded params)."""
-    operation, params, _ = parse_rpc_call(text, parser)
+    operation, params, _, _ = parse_rpc_call(text, parser)
     return operation, params
 
 
 def parse_rpc_call(
     text: str | bytes, parser: Optional[XMLParser] = None
-) -> Tuple[str, Dict[str, Any], Optional[TraceContext]]:
-    """Parse a request envelope into (operation, params, trace context)."""
+) -> Tuple[str, Dict[str, Any], Optional[TraceContext], Optional[QueryBudget]]:
+    """Parse a request envelope into (operation, params, trace, budget)."""
     parser = parser or XMLParser()
     document = parser.parse(text)
     content = _body_of(document)
     operation = content.local_name()
     params = {kid.local_name(): decode_value(kid) for kid in content.children}
-    return operation, params, parse_trace_context(document)
+    return (
+        operation,
+        params,
+        parse_trace_context(document),
+        parse_query_budget(document),
+    )
 
 
 def parse_rpc_response(

@@ -64,6 +64,15 @@ class NetworkMetrics:
     #: pinned to fell below the archive's GC floor (see docs/RESILIENCE.md,
     #: epoch lifecycle) — their cached results can never be served again.
     stale_epoch_reaps: int = 0
+    #: ``CancelQuery`` operations handled (idempotent repeats included) —
+    #: the control-plane cost of eager cancellation.
+    cancels: int = 0
+    #: Streams/checkpoints/transfers freed *eagerly* by ``CancelQuery``
+    #: fan-out instead of lingering until a TTL reap; the payoff eager
+    #: cancellation buys over TTL-only reclamation (E22). Disjoint from
+    #: ``reclaimed_transfers``, which counts TTL/abort reclamation of
+    #: abandoned server state.
+    eager_reclaims: int = 0
 
     def record(self, message: MessageRecord) -> None:
         """Append one message record."""
@@ -144,3 +153,5 @@ class NetworkMetrics:
         self.breaker_events.clear()
         self.reclaimed_transfers = 0
         self.stale_epoch_reaps = 0
+        self.cancels = 0
+        self.eager_reclaims = 0

@@ -19,6 +19,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterator, Optional, Tuple
 
+from repro.budget import use_request_clock
 from repro.errors import RequestTimeoutError, TransportError
 from repro.tracing.tracer import Tracer, use_tracer
 from repro.transport.faults import FaultPlan
@@ -345,7 +346,11 @@ class SimulatedNetwork:
                 self._trace_fault("crash-drop")
                 self._time_out(timeout_s, "request", src_host, dst_host,
                                operation)
-            with use_tracer(self.tracer):
+            # Handlers read "now" (for budget checks) through the same
+            # scope mechanism as the tracer — no server owns a clock.
+            with use_tracer(self.tracer), use_request_clock(
+                lambda: self.clock.now
+            ):
                 response = handler(request)
             self._deliver(
                 dst_host, src_host, response.wire_bytes, "response", operation,

@@ -214,3 +214,41 @@ def test_serve_rejects_nonpositive_counts(capsys):
         assert main(["serve", "--bodies", "100", flag, "0"]) == 2
         err = capsys.readouterr().err
         assert f"{flag} must be >= 1" in err
+
+
+def test_serve_hopeless_deadline_degrades_every_answer(capsys):
+    code = main([
+        "serve", "--bodies", "300", "--queries", "4", "--max-inflight", "4",
+        "--deadline", "0.000001", "--serial", "off",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "per-query budget 1e-06s" in out
+    # Wave 1 jobs dispatch (no service history yet) and expire at the
+    # first budget-checked operation: degraded answers, not hangs.
+    assert "deadline-degraded answers: 4" in out
+
+
+def test_serve_interrupt_drains_and_exits_cleanly(capsys, monkeypatch):
+    from repro.portal.scheduler import QueryScheduler
+
+    real_enqueue = QueryScheduler.enqueue
+
+    def run_then_interrupt(self, jobs):
+        for job in jobs:
+            real_enqueue(
+                self, job["sql"], tenant=job.get("tenant", "default"),
+                deadline_s=job.get("deadline_s"),
+            )
+        raise KeyboardInterrupt
+
+    monkeypatch.setattr(QueryScheduler, "run", run_then_interrupt)
+    code = main([
+        "serve", "--bodies", "300", "--queries", "4", "--serial", "off",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "interrupted — drained scheduler:" in out
+    assert "4 queued job(s) cancelled, 0 completed before shutdown" in out
+    assert "shed=4" in out
+    assert "backpressure: retry_after~" in out

@@ -201,3 +201,152 @@ def test_enqueue_rejects_nonpositive_cost():
     fed = _fed(scheduler=True)
     with pytest.raises(ValueError):
         fed.scheduler.enqueue(paper_query(700.0), cost=0.0)
+
+
+# -- deadlines, shedding, and graceful drain ------------------------------------
+
+
+def test_expired_job_shed_at_admission_without_dispatch():
+    fed = _fed(scheduler=True)
+    scheduler = fed.scheduler
+    served_before = fed.portal.queries_served
+    scheduler.enqueue(
+        paper_query(700.0),
+        tenant="late",
+        deadline_s=fed.network.clock.now - 1.0,
+    )
+    outcomes = scheduler.drain()
+    assert len(outcomes) == 1
+    from repro.errors import DeadlineExceededError
+
+    assert isinstance(outcomes[0].error, DeadlineExceededError)
+    assert outcomes[0].result is None
+    assert scheduler.stats.expired == 1
+    # Shed before dispatch: the portal never saw the query.
+    assert fed.portal.queries_served == served_before
+
+
+def test_queue_wait_can_spend_the_whole_budget():
+    """A job whose deadline passes while it waits behind earlier waves is
+    shed when its turn comes, not dispatched to fail downstream."""
+    from repro.errors import DeadlineExceededError
+
+    fed = _fed(scheduler=SchedulerConfig(max_inflight=1))
+    scheduler = fed.scheduler
+    scheduler.enqueue(paper_query(900.0), tenant="first")
+    # Generous enough to be admitted now, hopeless after wave 1 runs.
+    scheduler.enqueue(
+        paper_query(700.0),
+        tenant="second",
+        deadline_s=fed.network.clock.now + 1e-6,
+    )
+    outcomes = scheduler.drain()
+    first = next(o for o in outcomes if o.job.tenant == "first")
+    second = next(o for o in outcomes if o.job.tenant == "second")
+    assert first.result is not None and first.error is None
+    assert isinstance(second.error, DeadlineExceededError)
+    assert "queued" in str(second.error)
+    assert scheduler.stats.expired == 1
+
+
+def test_predictive_shed_when_budget_below_average_service():
+    from repro.errors import DeadlineExceededError
+
+    fed = _fed(scheduler=True)
+    scheduler = fed.scheduler
+    scheduler.run([{"sql": paper_query(700.0)}])  # seed the service window
+    average = scheduler.avg_service_s()
+    assert average > 0
+    scheduler.enqueue(
+        paper_query(700.0),
+        deadline_s=fed.network.clock.now + average / 10.0,
+    )
+    outcomes = scheduler.drain()
+    assert isinstance(outcomes[0].error, DeadlineExceededError)
+    assert scheduler.stats.expired == 1
+
+
+def test_retry_after_grows_with_backlog():
+    fed = _fed(scheduler=SchedulerConfig(max_inflight=2))
+    scheduler = fed.scheduler
+    assert scheduler.retry_after_s() == 0.0  # no history yet
+    scheduler.run([{"sql": paper_query(700.0)}, {"sql": paper_query(800.0)}])
+    shallow = scheduler.retry_after_s(backlog=1)
+    deep = scheduler.retry_after_s(backlog=10)
+    assert 0.0 < shallow < deep
+    # The estimate is wave-count times observed service, not a constant.
+    assert deep == pytest.approx(
+        (10 // 2 + 1) * scheduler.avg_service_s()
+    )
+
+
+def test_overload_error_carries_retry_after():
+    fed = _fed(scheduler=SchedulerConfig(max_queue=1))
+    scheduler = fed.scheduler
+    scheduler.run([{"sql": paper_query(700.0)}])  # seed service samples
+    scheduler.enqueue(paper_query(700.0))
+    with pytest.raises(SchedulerOverloadError) as excinfo:
+        scheduler.enqueue(paper_query(800.0))
+    assert excinfo.value.retry_after_s > 0.0
+    assert "retry" in str(excinfo.value)
+
+
+def test_drain_stop_admission_refuses_new_work():
+    fed = _fed(scheduler=True)
+    scheduler = fed.scheduler
+    scheduler.drain(stop_admission=True)
+    assert scheduler.draining
+    with pytest.raises(SchedulerOverloadError) as excinfo:
+        scheduler.enqueue(paper_query(700.0))
+    assert "draining" in str(excinfo.value)
+
+
+def test_drain_cancel_queued_returns_cancelled_outcomes():
+    from repro.errors import QueryCancelledError
+
+    fed = _fed(scheduler=True)
+    scheduler = fed.scheduler
+    served_before = fed.portal.queries_served
+    for tenant in ("a", "b", "c"):
+        scheduler.enqueue(paper_query(700.0), tenant=tenant)
+    outcomes = scheduler.drain(stop_admission=True, cancel_queued=True)
+    assert len(outcomes) == 3
+    assert all(isinstance(o.error, QueryCancelledError) for o in outcomes)
+    assert all(o.result is None for o in outcomes)
+    assert scheduler.stats.cancelled == 3
+    assert fed.portal.queries_served == served_before
+    # Idempotent: a second drain finds nothing.
+    assert scheduler.drain(stop_admission=True, cancel_queued=True) == []
+
+
+def test_deadline_threads_through_to_portal_budget():
+    """A scheduled job's deadline is enforced downstream, not only at
+    admission: a mid-flight expiry surfaces as a degraded result."""
+    fed = _fed(scheduler=True, chunk_budget_bytes=1024)
+    solo = _fed(chunk_budget_bytes=1024)
+    t0 = solo.network.clock.now
+    solo.portal.submit(paper_query(900.0))
+    duration = solo.network.clock.now - t0
+
+    scheduler = fed.scheduler
+    scheduler.enqueue(
+        paper_query(900.0),
+        deadline_s=fed.network.clock.now + 0.95 * duration,
+    )
+    outcomes = scheduler.drain()
+    result = outcomes[0].result
+    assert result is not None and result.degraded
+    assert any("deadline exceeded" in w for w in result.warnings)
+
+
+def test_generous_deadline_changes_nothing():
+    fed = _fed(scheduler=True)
+    solo = _fed()
+    want = solo.portal.submit(paper_query(700.0))
+    scheduler = fed.scheduler
+    scheduler.enqueue(
+        paper_query(700.0), deadline_s=fed.network.clock.now + 1e9
+    )
+    outcomes = scheduler.drain()
+    assert outcomes[0].result == want
+    assert scheduler.stats.expired == 0

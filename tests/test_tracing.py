@@ -155,7 +155,7 @@ class TestTraceHeader:
             "Echo", {"x": 1}, trace_context=TraceContext("t9", "s42")
         )
         assert "TraceContext" in envelope
-        operation, params, context = parse_rpc_call(envelope)
+        operation, params, context, _budget = parse_rpc_call(envelope)
         assert operation == "Echo"
         assert params == {"x": 1}
         assert context == TraceContext("t9", "s42")
