@@ -25,6 +25,7 @@ from repro.bench.experiments import (
     run_e9_cache_warming,
     run_e10_symmetry_accuracy,
     run_e11_scalability,
+    run_e11_sharded,
     run_e12_radius_ablation,
     run_e13_async_dispatch,
     run_e14_byte_ordering,
@@ -50,6 +51,7 @@ ALL_EXPERIMENTS = (
     run_e9_cache_warming,
     run_e10_symmetry_accuracy,
     run_e11_scalability,
+    run_e11_sharded,
     run_e12_radius_ablation,
     run_e13_async_dispatch,
     run_e14_byte_ordering,
@@ -81,6 +83,7 @@ __all__ = [
     "run_e9_cache_warming",
     "run_e10_symmetry_accuracy",
     "run_e11_scalability",
+    "run_e11_sharded",
     "run_e12_radius_ablation",
     "run_e13_async_dispatch",
     "run_e14_byte_ordering",

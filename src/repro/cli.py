@@ -220,7 +220,23 @@ def _federation_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--replicas", type=int, default=0, metavar="N",
         help="replica SkyNodes provisioned per archive (2PC-replicated "
-             "mirrors the Portal fails over to; default 0)",
+             "mirrors the Portal fails over to; default 0); with --shards "
+             "also provisions that many mirrors of each shard",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=0, metavar="N",
+        help="spatial shards per archive (default 0: monolithic). Each "
+             "archive's table is split across N shard SkyNodes by "
+             "row-balanced ownership; chain hops scatter-gather across "
+             "them with byte-identical results",
+    )
+    parser.add_argument(
+        "--shard-key", default="zone",
+        choices=["zone", "htm"],
+        help="shard ownership model when --shards > 0: declination-zone "
+             "ranges (default; supports per-tuple match routing) or HTM "
+             "trixel-prefix intervals (exact AREA pruning, match hops "
+             "broadcast)",
     )
 
 
@@ -248,6 +264,8 @@ def _make_federation(args: argparse.Namespace, *, ingest: bool = False,
         stream_batch_size=args.batch_size,
         stream_wire_format=args.wire_format,
         replicas=args.replicas,
+        shards=getattr(args, "shards", 0),
+        shard_key=getattr(args, "shard_key", "zone"),
         ingest=ingest,
         **extra,
     )

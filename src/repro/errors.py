@@ -176,3 +176,20 @@ class DeadlineExceededError(SkyQueryError):
 
 class QueryCancelledError(SkyQueryError):
     """A query was cancelled (drain, explicit cancel) before dispatch."""
+
+
+class ShardUnavailableError(SkyQueryError):
+    """Every endpoint candidate of one spatial shard is unreachable.
+
+    Deliberately *not* a :class:`TransportError`: the coordinating node
+    has already tried the shard's whole candidate list (primary and
+    replicas), so archive-level failover cannot help — a substitute
+    archive endpoint fans out to the *same* dead shard. The chain
+    executor must degrade the query with a warning naming the shard
+    instead of re-routing. Crossing a SOAP boundary it rides the fault
+    ``detail`` and is re-raised typed on the caller side.
+    """
+
+    def __init__(self, message: str, shard: str = "") -> None:
+        self.shard = shard
+        super().__init__(message)

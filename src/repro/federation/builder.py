@@ -15,6 +15,7 @@ from repro.portal.cache import CacheConfig, SemanticCache
 from repro.portal.portal import Portal
 from repro.portal.scheduler import QueryScheduler, SchedulerConfig
 from repro.services.retry import RetryPolicy
+from repro.shard import SHARD_KEYS
 from repro.skynode.node import DEFAULT_PARSER_MEMORY_LIMIT, SkyNode
 from repro.skynode.wrapper import ArchiveInfo
 from repro.sql.ast import AreaClause
@@ -83,7 +84,23 @@ class FederationConfig:
     #: a full mirror: its own database is populated from the primary over
     #: the transactional region-replication exchange (2PC), and its
     #: endpoints are advertised to the Portal as failover candidates.
+    #: With ``shards`` > 0 the same count also provisions mirrors of each
+    #: *shard*, advertised as that shard's endpoint candidates.
     replicas: int = 0
+    #: Spatial shards per archive (0 = monolithic, the seed's behaviour;
+    #: 1 is a legal single-shard layout that still exercises the
+    #: scatter-gather path). Each archive's table is split across this
+    #: many shard SkyNodes by row-balanced ownership planning; the
+    #: primary keeps its full copy (the provisioning source and the
+    #: single-archive/count-probe fallback) and re-registers advertising
+    #: the layout, after which its chain hops fan out to the shards and
+    #: merge in canonical order. Incompatible with ``ingest``.
+    shards: int = 0
+    #: Ownership model when ``shards`` > 0: ``zone`` (declination-zone
+    #: ranges — supports per-tuple match-hop routing) or ``htm``
+    #: (trixel-prefix id intervals — exact AREA pruning, but match hops
+    #: broadcast).
+    shard_key: str = "zone"
     #: Install a distributed :class:`~repro.tracing.Tracer` on the network.
     #: Off, no trace headers ride in any envelope — the wire traffic is
     #: byte-identical to the pre-tracing federation.
@@ -120,6 +137,13 @@ class Federation:
     truth: Dict[str, Dict[int, int]]  # archive -> object_id -> body_id
     #: Replica SkyNodes keyed by archive (empty unless config.replicas > 0).
     replicas: Dict[str, List[SkyNode]] = field(default_factory=dict)
+    #: Shard SkyNodes (primaries) keyed by archive, in ownership order
+    #: (empty unless config.shards > 0).
+    shards: Dict[str, List[SkyNode]] = field(default_factory=dict)
+    #: Shard replica SkyNodes: archive -> shard name -> mirrors.
+    shard_replicas: Dict[str, Dict[str, List[SkyNode]]] = field(
+        default_factory=dict
+    )
 
     def client(self, hostname: str = "client.skyquery.net") -> SkyQueryClient:
         """A client wired to this federation's Portal."""
@@ -204,6 +228,23 @@ def _validate_config(config: FederationConfig) -> None:
         raise ConfigurationError(
             f"FederationConfig.cache={config.cache!r} is not supported; "
             "expected None, a bool, or a CacheConfig"
+        )
+    if config.shards < 0:
+        raise ConfigurationError(
+            f"FederationConfig.shards must be >= 0, got {config.shards}"
+        )
+    if config.shards and config.shard_key not in SHARD_KEYS:
+        raise ConfigurationError(
+            f"FederationConfig.shard_key={config.shard_key!r} is not "
+            f"supported; expected one of {SHARD_KEYS}"
+        )
+    if config.shards and config.ingest:
+        # Shard ownership is planned once, from the provisioning-time row
+        # distribution; live ingest would route new rows nowhere. Until
+        # ingest learns to split batches by ownership the combination is
+        # rejected rather than silently wrong.
+        raise ConfigurationError(
+            "FederationConfig.shards cannot be combined with ingest"
         )
 
 
@@ -303,6 +344,21 @@ def build_federation(config: Optional[FederationConfig] = None) -> Federation:
                 config, network, nodes[survey.archive], survey, portal
             )
 
+    shard_nodes: Dict[str, List[SkyNode]] = {}
+    shard_replica_nodes: Dict[str, Dict[str, List[SkyNode]]] = {}
+    if config.shards > 0:
+        for survey in config.surveys:
+            provisioned, mirrors = _provision_shards(
+                config,
+                network,
+                nodes[survey.archive],
+                survey,
+                portal,
+                replicas.get(survey.archive, []),
+            )
+            shard_nodes[survey.archive] = provisioned
+            shard_replica_nodes[survey.archive] = mirrors
+
     if config.ingest:
         for archive, node in nodes.items():
             replica_urls = []
@@ -348,6 +404,8 @@ def build_federation(config: Optional[FederationConfig] = None) -> Federation:
         bodies=bodies,
         truth=truth,
         replicas=replicas,
+        shards=shard_nodes,
+        shard_replicas=shard_replica_nodes,
     )
 
 
@@ -431,3 +489,203 @@ def _provision_replicas(
         replicas=[replica.service_urls() for replica in replica_nodes],
     )
     return replica_nodes
+
+
+def _make_shard_node(
+    config: FederationConfig,
+    network: SimulatedNetwork,
+    survey: SurveySpec,
+    info: ArchiveInfo,
+    db_name: str,
+    hostname: str,
+    pos_column: str,
+) -> SkyNode:
+    """One empty shard (or shard-replica) SkyNode for an archive slice.
+
+    The table schema is the survey's plus a trailing position column
+    recording each row's index in the *primary's* scan order — what lets
+    a scatter-gather merge reproduce the monolithic result order. Every
+    execution knob matches the primary's, so a shard computes exactly
+    what the primary would over its slice.
+    """
+    from repro.db.schema import Column
+    from repro.db.types import ColumnType
+
+    db = Database(
+        db_name,
+        dialect=survey.dialect,
+        page_size=config.page_size,
+        buffer_pages=config.buffer_pages,
+    )
+    db.create_table(
+        survey.primary_table,
+        list(survey.columns())
+        + [Column(pos_column, ColumnType.INT, nullable=True)],
+        spatial=SpatialSpec(
+            survey.ra_column, survey.dec_column, htm_depth=config.htm_depth
+        ),
+    )
+    node = SkyNode(
+        db,
+        info,
+        hostname=hostname,
+        parser_memory_limit=config.parser_memory_limit,
+        parser_overhead_factor=config.parser_overhead_factor,
+        chunk_budget_bytes=config.chunk_budget_bytes,
+        processing_seconds_per_row=config.processing_seconds_per_row,
+        retry_policy=config.retry_policy,
+        xmatch_kernel=config.xmatch_kernel,
+        match_engine=config.match_engine,
+    )
+    node.attach(network)
+    return node
+
+
+def _provision_shards(
+    config: FederationConfig,
+    network: SimulatedNetwork,
+    primary: SkyNode,
+    survey: SurveySpec,
+    portal: Portal,
+    archive_replicas: List[SkyNode],
+):
+    """Split one archive's table across ``config.shards`` shard SkyNodes.
+
+    Ownership is planned from the primary's actual row distribution
+    (zone-id or HTM-id quantiles), the rows are pulled once over the wire
+    with their scan positions appended, partitioned by ownership, and
+    staged to every shard (and each shard's mirrors) under ONE 2PC — the
+    federation never observes a half-sharded archive. The primary keeps
+    its full copy and re-registers, advertising the layout; the primary
+    and its archive replicas all learn the ShardSet so whichever of them
+    coordinates a chain hop fans out identically.
+
+    Returns ``(shard_primaries, {shard_name: [mirrors]})``.
+    """
+    from repro.htm.index import id_for_point
+    from repro.shard import (
+        HTM_KEY,
+        plan_htm_ownership,
+        plan_zone_ownership,
+    )
+    from repro.shard.topology import ShardMember, ShardSet
+    from repro.skynode.crossmatch import SHARD_POS_COLUMN
+    from repro.soap.encoding import WireRowSet
+    from repro.sphere.coords import radec_to_vector
+    from repro.transactions.exchange import DataExchange
+
+    info = primary.info
+    column_names = [column.name for column in survey.columns()]
+    ra_idx = column_names.index(info.ra_column)
+    dec_idx = column_names.index(info.dec_column)
+
+    puller = DataExchange(portal, {})
+    rowset = puller.pull_table_with_positions(
+        survey.archive, column_names, position_column=SHARD_POS_COLUMN
+    )
+    if config.shard_key == HTM_KEY:
+        hids = [
+            id_for_point(
+                radec_to_vector(float(row[ra_idx]), float(row[dec_idx])),
+                config.htm_depth,
+            )
+            for row in rowset.rows
+        ]
+        ownerships = plan_htm_ownership(
+            hids, config.shards, config.htm_depth
+        )
+    else:
+        hids = [0] * len(rowset.rows)
+        ownerships = plan_zone_ownership(
+            [float(row[dec_idx]) for row in rowset.rows],
+            config.shards,
+            htm_depth=config.htm_depth,
+        )
+
+    partitions: List[List[tuple]] = [[] for _ in ownerships]
+    for row, hid in zip(rowset.rows, hids):
+        dec = float(row[dec_idx])
+        for index, ownership in enumerate(ownerships):
+            if not ownership.empty and ownership.owns(dec, hid):
+                partitions[index].append(tuple(row))
+                break
+        else:  # pragma: no cover - ownerships cover the whole key space
+            raise RegistrationError(
+                f"row at dec {dec} of {survey.archive!r} has no owning shard"
+            )
+
+    shard_primaries: List[SkyNode] = []
+    shard_mirrors: Dict[str, List[SkyNode]] = {}
+    members: List[ShardMember] = []
+    transaction_urls: Dict[str, str] = {}
+    assignments: Dict[str, WireRowSet] = {}
+    for index, ownership in enumerate(ownerships, start=1):
+        shard_name = f"{survey.archive}-shard{index}"
+        shard = _make_shard_node(
+            config,
+            network,
+            survey,
+            info,
+            db_name=f"{survey.archive.lower()}_s{index}",
+            hostname=f"{survey.archive.lower()}-shard{index}.skyquery.net",
+            pos_column=SHARD_POS_COLUMN,
+        )
+        transaction_urls[shard_name] = shard.enable_transactions()
+        slice_rows = WireRowSet(
+            list(rowset.columns), list(partitions[index - 1])
+        )
+        assignments[shard_name] = slice_rows
+        mirrors: List[SkyNode] = []
+        for rep in range(1, config.replicas + 1):
+            mirror = _make_shard_node(
+                config,
+                network,
+                survey,
+                info,
+                db_name=f"{survey.archive.lower()}_s{index}_r{rep}",
+                hostname=(
+                    f"{survey.archive.lower()}-shard{index}-r{rep}"
+                    ".skyquery.net"
+                ),
+                pos_column=SHARD_POS_COLUMN,
+            )
+            mirror_key = f"{shard_name}-r{rep}"
+            transaction_urls[mirror_key] = mirror.enable_transactions()
+            assignments[mirror_key] = slice_rows
+            mirrors.append(mirror)
+        shard_primaries.append(shard)
+        shard_mirrors[shard_name] = mirrors
+        members.append(
+            ShardMember(
+                name=shard_name,
+                ownership=ownership,
+                endpoints=tuple(
+                    node.service_urls() for node in [shard] + mirrors
+                ),
+            )
+        )
+
+    exchange = DataExchange(portal, transaction_urls)
+    result = exchange.stage_partitioned(
+        assignments,
+        target_table=survey.primary_table,
+        txn_label=f"shard-{survey.archive.lower()}",
+    )
+    if not result.committed:
+        raise RegistrationError(
+            f"shard provisioning for {survey.archive!r} aborted: "
+            f"{result.abort_reason}"
+        )
+
+    shard_set = ShardSet(members=tuple(members))
+    primary.shard_set = shard_set
+    for replica in archive_replicas:
+        # Archive replicas hold the full table too; if the chain fails
+        # over to one, it coordinates the identical fan-out.
+        replica.shard_set = shard_set
+    primary.register_with_portal(
+        portal.service_url("registration"),
+        replicas=[replica.service_urls() for replica in archive_replicas],
+        shards=shard_set,
+    )
+    return shard_primaries, shard_mirrors

@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.errors import RegistrationError, ValidationError
+from repro.shard.topology import ShardSet
 from repro.skynode.wrapper import ArchiveInfo
 
 
@@ -20,6 +21,13 @@ class NodeRecord:
     per replica SkyNode, same keys as ``services``) that serve identical
     content — the failover candidates the planner and executor prefer over
     degrading the answer when the primary endpoint dies.
+
+    ``shard_set`` optionally records the archive's spatial shard layout:
+    per-shard ownership plus per-shard endpoint-candidate lists. Unlike
+    ``replica_services`` the shard endpoints are *not* interchangeable
+    whole-archive substitutes — each serves one slice of the sky — so
+    they never appear in :meth:`endpoint_candidates`; the Planner uses
+    them for count-probe fan-out and layout fingerprinting instead.
     """
 
     archive: str
@@ -32,6 +40,7 @@ class NodeRecord:
     )
     registered_at: float = 0.0
     replica_services: List[Dict[str, str]] = field(default_factory=list)
+    shard_set: Optional[ShardSet] = None
 
     @classmethod
     def from_wire(
@@ -42,6 +51,7 @@ class NodeRecord:
         schema_wire: Dict[str, Any],
         registered_at: float = 0.0,
         replica_services: Optional[List[Dict[str, str]]] = None,
+        shards_wire: Optional[List[Dict[str, Any]]] = None,
     ) -> "NodeRecord":
         """Build a record from the Information + Meta-data service replies."""
         info = ArchiveInfo.from_wire(info_wire)
@@ -64,6 +74,9 @@ class NodeRecord:
             replica_services=[
                 dict(endpoint) for endpoint in replica_services or []
             ],
+            shard_set=(
+                ShardSet.from_wire(shards_wire) if shards_wire else None
+            ),
         )
 
     def endpoint_candidates(self) -> List[Dict[str, str]]:

@@ -34,6 +34,7 @@ from repro.db.engine import ASTRO_CONSTANTS
 from repro.errors import (
     DeadlineExceededError,
     ExecutionError,
+    ShardUnavailableError,
     SoapFaultError,
     TransportError,
 )
@@ -197,6 +198,24 @@ class ChainExecutor:
                 # CancelQuery down the chain and at any replicas holding
                 # checkpoints, then degrade instead of hanging or raising.
                 warnings.append(f"query deadline exceeded: {exc}")
+                if getattr(self._portal, "eager_cancel", True):
+                    self._cancel_chain(current, qid or xid)
+                return FederatedResult(
+                    columns=self._output_columns(decomposed.query.items),
+                    rows=[],
+                    plan=current,
+                    warnings=list(warnings),
+                    degraded=True,
+                    failovers=counters["failovers"],
+                )
+            except ShardUnavailableError as exc:
+                # A coordinating hop exhausted one shard's endpoint
+                # candidates. Replica *coordinators* share the same shard
+                # endpoints, so archive-level failover cannot resurrect
+                # the slice — degrade now, with a warning that names the
+                # shard (not the whole archive: every other slice was
+                # reachable), and free the surviving hops' state.
+                warnings.append(f"shard unavailable: {exc}")
                 if getattr(self._portal, "eager_cancel", True):
                     self._cancel_chain(current, qid or xid)
                 return FederatedResult(
@@ -397,6 +416,7 @@ class ChainExecutor:
             except Exception:
                 pass
             seen = {step.url for step in plan.steps}
+            cancelled_shard_archives: set = set()
             for step in plan.steps:
                 record = self._portal.catalog.node(step.archive)
                 for services in record.endpoint_candidates():
@@ -410,6 +430,30 @@ class ChainExecutor:
                         )
                     except Exception:
                         pass
+                # Shard endpoints are NOT in endpoint_candidates() (each
+                # serves one slice, not the whole archive), yet shards
+                # hold stagings keyed by this qid. A live coordinator
+                # fans its own cancel to them, but a *dead* coordinator
+                # cannot — so the Portal cancels every shard candidate
+                # directly too (idempotent; a double cancel frees
+                # nothing twice).
+                if step.archive in cancelled_shard_archives:
+                    continue
+                cancelled_shard_archives.add(step.archive)
+                shard_set = record.shard_set
+                if shard_set is None:
+                    continue
+                for member in shard_set.members:
+                    for url in member.candidate_urls("crossmatch"):
+                        if url in seen:
+                            continue
+                        seen.add(url)
+                        try:
+                            self._portal.proxy(url).call(
+                                "CancelQuery", query_id=qid
+                            )
+                        except Exception:
+                            pass
 
     def _probe_plan_endpoints(self, plan: ExecutionPlan) -> List[bool]:
         """Ping each step's CURRENT endpoint (not just the archive primary).

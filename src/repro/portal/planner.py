@@ -24,10 +24,13 @@ from repro.errors import (
 from repro.portal.calibration import ArchiveCostModel
 from repro.portal.decompose import DecomposedQuery, NodeSubquery
 from repro.portal.plan import ExecutionPlan, PlanStep
+from repro.shard import prune_members
 from repro.soap.encoding import WireRowSet
 
 if TYPE_CHECKING:
+    from repro.portal.catalog import NodeRecord
     from repro.portal.portal import Portal
+    from repro.shard.topology import ShardMember
 
 
 class OrderingStrategy(Enum):
@@ -103,9 +106,22 @@ class Planner:
                             )
                         continue
                 try:
-                    response = proxy.call(
-                        "ExecuteQueryPinned", sql=subquery.perf_sql, epoch=pin
-                    )
+                    if record.shard_set is not None:
+                        # Scatter-gather count: each shard counts its own
+                        # slice in parallel (the whole fan-out is one
+                        # branch of the per-alias probe dispatch), and the
+                        # partition makes the sum the archive's count.
+                        with network.branch():
+                            count, epoch = self._sharded_count(
+                                record, subquery, pin, decomposed.area
+                            )
+                    else:
+                        response = proxy.call(
+                            "ExecuteQueryPinned",
+                            sql=subquery.perf_sql,
+                            epoch=pin,
+                        )
+                        count, epoch = self._pinned_count(response, subquery)
                 except (TransportError, SoapFaultError) as exc:
                     if (
                         isinstance(exc, SoapFaultError)
@@ -120,7 +136,6 @@ class Planner:
                         raise
                     failures[alias] = str(exc)
                     continue
-                count, epoch = self._pinned_count(response, subquery)
                 counts[alias] = count
                 if epochs is not None:
                     epochs[alias] = epoch
@@ -160,6 +175,81 @@ class Planner:
         if cache is not None and pin_epoch is None:
             cache.probe_store(subquery.archive, subquery.perf_sql, count, epoch)
         return count, epoch
+
+    def _sharded_count(
+        self,
+        record: "NodeRecord",
+        subquery: NodeSubquery,
+        pin: int,
+        area: object,
+    ) -> Tuple[int, int]:
+        """Scatter one archive's count-star probe over its spatial shards.
+
+        Members whose ownership cannot intersect the query AREA are
+        pruned before the fan-out; each surviving shard is probed through
+        its own endpoint-candidate list, failing over on transport faults
+        only (a SOAP fault is an *answer* and must surface). Because the
+        ownership ranges partition the table, the sum of per-shard counts
+        is exactly the archive's count. Every shard must answer at one
+        committed epoch — a split answer cannot pin a consistent snapshot
+        and aborts planning rather than mis-pinning the chain.
+        """
+        assert record.shard_set is not None
+        assert subquery.perf_sql is not None
+        network = self._portal.require_network()
+        members = prune_members(record.shard_set.members, area)
+        if not members:
+            # No shard owns any part of the AREA. Ask the primary (the
+            # full local copy): its own spatial index answers the zero
+            # cheaply, and the response carries the committed epoch the
+            # plan still needs to pin.
+            response = self._portal.proxy(record.services["query"]).call(
+                "ExecuteQueryPinned", sql=subquery.perf_sql, epoch=pin
+            )
+            return self._pinned_count(response, subquery)
+        outcomes: Dict[str, Optional[Tuple[int, int]]] = {}
+        with network.parallel():
+            for member in members:
+                with network.branch():
+                    outcomes[member.name] = self._shard_count_probe(
+                        member, subquery, pin
+                    )
+        dead = sorted(
+            name for name, got in outcomes.items() if got is None
+        )
+        if dead:
+            # Surfaces as a TransportError so the Portal's archive-level
+            # failover (replica full copies) gets its chance before the
+            # query degrades.
+            raise TransportError(
+                f"shard {dead[0]!r} of archive {record.archive!r} "
+                "answered no count probe on any endpoint candidate"
+            )
+        answers = [got for got in outcomes.values() if got is not None]
+        epochs = {epoch for _, epoch in answers}
+        if len(epochs) != 1:
+            raise PlanningError(
+                f"shards of archive {record.archive!r} report divergent "
+                f"epochs {sorted(epochs)}; cannot pin a consistent "
+                "snapshot"
+            )
+        return sum(count for count, _ in answers), epochs.pop()
+
+    def _shard_count_probe(
+        self, member: "ShardMember", subquery: NodeSubquery, pin: int
+    ) -> Optional[Tuple[int, int]]:
+        """Probe one shard, walking its candidates; None if all are dead."""
+        assert subquery.perf_sql is not None
+        for url in member.candidate_urls("query"):
+            proxy = self._portal.proxy(url)
+            try:
+                response = proxy.call(
+                    "ExecuteQueryPinned", sql=subquery.perf_sql, epoch=pin
+                )
+            except TransportError:
+                continue
+            return self._pinned_count(response, subquery)
+        return None
 
     def _pinned_count(
         self, response: object, subquery: NodeSubquery

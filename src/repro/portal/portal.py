@@ -132,18 +132,29 @@ class Portal:
         that changes observable result bytes without changing node
         queries. Folded into plan fingerprints (and hence cache keys) so
         two federations differing in any one knob never share an entry.
+
+        Each sharded archive's ownership layout is folded in too (via
+        :meth:`~repro.shard.topology.ShardSet.layout_signature`): a
+        re-sharded federation partitions the same rows differently, and
+        while the merged answer is provably identical, the per-shard
+        stats and wire bytes are not — a cached entry must not cross a
+        re-shard. The signature is content-based (no endpoint URLs), so
+        shard-replica failover stays fingerprint-neutral.
         """
-        return tuple(
-            sorted(
-                {
-                    "chain_mode": str(self.chain_mode),
-                    "stream_batch_size": str(self.stream_batch_size),
-                    "stream_wire_format": str(self.stream_wire_format),
-                    "xmatch_kernel": str(self.xmatch_kernel),
-                    "match_engine": str(self.match_engine),
-                }.items()
-            )
-        )
+        knobs = {
+            "chain_mode": str(self.chain_mode),
+            "stream_batch_size": str(self.stream_batch_size),
+            "stream_wire_format": str(self.stream_wire_format),
+            "xmatch_kernel": str(self.xmatch_kernel),
+            "match_engine": str(self.match_engine),
+        }
+        for archive in self.catalog.archives():
+            record = self.catalog.node(archive)
+            if record.shard_set is not None:
+                knobs[f"shard_layout:{archive}"] = (
+                    record.shard_set.layout_signature()
+                )
+        return tuple(sorted(knobs.items()))
 
     def attach(self, network: SimulatedNetwork) -> None:
         """Put the Portal on the (simulated) Internet."""

@@ -35,12 +35,15 @@ class RegistrationService(WebService):
                 ("archive", "string"),
                 ("services", "struct"),
                 ("replicas", "array"),
+                ("shards", "array"),
             ),
             returns="struct",
             doc="Join the federation; the Portal calls back Metadata and "
                 "Information before accepting. ``replicas`` optionally "
                 "lists extra endpoint sets (mirror SkyNodes with identical "
-                "content) used for failover.",
+                "content) used for failover. ``shards`` optionally "
+                "advertises the archive's spatial shard layout (per-shard "
+                "ownership + endpoint candidates).",
         )
         self.register(
             "Unregister",
@@ -55,6 +58,7 @@ class RegistrationService(WebService):
         archive: str,
         services: Dict[str, Any],
         replicas: Optional[List[Dict[str, Any]]] = None,
+        shards: Optional[List[Dict[str, Any]]] = None,
     ) -> Dict[str, Any]:
         if not archive:
             raise RegistrationError("registration needs an archive name")
@@ -63,6 +67,7 @@ class RegistrationService(WebService):
             raise RegistrationError(
                 f"registration of {archive!r} missing service URL(s): {missing}"
             )
+        shards_wire = self._validate_shards(archive, shards)
         replica_services: List[Dict[str, str]] = []
         for endpoint in replicas or []:
             gaps = [
@@ -108,6 +113,7 @@ class RegistrationService(WebService):
             schema_wire=schema_wire,
             registered_at=network.clock.now,
             replica_services=replica_services,
+            shards_wire=shards_wire,
         )
         self._portal.catalog.register(record)
         return {
@@ -115,6 +121,43 @@ class RegistrationService(WebService):
             "archive": archive,
             "federation_size": len(self._portal.catalog),
         }
+
+    @staticmethod
+    def _validate_shards(
+        archive: str, shards: Optional[List[Dict[str, Any]]]
+    ) -> Optional[List[Dict[str, Any]]]:
+        """Check an advertised shard layout before it enters the catalog.
+
+        Each member needs a name, a decodable ownership struct, and at
+        least one endpoint set exposing a crossmatch URL (the service the
+        scatter-gather fan-out targets); the ownership kinds must be
+        uniform. Raises :class:`RegistrationError` on any gap — a layout
+        the Planner cannot route is worse than none.
+        """
+        from repro.errors import SkyQueryError
+        from repro.shard.topology import ShardSet
+
+        if not shards:
+            return None
+        try:
+            shard_set = ShardSet.from_wire(shards)
+            shard_set.shard_key  # raises on mixed ownership kinds
+        except (KeyError, ValueError, TypeError, SkyQueryError) as exc:
+            raise RegistrationError(
+                f"malformed shard layout for {archive!r}: {exc}"
+            ) from exc
+        names = [member.name for member in shard_set.members]
+        if len(set(names)) != len(names):
+            raise RegistrationError(
+                f"shard layout for {archive!r} repeats member names"
+            )
+        for member in shard_set.members:
+            if not member.candidate_urls("crossmatch"):
+                raise RegistrationError(
+                    f"shard {member.name!r} of {archive!r} advertises no "
+                    "crossmatch endpoint candidate"
+                )
+        return [dict(item) for item in shards]
 
     def _unregister(self, archive: str) -> bool:
         return self._portal.catalog.unregister(archive)

@@ -6,7 +6,12 @@ from contextlib import nullcontext
 from typing import Any, Callable, Optional
 
 from repro.budget import CLEANUP_OPERATIONS, QueryBudget, active_budget
-from repro.errors import DeadlineExceededError, SoapFaultError, TransportError
+from repro.errors import (
+    DeadlineExceededError,
+    ShardUnavailableError,
+    SoapFaultError,
+    TransportError,
+)
 from repro.services.retry import CircuitBreaker, RetryPolicy
 from repro.soap.envelope import build_rpc_request, parse_rpc_response
 from repro.soap.wsdl import ServiceDescription, parse_wsdl
@@ -216,6 +221,11 @@ class ServiceProxy:
                     # A downstream hop refused budget-expired work; the
                     # faultstring already names that hop.
                     raise DeadlineExceededError(exc.faultstring) from exc
+                if exc.detail == "ShardUnavailableError":
+                    # A downstream coordinator exhausted one shard's whole
+                    # candidate list; archive-level failover cannot help,
+                    # so the typed error must reach the executor intact.
+                    raise ShardUnavailableError(exc.faultstring) from exc
                 raise
             if self.breaker is not None:
                 self.breaker.record_success(clock.now)

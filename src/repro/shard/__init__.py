@@ -1,0 +1,56 @@
+"""Spatial sharding: ownership models, topology, and gather-merge order.
+
+One archive may register as N *spatial shards*: worker SkyNodes that each
+own a slice of the sky (a declination zone range or an HTM trixel-prefix
+id interval) and hold exactly the primary table rows whose positions fall
+inside it. The successor systems to the paper scale this way — the
+parallel probabilistic join engine (Dobos et al.) and the zone-parallel
+XMatch work both give every worker ownership of a sky partition.
+
+This package is deliberately free of service/transport code: it holds the
+pure, deterministic pieces that both the Portal (planner pruning, shard
+advertisement in the catalog) and the SkyNodes (scatter-gather fan-out,
+canonical merge) share:
+
+* :mod:`repro.shard.ownership` — the two ownership models, their wire
+  codecs, quantile partition planning, and the exact-safe pruning
+  predicates.
+* :mod:`repro.shard.topology` — :class:`ShardMember` / :class:`ShardSet`,
+  the advertised shard layout with per-shard endpoint-candidate lists.
+* :mod:`repro.shard.merge` — the canonical gather order that makes a
+  scatter-gather hop byte-identical to its monolithic twin.
+"""
+
+from repro.shard.merge import merge_match_lists, merge_seed_rows
+from repro.shard.ownership import (
+    HTM_KEY,
+    SHARD_KEYS,
+    ZONE_KEY,
+    HTMRangeOwnership,
+    ZoneRangeOwnership,
+    members_for_tuple,
+    ownership_from_wire,
+    plan_htm_ownership,
+    plan_zone_ownership,
+    prune_members,
+    trixel_pad_deg,
+)
+from repro.shard.topology import ShardMember, ShardSet
+
+__all__ = [
+    "HTM_KEY",
+    "SHARD_KEYS",
+    "ZONE_KEY",
+    "HTMRangeOwnership",
+    "ShardMember",
+    "ShardSet",
+    "ZoneRangeOwnership",
+    "members_for_tuple",
+    "merge_match_lists",
+    "merge_seed_rows",
+    "ownership_from_wire",
+    "plan_htm_ownership",
+    "plan_zone_ownership",
+    "prune_members",
+    "trixel_pad_deg",
+]

@@ -1,0 +1,79 @@
+"""Canonical gather-merge order for scatter-gather hops.
+
+Byte-identity with the monolithic twin hinges on reproducing the exact
+row order the monolithic engine emits. Shards therefore ship each row's
+original table position in a trailing ``_skyq_pos`` column (assigned at
+provisioning time from the monolithic insert order), and the coordinator
+re-sorts the gathered union with the keys below.
+
+**Seed hops.** The engine's spatial probe yields rows of the cover's
+*full* ranges first (those need no geometric recheck), then rows of the
+*partial* ranges, each group in ``(htm_id, position)`` order — that is
+the order a monolithic seed query returns. The merge key is therefore
+``(group, htm_id, position)`` where ``group`` is 0 for ids inside the
+cover's full ranges and 1 otherwise, and ``htm_id`` is *recomputed* at
+the coordinator from the shipped (ra, dec) through the same
+``radec_to_vector`` + ``id_for_point`` path the insert side used — the
+wire round-trips floats exactly, so the recomputed id is bitwise equal
+to the stored one. Without an AREA the query is a full scan and rows
+come back in plain position order.
+
+**Match hops.** The monolithic step emits matches as ``for seq in
+sorted(matches): for obj in objects`` with each tuple's objects in
+ascending row-position order; per-seq concatenation sorted by
+``_skyq_pos`` reproduces it (ownership partitions rows, so no two
+shards ever ship the same ``(seq, position)`` pair).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.htm.index import id_for_point
+from repro.htm.ranges import HTMRanges
+from repro.sphere.coords import radec_to_vector
+
+
+def merge_seed_rows(
+    rows: Sequence[Tuple[Any, ...]],
+    *,
+    htm_depth: int,
+    full_ranges: Optional[HTMRanges] = None,
+) -> List[Tuple[Any, ...]]:
+    """Sort gathered seed rows into monolithic probe order.
+
+    Each row is ``(id, ra, dec, *attrs, _skyq_pos)`` — the monolithic
+    seed SELECT columns with the position appended last. Pass
+    ``full_ranges`` (the query cover's full ranges at the table's index
+    depth) when the plan has an AREA; ``None`` means a full scan, which
+    the engine returns in plain position order.
+    """
+    if full_ranges is None:
+        return sorted(rows, key=lambda row: row[-1])
+
+    def probe_key(row: Tuple[Any, ...]) -> Tuple[int, int, Any]:
+        hid = id_for_point(
+            radec_to_vector(float(row[1]), float(row[2])), htm_depth
+        )
+        return (0 if full_ranges.contains(hid) else 1, hid, row[-1])
+
+    return sorted(rows, key=probe_key)
+
+
+def merge_match_lists(
+    rows: Sequence[Tuple[Any, ...]],
+) -> List[Tuple[int, List[Tuple[Any, ...]]]]:
+    """Group gathered match rows into monolithic emission order.
+
+    Each row is ``(seq, _skyq_pos, *payload)``. Returns ``(seq,
+    rows-of-that-seq)`` pairs with seqs ascending and each tuple's rows
+    in ascending position order — exactly the monolithic
+    ``sorted(matches.items())`` traversal.
+    """
+    by_seq: dict = {}
+    for row in rows:
+        by_seq.setdefault(int(row[0]), []).append(row)
+    return [
+        (seq, sorted(by_seq[seq], key=lambda row: row[1]))
+        for seq in sorted(by_seq)
+    ]

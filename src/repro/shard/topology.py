@@ -1,0 +1,124 @@
+"""Shard topology: the advertised layout of a sharded archive.
+
+A sharded archive registers one :class:`ShardSet` alongside its normal
+service endpoints. Each :class:`ShardMember` pairs an ownership slice
+with an *ordered* endpoint-candidate list — the shard primary first,
+then its replicas — mirroring the archive-level candidate lists the
+executor already fails over across. The set travels over the wire once
+at registration; at query time the coordinating node and the planner
+consult their local copies, so the per-query plan wire stays free of
+shard detail (the layout reaches the semantic cache only through the
+fingerprint's execution profile, via :meth:`ShardSet.layout_signature`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import PlanningError
+from repro.shard.ownership import (
+    HTM_KEY,
+    ZONE_KEY,
+    HTMRangeOwnership,
+    Ownership,
+    ZoneRangeOwnership,
+    ownership_from_wire,
+)
+
+
+@dataclass(frozen=True)
+class ShardMember:
+    """One shard: a name, an ownership slice, and endpoint candidates.
+
+    ``endpoints`` is an ordered tuple of service-URL mappings (each like
+    a SkyNode's ``service_urls()``); index 0 is the shard primary, later
+    entries its replicas, tried in order on transport failure.
+    """
+
+    name: str
+    ownership: Ownership
+    endpoints: Tuple[Mapping[str, str], ...]
+
+    def candidate_urls(self, service: str) -> Tuple[str, ...]:
+        """The ordered failover candidates for one service."""
+        return tuple(
+            ep[service] for ep in self.endpoints if service in ep
+        )
+
+    def to_wire(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "ownership": self.ownership.to_wire(),
+            "endpoints": [dict(ep) for ep in self.endpoints],
+        }
+
+    @classmethod
+    def from_wire(cls, data: Mapping[str, Any]) -> "ShardMember":
+        endpoints = tuple(
+            {str(k): str(v) for k, v in ep.items()}
+            for ep in data.get("endpoints", [])
+        )
+        return cls(
+            name=str(data["name"]),
+            ownership=ownership_from_wire(dict(data["ownership"])),
+            endpoints=endpoints,
+        )
+
+
+@dataclass(frozen=True)
+class ShardSet:
+    """The complete shard layout of one archive table."""
+
+    members: Tuple[ShardMember, ...]
+
+    @property
+    def shard_key(self) -> str:
+        """``"zone"`` or ``"htm"``, derived from the members' ownerships."""
+        kinds = {
+            ZONE_KEY if isinstance(m.ownership, ZoneRangeOwnership) else HTM_KEY
+            for m in self.members
+        }
+        if len(kinds) != 1:
+            raise PlanningError(
+                f"shard set mixes ownership kinds: {sorted(kinds)}"
+            )
+        return next(iter(kinds))
+
+    def member_named(self, name: str) -> Optional[ShardMember]:
+        for member in self.members:
+            if member.name == name:
+                return member
+        return None
+
+    def layout_signature(self) -> str:
+        """A content-based layout token for the execution profile.
+
+        Folds the shard key and every member's ownership bounds — but no
+        endpoint URLs — into the plan fingerprint, so the semantic cache
+        distinguishes layouts (a re-provisioned federation must not hit a
+        stale layout's entries) while replica substitution stays
+        fingerprint-neutral, exactly like archive-level failover.
+        """
+        parts: List[str] = [self.shard_key]
+        for member in self.members:
+            own = member.ownership
+            if isinstance(own, ZoneRangeOwnership):
+                parts.append(
+                    f"z:{own.zone_lo}:{own.zone_hi}"
+                    f":{own.zone_height_deg!r}:{own.htm_depth}"
+                )
+            elif isinstance(own, HTMRangeOwnership):
+                parts.append(f"h:{own.id_lo}:{own.id_hi}:{own.htm_depth}")
+            else:  # pragma: no cover - exhaustive over Ownership
+                raise PlanningError(f"unknown ownership {own!r}")
+        return "|".join(parts)
+
+    def to_wire(self) -> List[Dict[str, Any]]:
+        return [member.to_wire() for member in self.members]
+
+    @classmethod
+    def from_wire(cls, data: Sequence[Mapping[str, Any]]) -> "ShardSet":
+        return cls(
+            members=tuple(ShardMember.from_wire(item) for item in data)
+        )

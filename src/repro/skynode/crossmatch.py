@@ -25,13 +25,27 @@ abandoned stream cannot pin tuples forever.
 from __future__ import annotations
 
 import itertools
+import math
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple
 
-from repro.errors import ExecutionError
+from repro.errors import (
+    ExecutionError,
+    GeometryError,
+    ShardUnavailableError,
+    TransportError,
+)
+from repro.htm.cover import cover
 from repro.portal.plan import ExecutionPlan, PlanStep
 from repro.services.chunked import ChunkedSender, receive_rowset
 from repro.services.framework import WebService
+from repro.shard import (
+    members_for_tuple,
+    merge_match_lists,
+    merge_seed_rows,
+    prune_members,
+)
+from repro.shard.topology import ShardMember
 from repro.tracing.tracer import active_tracer
 from repro.soap.encoding import WireRowSet
 from repro.sphere.coords import radec_to_vector
@@ -66,6 +80,20 @@ STREAM_TTL_S = 600.0
 #: completed partial-tuple payload — stays servable for a chain retry.
 CHECKPOINT_TTL_S = 600.0
 
+#: How long (simulated seconds) staged shard-fan-out tuple rows survive
+#: between touches. Staging persists past the ``ShardXMatch`` that consumes
+#: it so a retry after a lost response can deterministically re-run.
+STAGING_TTL_S = 600.0
+
+#: Rows per ``ShardStage`` call: keeps every staged request far below the
+#: receiving shard's XML-parser memory budget (5 numeric columns per row).
+SHARD_STAGE_ROWS = 2048
+
+#: The hidden per-row column carrying a row's position in the monolithic
+#: insert order; shard tables gain it at provisioning time so gathered
+#: rows can be merged back into exactly the monolithic emission order.
+SHARD_POS_COLUMN = "_skyq_pos"
+
 
 @dataclass
 class _Checkpoint:
@@ -83,6 +111,23 @@ class _Checkpoint:
     #: The snapshot epoch the step ran at; a checkpoint whose epoch has
     #: been garbage-collected is reaped rather than served to a resume.
     epoch: Optional[int] = None
+
+
+@dataclass
+class _ShardStaging:
+    """Tuple rows staged on a shard ahead of one ``ShardXMatch`` call.
+
+    Keyed by the coordinator's ``xmid``; rows are deduplicated by ``seq``
+    so a retried ``ShardStage`` (lost response) cannot double-insert.
+    Deliberately *not* freed when ``ShardXMatch`` consumes it: the match
+    is deterministic, so a retry after a lost response simply re-runs
+    against the same staged rows. The TTL reaper, ``CancelQuery``, and
+    ``crash()`` are what free it.
+    """
+
+    qid: str = ""
+    deadline: Optional[float] = None
+    rows: Dict[int, Tuple[Any, ...]] = field(default_factory=dict)
 
 
 @dataclass
@@ -209,8 +254,51 @@ class CrossMatchService(WebService):
                 "cancel down the chain (best effort — TTL reaping "
                 "remains the backstop for a lost cancel). Idempotent.",
         )
+        self.register(
+            "ShardSeed",
+            self._shard_seed,
+            params=(
+                ("plan", "struct"),
+                ("position", "int"),
+                ("qid", "string"),
+            ),
+            returns="struct",
+            doc="Scatter-gather seed: run this shard's slice of the seed "
+                "query and ship its rows (with their monolithic row "
+                "positions) back to the coordinating node.",
+        )
+        self.register(
+            "ShardStage",
+            self._shard_stage,
+            params=(
+                ("xmid", "string"),
+                ("rows", "rowset"),
+                ("qid", "string"),
+            ),
+            returns="struct",
+            doc="Stage a slice of partial-tuple accumulators ahead of a "
+                "ShardXMatch call (idempotent per seq; chunked client-side "
+                "so no single request blows the parser memory budget).",
+        )
+        self.register(
+            "ShardXMatch",
+            self._shard_xmatch,
+            params=(
+                ("xmid", "string"),
+                ("plan", "struct"),
+                ("position", "int"),
+                ("qid", "string"),
+            ),
+            returns="struct",
+            doc="Scatter-gather match: run the cross-match stored "
+                "procedure over this shard's rows against the staged "
+                "tuples, shipping matches tagged with seq and monolithic "
+                "row position for the coordinator's canonical merge.",
+        )
         self._streams: Dict[str, _Stream] = {}
         self._stream_ids = itertools.count(1)
+        self._stagings: Dict[str, _ShardStaging] = {}
+        self._xmid_counter = itertools.count(1)
         self._checkpoints: Dict[str, _Checkpoint] = {}
         self._clock_fn: Optional[Callable[[], float]] = None
         self._on_reclaim: Optional[Callable[[int], None]] = None
@@ -277,12 +365,14 @@ class CrossMatchService(WebService):
                 )
         stats_chain: List[Dict[str, Any]] = []
         if position == len(plan_obj.steps) - 1:
-            tuples, my_stats = self._seed_step(plan_obj, me)
+            tuples, my_stats = self._seed_step(plan_obj, me, qid=xid)
         else:
             incoming, stats_chain = self._call_next(
                 plan, plan_obj, position, xid
             )
-            tuples, my_stats = self._local_step(plan_obj, me, incoming)
+            tuples, my_stats = self._local_step(
+                plan_obj, me, incoming, position=position, qid=xid
+            )
         out_rowset = tuples_to_rowset(
             tuples,
             plan_obj.member_aliases_after(position),
@@ -340,6 +430,22 @@ class CrossMatchService(WebService):
         now = self._stream_now()
         if now is not None:
             stream.deadline = now + STREAM_TTL_S
+
+    def _reap_stagings(self) -> None:
+        now = self._stream_now()
+        if now is None:
+            return
+        for xmid in [
+            xmid
+            for xmid, staging in self._stagings.items()
+            if staging.deadline is not None and staging.deadline <= now
+        ]:
+            del self._stagings[xmid]
+
+    def _touch_staging(self, staging: _ShardStaging) -> None:
+        now = self._stream_now()
+        if now is not None:
+            staging.deadline = now + STAGING_TTL_S
 
     def _reap_checkpoints(self) -> None:
         now = self._stream_now()
@@ -402,6 +508,7 @@ class CrossMatchService(WebService):
         """
         self._streams.clear()
         self._checkpoints.clear()
+        self._stagings.clear()
 
     def _open_stream(
         self,
@@ -444,7 +551,7 @@ class CrossMatchService(WebService):
             # nodes are still chewing on earlier batches. The partition is
             # deterministic, so a resumed stream (start_seq > 0) slices the
             # batches identically and serves exactly the missing suffix.
-            tuples, stats = self._seed_step(plan_obj, me)
+            tuples, stats = self._seed_step(plan_obj, me, qid=str(qid))
             stats["tuples_out"] = len(tuples)
             stream.tuples = tuples
             stream.slices = batch_slices(len(tuples), batch_size)
@@ -518,7 +625,9 @@ class CrossMatchService(WebService):
             incoming, downstream_stats = self._pull_downstream(stream, seq)
             if downstream_stats is not None:
                 stream.downstream_stats = downstream_stats
-            out_tuples, step_stats = self._local_step(plan, me, incoming)
+            out_tuples, step_stats = self._local_step(
+                plan, me, incoming, position=position, qid=stream.qid
+            )
             self._accumulate(stream.stats, step_stats, len(out_tuples))
         stream.batch_rows.append(len(out_tuples))
         payload = tuples_to_payload(
@@ -613,6 +722,7 @@ class CrossMatchService(WebService):
         tracer = active_tracer()
         if tracer is not None:
             tracer.annotate("cancel", query_id=query_id, freed=freed)
+        self._cancel_shards(query_id)
         forwarded = False
         if plan:
             plan_obj = ExecutionPlan.from_wire(plan)
@@ -631,6 +741,33 @@ class CrossMatchService(WebService):
                     pass  # best effort; the downstream TTL is the backstop
         return {"cancelled": True, "freed": freed, "forwarded": forwarded}
 
+    def _cancel_shards(self, query_id: str) -> None:
+        """Fan a cancel to every shard endpoint candidate, best effort.
+
+        A coordinating node's streams, checkpoints, and stagings live on
+        its shards too; eager reclaim there is worth one parallel round
+        of (cheap, idempotent) cancels. Every failure is swallowed — the
+        shards' TTL reapers remain the backstop.
+        """
+        shard_set = self._node.shard_set
+        network = self._node.network
+        if shard_set is None or network is None or not query_id:
+            return
+        with network.parallel():
+            for member in shard_set.members:
+                with network.branch():
+                    for url in member.candidate_urls("crossmatch"):
+                        try:
+                            self._node.proxy(url).call(
+                                "CancelQuery",
+                                query_id=query_id,
+                                plan=None,
+                                position=-1,
+                            )
+                            break
+                        except Exception:
+                            continue
+
     def release_query(self, query_id: str) -> int:
         """Free every stream, checkpoint, and transfer owned by a query.
 
@@ -641,6 +778,7 @@ class CrossMatchService(WebService):
         """
         self._reap_streams()
         self._reap_checkpoints()
+        self._reap_stagings()
         if not query_id:
             return 0
         freed = 0
@@ -654,6 +792,13 @@ class CrossMatchService(WebService):
         prefix = f"{query_id}:"
         for key in [k for k in self._checkpoints if k.startswith(prefix)]:
             del self._checkpoints[key]
+            freed += 1
+        for xmid in [
+            xmid
+            for xmid, staging in self._stagings.items()
+            if staging.qid == query_id
+        ]:
+            del self._stagings[xmid]
             freed += 1
         freed += self.sender.cancel_query(query_id)
         if freed and self._on_eager is not None:
@@ -699,9 +844,11 @@ class CrossMatchService(WebService):
     # -- the two step kinds ---------------------------------------------------------
 
     def _seed_step(
-        self, plan: ExecutionPlan, me: PlanStep
+        self, plan: ExecutionPlan, me: PlanStep, qid: str = ""
     ) -> Tuple[List[PartialTuple], Dict[str, Any]]:
         """Last node on the list: run the node query, emit 1-tuples."""
+        if self._node.shard_set is not None:
+            return self._sharded_seed(plan, me, qid=qid)
         wrapper = self._node.wrapper
         db = wrapper.db
         before = (db.buffer.stats.logical_reads, db.buffer.stats.physical_reads)
@@ -726,9 +873,18 @@ class CrossMatchService(WebService):
         return tuples, stats
 
     def _local_step(
-        self, plan: ExecutionPlan, me: PlanStep, incoming: List[PartialTuple]
+        self,
+        plan: ExecutionPlan,
+        me: PlanStep,
+        incoming: List[PartialTuple],
+        position: Optional[int] = None,
+        qid: str = "",
     ) -> Tuple[List[PartialTuple], Dict[str, Any]]:
         """Middle/first nodes: temp table + sp_xmatch + extend/filter."""
+        if self._node.shard_set is not None:
+            if position is None:
+                position = plan.steps.index(me)
+            return self._sharded_local(plan, me, incoming, position, qid=qid)
         from repro.db.schema import Column
         from repro.db.types import ColumnType
         from repro.skynode.xmatch_proc import PROCEDURE_NAME
@@ -800,7 +956,430 @@ class CrossMatchService(WebService):
         self._node.charge_processing(proc_result.stats.rows_examined)
         return tuples, stats
 
-    def _node_query_ast(self, plan: ExecutionPlan, me: PlanStep) -> Query:
+    # -- scatter-gather: the coordinating side ------------------------------------
+
+    def _require_network(self):
+        network = self._node.network
+        if network is None:
+            raise ExecutionError(
+                "sharded execution requires an attached network"
+            )
+        return network
+
+    def _sharded_seed(
+        self, plan: ExecutionPlan, me: PlanStep, qid: str = ""
+    ) -> Tuple[List[PartialTuple], Dict[str, Any]]:
+        """Seed hop as a scatter-gather fan-out over this node's shards.
+
+        Shards whose ownership cannot intersect the AREA are pruned; the
+        rest run their seed slices in parallel (failing over across each
+        shard's endpoint candidates), and the gathered rows are re-sorted
+        into the monolithic probe order before seeding 1-tuples. Stats
+        are summed across shards — the partition makes the sums equal the
+        monolithic counts — and processing time is charged on the shards
+        (inside their branches), never again here.
+        """
+        network = self._require_network()
+        shard_set = self._node.shard_set
+        stats = self._stats_dict(me, role="seed", tuples_in=0)
+        members = prune_members(shard_set.members, plan.area)
+        if not members:
+            return [], stats
+        plan_wire = plan.to_wire()
+        position = len(plan.steps) - 1
+        outcomes: Dict[str, Any] = {}
+        with network.parallel():
+            for member in members:
+                with network.branch():
+                    outcomes[member.name] = self._seed_one_shard(
+                        member, plan_wire, position, qid
+                    )
+        self._check_shard_outcomes(outcomes, me)
+        rows = [row for outcome in outcomes.values() for row in outcome[0]]
+        spec = self._node.wrapper.db.table(me.table).spatial
+        use_probe_order = (
+            plan.area is not None
+            and spec is not None
+            and self._node.wrapper.db.use_spatial_index
+        )
+        if use_probe_order:
+            merged = merge_seed_rows(
+                rows,
+                htm_depth=spec.htm_depth,
+                full_ranges=cover(region_for(plan.area), spec.htm_depth).full,
+            )
+        else:
+            merged = merge_seed_rows(rows, htm_depth=0, full_ranges=None)
+        attr_names = [column for column, _, _ in me.attr_select]
+        objects = [
+            LocalObject(
+                object_id=row[0],
+                position=radec_to_vector(float(row[1]), float(row[2])),
+                attributes=dict(zip(attr_names, row[3:3 + len(attr_names)])),
+            )
+            for row in merged
+        ]
+        tuples = seed_tuples(me.alias, objects, arcsec_to_rad(me.sigma_arcsec))
+        for outcome in outcomes.values():
+            self._fold_shard_stats(stats, outcome[1])
+        return tuples, stats
+
+    def _seed_one_shard(
+        self,
+        member: ShardMember,
+        plan_wire: Dict[str, Any],
+        position: int,
+        qid: str,
+    ) -> Optional[Tuple[List[Tuple[Any, ...]], Dict[str, Any]]]:
+        """One shard's seed slice, failing over across its candidates."""
+        for url in member.candidate_urls("crossmatch"):
+            proxy = self._node.proxy(url)
+            try:
+                response = proxy.call(
+                    "ShardSeed", plan=plan_wire, position=position, qid=qid
+                )
+                rowset = receive_rowset(response, proxy)
+                return list(rowset.rows), dict(response.get("stats") or {})
+            except TransportError:
+                continue
+        return None
+
+    def _sharded_local(
+        self,
+        plan: ExecutionPlan,
+        me: PlanStep,
+        incoming: List[PartialTuple],
+        position: int,
+        qid: str = "",
+    ) -> Tuple[List[PartialTuple], Dict[str, Any]]:
+        """Match/dropout hop as a scatter-gather fan-out over shards.
+
+        Each incoming tuple is routed to the shards whose ownership its
+        search cap can touch (zone key; the HTM key broadcasts), shipped
+        in staged slices, matched shard-locally, and the gathered match
+        rows are merged back into the monolithic ``sorted(matches)``
+        emission order before the extend/filter logic runs here.
+        """
+        network = self._require_network()
+        shard_set = self._node.shard_set
+        stats = self._stats_dict(
+            me,
+            role="dropout" if me.dropout else "match",
+            tuples_in=len(incoming),
+        )
+        sigma_rad = arcsec_to_rad(me.sigma_arcsec)
+        assignments: Dict[str, List[Tuple[int, PartialTuple]]] = {
+            member.name: [] for member in shard_set.members
+        }
+        for seq, partial in enumerate(incoming):
+            routed = self._route_tuple(
+                shard_set.members, partial, sigma_rad, plan.threshold
+            )
+            for member in routed:
+                assignments[member.name].append((seq, partial))
+        active = [
+            member
+            for member in shard_set.members
+            if assignments[member.name]
+        ]
+        if not active:
+            return (list(incoming) if me.dropout else []), stats
+        plan_wire = plan.to_wire()
+        outcomes: Dict[str, Any] = {}
+        with network.parallel():
+            for member in active:
+                with network.branch():
+                    outcomes[member.name] = self._xmatch_one_shard(
+                        member,
+                        plan_wire,
+                        position,
+                        assignments[member.name],
+                        qid,
+                    )
+        self._check_shard_outcomes(outcomes, me)
+        rows = [row for outcome in outcomes.values() for row in outcome[0]]
+        merged = merge_match_lists(rows)
+        if me.dropout:
+            matched = {seq for seq, _ in merged}
+            tuples = [
+                partial
+                for seq, partial in enumerate(incoming)
+                if seq not in matched
+            ]
+        else:
+            attr_names = [column for column, _, _ in me.attr_select]
+            tuples = []
+            for seq, seq_rows in merged:
+                for row in seq_rows:
+                    obj = LocalObject(
+                        object_id=row[2],
+                        position=radec_to_vector(float(row[3]), float(row[4])),
+                        attributes=dict(zip(attr_names, row[5:])),
+                    )
+                    tuples.append(
+                        incoming[seq].extended(me.alias, obj, sigma_rad)
+                    )
+        for outcome in outcomes.values():
+            self._fold_shard_stats(stats, outcome[1])
+        return tuples, stats
+
+    def _route_tuple(
+        self,
+        members: Tuple[ShardMember, ...],
+        partial: PartialTuple,
+        sigma_rad: float,
+        threshold: float,
+    ) -> List[ShardMember]:
+        """The shards one tuple's search cap can touch (superset, exact-safe)."""
+        from repro.skynode.xmatch_proc import _cap_bounds
+
+        radius = partial.acc.search_radius(sigma_rad, threshold)
+        try:
+            center = partial.acc.best_position()
+        except GeometryError:
+            # No prior observations: the search is unbounded — broadcast.
+            return [m for m in members if not m.ownership.empty]
+        _, r_eff = _cap_bounds(radius)
+        dec_c = math.degrees(math.asin(max(-1.0, min(1.0, center[2]))))
+        return members_for_tuple(members, dec_c, math.degrees(r_eff))
+
+    def _xmatch_one_shard(
+        self,
+        member: ShardMember,
+        plan_wire: Dict[str, Any],
+        position: int,
+        pairs: List[Tuple[int, PartialTuple]],
+        qid: str,
+    ) -> Optional[Tuple[List[Tuple[Any, ...]], Dict[str, Any]]]:
+        """Stage one shard's tuple subset, match it, gather the rows.
+
+        Staging and matching must land on the *same* endpoint, so a
+        transport failure anywhere in the sequence restarts the whole
+        stage-and-match on the next candidate (a fresh replica holds no
+        staged rows). Seqs are the original chain seqs, so the shard's
+        match keys line up with ``incoming`` at the coordinator.
+        """
+        xmid = f"{self._node.info.archive}-xm{next(self._xmid_counter)}"
+        columns = [
+            ("seq", "int"),
+            ("a", "double"),
+            ("ax", "double"),
+            ("ay", "double"),
+            ("az", "double"),
+        ]
+        staged_rows = [
+            (seq, partial.acc.a, partial.acc.ax, partial.acc.ay,
+             partial.acc.az)
+            for seq, partial in pairs
+        ]
+        for url in member.candidate_urls("crossmatch"):
+            proxy = self._node.proxy(url)
+            try:
+                for start in range(0, len(staged_rows), SHARD_STAGE_ROWS):
+                    proxy.call(
+                        "ShardStage",
+                        xmid=xmid,
+                        rows=WireRowSet(
+                            columns,
+                            staged_rows[start:start + SHARD_STAGE_ROWS],
+                        ),
+                        qid=qid,
+                    )
+                response = proxy.call(
+                    "ShardXMatch",
+                    xmid=xmid,
+                    plan=plan_wire,
+                    position=position,
+                    qid=qid,
+                )
+                rowset = receive_rowset(response, proxy)
+                return list(rowset.rows), dict(response.get("stats") or {})
+            except TransportError:
+                continue
+        return None
+
+    @staticmethod
+    def _check_shard_outcomes(
+        outcomes: Dict[str, Any], me: PlanStep
+    ) -> None:
+        dead = sorted(
+            name for name, outcome in outcomes.items() if outcome is None
+        )
+        if dead:
+            raise ShardUnavailableError(
+                f"shard {dead[0]!r} of archive {me.archive!r} is "
+                "unreachable on every endpoint candidate",
+                shard=dead[0],
+            )
+
+    @staticmethod
+    def _fold_shard_stats(
+        total: Dict[str, Any], shard_stats: Dict[str, Any]
+    ) -> None:
+        for key in (
+            "rows_examined",
+            "candidates_tested",
+            "logical_reads",
+            "physical_reads",
+        ):
+            total[key] += int(shard_stats.get(key, 0))
+
+    # -- scatter-gather: the shard side -------------------------------------------
+
+    def _shard_seed(
+        self, plan: Dict[str, Any], position: int, qid: str = ""
+    ) -> Dict[str, Any]:
+        plan_obj = ExecutionPlan.from_wire(plan)
+        position = int(position)
+        me = self._validate_step(plan_obj, position)
+        wrapper = self._node.wrapper
+        db = wrapper.db
+        before = (
+            db.buffer.stats.logical_reads, db.buffer.stats.physical_reads
+        )
+        query = self._node_query_ast(
+            plan_obj, me, extra_columns=(SHARD_POS_COLUMN,)
+        )
+        result = wrapper.execute_ast(query, epoch=me.epoch)
+        rowset = wrapper.resultset_to_wire(result, query)
+        stats = {
+            "rows_examined": result.stats.rows_examined,
+            "candidates_tested": result.stats.rows_returned,
+            "logical_reads": db.buffer.stats.logical_reads - before[0],
+            "physical_reads": db.buffer.stats.physical_reads - before[1],
+        }
+        self._node.charge_processing(result.stats.rows_examined)
+        return self.sender.respond(
+            rowset, {"stats": stats}, query_id=str(qid)
+        )
+
+    def _shard_stage(
+        self, xmid: str, rows: WireRowSet, qid: str = ""
+    ) -> Dict[str, Any]:
+        self._reap_stagings()
+        if not isinstance(rows, WireRowSet):
+            raise ExecutionError(f"malformed ShardStage rowset: {rows!r}")
+        staging = self._stagings.get(str(xmid))
+        if staging is None:
+            staging = _ShardStaging(qid=str(qid))
+            self._stagings[str(xmid)] = staging
+        for row in rows.rows:
+            staging.rows[int(row[0])] = tuple(row)
+        self._touch_staging(staging)
+        return {"staged": len(staging.rows)}
+
+    def _shard_xmatch(
+        self,
+        xmid: str,
+        plan: Dict[str, Any],
+        position: int,
+        qid: str = "",
+    ) -> Dict[str, Any]:
+        from repro.db.schema import Column
+        from repro.db.types import ColumnType
+        from repro.skynode.xmatch_proc import PROCEDURE_NAME
+
+        self._reap_stagings()
+        plan_obj = ExecutionPlan.from_wire(plan)
+        position = int(position)
+        me = self._validate_step(plan_obj, position)
+        staging = self._stagings.get(str(xmid))
+        staged = sorted(staging.rows.items()) if staging is not None else []
+        if staging is not None:
+            self._touch_staging(staging)
+        db = self._node.wrapper.db
+        before = (
+            db.buffer.stats.logical_reads, db.buffer.stats.physical_reads
+        )
+        temp = db.create_temp_table(
+            "xmatch",
+            [
+                Column("seq", ColumnType.INT, nullable=False),
+                Column("a", ColumnType.FLOAT, nullable=False),
+                Column("ax", ColumnType.FLOAT, nullable=False),
+                Column("ay", ColumnType.FLOAT, nullable=False),
+                Column("az", ColumnType.FLOAT, nullable=False),
+            ],
+        )
+        attr_columns = [column for column, _, _ in me.attr_select]
+        try:
+            for seq, row in staged:
+                temp.insert((seq, float(row[1]), float(row[2]),
+                             float(row[3]), float(row[4])))
+            fetch_columns = list(attr_columns)
+            for column in (me.ra_column, me.dec_column, SHARD_POS_COLUMN):
+                if column not in fetch_columns:
+                    fetch_columns.append(column)
+            proc_result = db.call_procedure(
+                PROCEDURE_NAME,
+                temp_table=temp.name,
+                primary_table=me.table,
+                id_column=me.id_column,
+                ra_column=me.ra_column,
+                dec_column=me.dec_column,
+                alias=me.alias,
+                sigma_arcsec=me.sigma_arcsec,
+                threshold=plan_obj.threshold,
+                area=(
+                    region_for(plan_obj.area)
+                    if plan_obj.area is not None
+                    else None
+                ),
+                residual=(
+                    parse_expression(me.residual_sql)
+                    if me.residual_sql
+                    else None
+                ),
+                attr_columns=fetch_columns,
+                kernel=self._node.xmatch_kernel,
+                engine=self._node.match_engine,
+                epoch=me.epoch,
+            )
+        finally:
+            db.drop_table(temp.name)
+        columns = [
+            ("seq", "int"),
+            (SHARD_POS_COLUMN, "int"),
+            (me.id_column, "int"),
+            (me.ra_column, "double"),
+            (me.dec_column, "double"),
+        ] + [(column, typecode) for column, _, typecode in me.attr_select]
+        out_rows: List[Tuple[Any, ...]] = []
+        for seq, objects in sorted(proc_result.matches.items()):
+            for obj in objects:
+                attrs = obj.attributes
+                values = [
+                    seq,
+                    int(attrs[SHARD_POS_COLUMN]),
+                    obj.object_id,
+                    float(attrs[me.ra_column]),
+                    float(attrs[me.dec_column]),
+                ]
+                values.extend(attrs[column] for column in attr_columns)
+                out_rows.append(tuple(
+                    float(v)
+                    if columns[i][1] == "double" and isinstance(v, int)
+                    and not isinstance(v, bool) else v
+                    for i, v in enumerate(values)
+                ))
+        stats = {
+            "rows_examined": proc_result.stats.rows_examined,
+            "candidates_tested": proc_result.stats.candidates_tested,
+            "logical_reads": db.buffer.stats.logical_reads - before[0],
+            "physical_reads": db.buffer.stats.physical_reads - before[1],
+        }
+        self._node.charge_processing(proc_result.stats.rows_examined)
+        return self.sender.respond(
+            WireRowSet(columns, out_rows), {"stats": stats},
+            query_id=str(qid),
+        )
+
+    def _node_query_ast(
+        self,
+        plan: ExecutionPlan,
+        me: PlanStep,
+        extra_columns: Tuple[str, ...] = (),
+    ) -> Query:
         items = [
             SelectItem(ColumnRef(me.alias, me.id_column)),
             SelectItem(ColumnRef(me.alias, me.ra_column)),
@@ -809,6 +1388,9 @@ class CrossMatchService(WebService):
         items.extend(
             SelectItem(ColumnRef(me.alias, column))
             for column, _, _ in me.attr_select
+        )
+        items.extend(
+            SelectItem(ColumnRef(me.alias, column)) for column in extra_columns
         )
         where: Optional[Expr] = None
         if plan.area is not None:

@@ -90,6 +90,11 @@ class SkyNode:
         self.host.mount(SERVICE_PATHS["query"], self.query)
         self.host.mount(SERVICE_PATHS["crossmatch"], self.crossmatch)
         self.network: Optional[SimulatedNetwork] = None
+        #: Set on a *coordinating* node whose table is split across spatial
+        #: shard SkyNodes: its chain hops fan out to the shards instead of
+        #: scanning locally (the local full copy stays the provisioning
+        #: source and the single-archive/count-probe fallback).
+        self.shard_set = None  # type: Optional[Any]
         self.transaction = None  # mounted on demand (extension service)
         self.ingest = None  # mounted on demand (live-ingest extension)
         #: Transaction-service URLs of this archive's mirrors; every
@@ -250,6 +255,7 @@ class SkyNode:
         registration_url: str,
         *,
         replicas: Optional[List[Dict[str, str]]] = None,
+        shards: Optional[Any] = None,
     ) -> Dict[str, Any]:
         """Join the federation: call the Portal's Registration service.
 
@@ -259,7 +265,10 @@ class SkyNode:
 
         ``replicas`` optionally advertises mirror SkyNodes (their full
         ``service_urls()`` dicts) that serve identical content and can
-        take over if this node dies.
+        take over if this node dies. ``shards`` optionally advertises
+        this archive's spatial shard layout (a
+        :class:`~repro.shard.topology.ShardSet`), folded into the
+        catalog so the Planner can prune and fingerprint by layout.
         """
         if self.network is None:
             raise RegistrationError(
@@ -271,6 +280,8 @@ class SkyNode:
         }
         if replicas:
             params["replicas"] = [dict(endpoint) for endpoint in replicas]
+        if shards is not None:
+            params["shards"] = shards.to_wire()
         with self.network.phase("registration"):
             result = self.proxy(registration_url).call("Register", **params)
         if not isinstance(result, dict) or not result.get("accepted"):

@@ -156,6 +156,107 @@ class DataExchange:
             abort_reason=outcome.abort_reason,
         )
 
+    def pull_table_with_positions(
+        self,
+        source_archive: str,
+        columns: List[str],
+        *,
+        position_column: str = "_skyq_pos",
+    ) -> WireRowSet:
+        """Pull every row of the source's primary table, in table order,
+        with each row's position appended as a trailing int column.
+
+        The position is the row's index in the source's own scan order —
+        the same order the monolithic cross-match engine visits rows in —
+        so shard tables carrying it can reproduce the monolithic result
+        order exactly after a scatter-gather merge (see
+        :mod:`repro.shard.merge`). Travels over the source's Query
+        service like any replication pull; the position is assigned
+        client-side because it is an artifact of *this* table's layout,
+        not a column the source schema knows about.
+        """
+        source = self.portal.catalog.node(source_archive)
+        info = source.info
+        query = Query(
+            items=tuple(
+                SelectItem(ColumnRef("s", column)) for column in columns
+            ),
+            tables=(TableRef(None, info.primary_table, "s"),),
+        )
+        proxy = self._proxy(source.services["query"])
+        network = self.portal.require_network()
+        with network.phase("transaction"):
+            response = proxy.call("ExecuteQueryChunked", sql=to_sql(query))
+            rowset = receive_rowset(response, proxy)
+        return WireRowSet(
+            list(rowset.columns) + [(position_column, "int")],
+            [tuple(row) + (pos,) for pos, row in enumerate(rowset.rows)],
+        )
+
+    def stage_partitioned(
+        self,
+        assignments: Dict[str, WireRowSet],
+        *,
+        target_table: str,
+        txn_label: str,
+    ) -> ExchangeResult:
+        """Stage a *different* rowset at each participant, under ONE 2PC.
+
+        The shard-provisioning path: ``assignments`` maps participant
+        keys (present in ``transaction_urls``) to the row slice each must
+        apply — a shard and its replicas receive identical slices,
+        sibling shards disjoint ones. A single transaction spans every
+        participant, so either the whole sharded layout appears or none
+        of it does; no query can ever observe a half-provisioned archive.
+        """
+        if not assignments:
+            raise TransactionError(
+                "stage_partitioned needs at least one participant"
+            )
+        participants: List[str] = []
+        for key in assignments:
+            url = self.transaction_urls.get(key)
+            if url is None:
+                raise TransactionError(
+                    f"participant {key!r} has no Transaction service"
+                )
+            participants.append(url)
+        txn_id = f"xchg-{txn_label}-{next(_txn_counter)}"
+        network = self.portal.require_network()
+        with network.phase("transaction"):
+            for key in sorted(assignments):
+                rowset = assignments[key]
+                proxy = self._proxy(self.transaction_urls[key])
+                proxy.call("Begin", txn_id=txn_id)
+                column_specs = [
+                    {"name": name.split(".", 1)[-1], "type": code}
+                    for name, code in rowset.columns
+                ]
+                proxy.call(
+                    "EnsureTable", table=target_table, columns=column_specs
+                )
+                for chunk in chunk_rowset(rowset, self.stage_rows_per_call):
+                    proxy.call(
+                        "StageRows",
+                        txn_id=txn_id,
+                        table=target_table,
+                        rows=chunk,
+                    )
+        outcome: TxnOutcome = self.coordinator.complete(txn_id, participants)
+        rows_copied = (
+            sum(len(rowset.rows) for rowset in assignments.values())
+            if outcome.committed
+            else 0
+        )
+        return ExchangeResult(
+            txn_id=txn_id,
+            committed=outcome.committed,
+            rows_copied=rows_copied,
+            replica_table=target_table,
+            votes=outcome.votes,
+            abort_reason=outcome.abort_reason,
+        )
+
     def _proxy(self, url: str) -> ServiceProxy:
         return ServiceProxy(
             self.portal.require_network(), self.portal.hostname, url

@@ -1,0 +1,292 @@
+"""Boundary correctness: ownership edges, straddling circles, RA wrap.
+
+Sharding partitions the sky; the dangerous rows live exactly on the
+partition edges. These tests pin the three edge contracts:
+
+* **Exactly-one-owner.** Ownership planning covers the *entire* key
+  space with inclusive, non-overlapping ranges — a body whose
+  declination sits exactly on a zone cut, or whose HTM id is exactly a
+  shard's ``id_lo``/``id_hi``, has exactly one owner. Two owners would
+  duplicate pairs; zero would drop them.
+* **Straddling circles.** A query AREA centered exactly on a shard
+  boundary fans out to 2+ shards and still merges to the monolithic
+  bytes — no pair duplicated at the seam, none lost.
+* **RA 0/360 wrap.** Zone and HTM ownership key on declination and
+  trixel id respectively, so a field wrapping the RA origin must shard
+  as cleanly as any other; the gathered result stays byte-identical.
+"""
+
+import os
+
+from repro.federation.builder import FederationConfig, build_federation
+from repro.htm.index import id_for_point
+from repro.services.retry import RetryPolicy
+from repro.shard import (
+    HTMRangeOwnership,
+    ZoneRangeOwnership,
+    merge_match_lists,
+    merge_seed_rows,
+    plan_htm_ownership,
+    plan_zone_ownership,
+    prune_members,
+)
+from repro.shard.topology import ShardMember, ShardSet
+from repro.sphere.coords import radec_to_vector
+from repro.sql.ast import AreaClause
+from repro.workloads.skysim import SkyField
+from repro.zone.index import DEFAULT_ZONE_HEIGHT_DEG, zone_count, zone_of
+
+CHAOS_SEED = int(os.environ.get("SKYQUERY_CHAOS_SEED", "0"))
+
+
+def _build(center_ra, center_dec, *, shards=0, shard_key="zone", seed=23):
+    return build_federation(
+        FederationConfig(
+            n_bodies=260,
+            seed=seed,
+            sky_field=SkyField(center_ra, center_dec, 1800.0),
+            retry_policy=RetryPolicy(
+                max_attempts=3, timeout_s=5.0, base_backoff_s=0.2,
+                max_backoff_s=2.0, seed=seed + CHAOS_SEED,
+            ),
+            shards=shards,
+            shard_key=shard_key,
+        )
+    )
+
+
+def _xmatch_sql(ra, dec, radius_arcsec=900.0):
+    return (
+        "SELECT O.object_id, O.ra, T.obj_id "
+        "FROM SDSS:Photo_Object O, TWOMASS:Photo_Primary T "
+        f"WHERE AREA({ra}, {dec}, {radius_arcsec}) AND XMATCH(O, T) < 3.5"
+    )
+
+
+def _owners(ownerships, dec, hid):
+    return [own for own in ownerships if own.owns(dec, hid)]
+
+
+class TestExactlyOneOwner:
+    def test_zone_cut_boundaries_have_one_owner(self):
+        """A declination exactly on a zone cut belongs to the shard whose
+        range *starts* there — never to both neighbours, never to none."""
+        decs = [-1.4 + i * 0.011 for i in range(200)]
+        ownerships = plan_zone_ownership(decs, 4, htm_depth=8)
+        h = ownerships[0].zone_height_deg
+        for left, right in zip(ownerships, ownerships[1:]):
+            if right.empty:
+                continue
+            boundary_dec = right.zone_lo * h - 90.0
+            owners = _owners(ownerships, boundary_dec, 0)
+            assert owners == [right]
+            # A hair below the cut still belongs to the left neighbour.
+            below = boundary_dec - h / 4.0
+            if not left.empty and left.owns(below, 0):
+                assert _owners(ownerships, below, 0) == [left]
+
+    def test_zone_space_fully_covered_at_poles(self):
+        ownerships = plan_zone_ownership([-0.5, 0.5], 3)
+        for dec in (-90.0, 90.0, -89.999, 89.999, 0.0):
+            assert len(_owners(ownerships, dec, 0)) == 1
+        assert ownerships[0].zone_lo == 0
+        assert ownerships[-1].zone_hi == zone_count(DEFAULT_ZONE_HEIGHT_DEG) - 1
+
+    def test_htm_interval_endpoints_have_one_owner(self):
+        depth = 8
+        hids = [
+            id_for_point(radec_to_vector(ra, dec), depth)
+            for ra in (0.0, 90.0, 185.0, 275.0, 359.9)
+            for dec in (-45.0, -0.5, 0.5, 45.0)
+        ]
+        ownerships = plan_htm_ownership(hids, 4, depth)
+        assert ownerships[0].id_lo == 8 << (2 * depth)
+        assert ownerships[-1].id_hi == (16 << (2 * depth)) - 1
+        for own in ownerships:
+            if own.empty:
+                continue
+            for hid in (own.id_lo, own.id_hi):
+                assert len(_owners(ownerships, 0.0, hid)) == 1
+        # The id just past a shard's id_hi starts the next non-empty shard.
+        non_empty = [o for o in ownerships if not o.empty]
+        for left, right in zip(non_empty, non_empty[1:]):
+            assert right.id_lo == left.id_hi + 1
+            assert _owners(ownerships, 0.0, left.id_hi + 1) == [right]
+
+    def test_htm_cuts_align_to_coarse_trixels(self):
+        depth = 8
+        hids = list(range(8 << (2 * depth), (8 << (2 * depth)) + 5000, 7))
+        ownerships = plan_htm_ownership(hids, 4, depth)
+        block = 1 << (2 * 3)  # align_depth = depth - 3 -> 64-id blocks
+        for own in ownerships[1:]:
+            if not own.empty:
+                assert own.id_lo % block == 0
+
+
+class TestStraddlingCircles:
+    def _boundary_dec(self, fed, archive="SDSS"):
+        members = fed.portal.catalog.node(archive).shard_set.members
+        non_empty = [m for m in members if not m.ownership.empty]
+        assert len(non_empty) >= 2, "need a real partition to straddle"
+        # The seam between the first two populated shards.
+        return non_empty[1].ownership.dec_interval()[0]
+
+    def test_circle_on_zone_seam_matches_monolithic(self):
+        """Center the AREA exactly on a shard boundary: 2+ shards answer,
+        the merge drops nothing and duplicates nothing."""
+        sharded_fed = _build(185.0, -0.5, shards=4, shard_key="zone")
+        boundary = self._boundary_dec(sharded_fed)
+        sql = _xmatch_sql(185.0, boundary)
+        mono = _build(185.0, -0.5).portal.submit(sql)
+        sharded = sharded_fed.portal.submit(sql)
+        record = sharded_fed.portal.catalog.node("SDSS")
+        area = AreaClause(
+            ra_deg=185.0, dec_deg=boundary, radius_arcsec=900.0
+        )
+        assert len(prune_members(record.shard_set.members, area)) >= 2
+        assert list(sharded.rows) == list(mono.rows)
+        assert sharded.rows, "a seam query must still find pairs"
+        assert len(set(sharded.rows)) == len(sharded.rows)
+        assert list(sharded.warnings) == list(mono.warnings)
+
+    def test_circle_spanning_every_shard(self):
+        """A radius wider than the whole field touches every populated
+        shard and still merges to the oracle bytes."""
+        for shard_key in ("zone", "htm"):
+            sharded_fed = _build(185.0, -0.5, shards=4, shard_key=shard_key)
+            sql = _xmatch_sql(185.0, -0.5, radius_arcsec=7200.0)
+            mono = _build(185.0, -0.5).portal.submit(sql)
+            sharded = sharded_fed.portal.submit(sql)
+            assert list(sharded.rows) == list(mono.rows), shard_key
+            assert sharded.rows, shard_key
+            assert len(set(sharded.rows)) == len(sharded.rows), shard_key
+
+
+class TestRAWrap:
+    def test_field_wrapping_ra_origin(self):
+        """Bodies scattered across the RA 0/360 seam shard and merge to
+        the monolithic bytes under both shard keys."""
+        for shard_key in ("zone", "htm"):
+            sql = _xmatch_sql(0.02, -0.5)
+            mono = _build(0.02, -0.5).portal.submit(sql)
+            sharded = _build(
+                0.02, -0.5, shards=4, shard_key=shard_key
+            ).portal.submit(sql)
+            assert mono.rows, "wrap field must produce pairs"
+            assert list(sharded.rows) == list(mono.rows), shard_key
+            assert len(set(sharded.rows)) == len(sharded.rows), shard_key
+
+    def test_area_centered_across_the_seam(self):
+        """An AREA centered just *west* of 0 (at RA 359.98) over the same
+        wrapped field: pruning and merge remain exact."""
+        for shard_key in ("zone", "htm"):
+            sql = _xmatch_sql(359.98, -0.5)
+            mono = _build(0.02, -0.5).portal.submit(sql)
+            sharded = _build(
+                0.02, -0.5, shards=4, shard_key=shard_key
+            ).portal.submit(sql)
+            assert list(sharded.rows) == list(mono.rows), shard_key
+
+
+class TestMergeOrder:
+    """The canonical gather order, pinned at the unit level."""
+
+    def test_full_scan_merge_is_position_order(self):
+        rows = [("b", 10.0, 1.0, 2), ("a", 11.0, 2.0, 0), ("c", 12.0, 3.0, 1)]
+        merged = merge_seed_rows(rows, htm_depth=8, full_ranges=None)
+        assert [row[-1] for row in merged] == [0, 1, 2]
+
+    def test_match_merge_sorts_seq_then_position(self):
+        rows = [
+            (2, 5, "x"), (1, 9, "y"), (2, 1, "z"), (1, 3, "w"),
+        ]
+        merged = merge_match_lists(rows)
+        assert [seq for seq, _ in merged] == [1, 2]
+        assert [[r[1] for r in group] for _, group in merged] == [
+            [3, 9], [1, 5],
+        ]
+
+    def test_prune_keeps_boundary_shard_via_trixel_pad(self):
+        """A zone shard owning only the far side of a boundary trixel must
+        survive pruning: the pad rounds the cap window outward."""
+        h = DEFAULT_ZONE_HEIGHT_DEG
+        area = AreaClause(ra_deg=185.0, dec_deg=-0.5, radius_arcsec=60.0)
+        edge_zone = zone_of(-0.5 - 60.0 / 3600.0, h) - 1
+        member = ShardMember(
+            name="edge",
+            ownership=ZoneRangeOwnership(
+                zone_lo=0, zone_hi=edge_zone, htm_depth=8
+            ),
+            endpoints=({"query": "http://edge.skyquery.net/q"},),
+        )
+        assert prune_members([member], area) == [member]
+
+    def test_prune_drops_far_away_zone_shard(self):
+        area = AreaClause(ra_deg=185.0, dec_deg=-0.5, radius_arcsec=60.0)
+        far = ShardMember(
+            name="far",
+            ownership=ZoneRangeOwnership(
+                zone_lo=zone_of(60.0), zone_hi=zone_of(89.0), htm_depth=8
+            ),
+            endpoints=({"query": "http://far.skyquery.net/q"},),
+        )
+        assert prune_members([far], area) == []
+
+    def test_prune_is_exact_for_htm_shards(self):
+        depth = 8
+        area = AreaClause(ra_deg=185.0, dec_deg=-0.5, radius_arcsec=60.0)
+        hid = id_for_point(radec_to_vector(185.0, -0.5), depth)
+        containing = ShardMember(
+            name="hit",
+            ownership=HTMRangeOwnership(
+                id_lo=hid, id_hi=hid, htm_depth=depth
+            ),
+            endpoints=({"query": "http://hit.skyquery.net/q"},),
+        )
+        opposite = id_for_point(radec_to_vector(5.0, 0.5), depth)
+        elsewhere = ShardMember(
+            name="miss",
+            ownership=HTMRangeOwnership(
+                id_lo=opposite, id_hi=opposite, htm_depth=depth
+            ),
+            endpoints=({"query": "http://miss.skyquery.net/q"},),
+        )
+        kept = prune_members([containing, elsewhere], area)
+        assert kept == [containing]
+
+    def test_empty_shards_are_never_contacted(self):
+        empty_zone = ShardMember(
+            name="ez",
+            ownership=ZoneRangeOwnership(zone_lo=5, zone_hi=4, htm_depth=8),
+            endpoints=({"query": "http://ez.skyquery.net/q"},),
+        )
+        empty_htm = ShardMember(
+            name="eh",
+            ownership=HTMRangeOwnership(id_lo=9, id_hi=8, htm_depth=8),
+            endpoints=({"query": "http://eh.skyquery.net/q"},),
+        )
+        assert prune_members([empty_zone, empty_htm], None) == []
+
+    def test_shard_set_rejects_mixed_ownership_kinds(self):
+        import pytest
+
+        from repro.errors import PlanningError
+
+        mixed = ShardSet(
+            members=(
+                ShardMember(
+                    name="a",
+                    ownership=ZoneRangeOwnership(zone_lo=0, zone_hi=1),
+                    endpoints=({"query": "http://a/q"},),
+                ),
+                ShardMember(
+                    name="b",
+                    ownership=HTMRangeOwnership(
+                        id_lo=0, id_hi=1, htm_depth=4
+                    ),
+                    endpoints=({"query": "http://b/q"},),
+                ),
+            )
+        )
+        with pytest.raises(PlanningError):
+            mixed.shard_key

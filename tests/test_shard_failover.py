@@ -1,0 +1,236 @@
+"""Chaos tests: shard failover, shard-named degradation, and the
+endpoint-candidate ordering contract.
+
+The resilience contract for sharded archives extends docs/RESILIENCE.md:
+
+* A shard primary dying is invisible when the shard has a mirror — the
+  scatter-gather fan-out fails over *per shard candidate* inside the
+  parallel region and the answer stays byte-identical to the fault-free
+  oracle, never degraded.
+* A shard with no mirror left yields a degraded empty result whose
+  warning names **the shard**, not just the archive — operators must see
+  which slice of the sky went dark.
+* Shard endpoints are slices, not whole-archive substitutes: they must
+  NEVER appear in :meth:`NodeRecord.endpoint_candidates` (the archive
+  failover pool walked by portal.py/executor.py), yet ``_cancel_chain``
+  must still reach them directly, because a dead coordinator cannot fan
+  its own cancel down to its shards.
+
+``SKYQUERY_CHAOS_SEED`` shifts retry timings like the other chaos suites.
+"""
+
+import os
+
+from repro.federation.builder import FederationConfig, build_federation
+from repro.services.retry import RetryPolicy
+from repro.shard import prune_members
+from repro.sql.ast import AreaClause
+from repro.workloads.skysim import SkyField
+
+CHAOS_SEED = int(os.environ.get("SKYQUERY_CHAOS_SEED", "0"))
+
+AREA = AreaClause(ra_deg=185.0, dec_deg=-0.5, radius_arcsec=900.0)
+
+XMATCH_SQL = (
+    "SELECT O.object_id, O.ra, T.obj_id "
+    "FROM SDSS:Photo_Object O, TWOMASS:Photo_Primary T "
+    "WHERE AREA(185.0, -0.5, 900.0) AND XMATCH(O, T) < 3.5"
+)
+
+
+def _build(*, shards=4, shard_key="zone", replicas=0,
+           chain_mode="store-forward"):
+    return build_federation(
+        FederationConfig(
+            n_bodies=300,
+            seed=11,
+            sky_field=SkyField(185.0, -0.5, 1800.0),
+            retry_policy=RetryPolicy(
+                max_attempts=3, timeout_s=5.0, base_backoff_s=0.2,
+                max_backoff_s=2.0, seed=11 + CHAOS_SEED,
+            ),
+            shards=shards,
+            shard_key=shard_key,
+            replicas=replicas,
+            chain_mode=chain_mode,
+        )
+    )
+
+
+def _oracle(chain_mode="store-forward"):
+    fed = _build(shards=0, chain_mode=chain_mode)
+    result = fed.portal.submit(XMATCH_SQL)
+    assert result.rows and not result.degraded
+    return list(result.rows), list(result.columns)
+
+
+def _victim_member(fed, archive="SDSS"):
+    """A shard member the query AREA actually needs (never pruned away)."""
+    record = fed.portal.catalog.node(archive)
+    members = prune_members(record.shard_set.members, AREA)
+    assert members, "query AREA must intersect at least one shard"
+    return members[0]
+
+
+def _host_of(url):
+    return url.split("/")[2]
+
+
+def _kill(fed, member, candidate=0):
+    fed.network.remove_host(_host_of(member.candidate_urls("query")[candidate]))
+
+
+class TestShardFailover:
+    def test_dead_primary_with_mirror_is_invisible(self):
+        """Kill a needed shard's primary: the mirror answers, bytes match
+        the fault-free monolithic oracle, nothing is degraded."""
+        rows, columns = _oracle()
+        fed = _build(replicas=1)
+        _kill(fed, _victim_member(fed))
+        result = fed.portal.submit(XMATCH_SQL)
+        assert not result.degraded
+        assert not result.warnings
+        assert list(result.rows) == rows
+        assert list(result.columns) == columns
+
+    def test_dead_mirror_alone_is_also_invisible(self):
+        """Killing only the mirror never even costs a failover attempt."""
+        rows, _ = _oracle()
+        fed = _build(replicas=1)
+        _kill(fed, _victim_member(fed), candidate=1)
+        result = fed.portal.submit(XMATCH_SQL)
+        assert not result.degraded and not result.warnings
+        assert list(result.rows) == rows
+
+    def test_dead_shard_without_mirror_names_the_shard(self):
+        """No mirror left: degrade, and the warning must name the shard —
+        not merely the archive — so operators see which slice went dark."""
+        fed = _build(replicas=0)
+        victim = _victim_member(fed)
+        _kill(fed, victim)
+        result = fed.portal.submit(XMATCH_SQL)
+        assert result.degraded
+        assert result.rows == []
+        joined = " ".join(result.warnings)
+        assert f"shard {victim.name!r}" in joined
+        assert "'SDSS'" in joined  # the owning archive, for context
+        assert victim.name != "SDSS"  # the name is shard-level, not archive
+
+    def test_mid_chain_shard_death_degrades_with_shard_name(self):
+        """Plan against a healthy federation, then kill the shard before
+        the chain runs: the coordinator's fan-out exhausts the candidate
+        list and the executor degrades with a shard-named warning."""
+        for chain_mode in ("store-forward", "pipelined"):
+            fed = _build(replicas=0, chain_mode=chain_mode)
+            portal = fed.portal
+            from repro.portal.decompose import decompose
+            from repro.sql.parser import parse_query
+
+            decomposed = decompose(parse_query(XMATCH_SQL), portal.catalog)
+            epochs = {}
+            counts = portal.planner.performance_counts(
+                decomposed, epochs=epochs
+            )
+            plan = portal.planner.build_plan(decomposed, counts, epochs=epochs)
+            victim = _victim_member(fed)
+            _kill(fed, victim)
+            result = portal.executor.execute(plan, decomposed)
+            assert result.degraded, chain_mode
+            joined = " ".join(result.warnings)
+            assert "shard unavailable:" in joined, chain_mode
+            assert f"shard {victim.name!r}" in joined, chain_mode
+
+    def test_mid_chain_shard_death_with_mirror_stays_complete(self):
+        """Same mid-chain kill, but a mirror exists: the fan-out slides to
+        the next candidate and the full answer still comes back."""
+        rows, _ = _oracle()
+        fed = _build(replicas=1)
+        portal = fed.portal
+        from repro.portal.decompose import decompose
+        from repro.sql.parser import parse_query
+
+        decomposed = decompose(parse_query(XMATCH_SQL), portal.catalog)
+        epochs = {}
+        counts = portal.planner.performance_counts(decomposed, epochs=epochs)
+        plan = portal.planner.build_plan(decomposed, counts, epochs=epochs)
+        _kill(fed, _victim_member(fed))
+        result = portal.executor.execute(plan, decomposed)
+        assert not result.degraded and not result.warnings
+        assert list(result.rows) == rows
+
+    def test_archive_coordinator_failover_composes_with_shards(self):
+        """Kill the *archive* primary of a sharded archive: the archive
+        replica (which carries the same shard layout) takes over as the
+        coordinating node and the answer matches the oracle."""
+        rows, _ = _oracle()
+        fed = _build(replicas=1)
+        fed.network.remove_host(fed.nodes["SDSS"].hostname)
+        result = fed.portal.submit(XMATCH_SQL)
+        assert not result.degraded
+        assert list(result.rows) == rows
+
+
+class TestEndpointCandidateOrdering:
+    """The ordering/membership contract at every
+    ``record.endpoint_candidates()`` loop site (portal.py, executor.py)."""
+
+    def test_shard_endpoints_never_enter_archive_candidates(self):
+        """Shard endpoints hold slices — substituting one for the archive
+        would silently answer from 1/N of the sky. They must stay out of
+        the archive-level failover pool."""
+        fed = _build(replicas=1)
+        for archive, shard_nodes in fed.shards.items():
+            record = fed.portal.catalog.node(archive)
+            candidate_hosts = {
+                _host_of(url)
+                for services in record.endpoint_candidates()
+                for url in services.values()
+            }
+            assert fed.nodes[archive].hostname in candidate_hosts
+            for node in shard_nodes:
+                assert node.hostname not in candidate_hosts
+            for mirrors in fed.shard_replicas[archive].values():
+                for node in mirrors:
+                    assert node.hostname not in candidate_hosts
+
+    def test_primary_is_always_candidate_zero(self):
+        """portal.py health probes and executor re-routing both assume
+        index 0 is the registered primary; shard registration must not
+        reorder the list."""
+        fed = _build(replicas=2)
+        for archive in fed.nodes:
+            record = fed.portal.catalog.node(archive)
+            candidates = record.endpoint_candidates()
+            assert len(candidates) == 3  # primary + 2 archive replicas
+            assert candidates[0] == dict(record.services)
+            replica_hosts = [
+                node.hostname for node in fed.replicas[archive]
+            ]
+            for services, host in zip(candidates[1:], replica_hosts):
+                assert {_host_of(u) for u in services.values()} == {host}
+
+    def test_cancel_chain_reaches_shard_endpoints(self):
+        """A deadline death mid-submission must free server state on the
+        shard workers too — the coordinator may be the very node that
+        died, so the Portal cancels shard candidates directly."""
+        fed = _build(replicas=1)
+        deadline = fed.network.clock.now + 0.35
+        qid = f"{fed.portal.hostname}-q{fed.portal.queries_served + 1}"
+        result = fed.portal.submit(XMATCH_SQL, deadline_s=deadline)
+        assert result.degraded
+        leftovers = []
+        shard_nodes = [
+            node for group in fed.shards.values() for node in group
+        ]
+        for mirrors_by_shard in fed.shard_replicas.values():
+            for mirrors in mirrors_by_shard.values():
+                shard_nodes.extend(mirrors)
+        for node in shard_nodes:
+            crossmatch = node.crossmatch
+            for xmid, staging in crossmatch._stagings.items():
+                if staging.qid == qid:
+                    leftovers.append((node.hostname, "staging", xmid))
+            for sid, stream in crossmatch._streams.items():
+                if stream.qid == qid and not stream.done:
+                    leftovers.append((node.hostname, "stream", sid))
+        assert leftovers == []

@@ -1,0 +1,186 @@
+"""Property-based tests: sharded federations are byte-identical twins.
+
+The tentpole contract, stated as a property: for ANY random federation
+(body count, seed), ANY shard count in {1, 2, 4, 7}, EITHER shard key
+(zone-range or HTM trixel-prefix), EITHER chain mode, and EITHER match
+engine, a sharded federation answers every query with *exactly* the
+bytes its monolithic twin produces — same rows in the same order, same
+columns, same warnings, same per-archive epochs, and same per-node
+statistics. The single permitted divergence is buffer-pool accounting
+(``logical_reads`` / ``physical_reads``): shards own private buffer
+pools, so page-hit patterns differ even though every row examined and
+every pair compared is identical. Chaos seeds (``SKYQUERY_CHAOS_SEED``)
+vary simulated retry timings like the other property suites.
+"""
+
+import os
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.federation.builder import FederationConfig, build_federation
+from repro.services.retry import RetryPolicy
+from repro.workloads.skysim import SkyField
+
+CHAOS_SEED = int(os.environ.get("SKYQUERY_CHAOS_SEED", "0"))
+
+XMATCH_SQL = (
+    "SELECT O.object_id, O.ra, T.obj_id "
+    "FROM SDSS:Photo_Object O, TWOMASS:Photo_Primary T "
+    "WHERE AREA(185.0, -0.5, 900.0) AND XMATCH(O, T) < 3.5"
+)
+
+FULL_SCAN_SQL = (
+    "SELECT O.object_id, O.ra, T.obj_id "
+    "FROM SDSS:Photo_Object O, TWOMASS:Photo_Primary T "
+    "WHERE XMATCH(O, T) < 3.5"
+)
+
+DROPOUT_SQL = (
+    "SELECT O.object_id, T.obj_id "
+    "FROM SDSS:Photo_Object O, TWOMASS:Photo_Primary T, "
+    "FIRST:Primary_Object P "
+    "WHERE AREA(185.0, -0.5, 900.0) AND XMATCH(O, T, !P) < 3.5"
+)
+
+COUNT_SQL = (
+    "SELECT O.object_id, T.obj_id "
+    "FROM SDSS:Photo_Object O, TWOMASS:Photo_Primary T "
+    "WHERE AREA(185.0, -0.5, 2400.0) AND XMATCH(O, T) < 3.0"
+)
+
+
+def _build(n_bodies, seed, *, shards=0, shard_key="zone",
+           chain_mode="store-forward", match_engine="htm"):
+    return build_federation(
+        FederationConfig(
+            n_bodies=n_bodies,
+            seed=seed,
+            sky_field=SkyField(185.0, -0.5, 1800.0),
+            retry_policy=RetryPolicy(
+                max_attempts=3, timeout_s=5.0, base_backoff_s=0.2,
+                max_backoff_s=2.0, seed=seed + CHAOS_SEED,
+            ),
+            shards=shards,
+            shard_key=shard_key,
+            chain_mode=chain_mode,
+            match_engine=match_engine,
+        )
+    )
+
+
+def _strip_buffer_stats(node_stats):
+    """Node stats minus the buffer-pool counters shards legitimately skew."""
+    return [
+        {k: v for k, v in stats.items()
+         if k not in ("logical_reads", "physical_reads")}
+        for stats in node_stats
+    ]
+
+
+def _observe(n_bodies, seed, sql, **kwargs):
+    """Everything externally observable about one federated query."""
+    fed = _build(n_bodies, seed, **kwargs)
+    result = fed.portal.submit(sql)
+    return (
+        list(result.rows),
+        list(result.columns),
+        list(result.warnings),
+        result.degraded,
+        dict(result.epochs),
+        _strip_buffer_stats(result.node_stats),
+    )
+
+
+class TestShardOracle:
+    """Sharded runs must match the monolithic twin byte for byte."""
+
+    @settings(max_examples=6, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        shards=st.sampled_from([1, 2, 4, 7]),
+        shard_key=st.sampled_from(["zone", "htm"]),
+        n_bodies=st.integers(60, 220),
+        seed=st.integers(0, 10_000),
+    )
+    def test_xmatch_identical_to_monolithic(self, shards, shard_key,
+                                            n_bodies, seed):
+        mono = _observe(n_bodies, seed, XMATCH_SQL)
+        sharded = _observe(n_bodies, seed, XMATCH_SQL,
+                           shards=shards, shard_key=shard_key)
+        assert sharded == mono
+        assert mono[0], "oracle must exercise a non-trivial match"
+
+    @settings(max_examples=6, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        shards=st.sampled_from([2, 4, 7]),
+        shard_key=st.sampled_from(["zone", "htm"]),
+        chain_mode=st.sampled_from(["store-forward", "pipelined"]),
+        match_engine=st.sampled_from(["htm", "zone"]),
+        seed=st.integers(0, 10_000),
+    )
+    def test_chain_mode_and_engine_composition(self, shards, shard_key,
+                                               chain_mode, match_engine,
+                                               seed):
+        mono = _observe(150, seed, XMATCH_SQL, chain_mode=chain_mode,
+                        match_engine=match_engine)
+        sharded = _observe(150, seed, XMATCH_SQL, shards=shards,
+                           shard_key=shard_key, chain_mode=chain_mode,
+                           match_engine=match_engine)
+        assert sharded == mono
+
+    @settings(max_examples=6, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        shards=st.sampled_from([2, 4, 7]),
+        shard_key=st.sampled_from(["zone", "htm"]),
+        seed=st.integers(0, 10_000),
+    )
+    def test_full_scan_identical(self, shards, shard_key, seed):
+        """No AREA: every non-empty shard is contacted, order still holds."""
+        mono = _observe(140, seed, FULL_SCAN_SQL)
+        sharded = _observe(140, seed, FULL_SCAN_SQL,
+                           shards=shards, shard_key=shard_key)
+        assert sharded == mono
+        assert mono[0]
+
+    @settings(max_examples=6, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        shards=st.sampled_from([2, 4]),
+        shard_key=st.sampled_from(["zone", "htm"]),
+        chain_mode=st.sampled_from(["store-forward", "pipelined"]),
+        seed=st.integers(0, 10_000),
+    )
+    def test_dropout_chain_identical(self, shards, shard_key, chain_mode,
+                                     seed):
+        """Negated (dropout) hops scatter-gather to the same bytes too."""
+        mono = _observe(180, seed, DROPOUT_SQL, chain_mode=chain_mode)
+        sharded = _observe(180, seed, DROPOUT_SQL, shards=shards,
+                           shard_key=shard_key, chain_mode=chain_mode)
+        assert sharded == mono
+
+    @settings(max_examples=4, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        shards=st.sampled_from([2, 7]),
+        shard_key=st.sampled_from(["zone", "htm"]),
+        seed=st.integers(0, 10_000),
+    )
+    def test_count_probes_agree_with_monolithic(self, shards, shard_key,
+                                                seed):
+        """Scatter-gather count-star probes sum to the monolithic counts,
+        so both planners order the chain identically."""
+        mono_fed = _build(200, seed)
+        shard_fed = _build(200, seed, shards=shards, shard_key=shard_key)
+        mono = mono_fed.portal.explain(COUNT_SQL)
+        sharded = shard_fed.portal.explain(COUNT_SQL)
+        assert sharded["counts"] == mono["counts"]
+        assert sharded["epochs"] == mono["epochs"]
+        assert [s["archive"] for s in sharded["plan"]["steps"]] == [
+            s["archive"] for s in mono["plan"]["steps"]
+        ]
+        assert [s["count_star"] for s in sharded["plan"]["steps"]] == [
+            s["count_star"] for s in mono["plan"]["steps"]
+        ]
